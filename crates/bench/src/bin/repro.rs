@@ -1,0 +1,29 @@
+//! Regenerates the paper's experiments. Usage:
+//!
+//! ```text
+//! repro [e1|e2|e3|e4|a1|a2|all]
+//! ```
+//!
+//! Output is markdown; EXPERIMENTS.md records a run of `repro all`.
+
+use gcs_bench::experiments;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "e1" => experiments::e1_ordering_complexity(),
+        "e2" => experiments::e2_generic_vs_atomic(),
+        "e3" => {
+            experiments::e3_failover_latency();
+            experiments::e3_false_suspicion_cost();
+        }
+        "e4" => experiments::e4_view_change_blocking(),
+        "a1" => experiments::a1_consensus_ablation(),
+        "a2" => experiments::a2_fd_quality(),
+        "all" => experiments::run_all(),
+        other => {
+            eprintln!("unknown experiment {other:?}; use e1|e2|e3|e4|a1|a2|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # gcs-consensus — the consensus component (Fig 9, bottom of the stack)
+//!
+//! The paper's key architectural move (§3.1.1) is to base atomic broadcast on
+//! an algorithm that needs only an *unreliable* failure detector — Chandra &
+//! Toueg's ◇S rotating-coordinator consensus \[10\] — instead of the perfect
+//! failure detector that traditional architectures emulate by killing
+//! suspected processes. This crate provides:
+//!
+//! * [`CtConsensus`] — one instance of the Chandra-Toueg algorithm,
+//!   tolerating `f < n/2` crashes, sans-I/O;
+//! * [`ConsensusManager`] — the repeated-consensus service used by atomic
+//!   broadcast: instance creation, decision caching, and catch-up replies
+//!   for processes that lag behind;
+//! * [`paxos::PaxosConsensus`] — a single-decree Paxos with the same
+//!   interface, used by the ablation experiment A1 to show the architecture
+//!   is agnostic to the consensus algorithm beneath it.
+//!
+//! Messages must be exchanged over reliable FIFO channels
+//! (`gcs-net`'s [`ReliableChannel`](../gcs_net/struct.ReliableChannel.html)
+//! in the full stack); suspicions come from any ◇S-compatible source
+//! (`gcs-fd` in the full stack).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chandra_toueg;
+mod manager;
+pub mod paxos;
+
+pub use chandra_toueg::{CtConsensus, CtMsg, CtOut};
+pub use manager::{ConsensusManager, InstanceId, ManagerOut};
+
+/// The trait a consensus value must satisfy.
+///
+/// Blanket-implemented; exists to name the bound once.
+pub trait Value: Clone + Eq + std::fmt::Debug + 'static {}
+impl<T: Clone + Eq + std::fmt::Debug + 'static> Value for T {}

@@ -1,0 +1,283 @@
+//! Repeated consensus: the service atomic broadcast is built on.
+
+use std::collections::{BTreeMap, HashSet};
+
+use gcs_kernel::ProcessId;
+
+use crate::chandra_toueg::{CtConsensus, CtMsg, CtOut};
+use crate::Value;
+
+/// Identifies one consensus instance (atomic broadcast runs instance
+/// `0, 1, 2, …` — one per delivered batch).
+pub type InstanceId = u64;
+
+/// An instruction produced by the [`ConsensusManager`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ManagerOut<V> {
+    /// Send an instance-tagged message over the reliable channel.
+    Send {
+        /// Destination participant.
+        to: ProcessId,
+        /// The instance the message belongs to.
+        instance: InstanceId,
+        /// The protocol message.
+        msg: CtMsg<V>,
+    },
+    /// Instance `instance` decided `value` (emitted once per instance).
+    Decided {
+        /// The deciding instance.
+        instance: InstanceId,
+        /// The decided value.
+        value: V,
+    },
+}
+
+/// Manages a sequence of consensus instances: creation on proposal,
+/// decision caching, catch-up replies for lagging peers, and propagation of
+/// the failure-detector suspicion set to every live instance.
+#[derive(Debug)]
+pub struct ConsensusManager<V> {
+    me: ProcessId,
+    instances: BTreeMap<InstanceId, CtConsensus<V>>,
+    decisions: BTreeMap<InstanceId, V>,
+    suspected: HashSet<ProcessId>,
+}
+
+impl<V: Value> ConsensusManager<V> {
+    /// Creates a manager for process `me`.
+    pub fn new(me: ProcessId) -> Self {
+        ConsensusManager {
+            me,
+            instances: BTreeMap::new(),
+            decisions: BTreeMap::new(),
+            suspected: HashSet::new(),
+        }
+    }
+
+    /// Whether `instance` exists locally (running or decided).
+    pub fn has_instance(&self, instance: InstanceId) -> bool {
+        self.instances.contains_key(&instance) || self.decisions.contains_key(&instance)
+    }
+
+    /// The cached decision of `instance`, if it decided locally.
+    pub fn decision(&self, instance: InstanceId) -> Option<&V> {
+        self.decisions.get(&instance)
+    }
+
+    /// Proposes `value` for `instance` among `participants`.
+    ///
+    /// Creates the instance if needed (idempotent otherwise) and seeds it
+    /// with the current suspicion set.
+    pub fn propose(
+        &mut self,
+        instance: InstanceId,
+        value: V,
+        participants: Vec<ProcessId>,
+    ) -> Vec<ManagerOut<V>> {
+        if self.decisions.contains_key(&instance) {
+            return Vec::new();
+        }
+        let me = self.me;
+        let mut suspected: Vec<ProcessId> = self.suspected.iter().copied().collect();
+        suspected.sort_unstable(); // deterministic seeding order
+        let inst = self.instances.entry(instance).or_insert_with(|| {
+            let mut c = CtConsensus::new(me, participants);
+            for &s in &suspected {
+                let _ = c.suspect(s);
+            }
+            c
+        });
+        let outs = inst.propose(value);
+        self.collect(instance, outs)
+    }
+
+    /// Handles an instance-tagged message.
+    ///
+    /// Messages for unknown instances are answered with the cached decision
+    /// when available; otherwise they must be buffered by the caller until
+    /// it proposes for that instance (the caller — atomic broadcast — knows
+    /// the participant set, the manager does not). The second return value
+    /// is `false` in that buffering case.
+    pub fn on_msg(
+        &mut self,
+        instance: InstanceId,
+        from: ProcessId,
+        msg: CtMsg<V>,
+    ) -> (Vec<ManagerOut<V>>, bool) {
+        if let Some(v) = self.decisions.get(&instance) {
+            if matches!(msg, CtMsg::Decide { .. }) {
+                return (Vec::new(), true);
+            }
+            return (
+                vec![ManagerOut::Send {
+                    to: from,
+                    instance,
+                    msg: CtMsg::Decide { est: v.clone() },
+                }],
+                true,
+            );
+        }
+        let Some(inst) = self.instances.get_mut(&instance) else {
+            return (Vec::new(), false);
+        };
+        let outs = inst.on_msg(from, msg);
+        (self.collect(instance, outs), true)
+    }
+
+    /// Records a suspicion and forwards it to every running instance.
+    pub fn suspect(&mut self, p: ProcessId) -> Vec<ManagerOut<V>> {
+        self.suspected.insert(p);
+        let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
+        let mut all = Vec::new();
+        for id in ids {
+            let outs = self.instances.get_mut(&id).expect("listed").suspect(p);
+            all.extend(self.collect(id, outs));
+        }
+        all
+    }
+
+    /// Clears a suspicion (future instances start without it; running
+    /// instances stop nacking its rounds).
+    pub fn restore(&mut self, p: ProcessId) {
+        self.suspected.remove(&p);
+        for inst in self.instances.values_mut() {
+            inst.restore(p);
+        }
+    }
+
+    /// Drops state of decided instances below `floor` (the caller guarantees
+    /// it will never need their decisions again, e.g. after a state
+    /// transfer checkpoint).
+    pub fn prune_below(&mut self, floor: InstanceId) {
+        self.decisions = self.decisions.split_off(&floor);
+    }
+
+    fn collect(&mut self, instance: InstanceId, outs: Vec<CtOut<V>>) -> Vec<ManagerOut<V>> {
+        let mut res = Vec::new();
+        for o in outs {
+            match o {
+                CtOut::Send { to, msg } => res.push(ManagerOut::Send { to, instance, msg }),
+                CtOut::Decided(v) => {
+                    self.decisions.insert(instance, v.clone());
+                    self.instances.remove(&instance);
+                    res.push(ManagerOut::Decided { instance, value: v });
+                }
+            }
+        }
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn drive(managers: &mut [ConsensusManager<u32>]) -> BTreeMap<(usize, InstanceId), u32> {
+        let mut queue: std::collections::VecDeque<(ProcessId, ProcessId, InstanceId, CtMsg<u32>)> =
+            Default::default();
+        let mut decided = BTreeMap::new();
+        // Kick off: everyone proposes for instance 0 and 1.
+        let ids: Vec<ProcessId> = (0..managers.len() as u32).map(pid).collect();
+        for (i, m) in managers.iter_mut().enumerate() {
+            for inst in 0..2 {
+                for o in m.propose(inst, (10 * (inst + 1)) as u32 + i as u32, ids.clone()) {
+                    match o {
+                        ManagerOut::Send { to, instance, msg } => {
+                            queue.push_back((pid(i as u32), to, instance, msg))
+                        }
+                        ManagerOut::Decided { instance, value } => {
+                            decided.insert((i, instance), value);
+                        }
+                    }
+                }
+            }
+        }
+        let mut steps = 0;
+        while let Some((from, to, instance, msg)) = queue.pop_front() {
+            steps += 1;
+            assert!(steps < 100_000);
+            let (outs, handled) = managers[to.index()].on_msg(instance, from, msg);
+            assert!(handled, "nothing should need buffering here");
+            for o in outs {
+                match o {
+                    ManagerOut::Send { to: t, instance, msg } => {
+                        queue.push_back((to, t, instance, msg))
+                    }
+                    ManagerOut::Decided { instance, value } => {
+                        decided.insert((to.index(), instance), value);
+                    }
+                }
+            }
+        }
+        decided
+    }
+
+    #[test]
+    fn independent_instances_decide_independently() {
+        let mut managers: Vec<ConsensusManager<u32>> =
+            (0..3).map(|i| ConsensusManager::new(pid(i))).collect();
+        let decided = drive(&mut managers);
+        // Every process decided both instances.
+        assert_eq!(decided.len(), 6);
+        for inst in 0..2u64 {
+            let vals: HashSet<u32> =
+                (0..3).map(|p| *decided.get(&(p, inst)).expect("decided")).collect();
+            assert_eq!(vals.len(), 1, "instance {inst} disagreement");
+        }
+        // Decisions are cached.
+        assert!(managers[0].decision(0).is_some());
+        assert!(managers[0].has_instance(1));
+    }
+
+    #[test]
+    fn unknown_instance_requests_buffering() {
+        let mut m: ConsensusManager<u32> = ConsensusManager::new(pid(0));
+        let (outs, handled) =
+            m.on_msg(7, pid(1), CtMsg::Estimate { round: 0, est: 1, ts: 0 });
+        assert!(outs.is_empty());
+        assert!(!handled);
+    }
+
+    #[test]
+    fn decided_instance_answers_with_decision() {
+        let mut managers: Vec<ConsensusManager<u32>> =
+            (0..3).map(|i| ConsensusManager::new(pid(i))).collect();
+        drive(&mut managers);
+        let (outs, handled) =
+            managers[0].on_msg(0, pid(2), CtMsg::Estimate { round: 5, est: 9, ts: 0 });
+        assert!(handled);
+        assert!(matches!(
+            outs.as_slice(),
+            [ManagerOut::Send { to, msg: CtMsg::Decide { .. }, .. }] if *to == pid(2)
+        ));
+    }
+
+    #[test]
+    fn prune_drops_old_decisions() {
+        let mut managers: Vec<ConsensusManager<u32>> =
+            (0..3).map(|i| ConsensusManager::new(pid(i))).collect();
+        drive(&mut managers);
+        managers[0].prune_below(1);
+        assert!(managers[0].decision(0).is_none());
+        assert!(managers[0].decision(1).is_some());
+    }
+
+    #[test]
+    fn suspicion_applies_to_running_and_future_instances() {
+        let ids: Vec<ProcessId> = (0..3).map(pid).collect();
+        let mut m: ConsensusManager<u32> = ConsensusManager::new(pid(1));
+        let _ = m.suspect(pid(0));
+        // New instance: round 0's coordinator (p0) is pre-suspected, so the
+        // propose immediately nacks round 0 and sends the round-1 estimate
+        // to p1 (itself).
+        let outs = m.propose(0, 42, ids);
+        let sends_to_self_round1 = outs.iter().any(|o| {
+            matches!(o, ManagerOut::Send { to, msg: CtMsg::Estimate { round: 1, .. }, .. } if *to == pid(1))
+        });
+        assert!(sends_to_self_round1, "expected immediate round advance: {outs:?}");
+    }
+}

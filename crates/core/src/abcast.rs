@@ -1,0 +1,396 @@
+//! Atomic broadcast as a sequence of consensus instances (Chandra-Toueg
+//! reduction) — the basic component of the new architecture (§3.1.1).
+//!
+//! To a-broadcast, a process disseminates its message by reliable broadcast
+//! and keeps proposing its set of *unordered* messages to consensus instance
+//! `k = 0, 1, 2, …`; the decision of instance `k` is the `k`-th delivered
+//! batch, flushed in deterministic [`MsgId`] order. Unlike the traditional
+//! architectures of §2, this algorithm never blocks on failures as long as
+//! `f < n/2` of the current view's members are correct and the underlying
+//! failure detector is ◇S — **no membership change is needed to make
+//! progress past a crash** (the paper's first key feature).
+//!
+//! Batches carry full messages, so a decided message is always deliverable
+//! even if its sender crashed before its diffusion completed.
+//!
+//! Dynamic membership: a view change is itself an ordered (control) message;
+//! instance `k` is always run among the members of the view obtained after
+//! flushing batches `0..k`, which is agreed state — so all processes use the
+//! same participant set for every instance (the Dynamic Group Communication
+//! construction the paper cites as its ref. 32).
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use gcs_consensus::InstanceId;
+use gcs_kernel::ProcessId;
+
+use crate::rbcast::Rbcast;
+use crate::types::{
+    AbMsg, Batch, Body, Delivery, DeliveryKind, Message, MessageClass, MsgId, SnapshotData, View,
+    WireMsg,
+};
+
+/// An instruction produced by the atomic-broadcast core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbOut {
+    /// Send a wire message to a peer over the reliable channel.
+    Wire(ProcessId, WireMsg),
+    /// Ask the consensus component to run `instance` with this proposal
+    /// among these participants (`propose`/`run` in Fig 9).
+    Propose {
+        /// The consensus instance to run.
+        instance: InstanceId,
+        /// The proposed batch (may be empty when joining an instance started
+        /// by another process).
+        batch: Batch,
+        /// The members of the view current at this instance.
+        participants: Vec<ProcessId>,
+    },
+    /// Deliver an ordered application message (`adeliver`).
+    App(Delivery),
+    /// Hand an ordered control message (view change, generic-broadcast epoch
+    /// closure) to its owning component.
+    Ctrl(Message),
+}
+
+/// The atomic-broadcast core (sans-I/O).
+#[derive(Debug)]
+pub struct AbcastCore {
+    me: ProcessId,
+    view: View,
+    active: bool,
+    rb: Rbcast,
+    /// R-delivered messages not yet a-delivered (the proposal pool).
+    pending: BTreeMap<MsgId, Message>,
+    /// Ids in decided batches (never re-proposed).
+    committed: HashSet<MsgId>,
+    /// Ids already a-delivered (never re-delivered).
+    adelivered: HashSet<MsgId>,
+    /// Decided, not yet flushed batches.
+    batches: BTreeMap<InstanceId, Batch>,
+    /// Next batch/instance to flush — and the only instance we propose for.
+    cursor: InstanceId,
+    /// Instances reported to exist by the consensus component.
+    requested: BTreeSet<InstanceId>,
+    /// Guards against re-proposing the same instance.
+    proposed_for: Option<InstanceId>,
+}
+
+impl AbcastCore {
+    /// Creates the core. `initial_view` is `Some` for founding members and
+    /// `None` for processes that will join later (inactive until
+    /// [`install_snapshot`](Self::install_snapshot)).
+    pub fn new(me: ProcessId, initial_view: Option<View>) -> Self {
+        let mut rb = Rbcast::new(me);
+        let (view, active) = match initial_view {
+            Some(v) => {
+                rb.set_peers(&v.members);
+                (v, true)
+            }
+            None => (View { id: 0, members: Vec::new() }, false),
+        };
+        AbcastCore {
+            me,
+            view,
+            active,
+            rb,
+            pending: BTreeMap::new(),
+            committed: HashSet::new(),
+            adelivered: HashSet::new(),
+            batches: BTreeMap::new(),
+            cursor: 0,
+            requested: BTreeSet::new(),
+            proposed_for: None,
+        }
+    }
+
+    /// The view this core currently operates in.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Whether this process participates (is a member).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The next instance to be flushed (== number of delivered batches).
+    pub fn cursor(&self) -> InstanceId {
+        self.cursor
+    }
+
+    /// Ids already a-delivered (for snapshots).
+    pub fn adelivered(&self) -> Vec<MsgId> {
+        let mut v: Vec<MsgId> = self.adelivered.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Atomically broadcasts a message built from `class` and `body`.
+    pub fn abcast(&mut self, class: MessageClass, body: Body) -> Vec<AbOut> {
+        let id = self.rb.next_id();
+        let message = Message { id, class, body };
+        let mut out = Vec::new();
+        for to in self.rb.broadcast(&message) {
+            out.push(AbOut::Wire(to, WireMsg::Ab(AbMsg::Data(message.clone()))));
+        }
+        if !self.adelivered.contains(&id) {
+            self.pending.insert(id, message);
+        }
+        self.maybe_propose(&mut out);
+        out
+    }
+
+    /// Handles a diffused message from the network.
+    pub fn on_data(&mut self, from: ProcessId, message: Message) -> Vec<AbOut> {
+        let mut out = Vec::new();
+        let receipt = self.rb.on_data(from, message);
+        if let Some(message) = receipt.deliver {
+            for to in receipt.relay_to {
+                out.push(AbOut::Wire(to, WireMsg::Ab(AbMsg::Data(message.clone()))));
+            }
+            if !self.adelivered.contains(&message.id) && !self.committed.contains(&message.id) {
+                self.pending.insert(message.id, message);
+            }
+            self.maybe_propose(&mut out);
+        }
+        out
+    }
+
+    /// Handles a consensus decision.
+    pub fn on_decide(&mut self, instance: InstanceId, batch: Batch) -> Vec<AbOut> {
+        let mut out = Vec::new();
+        if instance < self.cursor || self.batches.contains_key(&instance) {
+            return out; // duplicate decision report
+        }
+        for m in &batch {
+            self.committed.insert(m.id);
+            self.pending.remove(&m.id);
+        }
+        self.batches.insert(instance, batch);
+        self.flush(&mut out);
+        self.maybe_propose(&mut out);
+        out
+    }
+
+    /// The consensus component saw traffic for `instance` but has no local
+    /// instance yet: participate (with an empty proposal if need be) once
+    /// the cursor reaches it.
+    pub fn need_instance(&mut self, instance: InstanceId) -> Vec<AbOut> {
+        let mut out = Vec::new();
+        if instance >= self.cursor {
+            self.requested.insert(instance);
+            self.maybe_propose(&mut out);
+        }
+        out
+    }
+
+    /// Installs a new view (called by the membership component when a view
+    /// change is a-delivered). Applies to subsequent instances.
+    pub fn set_view(&mut self, view: View) {
+        self.rb.set_peers(&view.members);
+        if !view.contains(self.me) {
+            self.active = false;
+        }
+        self.view = view;
+    }
+
+    /// Activates a joining process from a state-transfer snapshot.
+    pub fn install_snapshot(&mut self, snap: &SnapshotData) -> Vec<AbOut> {
+        self.view = snap.view.clone();
+        self.rb.set_peers(&snap.view.members);
+        self.active = true;
+        self.cursor = snap.next_instance;
+        self.adelivered = snap.adelivered.iter().copied().collect();
+        self.pending.retain(|id, _| !snap.adelivered.contains(id));
+        let mut out = Vec::new();
+        self.maybe_propose(&mut out);
+        out
+    }
+
+    /// Proposes for the cursor instance when there is something to order
+    /// (or another process already started that instance).
+    fn maybe_propose(&mut self, out: &mut Vec<AbOut>) {
+        if !self.active
+            || self.batches.contains_key(&self.cursor)
+            || self.proposed_for == Some(self.cursor)
+        {
+            return;
+        }
+        let unordered: Batch = self.pending.values().cloned().collect();
+        if unordered.is_empty() && !self.requested.contains(&self.cursor) {
+            return;
+        }
+        self.proposed_for = Some(self.cursor);
+        out.push(AbOut::Propose {
+            instance: self.cursor,
+            batch: unordered,
+            participants: self.view.members.clone(),
+        });
+    }
+
+    /// Delivers decided batches in instance order, messages in id order.
+    fn flush(&mut self, out: &mut Vec<AbOut>) {
+        while let Some(batch) = self.batches.remove(&self.cursor) {
+            let mut batch = batch;
+            batch.sort_by_key(|m| m.id);
+            for m in batch {
+                if !self.adelivered.insert(m.id) {
+                    continue;
+                }
+                self.pending.remove(&m.id);
+                match &m.body {
+                    Body::App(payload) => out.push(AbOut::App(Delivery {
+                        kind: DeliveryKind::Atomic,
+                        id: m.id,
+                        class: m.class,
+                        payload: payload.clone(),
+                        view: self.view.id,
+                    })),
+                    Body::Join(_) | Body::Remove(_) | Body::GbEnd { .. } => {
+                        out.push(AbOut::Ctrl(m.clone()))
+                    }
+                }
+            }
+            self.cursor += 1;
+            self.requested = self.requested.split_off(&self.cursor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn core(i: u32, n: u32) -> AbcastCore {
+        let members: Vec<ProcessId> = (0..n).map(pid).collect();
+        AbcastCore::new(pid(i), Some(View::initial(members)))
+    }
+
+    fn app(id: MsgId) -> Message {
+        Message { id, class: MessageClass::ABCAST, body: Body::App(Bytes::from_static(b"m")) }
+    }
+
+    #[test]
+    fn abcast_diffuses_and_proposes() {
+        let mut c = core(0, 3);
+        let out = c.abcast(MessageClass::ABCAST, Body::App(Bytes::from_static(b"m")));
+        let wires = out.iter().filter(|o| matches!(o, AbOut::Wire(..))).count();
+        assert_eq!(wires, 2, "diffusion to both peers");
+        assert!(out.iter().any(
+            |o| matches!(o, AbOut::Propose { instance: 0, batch, .. } if batch.len() == 1)
+        ));
+    }
+
+    #[test]
+    fn decide_flushes_in_id_order_and_advances_cursor() {
+        let mut c = core(0, 3);
+        let m1 = app(MsgId { sender: pid(2), seq: 0 });
+        let m2 = app(MsgId { sender: pid(1), seq: 0 });
+        let out = c.on_decide(0, vec![m1.clone(), m2.clone()]);
+        let delivered: Vec<MsgId> = out
+            .iter()
+            .filter_map(|o| match o {
+                AbOut::App(d) => Some(d.id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![m2.id, m1.id], "sorted by id: p1 before p2");
+        assert_eq!(c.cursor(), 1);
+    }
+
+    #[test]
+    fn out_of_order_decisions_wait_for_the_gap() {
+        let mut c = core(0, 3);
+        let m1 = app(MsgId { sender: pid(1), seq: 0 });
+        let m2 = app(MsgId { sender: pid(2), seq: 0 });
+        let out = c.on_decide(1, vec![m2.clone()]);
+        assert!(out.iter().all(|o| !matches!(o, AbOut::App(_))), "batch 1 held back");
+        let out = c.on_decide(0, vec![m1.clone()]);
+        let delivered: Vec<MsgId> = out
+            .iter()
+            .filter_map(|o| match o {
+                AbOut::App(d) => Some(d.id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![m1.id, m2.id]);
+        assert_eq!(c.cursor(), 2);
+    }
+
+    #[test]
+    fn no_redelivery_across_batches() {
+        let mut c = core(0, 3);
+        let m = app(MsgId { sender: pid(1), seq: 0 });
+        let out = c.on_decide(0, vec![m.clone()]);
+        assert_eq!(out.iter().filter(|o| matches!(o, AbOut::App(_))).count(), 1);
+        let out = c.on_decide(1, vec![m.clone()]);
+        assert_eq!(out.iter().filter(|o| matches!(o, AbOut::App(_))).count(), 0);
+    }
+
+    #[test]
+    fn received_data_joins_proposal_pool() {
+        let mut c = core(0, 3);
+        let m = app(MsgId { sender: pid(1), seq: 0 });
+        let out = c.on_data(pid(1), m.clone());
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, AbOut::Propose { instance: 0, batch, .. } if batch[0].id == m.id)));
+        // Duplicate data: no second proposal.
+        let out2 = c.on_data(pid(2), m);
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn need_instance_triggers_empty_proposal() {
+        let mut c = core(0, 3);
+        let out = c.need_instance(0);
+        assert!(out.iter().any(
+            |o| matches!(o, AbOut::Propose { instance: 0, batch, .. } if batch.is_empty())
+        ));
+    }
+
+    #[test]
+    fn ctrl_bodies_route_to_ctrl() {
+        let mut c = core(0, 3);
+        let m = Message {
+            id: MsgId { sender: pid(1), seq: 0 },
+            class: MessageClass::ABCAST,
+            body: Body::Join(pid(3)),
+        };
+        let out = c.on_decide(0, vec![m]);
+        assert!(out.iter().any(|o| matches!(o, AbOut::Ctrl(_))));
+    }
+
+    #[test]
+    fn joiner_is_inactive_until_snapshot() {
+        let mut c = AbcastCore::new(pid(3), None);
+        assert!(!c.is_active());
+        let out = c.abcast(MessageClass::ABCAST, Body::App(Bytes::from_static(b"x")));
+        assert!(!out.iter().any(|o| matches!(o, AbOut::Propose { .. })));
+        let snap = SnapshotData {
+            view: View { id: 2, members: vec![pid(0), pid(1), pid(3)] },
+            next_instance: 5,
+            adelivered: vec![],
+            gdelivered: vec![],
+            gb_epoch: 0,
+            app_state: Bytes::new(),
+        };
+        let _ = c.install_snapshot(&snap);
+        assert!(c.is_active());
+        assert_eq!(c.cursor(), 5);
+        assert_eq!(c.view().id, 2);
+    }
+
+    #[test]
+    fn removed_member_deactivates_on_view_change() {
+        let mut c = core(0, 3);
+        c.set_view(View { id: 1, members: vec![pid(1), pid(2)] });
+        assert!(!c.is_active());
+    }
+}

@@ -1,0 +1,579 @@
+//! Kernel component adapters: the boxes of Fig 9.
+//!
+//! Each adapter wraps one sans-I/O core and translates between the shared
+//! event catalog ([`Ev`]) and the core's typed inputs/outputs. The component
+//! graph per process is:
+//!
+//! ```text
+//!                application (inject / output)
+//!                     │Gbcast/Rbcast        │Abcast      │JoinVia/Remove
+//!   ┌─────────────────▼─────┐   ┌───────────▼───────┐   ┌▼──────────────┐
+//!   │ generic (GB, §3.2)    │──▶│ abcast (CT, §3.1) │◀──│ membership    │
+//!   └───────────┬───────────┘   └──┬──────▲─────────┘   └───▲───────────┘
+//!               │ acks/data        │propose│decide          │ Exclude
+//!               │                ┌─▼───────┴──┐         ┌───┴───────────┐
+//!               │                │ consensus  │◀───────┐│ monitoring    │
+//!               │                └─┬──────────┘ suspect└┴───▲───────▲───┘
+//!               │                  │                  Suspect│  Stuck│
+//!   ┌───────────▼──────────────────▼──────────┐   ┌──────────┴──┐    │
+//!   │ rc (reliable channel, §3.3.1)           │   │ fd (◇S)     │────┘
+//!   └───────────────────┬─────────────────────┘   └──────┬──────┘
+//!                       │ Packet                         │ Heartbeat
+//!                     unreliable transport (the simulator network)
+//! ```
+
+use gcs_consensus::{ConsensusManager, CtMsg, InstanceId, ManagerOut};
+use gcs_fd::{FdOut, HeartbeatFd, MonitorClass};
+use gcs_kernel::{Component, Context, ProcessId, TimeDelta, TimerId};
+use gcs_net::{RcConfig, RcOut, ReliableChannel};
+use std::collections::BTreeMap;
+
+use crate::abcast::{AbOut, AbcastCore};
+use crate::generic::{GbOut, GenericCore};
+use crate::membership::{MbOut, MembershipCore};
+use crate::monitoring::{MonOut, MonitoringCore, MonitoringPolicy};
+use crate::types::{
+    AbMsg, Batch, Body, Ev, GbMsg, MbMsg, MessageClass, MonMsg, SnapshotData, View, WireMsg,
+};
+
+/// Component names (routing targets within a process).
+pub mod names {
+    /// Reliable channel.
+    pub const RC: &str = "rc";
+    /// Failure detector.
+    pub const FD: &str = "fd";
+    /// Consensus.
+    pub const CONSENSUS: &str = "consensus";
+    /// Atomic broadcast.
+    pub const ABCAST: &str = "abcast";
+    /// Generic broadcast.
+    pub const GENERIC: &str = "generic";
+    /// Group membership.
+    pub const MEMBERSHIP: &str = "membership";
+    /// Monitoring.
+    pub const MONITORING: &str = "monitoring";
+}
+
+fn route_wire(wire: &WireMsg) -> &'static str {
+    match wire {
+        WireMsg::Ct { .. } => names::CONSENSUS,
+        WireMsg::Ab(_) => names::ABCAST,
+        WireMsg::Gb(_) => names::GENERIC,
+        WireMsg::Mb(_) => names::MEMBERSHIP,
+        WireMsg::Mon(_) => names::MONITORING,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reliable channel
+// ---------------------------------------------------------------------------
+
+/// Adapter around [`ReliableChannel`] (Fig 9 "Reliable Channel").
+pub struct RcComponent {
+    rc: ReliableChannel<WireMsg>,
+    tick: TimeDelta,
+}
+
+impl RcComponent {
+    /// Creates the reliable-channel component for `me`.
+    pub fn new(me: ProcessId, config: RcConfig) -> Self {
+        let tick = config.tick_interval;
+        RcComponent { rc: ReliableChannel::new(me, config), tick }
+    }
+
+    fn apply(&mut self, outs: Vec<RcOut<WireMsg>>, ctx: &mut Context<'_, Ev>) {
+        for o in outs {
+            match o {
+                RcOut::Transmit { to, packet } => ctx.send(to, names::RC, Ev::Packet(packet)),
+                RcOut::Deliver { from, msg } => {
+                    ctx.emit(route_wire(&msg), Ev::Net(from, msg));
+                }
+                RcOut::Stuck { peer, since } => {
+                    ctx.emit(names::MONITORING, Ev::RcStuck(peer, since))
+                }
+                RcOut::Unstuck { peer } => ctx.emit(names::MONITORING, Ev::RcUnstuck(peer)),
+            }
+        }
+    }
+}
+
+impl Component<Ev> for RcComponent {
+    fn name(&self) -> &'static str {
+        names::RC
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
+        ctx.set_timer(self.tick);
+    }
+
+    fn on_event(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        match event {
+            Ev::RcSend(to, wire) => {
+                let outs = self.rc.send(to, wire, ctx.now());
+                self.apply(outs, ctx);
+            }
+            Ev::Forget(p) => self.rc.forget_peer(p),
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, event: Ev, ctx: &mut Context<'_, Ev>) {
+        if let Ev::Packet(packet) = event {
+            let outs = self.rc.on_packet(from, packet, ctx.now());
+            self.apply(outs, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, ctx: &mut Context<'_, Ev>) {
+        let outs = self.rc.on_tick(ctx.now());
+        self.apply(outs, ctx);
+        ctx.set_timer(self.tick);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure detector
+// ---------------------------------------------------------------------------
+
+/// Adapter around [`HeartbeatFd`] (Fig 9 "Failure Detection").
+pub struct FdComponent {
+    fd: HeartbeatFd,
+    initial_peers: Vec<ProcessId>,
+    consensus_timeout: TimeDelta,
+    monitoring_timeout: TimeDelta,
+}
+
+impl FdComponent {
+    /// Creates the failure-detector component.
+    pub fn new(
+        me: ProcessId,
+        initial_peers: Vec<ProcessId>,
+        heartbeat_interval: TimeDelta,
+        consensus_timeout: TimeDelta,
+        monitoring_timeout: TimeDelta,
+    ) -> Self {
+        FdComponent {
+            fd: HeartbeatFd::new(me, heartbeat_interval),
+            initial_peers,
+            consensus_timeout,
+            monitoring_timeout,
+        }
+    }
+
+    fn apply(&mut self, outs: Vec<FdOut>, ctx: &mut Context<'_, Ev>) {
+        for o in outs {
+            match o {
+                FdOut::SendHeartbeat { to } => ctx.send(to, names::FD, Ev::Heartbeat),
+                FdOut::Suspect { class, peer } => {
+                    let target = if class == MonitorClass::CONSENSUS {
+                        names::CONSENSUS
+                    } else {
+                        names::MONITORING
+                    };
+                    ctx.emit(target, Ev::Suspect(class, peer));
+                }
+                FdOut::Restore { class, peer } => {
+                    let target = if class == MonitorClass::CONSENSUS {
+                        names::CONSENSUS
+                    } else {
+                        names::MONITORING
+                    };
+                    ctx.emit(target, Ev::Restore(class, peer));
+                }
+            }
+        }
+    }
+}
+
+impl Component<Ev> for FdComponent {
+    fn name(&self) -> &'static str {
+        names::FD
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
+        self.fd.register_class(MonitorClass::CONSENSUS, self.consensus_timeout);
+        self.fd.register_class(MonitorClass::MONITORING, self.monitoring_timeout);
+        let peers = std::mem::take(&mut self.initial_peers);
+        self.fd.set_peers(peers, ctx.now());
+        ctx.set_timer(self.fd.interval());
+    }
+
+    fn on_event(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        if let Ev::ViewChanged(v) = event {
+            self.fd.set_peers(v.members, ctx.now());
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, event: Ev, ctx: &mut Context<'_, Ev>) {
+        if let Ev::Heartbeat = event {
+            let outs = self.fd.on_heartbeat(from, ctx.now());
+            self.apply(outs, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, ctx: &mut Context<'_, Ev>) {
+        let outs = self.fd.on_tick(ctx.now());
+        self.apply(outs, ctx);
+        ctx.set_timer(self.fd.interval());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consensus
+// ---------------------------------------------------------------------------
+
+/// Adapter around [`ConsensusManager`] (Fig 9 "Consensus").
+pub struct ConsensusComponent {
+    mgr: ConsensusManager<Batch>,
+    /// Messages for instances the atomic-broadcast layer has not started.
+    buffered: BTreeMap<InstanceId, Vec<(ProcessId, CtMsg<Batch>)>>,
+}
+
+impl ConsensusComponent {
+    /// Creates the consensus component for `me`.
+    pub fn new(me: ProcessId) -> Self {
+        ConsensusComponent { mgr: ConsensusManager::new(me), buffered: BTreeMap::new() }
+    }
+
+    fn apply(&mut self, outs: Vec<ManagerOut<Batch>>, ctx: &mut Context<'_, Ev>) {
+        for o in outs {
+            match o {
+                ManagerOut::Send { to, instance, msg } => {
+                    ctx.emit(names::RC, Ev::RcSend(to, WireMsg::Ct { instance, msg }));
+                }
+                ManagerOut::Decided { instance, value } => {
+                    ctx.emit(names::ABCAST, Ev::Decide(instance, value));
+                }
+            }
+        }
+    }
+}
+
+impl Component<Ev> for ConsensusComponent {
+    fn name(&self) -> &'static str {
+        names::CONSENSUS
+    }
+
+    fn on_event(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        match event {
+            Ev::Propose(instance, batch, participants) => {
+                let outs = self.mgr.propose(instance, batch, participants);
+                self.apply(outs, ctx);
+                if let Some(buf) = self.buffered.remove(&instance) {
+                    for (from, msg) in buf {
+                        let (outs, _) = self.mgr.on_msg(instance, from, msg);
+                        self.apply(outs, ctx);
+                    }
+                }
+            }
+            Ev::Net(from, WireMsg::Ct { instance, msg }) => {
+                let (outs, handled) = self.mgr.on_msg(instance, from, msg.clone());
+                self.apply(outs, ctx);
+                if !handled {
+                    self.buffered.entry(instance).or_default().push((from, msg));
+                    ctx.emit(names::ABCAST, Ev::NeedInstance(instance));
+                }
+            }
+            Ev::Suspect(MonitorClass::CONSENSUS, p) => {
+                let outs = self.mgr.suspect(p);
+                self.apply(outs, ctx);
+            }
+            Ev::Restore(MonitorClass::CONSENSUS, p) => self.mgr.restore(p),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic broadcast
+// ---------------------------------------------------------------------------
+
+/// Adapter around [`AbcastCore`] (Fig 9 "Atomic Broadcast").
+pub struct AbcastComponent {
+    core: AbcastCore,
+}
+
+impl AbcastComponent {
+    /// Creates the atomic-broadcast component.
+    pub fn new(me: ProcessId, initial_view: Option<View>) -> Self {
+        AbcastComponent { core: AbcastCore::new(me, initial_view) }
+    }
+
+    fn apply(&mut self, outs: Vec<AbOut>, ctx: &mut Context<'_, Ev>) {
+        for o in outs {
+            match o {
+                AbOut::Wire(to, wire) => ctx.emit(names::RC, Ev::RcSend(to, wire)),
+                AbOut::Propose { instance, batch, participants } => {
+                    ctx.emit(names::CONSENSUS, Ev::Propose(instance, batch, participants));
+                }
+                AbOut::App(d) => ctx.output(Ev::Deliver(d)),
+                AbOut::Ctrl(m) => {
+                    let target = match &m.body {
+                        Body::GbEnd { .. } => names::GENERIC,
+                        _ => names::MEMBERSHIP,
+                    };
+                    ctx.emit(target, Ev::CtrlDelivered(m));
+                }
+            }
+        }
+    }
+}
+
+impl Component<Ev> for AbcastComponent {
+    fn name(&self) -> &'static str {
+        names::ABCAST
+    }
+
+    fn on_event(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        match event {
+            Ev::Abcast(payload) => {
+                let outs = self.core.abcast(MessageClass::ABCAST, Body::App(payload));
+                self.apply(outs, ctx);
+            }
+            Ev::AbcastCtrl(class, body) => {
+                let outs = self.core.abcast(class, body);
+                self.apply(outs, ctx);
+            }
+            Ev::Net(from, WireMsg::Ab(AbMsg::Data(m))) => {
+                let outs = self.core.on_data(from, m);
+                self.apply(outs, ctx);
+            }
+            Ev::Decide(instance, batch) => {
+                let outs = self.core.on_decide(instance, batch);
+                self.apply(outs, ctx);
+            }
+            Ev::NeedInstance(instance) => {
+                let outs = self.core.need_instance(instance);
+                self.apply(outs, ctx);
+            }
+            Ev::ViewChanged(v) => self.core.set_view(v),
+            Ev::InstallSnapshot(snap) => {
+                let outs = self.core.install_snapshot(&snap);
+                self.apply(outs, ctx);
+            }
+            Ev::SnapFill { joiner, mut snap } => {
+                snap.next_instance = self.core.cursor();
+                snap.adelivered = self.core.adelivered();
+                ctx.emit(names::GENERIC, Ev::SnapFill { joiner, snap });
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic broadcast
+// ---------------------------------------------------------------------------
+
+/// Adapter around [`GenericCore`] (Fig 7/9 "Generic Broadcast").
+pub struct GenericComponent {
+    core: GenericCore,
+    /// Snapshots awaiting an epoch boundary (assembly is deferred while the
+    /// epoch is mid-closure so the joiner starts on a clean boundary).
+    deferred: Vec<(ProcessId, Box<SnapshotData>)>,
+}
+
+impl GenericComponent {
+    /// Creates the generic-broadcast component.
+    pub fn new(core: GenericCore) -> Self {
+        GenericComponent { core, deferred: Vec::new() }
+    }
+
+    fn apply(&mut self, outs: Vec<GbOut>, ctx: &mut Context<'_, Ev>) {
+        for o in outs {
+            match o {
+                GbOut::Wire(to, wire) => ctx.emit(names::RC, Ev::RcSend(to, wire)),
+                GbOut::Escalate(body) => {
+                    ctx.emit(names::ABCAST, Ev::AbcastCtrl(MessageClass::ABCAST, body));
+                }
+                GbOut::Deliver(d) => ctx.output(Ev::Deliver(d)),
+            }
+        }
+    }
+
+    fn flush_deferred(&mut self, ctx: &mut Context<'_, Ev>) {
+        if self.core.is_frozen() {
+            return;
+        }
+        for (joiner, mut snap) in std::mem::take(&mut self.deferred) {
+            snap.gb_epoch = self.core.epoch();
+            snap.gdelivered = self.core.gdelivered();
+            ctx.emit(names::MEMBERSHIP, Ev::SnapReady { joiner, snap });
+        }
+    }
+}
+
+impl Component<Ev> for GenericComponent {
+    fn name(&self) -> &'static str {
+        names::GENERIC
+    }
+
+    fn on_event(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        match event {
+            Ev::Gbcast(class, payload) => {
+                let outs = self.core.gbcast(class, Body::App(payload));
+                self.apply(outs, ctx);
+            }
+            Ev::Rbcast(payload) => {
+                let outs = self.core.gbcast(MessageClass::RBCAST, Body::App(payload));
+                self.apply(outs, ctx);
+            }
+            Ev::Net(from, WireMsg::Gb(msg)) => {
+                let outs = match msg {
+                    GbMsg::Data(m) => self.core.on_data(from, m),
+                    GbMsg::Ack { epoch, id } => self.core.on_ack(from, epoch, id),
+                };
+                self.apply(outs, ctx);
+            }
+            Ev::CtrlDelivered(m) => {
+                if let Body::GbEnd { epoch, acked, pending } = m.body {
+                    let outs = self.core.on_end_delivered(m.id.sender, epoch, acked, pending);
+                    self.apply(outs, ctx);
+                    self.flush_deferred(ctx);
+                }
+            }
+            Ev::ViewChanged(v) => {
+                let outs = self.core.on_view_change(v);
+                self.apply(outs, ctx);
+            }
+            Ev::InstallSnapshot(snap) => {
+                self.core.install_snapshot(&snap.view, snap.gb_epoch, &snap.gdelivered);
+            }
+            Ev::SnapFill { joiner, snap } => {
+                self.deferred.push((joiner, snap));
+                self.flush_deferred(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------------
+
+/// Adapter around [`MembershipCore`] (Fig 9 "Group Membership").
+pub struct MembershipComponent {
+    core: MembershipCore,
+}
+
+impl MembershipComponent {
+    /// Creates the membership component.
+    pub fn new(core: MembershipCore) -> Self {
+        MembershipComponent { core }
+    }
+
+    fn apply(&mut self, outs: Vec<MbOut>, ctx: &mut Context<'_, Ev>) {
+        for o in outs {
+            match o {
+                MbOut::Abcast(body) => {
+                    ctx.emit(names::ABCAST, Ev::AbcastCtrl(MessageClass::ABCAST, body));
+                }
+                MbOut::Wire(to, wire) => ctx.emit(names::RC, Ev::RcSend(to, wire)),
+                MbOut::ViewChanged(v) => {
+                    for target in [names::ABCAST, names::GENERIC, names::FD, names::MONITORING] {
+                        ctx.emit(target, Ev::ViewChanged(v.clone()));
+                    }
+                    ctx.output(Ev::ViewInstalled(v));
+                }
+                MbOut::AssembleSnapshot { joiner, snap } => {
+                    ctx.emit(names::ABCAST, Ev::SnapFill { joiner, snap });
+                }
+                MbOut::Excluded => ctx.output(Ev::Excluded),
+                MbOut::Forget(p) => ctx.emit(names::RC, Ev::Forget(p)),
+            }
+        }
+    }
+}
+
+impl Component<Ev> for MembershipComponent {
+    fn name(&self) -> &'static str {
+        names::MEMBERSHIP
+    }
+
+    fn on_event(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        match event {
+            Ev::JoinVia(contact) => {
+                let outs = self.core.join_via(contact);
+                self.apply(outs, ctx);
+            }
+            Ev::RemoveMember(p) | Ev::Exclude(p) => {
+                let outs = self.core.remove(p);
+                self.apply(outs, ctx);
+            }
+            Ev::Net(from, WireMsg::Mb(msg)) => match msg {
+                MbMsg::JoinRequest => {
+                    let outs = self.core.on_join_request(from);
+                    self.apply(outs, ctx);
+                }
+                MbMsg::Snapshot(snap) => {
+                    let outs = self.core.on_snapshot(&snap);
+                    // Install protocol state before announcing the view.
+                    ctx.emit(names::ABCAST, Ev::InstallSnapshot(snap.clone()));
+                    ctx.emit(names::GENERIC, Ev::InstallSnapshot(snap));
+                    self.apply(outs, ctx);
+                }
+            },
+            Ev::CtrlDelivered(m) => {
+                let outs = self.core.on_ctrl(&m);
+                self.apply(outs, ctx);
+            }
+            Ev::SnapReady { joiner, snap } => {
+                ctx.emit(names::RC, Ev::RcSend(joiner, WireMsg::Mb(MbMsg::Snapshot(snap))));
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring
+// ---------------------------------------------------------------------------
+
+/// Adapter around [`MonitoringCore`] (Fig 9 "Monitoring").
+pub struct MonitoringComponent {
+    core: MonitoringCore,
+}
+
+impl MonitoringComponent {
+    /// Creates the monitoring component.
+    pub fn new(me: ProcessId, members: Vec<ProcessId>, policy: MonitoringPolicy) -> Self {
+        MonitoringComponent { core: MonitoringCore::new(me, members, policy) }
+    }
+
+    fn apply(&mut self, outs: Vec<MonOut>, ctx: &mut Context<'_, Ev>) {
+        for o in outs {
+            match o {
+                MonOut::Wire(to, wire) => ctx.emit(names::RC, Ev::RcSend(to, wire)),
+                MonOut::Exclude(p) => ctx.emit(names::MEMBERSHIP, Ev::Exclude(p)),
+            }
+        }
+    }
+}
+
+impl Component<Ev> for MonitoringComponent {
+    fn name(&self) -> &'static str {
+        names::MONITORING
+    }
+
+    fn on_event(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        match event {
+            Ev::Suspect(MonitorClass::MONITORING, p) => {
+                let outs = self.core.on_fd_suspect(p);
+                self.apply(outs, ctx);
+            }
+            Ev::Restore(MonitorClass::MONITORING, p) => self.core.on_fd_restore(p),
+            Ev::RcStuck(p, _) => {
+                let outs = self.core.on_stuck(p);
+                self.apply(outs, ctx);
+            }
+            Ev::RcUnstuck(p) => self.core.on_unstuck(p),
+            Ev::Net(from, WireMsg::Mon(MonMsg::Report { peer })) => {
+                let outs = self.core.on_report(from, peer);
+                self.apply(outs, ctx);
+            }
+            Ev::ViewChanged(v) => self.core.set_members(v.members),
+            _ => {}
+        }
+    }
+}

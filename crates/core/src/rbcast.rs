@@ -1,0 +1,133 @@
+//! Reliable broadcast by diffusion — the dissemination substrate shared by
+//! atomic broadcast and generic broadcast.
+//!
+//! Every process relays the first copy of a message it receives to all other
+//! group members (over reliable channels). This yields *uniform* reliable
+//! broadcast in the crash-stop model: if any process delivers `m` — even one
+//! that crashes immediately after — every correct process eventually
+//! delivers `m`, because the delivering process's relay or the original send
+//! reaches some correct process which relays in turn.
+
+use std::collections::HashSet;
+
+use gcs_kernel::ProcessId;
+
+use crate::types::{Message, MsgId};
+
+/// Outcome of feeding one received message to [`Rbcast::on_data`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RbReceipt {
+    /// `Some` when this is the first copy (deliver it); `None` on duplicates.
+    pub deliver: Option<Message>,
+    /// Relay targets for the first copy (empty on duplicates).
+    pub relay_to: Vec<ProcessId>,
+}
+
+/// Diffusion-based reliable broadcast over reliable point-to-point channels.
+#[derive(Debug)]
+pub struct Rbcast {
+    me: ProcessId,
+    peers: Vec<ProcessId>,
+    seen: HashSet<MsgId>,
+    next_seq: u64,
+}
+
+impl Rbcast {
+    /// Creates a broadcast module for `me`; peers come from the view.
+    pub fn new(me: ProcessId) -> Self {
+        Rbcast { me, peers: Vec::new(), seen: HashSet::new(), next_seq: 0 }
+    }
+
+    /// Updates the destination set (driven by view changes). `me` is kept
+    /// out of the peer list; local delivery is immediate at broadcast time.
+    pub fn set_peers(&mut self, members: &[ProcessId]) {
+        self.peers = members.iter().copied().filter(|&p| p != self.me).collect();
+    }
+
+    /// The current relay/broadcast peer set.
+    pub fn peers(&self) -> &[ProcessId] {
+        &self.peers
+    }
+
+    /// Allocates the next message id for this sender.
+    pub fn next_id(&mut self) -> MsgId {
+        let id = MsgId { sender: self.me, seq: self.next_seq };
+        self.next_seq += 1;
+        id
+    }
+
+    /// Broadcasts `message`: marks it seen locally (the caller delivers it
+    /// to itself directly) and returns the send targets.
+    pub fn broadcast(&mut self, message: &Message) -> Vec<ProcessId> {
+        self.seen.insert(message.id);
+        self.peers.clone()
+    }
+
+    /// Handles a received copy of `message`: first copies are delivered and
+    /// relayed to every peer except the transport-level sender.
+    pub fn on_data(&mut self, from: ProcessId, message: Message) -> RbReceipt {
+        if !self.seen.insert(message.id) {
+            return RbReceipt { deliver: None, relay_to: Vec::new() };
+        }
+        let relay_to: Vec<ProcessId> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|&p| p != from && p != message.id.sender)
+            .collect();
+        RbReceipt { deliver: Some(message), relay_to }
+    }
+
+    /// Whether `id` has been seen (sent or received).
+    pub fn seen(&self, id: MsgId) -> bool {
+        self.seen.contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Body, MessageClass};
+    use bytes::Bytes;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn msg(id: MsgId) -> Message {
+        Message { id, class: MessageClass::RBCAST, body: Body::App(Bytes::from_static(b"x")) }
+    }
+
+    #[test]
+    fn broadcast_targets_all_peers_but_self() {
+        let mut rb = Rbcast::new(pid(0));
+        rb.set_peers(&[pid(0), pid(1), pid(2)]);
+        let id = rb.next_id();
+        assert_eq!(id, MsgId { sender: pid(0), seq: 0 });
+        let targets = rb.broadcast(&msg(id));
+        assert_eq!(targets, vec![pid(1), pid(2)]);
+        assert!(rb.seen(id));
+    }
+
+    #[test]
+    fn first_copy_delivers_and_relays_skipping_source() {
+        let mut rb = Rbcast::new(pid(2));
+        rb.set_peers(&[pid(0), pid(1), pid(2), pid(3)]);
+        let id = MsgId { sender: pid(0), seq: 5 };
+        let r = rb.on_data(pid(1), msg(id));
+        assert!(r.deliver.is_some());
+        // Relays to everyone except self, the relayer (p1) and origin (p0).
+        assert_eq!(r.relay_to, vec![pid(3)]);
+        // Second copy: silence.
+        let r2 = rb.on_data(pid(3), msg(id));
+        assert!(r2.deliver.is_none());
+        assert!(r2.relay_to.is_empty());
+    }
+
+    #[test]
+    fn sequence_numbers_increase() {
+        let mut rb = Rbcast::new(pid(1));
+        assert_eq!(rb.next_id().seq, 0);
+        assert_eq!(rb.next_id().seq, 1);
+    }
+}

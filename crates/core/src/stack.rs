@@ -1,0 +1,405 @@
+//! Assembling the full new-architecture stack (Fig 9) and a simulation
+//! harness for driving groups of them.
+
+use bytes::Bytes;
+use gcs_kernel::{Process, ProcessId, Time, TimeDelta};
+use gcs_net::RcConfig;
+use gcs_sim::{Metrics, SimConfig, SimWorld, Trace};
+
+use crate::components::{
+    names, AbcastComponent, ConsensusComponent, FdComponent, GenericComponent,
+    MembershipComponent, MonitoringComponent, RcComponent,
+};
+use crate::generic::GenericCore;
+use crate::membership::MembershipCore;
+use crate::monitoring::MonitoringPolicy;
+use crate::types::{ConflictRelation, Delivery, Ev, MessageClass, View};
+
+/// Configuration of one new-architecture process stack.
+#[derive(Clone, Debug)]
+pub struct StackConfig {
+    /// Conflict relation used by generic broadcast.
+    pub conflict: ConflictRelation,
+    /// Reliable-channel configuration (retransmission, output-triggered
+    /// suspicion threshold).
+    pub rc: RcConfig,
+    /// Failure-detector heartbeat period.
+    pub heartbeat_interval: TimeDelta,
+    /// Small timeout: consensus-class suspicions (order of the paper's
+    /// "seconds"; milliseconds at simulation scale).
+    pub consensus_timeout: TimeDelta,
+    /// Large timeout: monitoring-class suspicions (the paper's "minutes").
+    pub monitoring_timeout: TimeDelta,
+    /// Exclusion policy of the monitoring component.
+    pub monitoring: MonitoringPolicy,
+    /// Size of the application state transferred to joiners (models the
+    /// paper's state-transfer cost, §4.3).
+    pub state_size: usize,
+    /// FIFO generic broadcast (paper footnote 9): per-sender delivery order
+    /// follows the broadcast order.
+    pub fifo_generic: bool,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            conflict: ConflictRelation::rbcast_abcast(),
+            rc: RcConfig::default(),
+            heartbeat_interval: TimeDelta::from_millis(5),
+            consensus_timeout: TimeDelta::from_millis(25),
+            monitoring_timeout: TimeDelta::from_millis(500),
+            monitoring: MonitoringPolicy::default(),
+            state_size: 0,
+            fifo_generic: false,
+        }
+    }
+}
+
+/// Builds the full Fig 9 component graph for one process.
+///
+/// `initial_view` is `Some` for founding members, `None` for processes that
+/// will join later via [`GroupSim::join_at`].
+pub fn build_process(id: ProcessId, config: &StackConfig, initial_view: Option<View>) -> Process<Ev> {
+    let fd_peers = initial_view.as_ref().map(|v| v.members.clone()).unwrap_or_default();
+    Process::builder(id)
+        .with(RcComponent::new(id, config.rc))
+        .with(FdComponent::new(
+            id,
+            fd_peers.clone(),
+            config.heartbeat_interval,
+            config.consensus_timeout,
+            config.monitoring_timeout,
+        ))
+        .with(ConsensusComponent::new(id))
+        .with(AbcastComponent::new(id, initial_view.clone()))
+        .with(GenericComponent::new({
+            let core = GenericCore::new(id, config.conflict.clone(), initial_view.clone());
+            if config.fifo_generic {
+                core.with_fifo()
+            } else {
+                core
+            }
+        }))
+        .with(MembershipComponent::new(MembershipCore::new(
+            id,
+            initial_view,
+            config.state_size,
+        )))
+        .with(MonitoringComponent::new(id, fd_peers, config.monitoring))
+        .build()
+}
+
+/// A simulated group running the new architecture — the harness used by the
+/// examples, integration tests and benchmarks.
+///
+/// ```
+/// use gcs_core::{GroupSim, StackConfig};
+/// use gcs_kernel::{ProcessId, Time};
+///
+/// let mut group = GroupSim::new(3, StackConfig::default(), 42);
+/// group.abcast_at(Time::from_millis(1), ProcessId::new(0), b"hello".to_vec());
+/// group.run_until(Time::from_millis(300));
+/// let seqs = group.adelivered_payloads();
+/// assert_eq!(seqs[0], vec![b"hello".to_vec()]);
+/// assert_eq!(seqs[0], seqs[1]);
+/// assert_eq!(seqs[0], seqs[2]);
+/// ```
+pub struct GroupSim {
+    world: SimWorld<Ev>,
+    n_members: usize,
+    n_total: usize,
+}
+
+impl GroupSim {
+    /// Creates a group of `n` founding members with the given per-process
+    /// configuration and simulation seed.
+    pub fn new(n: usize, config: StackConfig, seed: u64) -> Self {
+        Self::with_sim(n, 0, config, SimConfig::lan(seed))
+    }
+
+    /// Creates a group of `n` founding members plus `joiners` processes that
+    /// start outside the group (activate them with
+    /// [`join_at`](Self::join_at)).
+    pub fn with_joiners(n: usize, joiners: usize, config: StackConfig, seed: u64) -> Self {
+        Self::with_sim(n, joiners, config, SimConfig::lan(seed))
+    }
+
+    /// Full control over the simulation configuration (link model, seed).
+    pub fn with_sim(n: usize, joiners: usize, config: StackConfig, sim: SimConfig) -> Self {
+        let members: Vec<ProcessId> = (0..n as u32).map(ProcessId::new).collect();
+        let view = View::initial(members);
+        let mut world = SimWorld::new(sim);
+        for _ in 0..n {
+            let v = view.clone();
+            let c = &config;
+            world.add_node(|id| build_process(id, c, Some(v)));
+        }
+        for _ in 0..joiners {
+            let c = &config;
+            world.add_node(|id| build_process(id, c, None));
+        }
+        GroupSim { world, n_members: n, n_total: n + joiners }
+    }
+
+    /// Number of processes (members + joiners).
+    pub fn len(&self) -> usize {
+        self.n_total
+    }
+
+    /// True if the group has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.n_total == 0
+    }
+
+    /// The founding member count.
+    pub fn founding_members(&self) -> usize {
+        self.n_members
+    }
+
+    /// Direct access to the underlying simulation world.
+    pub fn world(&self) -> &SimWorld<Ev> {
+        &self.world
+    }
+
+    /// Mutable access to the underlying simulation world (fault injection).
+    pub fn world_mut(&mut self) -> &mut SimWorld<Ev> {
+        &mut self.world
+    }
+
+    // -- workload ----------------------------------------------------------
+
+    /// Schedules an atomic broadcast by `p` at time `t`.
+    pub fn abcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
+        self.world.inject_at(t, p, names::ABCAST, Ev::Abcast(payload.into()));
+    }
+
+    /// Schedules a generic broadcast of `class` by `p` at time `t`.
+    pub fn gbcast_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: impl Into<Bytes>) {
+        self.world.inject_at(t, p, names::GENERIC, Ev::Gbcast(class, payload.into()));
+    }
+
+    /// Schedules a reliable broadcast (through generic broadcast, class
+    /// [`MessageClass::RBCAST`]) by `p` at time `t`.
+    pub fn rbcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
+        self.world.inject_at(t, p, names::GENERIC, Ev::Rbcast(payload.into()));
+    }
+
+    /// Schedules non-member `joiner` to request membership via `contact`.
+    pub fn join_at(&mut self, t: Time, joiner: ProcessId, contact: ProcessId) {
+        self.world.inject_at(t, joiner, names::MEMBERSHIP, Ev::JoinVia(contact));
+    }
+
+    /// Schedules member `by` to ask for the removal of `target`.
+    pub fn remove_at(&mut self, t: Time, by: ProcessId, target: ProcessId) {
+        self.world.inject_at(t, by, names::MEMBERSHIP, Ev::RemoveMember(target));
+    }
+
+    /// Crashes `p` at `t` (crash-stop).
+    pub fn crash_at(&mut self, t: Time, p: ProcessId) {
+        self.world.crash_at(t, p);
+    }
+
+    // -- execution ---------------------------------------------------------
+
+    /// Runs the simulation up to virtual time `t`.
+    pub fn run_until(&mut self, t: Time) {
+        self.world.run_until(t);
+    }
+
+    /// Runs until quiescence or `limit`; returns true if quiesced.
+    pub fn run_to_quiescence(&mut self, limit: Time) -> bool {
+        self.world.run_to_quiescence(limit)
+    }
+
+    // -- observation -------------------------------------------------------
+
+    /// The raw delivery trace.
+    pub fn trace(&self) -> &Trace<Ev> {
+        self.world.trace()
+    }
+
+    /// Simulation metrics (message counts per protocol).
+    pub fn metrics(&self) -> &Metrics {
+        self.world.metrics()
+    }
+
+    /// Per-process sequences of all payload deliveries (any kind), in
+    /// delivery order.
+    pub fn delivered(&self) -> Vec<Vec<Delivery>> {
+        self.world.trace().per_proc(self.n_total, |e| match e {
+            Ev::Deliver(d) => Some(d.clone()),
+            _ => None,
+        })
+    }
+
+    /// Per-process sequences of atomically delivered payloads.
+    pub fn adelivered_payloads(&self) -> Vec<Vec<Vec<u8>>> {
+        self.world.trace().per_proc(self.n_total, |e| match e {
+            Ev::Deliver(d) if d.kind == crate::types::DeliveryKind::Atomic => {
+                Some(d.payload.to_vec())
+            }
+            _ => None,
+        })
+    }
+
+    /// Per-process sequences of generically delivered message ids.
+    pub fn gdelivered_ids(&self) -> Vec<Vec<crate::types::MsgId>> {
+        self.world.trace().per_proc(self.n_total, |e| match e {
+            Ev::Deliver(d) if d.kind != crate::types::DeliveryKind::Atomic => Some(d.id),
+            _ => None,
+        })
+    }
+
+    /// Per-process sequences of installed views.
+    pub fn views(&self) -> Vec<Vec<View>> {
+        self.world.trace().per_proc(self.n_total, |e| match e {
+            Ev::ViewInstalled(v) => Some(v.clone()),
+            _ => None,
+        })
+    }
+
+    /// Liveness flags per process.
+    pub fn alive_flags(&self) -> Vec<bool> {
+        self.world.alive_flags()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_sim::{check_no_duplicates, check_prefix_consistency, check_total_order};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn single_abcast_reaches_all_members_in_order() {
+        let mut g = GroupSim::new(3, StackConfig::default(), 1);
+        g.abcast_at(Time::from_millis(1), p(0), b"a".to_vec());
+        g.run_until(Time::from_millis(500));
+        let seqs = g.adelivered_payloads();
+        assert_eq!(seqs, vec![vec![b"a".to_vec()]; 3]);
+    }
+
+    #[test]
+    fn concurrent_abcasts_are_totally_ordered() {
+        let mut g = GroupSim::new(5, StackConfig::default(), 2);
+        for i in 0..20u32 {
+            g.abcast_at(
+                Time::from_micros(500 + 137 * i as u64),
+                p(i % 5),
+                vec![i as u8],
+            );
+        }
+        g.run_until(Time::from_secs(3));
+        let seqs = g.adelivered_payloads();
+        for s in &seqs {
+            assert_eq!(s.len(), 20, "all messages delivered everywhere");
+        }
+        check_prefix_consistency(&seqs).expect("prefix-consistent total order");
+        check_no_duplicates(&seqs).expect("no duplicates");
+    }
+
+    #[test]
+    fn abcast_survives_minority_crash_without_view_change() {
+        // The architectural headline (§3.1.1): a crash does NOT block
+        // atomic broadcast and needs no membership change.
+        let mut cfg = StackConfig::default();
+        cfg.monitoring_timeout = TimeDelta::from_secs(3600); // no exclusions
+        let mut g = GroupSim::new(3, cfg, 3);
+        g.crash_at(Time::from_millis(10), p(0));
+        for i in 0..5u64 {
+            g.abcast_at(Time::from_millis(20 + i), p(1), vec![i as u8]);
+        }
+        g.run_until(Time::from_secs(3));
+        let seqs = g.adelivered_payloads();
+        assert_eq!(seqs[1].len(), 5, "p1 delivers despite the crash");
+        assert_eq!(seqs[1], seqs[2]);
+        // No view change happened (no membership involvement).
+        assert!(g.views().iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn gbcast_non_conflicting_uses_fast_path_only() {
+        let mut cfg = StackConfig::default();
+        cfg.conflict = ConflictRelation::none(4);
+        let mut g = GroupSim::new(4, cfg, 4);
+        for i in 0..10u32 {
+            g.gbcast_at(Time::from_millis(1 + i as u64), p(i % 4), MessageClass(0), vec![i as u8]);
+        }
+        g.run_until(Time::from_secs(2));
+        let ids = g.gdelivered_ids();
+        for s in &ids {
+            assert_eq!(s.len(), 10);
+        }
+        // Thrifty: no consensus traffic at all.
+        assert_eq!(g.metrics().sent_matching(|k| k.starts_with("ct/")), 0);
+    }
+
+    #[test]
+    fn gbcast_conflicting_pairs_are_ordered_consistently() {
+        let mut cfg = StackConfig::default();
+        cfg.conflict = ConflictRelation::all(4);
+        let mut g = GroupSim::new(4, cfg, 5);
+        for i in 0..6u32 {
+            g.gbcast_at(Time::from_millis(1), p(i % 4), MessageClass(0), vec![i as u8]);
+        }
+        g.run_until(Time::from_secs(3));
+        let ids = g.gdelivered_ids();
+        for s in &ids {
+            assert_eq!(s.len(), 6, "everything delivered: {ids:?}");
+        }
+        check_total_order(&ids).expect("conflicting messages consistently ordered");
+        // Consensus was used (escalation happened).
+        assert!(g.metrics().sent_matching(|k| k.starts_with("ct/")) > 0);
+    }
+
+    #[test]
+    fn join_installs_view_everywhere_and_joiner_participates() {
+        let mut g = GroupSim::with_joiners(3, 1, StackConfig::default(), 6);
+        g.join_at(Time::from_millis(5), p(3), p(0));
+        g.run_until(Time::from_millis(500));
+        // All four processes end in view {p0..p3}.
+        let views = g.views();
+        for (i, vs) in views.iter().enumerate() {
+            let last = vs.last().unwrap_or_else(|| panic!("p{i} saw no view"));
+            assert_eq!(last.members.len(), 4, "p{i} final view");
+        }
+        // The joiner can now abcast and everyone delivers.
+        g.abcast_at(Time::from_millis(600), p(3), b"from joiner".to_vec());
+        g.run_until(Time::from_millis(1200));
+        let seqs = g.adelivered_payloads();
+        for i in 0..4 {
+            assert_eq!(seqs[i].last().unwrap(), &b"from joiner".to_vec(), "p{i}");
+        }
+    }
+
+    #[test]
+    fn monitoring_excludes_crashed_member() {
+        let mut cfg = StackConfig::default();
+        cfg.monitoring_timeout = TimeDelta::from_millis(200);
+        let mut g = GroupSim::new(3, cfg, 7);
+        g.crash_at(Time::from_millis(50), p(2));
+        g.run_until(Time::from_secs(2));
+        let views = g.views();
+        for i in 0..2 {
+            let last = views[i].last().expect("view change happened");
+            assert!(!last.contains(p(2)), "p{i} excluded the crashed member");
+            assert_eq!(last.members.len(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut g = GroupSim::new(3, StackConfig::default(), seed);
+            for i in 0..5u64 {
+                g.abcast_at(Time::from_millis(1 + i), p((i % 3) as u32), vec![i as u8]);
+            }
+            g.run_until(Time::from_secs(1));
+            (g.adelivered_payloads(), g.metrics().total_sent())
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

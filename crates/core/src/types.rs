@@ -1,0 +1,547 @@
+//! Shared vocabulary of the AB-GB architecture: message identities, views,
+//! conflict relations, and the event/wire catalogs of Fig 9.
+
+use bytes::Bytes;
+use gcs_consensus::{CtMsg, InstanceId};
+use gcs_kernel::{Event, ProcessId, Time};
+use gcs_net::Packet;
+use std::fmt;
+
+/// Globally unique message identity: `(sender, per-sender sequence)`.
+///
+/// The total order on `MsgId` (sender first, then sequence) is used as the
+/// deterministic tie-break whenever a batch of messages must be delivered in
+/// an agreed order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId {
+    /// Originating process.
+    pub sender: ProcessId,
+    /// Sequence number local to the sender's broadcast module.
+    pub seq: u64,
+}
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.sender, self.seq)
+    }
+}
+
+/// Conflict class of a message (the "message semantics" of generic
+/// broadcast, paper §3.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MessageClass(pub u16);
+
+impl MessageClass {
+    /// Reliable-broadcast class in the paper's §3.3 conflict relation:
+    /// conflicts with [`ABCAST`](Self::ABCAST) but not with itself.
+    pub const RBCAST: MessageClass = MessageClass(0);
+    /// Atomic-broadcast class: conflicts with everything.
+    pub const ABCAST: MessageClass = MessageClass(1);
+    /// First class id free for applications.
+    pub const USER_BASE: u16 = 8;
+}
+
+/// A symmetric conflict relation over [`MessageClass`]es (paper §3.2.1).
+///
+/// `conflicts(a, b)` must equal `conflicts(b, a)`; the constructors enforce
+/// symmetry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictRelation {
+    /// `pairs[a][b]` for registered classes; indexed by class id.
+    size: usize,
+    matrix: Vec<bool>,
+}
+
+impl ConflictRelation {
+    /// A relation over classes `0..size` where nothing conflicts.
+    pub fn none(size: u16) -> Self {
+        let size = size as usize;
+        ConflictRelation { size, matrix: vec![false; size * size] }
+    }
+
+    /// A relation over classes `0..size` where everything conflicts
+    /// (generic broadcast degenerates to atomic broadcast).
+    pub fn all(size: u16) -> Self {
+        let size = size as usize;
+        ConflictRelation { size, matrix: vec![true; size * size] }
+    }
+
+    /// The paper's §3.3 relation between [`MessageClass::RBCAST`] and
+    /// [`MessageClass::ABCAST`]: rbcast–rbcast does not conflict, all other
+    /// pairs do.
+    pub fn rbcast_abcast() -> Self {
+        let mut r = Self::none(2);
+        r.set_conflict(MessageClass::ABCAST, MessageClass::ABCAST);
+        r.set_conflict(MessageClass::RBCAST, MessageClass::ABCAST);
+        r
+    }
+
+    /// Marks `a` and `b` (and symmetrically `b` and `a`) as conflicting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class is out of range.
+    pub fn set_conflict(&mut self, a: MessageClass, b: MessageClass) {
+        let (a, b) = (a.0 as usize, b.0 as usize);
+        assert!(a < self.size && b < self.size, "class out of range");
+        self.matrix[a * self.size + b] = true;
+        self.matrix[b * self.size + a] = true;
+    }
+
+    /// Whether messages of classes `a` and `b` must be mutually ordered.
+    ///
+    /// Classes outside the registered range conservatively conflict.
+    pub fn conflicts(&self, a: MessageClass, b: MessageClass) -> bool {
+        let (a, b) = (a.0 as usize, b.0 as usize);
+        if a >= self.size || b >= self.size {
+            return true;
+        }
+        self.matrix[a * self.size + b]
+    }
+}
+
+/// A group view: a totally ordered **list** of members (paper footnote 10 —
+/// the head of the list is the primary in passive replication).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct View {
+    /// Monotonically increasing view number.
+    pub id: u64,
+    /// The member list; order is agreed (head = primary).
+    pub members: Vec<ProcessId>,
+}
+
+impl View {
+    /// The initial view (id 0) over the given members.
+    pub fn initial(members: Vec<ProcessId>) -> Self {
+        View { id: 0, members }
+    }
+
+    /// Whether `p` is a member.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.members.contains(&p)
+    }
+
+    /// The primary (head of the list), if the view is non-empty.
+    pub fn primary(&self) -> Option<ProcessId> {
+        self.members.first().copied()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the view has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The successor view after adding `p` (appended at the tail).
+    pub fn with_join(&self, p: ProcessId) -> View {
+        let mut members = self.members.clone();
+        if !members.contains(&p) {
+            members.push(p);
+        }
+        View { id: self.id + 1, members }
+    }
+
+    /// The successor view after removing `p`.
+    pub fn with_remove(&self, p: ProcessId) -> View {
+        View { id: self.id + 1, members: self.members.iter().copied().filter(|&m| m != p).collect() }
+    }
+
+    /// The successor view that rotates `old_primary` to the tail
+    /// (primary-change, paper Fig 8 footnote 10).
+    pub fn with_rotation(&self, old_primary: ProcessId) -> View {
+        let mut members: Vec<ProcessId> =
+            self.members.iter().copied().filter(|&m| m != old_primary).collect();
+        if self.members.contains(&old_primary) {
+            members.push(old_primary);
+        }
+        View { id: self.id + 1, members }
+    }
+}
+
+/// The body of a broadcast message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Body {
+    /// Opaque application payload.
+    App(Bytes),
+    /// Membership control: add `p` to the view.
+    Join(ProcessId),
+    /// Membership control: remove `p` from the view.
+    Remove(ProcessId),
+    /// Generic-broadcast epoch closure (internal; ordered through abcast).
+    /// Carries full messages so closure deliveries never stall on missing
+    /// payloads.
+    GbEnd {
+        /// The epoch being closed.
+        epoch: u64,
+        /// Messages the sender had acked in this epoch.
+        acked: Vec<Message>,
+        /// Other undelivered messages the sender knew of.
+        pending: Vec<Message>,
+    },
+}
+
+impl Body {
+    /// Approximate wire size contribution.
+    pub fn size_hint(&self) -> usize {
+        match self {
+            Body::App(b) => b.len(),
+            Body::Join(_) | Body::Remove(_) => 8,
+            Body::GbEnd { acked, pending, .. } => {
+                16 + acked.iter().chain(pending).map(|m| 32 + m.body.size_hint()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// A full broadcast message (identity, class, body).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Unique identity.
+    pub id: MsgId,
+    /// Conflict class.
+    pub class: MessageClass,
+    /// Content.
+    pub body: Body,
+}
+
+/// How a message reached the application (which primitive delivered it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryKind {
+    /// Delivered by atomic broadcast (`adeliver`).
+    Atomic,
+    /// Delivered by generic broadcast (`gdeliver`) on the conflict-free fast
+    /// path.
+    GenericFast,
+    /// Delivered by generic broadcast at an epoch closure (conflict forced
+    /// an atomic-broadcast escalation).
+    GenericOrdered,
+}
+
+/// An application-visible delivery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Which primitive delivered the message.
+    pub kind: DeliveryKind,
+    /// Message identity.
+    pub id: MsgId,
+    /// Conflict class.
+    pub class: MessageClass,
+    /// Application payload.
+    pub payload: Bytes,
+    /// The view id current at delivery (same view delivery, §4.4).
+    pub view: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages (what travels between processes)
+// ---------------------------------------------------------------------------
+
+/// Messages of the atomic-broadcast component (payload dissemination).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbMsg {
+    /// Diffusion (reliable broadcast) of a message to be ordered.
+    Data(Message),
+}
+
+/// Messages of the generic-broadcast component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GbMsg {
+    /// Diffusion of a generic-broadcast message.
+    Data(Message),
+    /// Conflict-free acknowledgement of `id` within `epoch`.
+    Ack {
+        /// Epoch the ack belongs to.
+        epoch: u64,
+        /// The acknowledged message.
+        id: MsgId,
+    },
+}
+
+/// Messages of the membership component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MbMsg {
+    /// A non-member asks `sponsor` to propose it for membership.
+    JoinRequest,
+    /// State transfer to a joiner: everything needed to participate.
+    Snapshot(Box<SnapshotData>),
+}
+
+/// State transferred to a joining process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotData {
+    /// The view in which the joiner is first a member.
+    pub view: View,
+    /// The first consensus instance the joiner participates in.
+    pub next_instance: InstanceId,
+    /// Ids already atomically delivered (so the joiner does not redeliver).
+    pub adelivered: Vec<MsgId>,
+    /// Ids already generically delivered.
+    pub gdelivered: Vec<MsgId>,
+    /// Current generic-broadcast epoch.
+    pub gb_epoch: u64,
+    /// Opaque application state (for the replication layer), with its size
+    /// modelling the paper's "costly state transfer" (§4.3).
+    pub app_state: Bytes,
+}
+
+/// Messages of the monitoring component (suspicion gossip).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MonMsg {
+    /// The sender's long-timeout failure detector suspects `peer`.
+    Report {
+        /// The suspected process.
+        peer: ProcessId,
+    },
+}
+
+/// Everything that travels on the reliable channel between two processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Consensus traffic, tagged by instance.
+    Ct {
+        /// The consensus instance.
+        instance: InstanceId,
+        /// The Chandra-Toueg message.
+        msg: CtMsg<Batch>,
+    },
+    /// Atomic-broadcast traffic.
+    Ab(AbMsg),
+    /// Generic-broadcast traffic.
+    Gb(GbMsg),
+    /// Membership traffic.
+    Mb(MbMsg),
+    /// Monitoring traffic.
+    Mon(MonMsg),
+}
+
+impl WireMsg {
+    /// Metric label of this wire message.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireMsg::Ct { msg, .. } => msg.kind(),
+            WireMsg::Ab(AbMsg::Data(_)) => "ab/data",
+            WireMsg::Gb(GbMsg::Data(_)) => "gb/data",
+            WireMsg::Gb(GbMsg::Ack { .. }) => "gb/ack",
+            WireMsg::Mb(MbMsg::JoinRequest) => "mb/join-request",
+            WireMsg::Mb(MbMsg::Snapshot(_)) => "mb/snapshot",
+            WireMsg::Mon(_) => "mon/report",
+        }
+    }
+
+    /// Approximate wire size.
+    pub fn size_hint(&self) -> usize {
+        match self {
+            WireMsg::Ct { msg, .. } => {
+                let batch_size =
+                    |b: &Batch| b.iter().map(|m| 32 + m.body.size_hint()).sum::<usize>();
+                24 + match msg {
+                    CtMsg::Estimate { est, .. } | CtMsg::Propose { est, .. } => batch_size(est),
+                    CtMsg::Decide { est } => batch_size(est),
+                    _ => 0,
+                }
+            }
+            WireMsg::Ab(AbMsg::Data(m)) | WireMsg::Gb(GbMsg::Data(m)) => 32 + m.body.size_hint(),
+            WireMsg::Gb(GbMsg::Ack { .. }) => 28,
+            WireMsg::Mb(MbMsg::JoinRequest) => 16,
+            WireMsg::Mb(MbMsg::Snapshot(s)) => {
+                64 + 12 * (s.adelivered.len() + s.gdelivered.len()) + s.app_state.len()
+            }
+            WireMsg::Mon(_) => 20,
+        }
+    }
+}
+
+/// A consensus value: the batch of messages decided by one instance, sorted
+/// by [`MsgId`].
+///
+/// Batches carry full messages (not just ids): the Chandra-Toueg reduction
+/// is only live if a decided message's payload is available wherever the
+/// decision is, even when the original sender crashed mid-diffusion.
+pub type Batch = Vec<Message>;
+
+// ---------------------------------------------------------------------------
+// The process-local event catalog (the arrows of Fig 9)
+// ---------------------------------------------------------------------------
+
+/// Every event routed inside a process of the new architecture or across
+/// the network — the concrete catalog of Fig 9's interfaces.
+#[derive(Clone, Debug)]
+pub enum Ev {
+    // -- network-level (ctx.send / on_message) --
+    /// Reliable-channel packet (`send`/`receive` of Fig 9).
+    Packet(Packet<WireMsg>),
+    /// Failure-detector heartbeat on the *unreliable* transport
+    /// (`u-send`/`u-receive`).
+    Heartbeat,
+
+    // -- application operations (injected) --
+    /// `abcast` (Fig 9): atomically broadcast an application payload.
+    Abcast(Bytes),
+    /// `rbcast` through generic broadcast: class [`MessageClass::RBCAST`].
+    Rbcast(Bytes),
+    /// Generic broadcast with an application conflict class.
+    Gbcast(MessageClass, Bytes),
+    /// `join`: ask the membership to add this (non-member) process, via the
+    /// given contact member.
+    JoinVia(ProcessId),
+    /// `remove`: ask the membership to remove a member.
+    RemoveMember(ProcessId),
+
+    // -- inter-component (emitted) --
+    /// Any component → reliable channel: send `WireMsg` to a peer.
+    RcSend(ProcessId, WireMsg),
+    /// Reliable channel → protocol component: `WireMsg` from a peer.
+    Net(ProcessId, WireMsg),
+    /// Reliable channel → monitoring: output-triggered suspicion (§3.3.2).
+    RcStuck(ProcessId, Time),
+    /// Reliable channel → monitoring: the peer acked again.
+    RcUnstuck(ProcessId),
+    /// Failure detector → consensus/monitoring: `suspect` (Fig 9).
+    Suspect(gcs_fd::MonitorClass, ProcessId),
+    /// Failure detector → consensus/monitoring: suspicion withdrawn.
+    Restore(gcs_fd::MonitorClass, ProcessId),
+    /// Atomic broadcast → consensus: `propose`/`run` for an instance.
+    Propose(InstanceId, Batch, Vec<ProcessId>),
+    /// Consensus → atomic broadcast: `decide` for an instance.
+    Decide(InstanceId, Batch),
+    /// Consensus → atomic broadcast: a message for an instance that does not
+    /// exist yet — start it (with an empty proposal if need be).
+    NeedInstance(InstanceId),
+    /// Membership → everyone: a new view was installed (`new_view`).
+    ViewChanged(View),
+    /// Membership → reliable channel: discard state for an excluded peer.
+    Forget(ProcessId),
+    /// Atomic broadcast → membership/generic: an ordered control message.
+    CtrlDelivered(Message),
+    /// Generic broadcast → atomic broadcast: order a control body.
+    AbcastCtrl(MessageClass, Body),
+    /// Monitoring → membership: exclusion decision (`remove` in Fig 9).
+    Exclude(ProcessId),
+    /// Membership → abcast → generic: assemble a state-transfer snapshot
+    /// for a joiner; each component fills its part.
+    SnapFill {
+        /// The joining process the snapshot is for.
+        joiner: ProcessId,
+        /// The snapshot being assembled.
+        snap: Box<SnapshotData>,
+    },
+    /// Generic → membership: the snapshot is complete; send it.
+    SnapReady {
+        /// The joining process the snapshot is for.
+        joiner: ProcessId,
+        /// The assembled snapshot.
+        snap: Box<SnapshotData>,
+    },
+    /// Membership (joiner side) → abcast/generic: adopt transferred state.
+    InstallSnapshot(Box<SnapshotData>),
+
+    // -- application outputs --
+    /// A payload delivery (`adeliver`/`gdeliver`).
+    Deliver(Delivery),
+    /// A view installation visible to the application (`new_view` /
+    /// `init_view`).
+    ViewInstalled(View),
+    /// This process was removed from the group.
+    Excluded,
+}
+
+impl Event for Ev {
+    fn kind(&self) -> &'static str {
+        match self {
+            Ev::Packet(Packet::Data { msg, .. }) => msg.kind(),
+            Ev::Packet(Packet::Ack { .. }) => "rc/ack",
+            Ev::Heartbeat => "fd/heartbeat",
+            Ev::Abcast(_) => "op/abcast",
+            Ev::Rbcast(_) => "op/rbcast",
+            Ev::Gbcast(..) => "op/gbcast",
+            Ev::JoinVia(_) => "op/join",
+            Ev::RemoveMember(_) => "op/remove",
+            Ev::RcSend(..) => "int/rc-send",
+            Ev::Net(..) => "int/net",
+            Ev::RcStuck(..) => "int/rc-stuck",
+            Ev::RcUnstuck(_) => "int/rc-unstuck",
+            Ev::Suspect(..) => "int/suspect",
+            Ev::Restore(..) => "int/restore",
+            Ev::Propose(..) => "int/propose",
+            Ev::Decide(..) => "int/decide",
+            Ev::NeedInstance(_) => "int/need-instance",
+            Ev::ViewChanged(_) => "int/view-changed",
+            Ev::Forget(_) => "int/forget",
+            Ev::CtrlDelivered(_) => "int/ctrl-delivered",
+            Ev::AbcastCtrl(..) => "int/abcast-ctrl",
+            Ev::Exclude(_) => "int/exclude",
+            Ev::SnapFill { .. } => "int/snap-fill",
+            Ev::SnapReady { .. } => "int/snap-ready",
+            Ev::InstallSnapshot(_) => "int/snap-install",
+            Ev::Deliver(_) => "out/deliver",
+            Ev::ViewInstalled(_) => "out/view",
+            Ev::Excluded => "out/excluded",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            Ev::Packet(Packet::Data { msg, .. }) => 16 + msg.size_hint(),
+            Ev::Packet(Packet::Ack { .. }) => 24,
+            Ev::Heartbeat => 16,
+            _ => 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_relation_is_symmetric() {
+        let mut r = ConflictRelation::none(4);
+        r.set_conflict(MessageClass(1), MessageClass(3));
+        assert!(r.conflicts(MessageClass(1), MessageClass(3)));
+        assert!(r.conflicts(MessageClass(3), MessageClass(1)));
+        assert!(!r.conflicts(MessageClass(0), MessageClass(1)));
+    }
+
+    #[test]
+    fn paper_relation_matches_section_3_3() {
+        let r = ConflictRelation::rbcast_abcast();
+        assert!(!r.conflicts(MessageClass::RBCAST, MessageClass::RBCAST));
+        assert!(r.conflicts(MessageClass::RBCAST, MessageClass::ABCAST));
+        assert!(r.conflicts(MessageClass::ABCAST, MessageClass::ABCAST));
+    }
+
+    #[test]
+    fn out_of_range_classes_conservatively_conflict() {
+        let r = ConflictRelation::none(2);
+        assert!(r.conflicts(MessageClass(7), MessageClass(0)));
+    }
+
+    #[test]
+    fn view_operations() {
+        let p = |i| ProcessId::new(i);
+        let v = View::initial(vec![p(0), p(1), p(2)]);
+        assert_eq!(v.primary(), Some(p(0)));
+        let j = v.with_join(p(3));
+        assert_eq!(j.id, 1);
+        assert_eq!(j.members.len(), 4);
+        let r = j.with_remove(p(0));
+        assert_eq!(r.primary(), Some(p(1)));
+        let rot = v.with_rotation(p(0));
+        assert_eq!(rot.members, vec![p(1), p(2), p(0)]);
+        assert_eq!(rot.primary(), Some(p(1)));
+        // Rotating a non-member changes nothing but the id.
+        let rot2 = v.with_rotation(p(9));
+        assert_eq!(rot2.members, v.members);
+    }
+
+    #[test]
+    fn msgid_order_is_sender_then_seq() {
+        let a = MsgId { sender: ProcessId::new(0), seq: 9 };
+        let b = MsgId { sender: ProcessId::new(1), seq: 0 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,316 @@
+//! # gcs-fd — failure detection, decoupled from membership
+//!
+//! A heartbeat failure detector in the style assumed by the paper's new
+//! architecture (Fig 9): it sits directly on the *unreliable* transport and
+//! serves **multiple clients with independent timeouts** — the paper's
+//! §3.3.2 example has the consensus component suspecting after seconds while
+//! the monitoring component suspects after minutes, through the
+//! `start_stop_monitor` interface. Here each client registers a
+//! [`MonitorClass`] with its own timeout and receives its own
+//! [`FdOut::Suspect`] / [`FdOut::Restore`] transitions.
+//!
+//! In the simulated system model (eventually bounded delays between correct
+//! processes; crashed processes stop sending), this heartbeat detector
+//! implements ◇S for each class: crashed peers are permanently suspected
+//! once their last heartbeat ages past the class timeout (strong
+//! completeness), and wrong suspicions of correct peers are *transient* —
+//! the next heartbeat restores them (eventual weak accuracy after delays
+//! stabilize).
+//!
+//! The detector is sans-I/O, like every protocol in this repository: the
+//! owner drives [`HeartbeatFd::on_tick`] and feeds received heartbeats in,
+//! and carries out the returned [`FdOut`] instructions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use gcs_kernel::{ProcessId, Time, TimeDelta};
+
+/// Identifies one registered suspicion client (timeout class).
+///
+/// The paper's architecture uses at least two: a small-timeout class for
+/// consensus and a large-timeout class for monitoring/exclusion.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MonitorClass(pub u16);
+
+impl MonitorClass {
+    /// Conventional class for the consensus component (small timeout).
+    pub const CONSENSUS: MonitorClass = MonitorClass(0);
+    /// Conventional class for the monitoring component (large timeout).
+    pub const MONITORING: MonitorClass = MonitorClass(1);
+}
+
+/// An instruction produced by the failure detector for its owner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FdOut {
+    /// Send a heartbeat to `to` over the unreliable transport.
+    SendHeartbeat {
+        /// Destination peer.
+        to: ProcessId,
+    },
+    /// `peer` is now suspected by class `class`.
+    Suspect {
+        /// The timeout class making the transition.
+        class: MonitorClass,
+        /// The suspected peer.
+        peer: ProcessId,
+    },
+    /// `peer` is no longer suspected by class `class` (a heartbeat arrived).
+    Restore {
+        /// The timeout class making the transition.
+        class: MonitorClass,
+        /// The restored peer.
+        peer: ProcessId,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ClassState {
+    timeout: TimeDelta,
+}
+
+/// A heartbeat failure detector with per-class timeouts.
+#[derive(Debug)]
+pub struct HeartbeatFd {
+    me: ProcessId,
+    interval: TimeDelta,
+    peers: Vec<ProcessId>,
+    classes: HashMap<MonitorClass, ClassState>,
+    last_heard: HashMap<ProcessId, Time>,
+    /// (class, peer) pairs currently suspected.
+    suspected: HashMap<(MonitorClass, ProcessId), bool>,
+    started_at: Time,
+}
+
+impl HeartbeatFd {
+    /// Creates a detector for process `me` that emits heartbeats every
+    /// `interval`.
+    pub fn new(me: ProcessId, interval: TimeDelta) -> Self {
+        HeartbeatFd {
+            me,
+            interval,
+            peers: Vec::new(),
+            classes: HashMap::new(),
+            last_heard: HashMap::new(),
+            suspected: HashMap::new(),
+            started_at: Time::ZERO,
+        }
+    }
+
+    /// The heartbeat emission interval (owner's tick period).
+    pub fn interval(&self) -> TimeDelta {
+        self.interval
+    }
+
+    /// Registers (or re-times) a suspicion class. (`start_monitor` in Fig 9.)
+    pub fn register_class(&mut self, class: MonitorClass, timeout: TimeDelta) {
+        self.classes.insert(class, ClassState { timeout });
+    }
+
+    /// Removes a suspicion class. (`stop_monitor` in Fig 9.)
+    pub fn unregister_class(&mut self, class: MonitorClass) {
+        self.classes.remove(&class);
+        self.suspected.retain(|(c, _), _| *c != class);
+    }
+
+    /// Replaces the set of monitored peers (driven by `new_view`).
+    ///
+    /// `self` is filtered out; state about dropped peers is discarded.
+    pub fn set_peers(&mut self, peers: impl IntoIterator<Item = ProcessId>, now: Time) {
+        let me = self.me;
+        self.peers = peers.into_iter().filter(|p| *p != me).collect();
+        self.peers.sort_unstable();
+        self.peers.dedup();
+        let keep: std::collections::HashSet<ProcessId> = self.peers.iter().copied().collect();
+        self.last_heard.retain(|p, _| keep.contains(p));
+        self.suspected.retain(|(_, p), _| keep.contains(p));
+        // Newly monitored peers get a grace period of one full timeout from
+        // now rather than being instantly suspected.
+        for &p in &self.peers {
+            self.last_heard.entry(p).or_insert(now);
+        }
+        self.started_at = self.started_at.max(now);
+    }
+
+    /// The currently monitored peers.
+    pub fn peers(&self) -> &[ProcessId] {
+        &self.peers
+    }
+
+    /// Records a heartbeat from `from`; returns `Restore` transitions for
+    /// every class that had suspected `from`.
+    pub fn on_heartbeat(&mut self, from: ProcessId, now: Time) -> Vec<FdOut> {
+        if !self.peers.contains(&from) {
+            return Vec::new();
+        }
+        self.last_heard.insert(from, now);
+        let mut out = Vec::new();
+        let mut classes: Vec<MonitorClass> = self.classes.keys().copied().collect();
+        classes.sort_unstable();
+        for class in classes {
+            if let Some(s) = self.suspected.get_mut(&(class, from)) {
+                if *s {
+                    *s = false;
+                    out.push(FdOut::Restore { class, peer: from });
+                }
+            }
+        }
+        out
+    }
+
+    /// Periodic driver: emits heartbeats and evaluates timeouts.
+    pub fn on_tick(&mut self, now: Time) -> Vec<FdOut> {
+        let mut out: Vec<FdOut> =
+            self.peers.iter().map(|&to| FdOut::SendHeartbeat { to }).collect();
+        let mut classes: Vec<(MonitorClass, ClassState)> =
+            self.classes.iter().map(|(c, s)| (*c, *s)).collect();
+        classes.sort_unstable_by_key(|(c, _)| *c);
+        for &peer in &self.peers {
+            let last = self.last_heard.get(&peer).copied().unwrap_or(self.started_at);
+            for &(class, state) in &classes {
+                let suspected_now = now.since(last) > state.timeout;
+                let entry = self.suspected.entry((class, peer)).or_insert(false);
+                if suspected_now && !*entry {
+                    *entry = true;
+                    out.push(FdOut::Suspect { class, peer });
+                } else if !suspected_now && *entry {
+                    *entry = false;
+                    out.push(FdOut::Restore { class, peer });
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `peer` is currently suspected by `class`.
+    pub fn is_suspected(&self, class: MonitorClass, peer: ProcessId) -> bool {
+        self.suspected.get(&(class, peer)).copied().unwrap_or(false)
+    }
+
+    /// All peers currently suspected by `class`, sorted.
+    pub fn suspected_by(&self, class: MonitorClass) -> Vec<ProcessId> {
+        let mut v: Vec<ProcessId> = self
+            .suspected
+            .iter()
+            .filter(|((c, _), s)| *c == class && **s)
+            .map(|((_, p), _)| *p)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ME: ProcessId = ProcessId::new(0);
+    const P1: ProcessId = ProcessId::new(1);
+    const P2: ProcessId = ProcessId::new(2);
+
+    fn fd() -> HeartbeatFd {
+        let mut fd = HeartbeatFd::new(ME, TimeDelta::from_millis(10));
+        fd.register_class(MonitorClass::CONSENSUS, TimeDelta::from_millis(50));
+        fd.register_class(MonitorClass::MONITORING, TimeDelta::from_millis(500));
+        fd.set_peers([P1, P2], Time::ZERO);
+        fd
+    }
+
+    #[test]
+    fn emits_heartbeats_to_all_peers() {
+        let mut fd = fd();
+        let out = fd.on_tick(Time::ZERO);
+        let hbs: Vec<ProcessId> = out
+            .iter()
+            .filter_map(|o| match o {
+                FdOut::SendHeartbeat { to } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hbs, vec![P1, P2]);
+    }
+
+    #[test]
+    fn small_timeout_class_suspects_first() {
+        let mut fd = fd();
+        fd.on_heartbeat(P1, Time::ZERO);
+        fd.on_heartbeat(P2, Time::ZERO);
+        // At 100 ms only the consensus class has timed out.
+        let out = fd.on_tick(Time::from_millis(100));
+        assert!(out.contains(&FdOut::Suspect { class: MonitorClass::CONSENSUS, peer: P1 }));
+        assert!(!out.iter().any(
+            |o| matches!(o, FdOut::Suspect { class, .. } if *class == MonitorClass::MONITORING)
+        ));
+        // At 600 ms the monitoring class suspects too.
+        let out = fd.on_tick(Time::from_millis(600));
+        assert!(out.contains(&FdOut::Suspect { class: MonitorClass::MONITORING, peer: P1 }));
+        assert!(fd.is_suspected(MonitorClass::CONSENSUS, P1));
+        assert_eq!(fd.suspected_by(MonitorClass::MONITORING), vec![P1, P2]);
+    }
+
+    #[test]
+    fn heartbeat_restores_suspected_peer() {
+        let mut fd = fd();
+        fd.on_tick(Time::from_millis(100));
+        assert!(fd.is_suspected(MonitorClass::CONSENSUS, P1));
+        let out = fd.on_heartbeat(P1, Time::from_millis(101));
+        assert_eq!(out, vec![FdOut::Restore { class: MonitorClass::CONSENSUS, peer: P1 }]);
+        assert!(!fd.is_suspected(MonitorClass::CONSENSUS, P1));
+    }
+
+    #[test]
+    fn suspicion_transitions_fire_once() {
+        let mut fd = fd();
+        let first = fd.on_tick(Time::from_millis(100));
+        assert!(first.iter().any(|o| matches!(o, FdOut::Suspect { .. })));
+        let second = fd.on_tick(Time::from_millis(110));
+        assert!(!second.iter().any(|o| matches!(o, FdOut::Suspect { .. })));
+    }
+
+    #[test]
+    fn set_peers_gives_grace_period() {
+        let mut fd = fd();
+        let now = Time::from_secs(10);
+        fd.set_peers([P1], now);
+        // P1 was already monitored; its last-heard of t=0 is retained, so it
+        // is suspected — but a brand new peer gets the grace period.
+        let p9 = ProcessId::new(9);
+        fd.set_peers([P1, p9], now);
+        let out = fd.on_tick(now + TimeDelta::from_millis(10));
+        assert!(out.contains(&FdOut::Suspect { class: MonitorClass::CONSENSUS, peer: P1 }));
+        assert!(!out.contains(&FdOut::Suspect { class: MonitorClass::CONSENSUS, peer: p9 }));
+    }
+
+    #[test]
+    fn removed_peer_state_is_dropped() {
+        let mut fd = fd();
+        fd.on_tick(Time::from_millis(100));
+        assert!(fd.is_suspected(MonitorClass::CONSENSUS, P1));
+        fd.set_peers([P2], Time::from_millis(100));
+        assert!(!fd.is_suspected(MonitorClass::CONSENSUS, P1));
+        assert!(fd.on_heartbeat(P1, Time::from_millis(101)).is_empty());
+        assert_eq!(fd.peers(), &[P2]);
+    }
+
+    #[test]
+    fn unregister_class_stops_its_suspicions() {
+        let mut fd = fd();
+        fd.on_tick(Time::from_millis(100));
+        fd.unregister_class(MonitorClass::CONSENSUS);
+        assert!(!fd.is_suspected(MonitorClass::CONSENSUS, P1));
+        let out = fd.on_tick(Time::from_millis(200));
+        assert!(!out.iter().any(
+            |o| matches!(o, FdOut::Suspect { class, .. } if *class == MonitorClass::CONSENSUS)
+        ));
+    }
+
+    #[test]
+    fn self_is_never_monitored() {
+        let mut fd = HeartbeatFd::new(ME, TimeDelta::from_millis(10));
+        fd.register_class(MonitorClass::CONSENSUS, TimeDelta::from_millis(50));
+        fd.set_peers([ME, P1], Time::ZERO);
+        assert_eq!(fd.peers(), &[P1]);
+    }
+}

@@ -1,0 +1,160 @@
+//! The [`Component`] trait and the [`Context`] through which components act.
+
+use crate::event::Event;
+use crate::ids::{ProcessId, TimerId};
+use crate::time::{Time, TimeDelta};
+
+/// An action requested by a component during one dispatch step.
+///
+/// Actions are collected by the [`Context`] and either executed locally by
+/// the hosting [`Process`](crate::Process) (`Emit`) or surfaced to the
+/// runtime in [`Effects`](crate::Effects).
+#[derive(Debug)]
+pub enum Action<E> {
+    /// Route an event to the named component of the same process.
+    Emit {
+        /// Destination component name.
+        to: &'static str,
+        /// The event to route.
+        event: E,
+    },
+    /// Send an event over the network to a component of another process.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// Destination component name within that process.
+        component: &'static str,
+        /// The event to send.
+        event: E,
+    },
+    /// Request a one-shot timer.
+    SetTimer {
+        /// Id handed back to the requesting component on expiry.
+        id: TimerId,
+        /// Delay until expiry.
+        after: TimeDelta,
+    },
+    /// Cancel a pending timer owned by this component.
+    CancelTimer(TimerId),
+    /// Deliver an event to the application / trace observer.
+    Output(E),
+    /// Stop this process entirely (used e.g. by Isis-style membership to
+    /// kill a process that discovers it was wrongly excluded).
+    Halt,
+}
+
+/// Execution context handed to a component while it handles an event.
+///
+/// All interaction with the outside world goes through the context; this is
+/// what keeps components sans-I/O and deterministic.
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    now: Time,
+    me: ProcessId,
+    component: usize,
+    actions: &'a mut Vec<(usize, Action<E>)>,
+    next_timer: &'a mut u64,
+}
+
+impl<'a, E: Event> Context<'a, E> {
+    pub(crate) fn new(
+        now: Time,
+        me: ProcessId,
+        component: usize,
+        actions: &'a mut Vec<(usize, Action<E>)>,
+        next_timer: &'a mut u64,
+    ) -> Self {
+        Context { now, me, component, actions, next_timer }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The identity of the hosting process.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Routes `event` to the component named `to` within this process.
+    ///
+    /// # Panics
+    ///
+    /// The hosting process panics during dispatch if no component with that
+    /// name exists — a miswired graph is a programming error.
+    pub fn emit(&mut self, to: &'static str, event: E) {
+        self.actions.push((self.component, Action::Emit { to, event }));
+    }
+
+    /// Sends `event` to component `component` of process `to`.
+    pub fn send(&mut self, to: ProcessId, component: &'static str, event: E) {
+        self.actions.push((self.component, Action::Send { to, component, event }));
+    }
+
+    /// Sends a clone of `event` to the same component of every process in
+    /// `targets` (including `self` if listed; self-sends loop through the
+    /// network like any other message).
+    pub fn send_to_all<I>(&mut self, targets: I, component: &'static str, event: E)
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        for t in targets {
+            self.send(t, component, event.clone());
+        }
+    }
+
+    /// Requests a one-shot timer firing `after` from now; returns its id.
+    pub fn set_timer(&mut self, after: TimeDelta) -> TimerId {
+        let id = TimerId::new(*self.next_timer);
+        *self.next_timer += 1;
+        self.actions.push((self.component, Action::SetTimer { id, after }));
+        id
+    }
+
+    /// Cancels a pending timer. No-op if it already fired or was cancelled.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push((self.component, Action::CancelTimer(id)));
+    }
+
+    /// Delivers `event` to the application observer (the simulator trace).
+    pub fn output(&mut self, event: E) {
+        self.actions.push((self.component, Action::Output(event)));
+    }
+
+    /// Halts the entire process after this dispatch step completes.
+    pub fn halt(&mut self) {
+        self.actions.push((self.component, Action::Halt));
+    }
+}
+
+/// A protocol module: one box of an architecture diagram.
+///
+/// Components are registered with a [`Process`](crate::Process) under their
+/// [`name`](Component::name) and receive the events other components `emit`
+/// or `send` to that name, plus the expiries of timers they set.
+pub trait Component<E: Event> {
+    /// Stable component name used for routing (e.g. `"consensus"`).
+    fn name(&self) -> &'static str;
+
+    /// Called once when the hosting process starts.
+    fn on_start(&mut self, _ctx: &mut Context<'_, E>) {}
+
+    /// Handles an event routed to this component from within the process
+    /// (another component's `emit`, or an application injection).
+    fn on_event(&mut self, event: E, ctx: &mut Context<'_, E>);
+
+    /// Handles an event that arrived over the network from process `from`.
+    ///
+    /// Defaults to [`on_event`](Component::on_event); components that care
+    /// about the transport-level sender (or, like
+    /// [`StackComponent`](crate::StackComponent), about the entry direction)
+    /// override this.
+    fn on_message(&mut self, from: ProcessId, event: E, ctx: &mut Context<'_, E>) {
+        let _ = from;
+        self.on_event(event, ctx);
+    }
+
+    /// Handles expiry of a timer previously set by this component.
+    fn on_timer(&mut self, _timer: TimerId, _ctx: &mut Context<'_, E>) {}
+}

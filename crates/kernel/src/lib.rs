@@ -1,0 +1,64 @@
+//! # gcs-kernel — protocol composition framework
+//!
+//! This crate is the Rust counterpart of the protocol composition frameworks
+//! (Appia, Cactus) that the paper *A Step Towards a New Generation of Group
+//! Communication Systems* (Mena, Schiper, Wojciechowski, Middleware 2003)
+//! used for its two reference implementations (§5 of the paper).
+//!
+//! It provides:
+//!
+//! * [`Component`] — an event-driven protocol module with timers,
+//! * [`Process`] — a named-component *graph* hosted by one process
+//!   (used for the paper's new architecture, Fig 9),
+//! * [`Layer`] / [`StackComponent`] — Ensemble-style *linear stacks* where
+//!   events travel up and down through ordered layers (Fig 5),
+//! * [`Effects`] — the externally visible actions of a dispatch step
+//!   (network sends, timer requests, application outputs), which makes every
+//!   protocol sans-I/O and lets the same code run under the deterministic
+//!   simulator (`gcs-sim`) or any other scheduler.
+//!
+//! Dispatch within a process is synchronous and deterministic: an input event
+//! is routed to its target component; locally emitted events cascade in FIFO
+//! order until quiescence; everything destined outside the process is
+//! collected into [`Effects`].
+//!
+//! ```
+//! use gcs_kernel::{Component, Context, Event, Process, ProcessId, Time};
+//!
+//! #[derive(Clone, Debug)]
+//! enum Ping { Hello, World }
+//! impl Event for Ping {
+//!     fn kind(&self) -> &'static str {
+//!         match self { Ping::Hello => "hello", Ping::World => "world" }
+//!     }
+//! }
+//!
+//! struct Echo;
+//! impl Component<Ping> for Echo {
+//!     fn name(&self) -> &'static str { "echo" }
+//!     fn on_event(&mut self, ev: Ping, ctx: &mut Context<'_, Ping>) {
+//!         if matches!(ev, Ping::Hello) { ctx.output(Ping::World); }
+//!     }
+//! }
+//!
+//! let mut p = Process::builder(ProcessId::new(0)).with(Echo).build();
+//! let fx = p.deliver("echo", Ping::Hello, Time::ZERO);
+//! assert_eq!(fx.outputs.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod event;
+mod ids;
+mod process;
+mod stack;
+mod time;
+
+pub use component::{Action, Component, Context};
+pub use event::Event;
+pub use ids::{ProcessId, TimerId};
+pub use process::{Effects, Envelope, Process, ProcessBuilder, TimerRequest};
+pub use stack::{Direction, Layer, LayerContext, StackBuilder, StackComponent};
+pub use time::{Time, TimeDelta};

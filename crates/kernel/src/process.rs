@@ -1,0 +1,404 @@
+//! A process hosting a graph of components, with deterministic dispatch.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::component::{Action, Component, Context};
+use crate::event::Event;
+use crate::ids::{ProcessId, TimerId};
+use crate::time::{Time, TimeDelta};
+
+/// A network message produced by a dispatch step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<E> {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Destination process.
+    pub to: ProcessId,
+    /// Destination component name within the destination process.
+    pub component: &'static str,
+    /// The event carried by this message.
+    pub event: E,
+}
+
+/// A timer requested by a dispatch step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerRequest {
+    /// Timer id (unique within the process).
+    pub id: TimerId,
+    /// Delay until expiry, relative to the time of the dispatch step.
+    pub after: TimeDelta,
+}
+
+/// Externally visible results of one dispatch step of a [`Process`].
+///
+/// The hosting runtime (simulator or threaded runtime) is responsible for
+/// carrying these out: scheduling sends and timers and recording outputs.
+#[derive(Debug)]
+pub struct Effects<E> {
+    /// Messages to transmit over the network.
+    pub sends: Vec<Envelope<E>>,
+    /// Timers to schedule.
+    pub timers: Vec<TimerRequest>,
+    /// Events delivered to the application observer.
+    pub outputs: Vec<E>,
+    /// True if the process halted itself during this step.
+    pub halted: bool,
+}
+
+impl<E> Effects<E> {
+    fn new() -> Self {
+        Effects { sends: Vec::new(), timers: Vec::new(), outputs: Vec::new(), halted: false }
+    }
+
+    /// True when the step produced no externally visible effect at all.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.timers.is_empty() && self.outputs.is_empty() && !self.halted
+    }
+}
+
+/// Builder for a [`Process`]; register components, then [`build`](Self::build).
+#[derive(Debug)]
+pub struct ProcessBuilder<E: Event> {
+    id: ProcessId,
+    components: Vec<Box<dyn Component<E>>>,
+}
+
+impl<E: Event> std::fmt::Debug for Box<dyn Component<E>> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Component({})", self.name())
+    }
+}
+
+impl<E: Event> ProcessBuilder<E> {
+    /// Registers a component. Later lookups use [`Component::name`].
+    ///
+    /// # Panics
+    ///
+    /// [`build`](Self::build) panics if two components share a name.
+    pub fn with<C: Component<E> + 'static>(mut self, component: C) -> Self {
+        self.components.push(Box::new(component));
+        self
+    }
+
+    /// Registers an already boxed component.
+    pub fn with_boxed(mut self, component: Box<dyn Component<E>>) -> Self {
+        self.components.push(component);
+        self
+    }
+
+    /// Finalizes the process graph.
+    pub fn build(self) -> Process<E> {
+        let mut index = HashMap::new();
+        for (i, c) in self.components.iter().enumerate() {
+            let prev = index.insert(c.name(), i);
+            assert!(prev.is_none(), "duplicate component name {:?}", c.name());
+        }
+        Process {
+            id: self.id,
+            components: self.components,
+            index,
+            next_timer: 0,
+            timer_owner: HashMap::new(),
+            halted: false,
+        }
+    }
+}
+
+/// One process of the distributed system: a named-component graph plus the
+/// deterministic dispatch loop that routes events between the components.
+///
+/// `Process` is runtime-agnostic: each entry point returns the [`Effects`]
+/// the runtime must apply. Once a process halts (crash injection or
+/// [`Context::halt`]) every entry point returns empty effects.
+#[derive(Debug)]
+pub struct Process<E: Event> {
+    id: ProcessId,
+    components: Vec<Box<dyn Component<E>>>,
+    index: HashMap<&'static str, usize>,
+    next_timer: u64,
+    timer_owner: HashMap<TimerId, usize>,
+    halted: bool,
+}
+
+impl<E: Event> Process<E> {
+    /// Starts building a process with the given identity.
+    pub fn builder(id: ProcessId) -> ProcessBuilder<E> {
+        ProcessBuilder { id, components: Vec::new() }
+    }
+
+    /// The identity of this process.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Whether the process has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Names of the registered components, in registration order.
+    pub fn component_names(&self) -> Vec<&'static str> {
+        self.components.iter().map(|c| c.name()).collect()
+    }
+
+    /// Marks the process as crashed; all subsequent inputs are ignored.
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Invokes `on_start` on every component, in registration order.
+    pub fn start(&mut self, now: Time) -> Effects<E> {
+        self.run(now, |this, actions, next_timer| {
+            for i in 0..this.components.len() {
+                let mut ctx = Context::new(now, this.id, i, actions, next_timer);
+                this.components[i].on_start(&mut ctx);
+            }
+        })
+    }
+
+    /// Delivers a local event (application injection) to the named component
+    /// and runs the cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no component is registered under `component` — a miswired
+    /// graph is a programming error, not a runtime condition.
+    pub fn deliver(&mut self, component: &str, event: E, now: Time) -> Effects<E> {
+        let target = self.lookup(component);
+        self.run(now, |this, actions, next_timer| {
+            let mut ctx = Context::new(now, this.id, target, actions, next_timer);
+            this.components[target].on_event(event, &mut ctx);
+        })
+    }
+
+    /// Delivers a network message from `from` to the named component and
+    /// runs the cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no component is registered under `component`.
+    pub fn deliver_net(
+        &mut self,
+        from: ProcessId,
+        component: &str,
+        event: E,
+        now: Time,
+    ) -> Effects<E> {
+        let target = self.lookup(component);
+        self.run(now, |this, actions, next_timer| {
+            let mut ctx = Context::new(now, this.id, target, actions, next_timer);
+            this.components[target].on_message(from, event, &mut ctx);
+        })
+    }
+
+    fn lookup(&self, component: &str) -> usize {
+        *self
+            .index
+            .get(component)
+            .unwrap_or_else(|| panic!("{:?}: no component named {component:?}", self.id))
+    }
+
+    /// Fires a timer. Unknown (fired or cancelled) ids are ignored.
+    pub fn fire_timer(&mut self, id: TimerId, now: Time) -> Effects<E> {
+        let Some(owner) = self.timer_owner.remove(&id) else {
+            return Effects::new();
+        };
+        self.run(now, |this, actions, next_timer| {
+            let mut ctx = Context::new(now, this.id, owner, actions, next_timer);
+            this.components[owner].on_timer(id, &mut ctx);
+        })
+    }
+
+    /// Runs `seed` and then the cascade of locally emitted events until
+    /// quiescence, in FIFO order, collecting external effects.
+    fn run(
+        &mut self,
+        now: Time,
+        seed: impl FnOnce(&mut Self, &mut Vec<(usize, Action<E>)>, &mut u64),
+    ) -> Effects<E> {
+        if self.halted {
+            return Effects::new();
+        }
+        let mut fx = Effects::new();
+        let mut pending: VecDeque<(usize, E)> = VecDeque::new();
+        let mut actions: Vec<(usize, Action<E>)> = Vec::new();
+        let mut next_timer = self.next_timer;
+
+        seed(self, &mut actions, &mut next_timer);
+        self.drain_actions(&mut actions, &mut pending, &mut fx);
+
+        // A generous bound on cascade length catches accidental emit loops.
+        let mut steps = 0usize;
+        while let Some((target, event)) = pending.pop_front() {
+            steps += 1;
+            assert!(steps < 1_000_000, "{:?}: runaway local event cascade", self.id);
+            if fx.halted {
+                break;
+            }
+            let mut ctx = Context::new(now, self.id, target, &mut actions, &mut next_timer);
+            self.components[target].on_event(event, &mut ctx);
+            self.drain_actions(&mut actions, &mut pending, &mut fx);
+        }
+
+        self.next_timer = next_timer;
+        if fx.halted {
+            self.halted = true;
+        }
+        fx
+    }
+
+    fn drain_actions(
+        &mut self,
+        actions: &mut Vec<(usize, Action<E>)>,
+        pending: &mut VecDeque<(usize, E)>,
+        fx: &mut Effects<E>,
+    ) {
+        for (owner, action) in actions.drain(..) {
+            match action {
+                Action::Emit { to, event } => {
+                    let target = *self
+                        .index
+                        .get(to)
+                        .unwrap_or_else(|| panic!("{:?}: emit to unknown component {to:?}", self.id));
+                    pending.push_back((target, event));
+                }
+                Action::Send { to, component, event } => {
+                    fx.sends.push(Envelope { from: self.id, to, component, event });
+                }
+                Action::SetTimer { id, after } => {
+                    self.timer_owner.insert(id, owner);
+                    fx.timers.push(TimerRequest { id, after });
+                }
+                Action::CancelTimer(id) => {
+                    self.timer_owner.remove(&id);
+                }
+                Action::Output(event) => fx.outputs.push(event),
+                Action::Halt => fx.halted = true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Pong(u32),
+        Kick,
+    }
+    impl Event for Ev {
+        fn kind(&self) -> &'static str {
+            match self {
+                Ev::Ping(_) => "ping",
+                Ev::Pong(_) => "pong",
+                Ev::Kick => "kick",
+            }
+        }
+    }
+
+    /// Forwards pings to "replier", outputs pongs.
+    struct Gateway;
+    impl Component<Ev> for Gateway {
+        fn name(&self) -> &'static str {
+            "gateway"
+        }
+        fn on_event(&mut self, ev: Ev, ctx: &mut Context<'_, Ev>) {
+            match ev {
+                Ev::Ping(n) => ctx.emit("replier", Ev::Ping(n)),
+                Ev::Pong(n) => ctx.output(Ev::Pong(n)),
+                Ev::Kick => {}
+            }
+        }
+    }
+
+    struct Replier {
+        timer: Option<TimerId>,
+    }
+    impl Component<Ev> for Replier {
+        fn name(&self) -> &'static str {
+            "replier"
+        }
+        fn on_event(&mut self, ev: Ev, ctx: &mut Context<'_, Ev>) {
+            match ev {
+                Ev::Ping(n) => {
+                    ctx.emit("gateway", Ev::Pong(n + 1));
+                    self.timer = Some(ctx.set_timer(TimeDelta::from_millis(10)));
+                }
+                Ev::Kick => {
+                    if let Some(t) = self.timer.take() {
+                        ctx.cancel_timer(t);
+                    }
+                }
+                Ev::Pong(_) => {}
+            }
+        }
+        fn on_timer(&mut self, _t: TimerId, ctx: &mut Context<'_, Ev>) {
+            ctx.send(ProcessId::new(1), "gateway", Ev::Ping(0));
+        }
+    }
+
+    fn proc() -> Process<Ev> {
+        Process::builder(ProcessId::new(0)).with(Gateway).with(Replier { timer: None }).build()
+    }
+
+    #[test]
+    fn cascade_routes_between_components() {
+        let mut p = proc();
+        let fx = p.deliver("gateway", Ev::Ping(1), Time::ZERO);
+        assert_eq!(fx.outputs, vec![Ev::Pong(2)]);
+        assert_eq!(fx.timers.len(), 1);
+    }
+
+    #[test]
+    fn timer_fires_to_owner_and_only_once() {
+        let mut p = proc();
+        let fx = p.deliver("gateway", Ev::Ping(1), Time::ZERO);
+        let id = fx.timers[0].id;
+        let fx2 = p.fire_timer(id, Time::from_millis(10));
+        assert_eq!(fx2.sends.len(), 1);
+        assert_eq!(fx2.sends[0].component, "gateway");
+        // Second fire of the same id is ignored.
+        assert!(p.fire_timer(id, Time::from_millis(11)).is_empty());
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut p = proc();
+        let fx = p.deliver("gateway", Ev::Ping(1), Time::ZERO);
+        let id = fx.timers[0].id;
+        p.deliver("replier", Ev::Kick, Time::from_millis(1));
+        assert!(p.fire_timer(id, Time::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn halted_process_ignores_everything() {
+        let mut p = proc();
+        p.halt();
+        assert!(p.deliver("gateway", Ev::Ping(1), Time::ZERO).is_empty());
+        assert!(p.is_halted());
+    }
+
+    #[test]
+    #[should_panic(expected = "no component named")]
+    fn unknown_component_panics() {
+        let mut p = proc();
+        let _ = p.deliver("nope", Ev::Kick, Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate component name")]
+    fn duplicate_names_panic() {
+        let _ = Process::builder(ProcessId::new(0)).with(Gateway).with(Gateway).build();
+    }
+
+    #[test]
+    fn timer_ids_are_unique_across_steps() {
+        let mut p = proc();
+        let a = p.deliver("gateway", Ev::Ping(1), Time::ZERO).timers[0].id;
+        let b = p.deliver("gateway", Ev::Ping(2), Time::ZERO).timers[0].id;
+        assert_ne!(a, b);
+    }
+}

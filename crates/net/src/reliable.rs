@@ -1,0 +1,447 @@
+//! The sans-I/O reliable channel.
+
+use std::collections::{BTreeMap, HashMap};
+
+use gcs_kernel::{ProcessId, Time, TimeDelta};
+
+/// Configuration of a [`ReliableChannel`].
+#[derive(Clone, Copy, Debug)]
+pub struct RcConfig {
+    /// Retransmit a data packet if unacknowledged for this long.
+    pub retransmit_after: TimeDelta,
+    /// Raise [`RcOut::Stuck`] when the oldest unacknowledged message for a
+    /// peer is older than this (output-triggered suspicion, paper §3.3.2).
+    pub stuck_after: TimeDelta,
+    /// How often the owner should call [`ReliableChannel::on_tick`].
+    pub tick_interval: TimeDelta,
+}
+
+impl Default for RcConfig {
+    fn default() -> Self {
+        RcConfig {
+            retransmit_after: TimeDelta::from_millis(20),
+            stuck_after: TimeDelta::from_secs(30),
+            tick_interval: TimeDelta::from_millis(10),
+        }
+    }
+}
+
+/// A packet on the wire between two reliable-channel endpoints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Packet<M> {
+    /// A data packet carrying the `seq`-th message from the sender.
+    Data {
+        /// Per-(sender → receiver) sequence number, starting at 0.
+        seq: u64,
+        /// The carried message.
+        msg: M,
+    },
+    /// Cumulative acknowledgement: every `seq < upto` was received.
+    Ack {
+        /// One past the highest contiguously received sequence number.
+        upto: u64,
+    },
+}
+
+/// An instruction produced by the reliable channel for its owner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RcOut<M> {
+    /// Transmit `packet` to `to` over the unreliable transport.
+    Transmit {
+        /// Destination process.
+        to: ProcessId,
+        /// The packet to put on the wire.
+        packet: Packet<M>,
+    },
+    /// Deliver `msg` (sent by `from`) to the upper layers, in FIFO order.
+    Deliver {
+        /// Originating process.
+        from: ProcessId,
+        /// The delivered message.
+        msg: M,
+    },
+    /// Output-triggered suspicion: `peer` has not acknowledged the oldest
+    /// outstanding message since `since`.
+    Stuck {
+        /// The unresponsive peer.
+        peer: ProcessId,
+        /// Send time of the oldest unacknowledged message.
+        since: Time,
+    },
+    /// `peer` acknowledged everything again after a [`RcOut::Stuck`].
+    Unstuck {
+        /// The peer that recovered.
+        peer: ProcessId,
+    },
+}
+
+#[derive(Debug)]
+struct PeerTx<M> {
+    next_seq: u64,
+    /// Unacknowledged packets: seq → (message, first-send time, last-send time).
+    inflight: BTreeMap<u64, (M, Time, Time)>,
+    stuck_reported: bool,
+}
+
+impl<M> Default for PeerTx<M> {
+    fn default() -> Self {
+        PeerTx { next_seq: 0, inflight: BTreeMap::new(), stuck_reported: false }
+    }
+}
+
+#[derive(Debug)]
+struct PeerRx<M> {
+    /// One past the highest contiguously delivered sequence number.
+    next_deliver: u64,
+    /// Out-of-order buffer.
+    buffer: BTreeMap<u64, M>,
+}
+
+impl<M> Default for PeerRx<M> {
+    fn default() -> Self {
+        PeerRx { next_deliver: 0, buffer: BTreeMap::new() }
+    }
+}
+
+/// A sans-I/O reliable, FIFO, duplicate-free channel to every peer.
+///
+/// One instance serves all peers of a process. The owner must:
+///
+/// 1. call [`send`](Self::send) to transmit messages,
+/// 2. feed every received [`Packet`] to [`on_packet`](Self::on_packet),
+/// 3. call [`on_tick`](Self::on_tick) every
+///    [`RcConfig::tick_interval`],
+///
+/// and carry out the returned [`RcOut`] instructions.
+///
+/// Guarantees (assuming the unreliable network delivers each retransmitted
+/// packet with non-zero probability): **no creation** (only sent messages
+/// are delivered), **no duplication**, **FIFO** per sender, and **eventual
+/// delivery** between correct processes.
+#[derive(Debug)]
+pub struct ReliableChannel<M> {
+    me: ProcessId,
+    config: RcConfig,
+    tx: HashMap<ProcessId, PeerTx<M>>,
+    rx: HashMap<ProcessId, PeerRx<M>>,
+}
+
+impl<M: Clone> ReliableChannel<M> {
+    /// Creates a channel endpoint for process `me`.
+    pub fn new(me: ProcessId, config: RcConfig) -> Self {
+        ReliableChannel { me, config, tx: HashMap::new(), rx: HashMap::new() }
+    }
+
+    /// The configured tick interval, for the owner's timer.
+    pub fn tick_interval(&self) -> TimeDelta {
+        self.config.tick_interval
+    }
+
+    /// Queues `msg` for reliable delivery to `to` and returns the initial
+    /// transmission. Sending to self delivers immediately (loopback).
+    pub fn send(&mut self, to: ProcessId, msg: M, now: Time) -> Vec<RcOut<M>> {
+        if to == self.me {
+            return vec![RcOut::Deliver { from: self.me, msg }];
+        }
+        let peer = self.tx.entry(to).or_default();
+        let seq = peer.next_seq;
+        peer.next_seq += 1;
+        peer.inflight.insert(seq, (msg.clone(), now, now));
+        vec![RcOut::Transmit { to, packet: Packet::Data { seq, msg } }]
+    }
+
+    /// Handles a packet received from `from`.
+    pub fn on_packet(&mut self, from: ProcessId, packet: Packet<M>, now: Time) -> Vec<RcOut<M>> {
+        let _ = now;
+        match packet {
+            Packet::Data { seq, msg } => {
+                let rx = self.rx.entry(from).or_default();
+                let mut out = Vec::new();
+                if seq >= rx.next_deliver {
+                    rx.buffer.entry(seq).or_insert(msg);
+                    while let Some(m) = rx.buffer.remove(&rx.next_deliver) {
+                        rx.next_deliver += 1;
+                        out.push(RcOut::Deliver { from, msg: m });
+                    }
+                }
+                // Always (re-)acknowledge, including pure duplicates, so the
+                // sender can clear its buffer even when acks were lost.
+                out.push(RcOut::Transmit {
+                    to: from,
+                    packet: Packet::Ack { upto: rx.next_deliver },
+                });
+                out
+            }
+            Packet::Ack { upto } => {
+                let mut out = Vec::new();
+                if let Some(tx) = self.tx.get_mut(&from) {
+                    tx.inflight = tx.inflight.split_off(&upto);
+                    if tx.stuck_reported && tx.inflight.is_empty() {
+                        tx.stuck_reported = false;
+                        out.push(RcOut::Unstuck { peer: from });
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Periodic maintenance: retransmissions and stuck-peer detection.
+    pub fn on_tick(&mut self, now: Time) -> Vec<RcOut<M>> {
+        let mut out = Vec::new();
+        let mut peers: Vec<ProcessId> = self.tx.keys().copied().collect();
+        peers.sort(); // deterministic output order
+        for p in peers {
+            let tx = self.tx.get_mut(&p).expect("peer present");
+            for (&seq, (msg, first, last)) in tx.inflight.iter_mut() {
+                if now.since(*last) >= self.config.retransmit_after {
+                    *last = now;
+                    out.push(RcOut::Transmit {
+                        to: p,
+                        packet: Packet::Data { seq, msg: msg.clone() },
+                    });
+                }
+                if !tx.stuck_reported && now.since(*first) >= self.config.stuck_after {
+                    tx.stuck_reported = true;
+                    out.push(RcOut::Stuck { peer: p, since: *first });
+                }
+            }
+        }
+        out
+    }
+
+    /// Discards all state for `peer` — both directions.
+    ///
+    /// Called when the membership excludes `peer`: once excluded there is no
+    /// obligation to deliver to it, so buffered messages "can be safely
+    /// discarded" (paper §3.3.2).
+    pub fn forget_peer(&mut self, peer: ProcessId) {
+        self.tx.remove(&peer);
+        self.rx.remove(&peer);
+    }
+
+    /// Number of unacknowledged messages queued for `peer`.
+    pub fn backlog(&self, peer: ProcessId) -> usize {
+        self.tx.get(&peer).map_or(0, |t| t.inflight.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ProcessId = ProcessId::new(0);
+    const B: ProcessId = ProcessId::new(1);
+
+    fn rc(me: ProcessId) -> ReliableChannel<&'static str> {
+        ReliableChannel::new(me, RcConfig::default())
+    }
+
+    fn data_of(out: &[RcOut<&'static str>]) -> Vec<(u64, &'static str)> {
+        out.iter()
+            .filter_map(|o| match o {
+                RcOut::Transmit { packet: Packet::Data { seq, msg }, .. } => Some((*seq, *msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn delivered(out: &[RcOut<&'static str>]) -> Vec<&'static str> {
+        out.iter()
+            .filter_map(|o| match o {
+                RcOut::Deliver { msg, .. } => Some(*msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut a = rc(A);
+        let mut b = rc(B);
+        let t = Time::ZERO;
+        let o1 = a.send(B, "x", t);
+        let o2 = a.send(B, "y", t);
+        let mut got = Vec::new();
+        for (seq, msg) in data_of(&o1).into_iter().chain(data_of(&o2)) {
+            got.extend(delivered(&b.on_packet(A, Packet::Data { seq, msg }, t)));
+        }
+        assert_eq!(got, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn out_of_order_is_reordered() {
+        let mut b = rc(B);
+        let t = Time::ZERO;
+        let first = b.on_packet(A, Packet::Data { seq: 1, msg: "y" }, t);
+        assert!(delivered(&first).is_empty());
+        let second = b.on_packet(A, Packet::Data { seq: 0, msg: "x" }, t);
+        assert_eq!(delivered(&second), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_but_reacked() {
+        let mut b = rc(B);
+        let t = Time::ZERO;
+        let one = b.on_packet(A, Packet::Data { seq: 0, msg: "x" }, t);
+        assert_eq!(delivered(&one), vec!["x"]);
+        let two = b.on_packet(A, Packet::Data { seq: 0, msg: "x" }, t);
+        assert!(delivered(&two).is_empty());
+        assert!(matches!(two[0], RcOut::Transmit { packet: Packet::Ack { upto: 1 }, .. }));
+    }
+
+    #[test]
+    fn retransmits_until_acked() {
+        let mut a = rc(A);
+        let t0 = Time::ZERO;
+        a.send(B, "x", t0);
+        let t1 = t0 + TimeDelta::from_millis(25);
+        let out = a.on_tick(t1);
+        assert_eq!(data_of(&out), vec![(0, "x")]);
+        // Immediately after a retransmission, nothing more to do.
+        assert!(data_of(&a.on_tick(t1)).is_empty());
+        // Ack clears the buffer; no further retransmissions.
+        a.on_packet(B, Packet::Ack { upto: 1 }, t1);
+        let t2 = t1 + TimeDelta::from_millis(100);
+        assert!(data_of(&a.on_tick(t2)).is_empty());
+        assert_eq!(a.backlog(B), 0);
+    }
+
+    #[test]
+    fn stuck_then_unstuck() {
+        let mut a = rc(A);
+        a.send(B, "x", Time::ZERO);
+        let late = Time::ZERO + TimeDelta::from_secs(31);
+        let out = a.on_tick(late);
+        assert!(out.iter().any(|o| matches!(o, RcOut::Stuck { peer, .. } if *peer == B)));
+        // Reported once only.
+        assert!(!a.on_tick(late + TimeDelta::from_secs(1)).iter().any(|o| matches!(o, RcOut::Stuck { .. })));
+        let acked = a.on_packet(B, Packet::Ack { upto: 1 }, late);
+        assert!(acked.iter().any(|o| matches!(o, RcOut::Unstuck { peer } if *peer == B)));
+    }
+
+    #[test]
+    fn loopback_delivers_immediately() {
+        let mut a = rc(A);
+        let out = a.send(A, "self", Time::ZERO);
+        assert_eq!(delivered(&out), vec!["self"]);
+    }
+
+    #[test]
+    fn forget_peer_discards_backlog() {
+        let mut a = rc(A);
+        a.send(B, "x", Time::ZERO);
+        assert_eq!(a.backlog(B), 1);
+        a.forget_peer(B);
+        assert_eq!(a.backlog(B), 0);
+        assert!(a.on_tick(Time::from_secs(60)).is_empty());
+    }
+
+    #[test]
+    fn cumulative_ack_clears_prefix_only() {
+        let mut a = rc(A);
+        let t = Time::ZERO;
+        a.send(B, "x", t);
+        a.send(B, "y", t);
+        a.send(B, "z", t);
+        a.on_packet(B, Packet::Ack { upto: 2 }, t);
+        assert_eq!(a.backlog(B), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const A: ProcessId = ProcessId::new(0);
+    const B: ProcessId = ProcessId::new(1);
+
+    proptest! {
+        /// Under arbitrary reordering, duplication and loss of individual
+        /// transmissions — with on_tick retransmissions eventually getting
+        /// everything through — the receiver delivers exactly the sent
+        /// sequence, in order.
+        #[test]
+        fn fifo_no_dup_no_creation(
+            n in 1usize..30,
+            // For each "round": which pending wire packets get delivered, and
+            // whether each is duplicated.
+            schedule in proptest::collection::vec((0usize..8, any::<bool>(), any::<bool>()), 0..200),
+        ) {
+            let mut a = ReliableChannel::new(A, RcConfig::default());
+            let mut b = ReliableChannel::new(B, RcConfig::default());
+            let mut now = Time::ZERO;
+            let mut wire_ab: Vec<Packet<u64>> = Vec::new();
+            let mut wire_ba: Vec<Packet<u64>> = Vec::new();
+            let mut got: Vec<u64> = Vec::new();
+
+            let mut push = |outs: Vec<RcOut<u64>>, wire_ab: &mut Vec<Packet<u64>>, wire_ba: &mut Vec<Packet<u64>>, got: &mut Vec<u64>| {
+                for o in outs {
+                    match o {
+                        RcOut::Transmit { to, packet } => {
+                            if to == B { wire_ab.push(packet) } else { wire_ba.push(packet) }
+                        }
+                        RcOut::Deliver { msg, .. } => got.push(msg),
+                        _ => {}
+                    }
+                }
+            };
+
+            for i in 0..n {
+                let outs = a.send(B, i as u64, now);
+                push(outs, &mut wire_ab, &mut wire_ba, &mut got);
+            }
+
+            for (idx, dup, drop) in schedule {
+                now = now + TimeDelta::from_millis(30);
+                // Maybe deliver one packet from A→B (possibly out of order).
+                if !wire_ab.is_empty() {
+                    let k = idx % wire_ab.len();
+                    let pkt = wire_ab.swap_remove(k);
+                    if !drop {
+                        if dup {
+                            let outs = b.on_packet(A, pkt.clone(), now);
+                            push(outs, &mut wire_ab, &mut wire_ba, &mut got);
+                        }
+                        let outs = b.on_packet(A, pkt, now);
+                        push(outs, &mut wire_ab, &mut wire_ba, &mut got);
+                    }
+                }
+                // Deliver one ack B→A.
+                if !wire_ba.is_empty() {
+                    let k = idx % wire_ba.len();
+                    let pkt = wire_ba.swap_remove(k);
+                    if !drop {
+                        let outs = a.on_packet(B, pkt, now);
+                        push(outs, &mut wire_ab, &mut wire_ba, &mut got);
+                    }
+                }
+                let outs = a.on_tick(now);
+                push(outs, &mut wire_ab, &mut wire_ba, &mut got);
+            }
+
+            // Drain: deliver everything still on the wire plus retransmissions
+            // until quiescence.
+            for _ in 0..(4 * n + 8) {
+                now = now + TimeDelta::from_millis(30);
+                let outs = a.on_tick(now);
+                push(outs, &mut wire_ab, &mut wire_ba, &mut got);
+                while !wire_ab.is_empty() {
+                    let pkt = wire_ab.remove(0);
+                    let outs = b.on_packet(A, pkt, now);
+                    push(outs, &mut wire_ab, &mut wire_ba, &mut got);
+                }
+                while !wire_ba.is_empty() {
+                    let pkt = wire_ba.remove(0);
+                    let outs = a.on_packet(B, pkt, now);
+                    push(outs, &mut wire_ab, &mut wire_ba, &mut got);
+                }
+            }
+
+            let expected: Vec<u64> = (0..n as u64).collect();
+            prop_assert_eq!(got, expected);
+            prop_assert_eq!(a.backlog(B), 0);
+        }
+    }
+}

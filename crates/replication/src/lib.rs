@@ -1,0 +1,27 @@
+//! # gcs-replication — replication techniques on the AB-GB stack (§3.2.2–3.2.3)
+//!
+//! The paper motivates its architecture by the two classic replication
+//! techniques:
+//!
+//! * **Active replication** (state machine approach \[33\]): every replica
+//!   executes every request; requests are disseminated with **atomic
+//!   broadcast**. See [`active`].
+//! * **Passive replication** (primary-backup): only the primary executes;
+//!   update messages go to the backups with **FIFO generic broadcast**, and
+//!   *primary-change* messages conflict with updates while updates do not
+//!   conflict with each other (§3.2.3, Fig 8). See [`passive`].
+//!
+//! [`bank`] provides the paper's §4.2 example service — a bank account where
+//!   deposits commute (class without self-conflict) but withdrawals do not —
+//!   used by experiment E2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod bank;
+pub mod passive;
+
+pub use active::{ActiveGroup, Command, KvStore, StateMachine};
+pub use bank::{BankAccount, BankOp, CLASS_DEPOSIT, CLASS_WITHDRAW};
+pub use passive::{PassiveGroup, PassiveOutcome, CLASS_PRIMARY_CHANGE, CLASS_UPDATE};

@@ -1,0 +1,37 @@
+//! # gcs-sim — deterministic discrete-event simulation substrate
+//!
+//! The paper evaluated its architecture on a LAN testbed; this crate is the
+//! substitution documented in DESIGN.md: a deterministic discrete-event
+//! simulator that hosts [`gcs_kernel::Process`] component graphs and models
+//! the network between them.
+//!
+//! Key properties:
+//!
+//! * **Determinism** — given the same seed, topology and workload, a run is
+//!   reproducible bit-for-bit; the event queue breaks time ties by a
+//!   monotonically increasing sequence number and all randomness comes from
+//!   one seeded PRNG sampled in event order.
+//! * **Configurable network** — per-link delay ranges, loss, duplication,
+//!   plus scheduled partitions, delay spikes (the false-suspicion generator
+//!   of experiment E3) and loss bursts.
+//! * **Fault injection** — crash schedules; crashed processes silently stop,
+//!   exactly the crash-stop model of the paper.
+//! * **Observability** — per-kind message/byte counters ([`Metrics`]) and a
+//!   full application-delivery [`Trace`] with property checkers used by the
+//!   integration tests (total order, agreement, …).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod network;
+mod trace;
+mod world;
+
+pub use metrics::Metrics;
+pub use network::{LinkModel, NetworkModel};
+pub use trace::{
+    check_agreement, check_no_duplicates, check_prefix_consistency, check_total_order,
+    OrderViolation, Trace, TraceEntry,
+};
+pub use world::{SimConfig, SimWorld};

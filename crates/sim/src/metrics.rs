@@ -1,0 +1,190 @@
+//! Message and byte accounting for experiments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters collected while a simulation runs.
+///
+/// Sends are attributed to the [`Event::kind`](gcs_kernel::Event::kind) of
+/// the event, so experiments can report per-protocol message complexity
+/// (e.g. how many messages a view change costs in each architecture).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    sent_by_kind: BTreeMap<&'static str, u64>,
+    bytes_by_kind: BTreeMap<&'static str, u64>,
+    total_sent: u64,
+    total_bytes: u64,
+    delivered: u64,
+    dropped_loss: u64,
+    dropped_partition: u64,
+    dropped_crash: u64,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_send(&mut self, kind: &'static str, bytes: usize) {
+        *self.sent_by_kind.entry(kind).or_insert(0) += 1;
+        *self.bytes_by_kind.entry(kind).or_insert(0) += bytes as u64;
+        self.total_sent += 1;
+        self.total_bytes += bytes as u64;
+    }
+
+    pub(crate) fn record_delivery(&mut self) {
+        self.delivered += 1;
+    }
+
+    pub(crate) fn record_drop_loss(&mut self) {
+        self.dropped_loss += 1;
+    }
+
+    pub(crate) fn record_drop_partition(&mut self) {
+        self.dropped_partition += 1;
+    }
+
+    pub(crate) fn record_drop_crash(&mut self) {
+        self.dropped_crash += 1;
+    }
+
+    /// Total messages handed to the network.
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// Total payload bytes handed to the network.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total messages delivered to a destination process.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped by random loss (including loss bursts).
+    pub fn dropped_loss(&self) -> u64 {
+        self.dropped_loss
+    }
+
+    /// Messages dropped because sender and destination were partitioned.
+    pub fn dropped_partition(&self) -> u64 {
+        self.dropped_partition
+    }
+
+    /// Messages dropped because the destination had crashed.
+    pub fn dropped_crash(&self) -> u64 {
+        self.dropped_crash
+    }
+
+    /// Messages sent with the given event kind.
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(kind, messages, bytes)` rows, sorted by kind.
+    pub fn by_kind(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.sent_by_kind
+            .iter()
+            .map(|(k, n)| (*k, *n, self.bytes_by_kind.get(k).copied().unwrap_or(0)))
+    }
+
+    /// Total messages across the kinds whose name passes `filter`.
+    pub fn sent_matching(&self, filter: impl Fn(&str) -> bool) -> u64 {
+        self.sent_by_kind.iter().filter(|(k, _)| filter(k)).map(|(_, n)| *n).sum()
+    }
+
+    /// Difference `self - earlier`, counter by counter (for windowed
+    /// measurements: snapshot, run a phase, subtract).
+    pub fn delta_since(&self, earlier: &Metrics) -> Metrics {
+        let mut d = Metrics::new();
+        for (k, n) in &self.sent_by_kind {
+            let before = earlier.sent_by_kind.get(k).copied().unwrap_or(0);
+            if *n > before {
+                d.sent_by_kind.insert(k, n - before);
+            }
+        }
+        for (k, n) in &self.bytes_by_kind {
+            let before = earlier.bytes_by_kind.get(k).copied().unwrap_or(0);
+            if *n > before {
+                d.bytes_by_kind.insert(k, n - before);
+            }
+        }
+        d.total_sent = self.total_sent - earlier.total_sent;
+        d.total_bytes = self.total_bytes - earlier.total_bytes;
+        d.delivered = self.delivered - earlier.delivered;
+        d.dropped_loss = self.dropped_loss - earlier.dropped_loss;
+        d.dropped_partition = self.dropped_partition - earlier.dropped_partition;
+        d.dropped_crash = self.dropped_crash - earlier.dropped_crash;
+        d
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "messages: sent={} delivered={} lost={} partitioned={} to-crashed={}",
+            self.total_sent,
+            self.delivered,
+            self.dropped_loss,
+            self.dropped_partition,
+            self.dropped_crash
+        )?;
+        for (kind, n, bytes) in self.by_kind() {
+            writeln!(f, "  {kind:<24} {n:>8} msgs {bytes:>10} B")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_kind() {
+        let mut m = Metrics::new();
+        m.record_send("ack", 10);
+        m.record_send("ack", 10);
+        m.record_send("data", 100);
+        assert_eq!(m.sent_of_kind("ack"), 2);
+        assert_eq!(m.sent_of_kind("data"), 1);
+        assert_eq!(m.sent_of_kind("none"), 0);
+        assert_eq!(m.total_sent(), 3);
+        assert_eq!(m.total_bytes(), 120);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let mut m = Metrics::new();
+        m.record_send("a", 1);
+        let snapshot = m.clone();
+        m.record_send("a", 1);
+        m.record_send("b", 2);
+        let d = m.delta_since(&snapshot);
+        assert_eq!(d.sent_of_kind("a"), 1);
+        assert_eq!(d.sent_of_kind("b"), 1);
+        assert_eq!(d.total_sent(), 2);
+    }
+
+    #[test]
+    fn display_lists_kinds() {
+        let mut m = Metrics::new();
+        m.record_send("xyz", 7);
+        let s = format!("{m}");
+        assert!(s.contains("xyz"));
+        assert!(s.contains("sent=1"));
+    }
+
+    #[test]
+    fn sent_matching_filters() {
+        let mut m = Metrics::new();
+        m.record_send("fd/heartbeat", 1);
+        m.record_send("ct/propose", 1);
+        m.record_send("ct/ack", 1);
+        assert_eq!(m.sent_matching(|k| k.starts_with("ct/")), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! The network model: link characteristics and partitions.
+
+use gcs_kernel::{ProcessId, TimeDelta};
+use rand::Rng;
+
+/// Delay/loss/duplication characteristics of one directed link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkModel {
+    /// Minimum one-way delay.
+    pub delay_min: TimeDelta,
+    /// Maximum one-way delay (uniformly sampled between min and max).
+    pub delay_max: TimeDelta,
+    /// Probability that a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability that a message is delivered twice.
+    pub dup_prob: f64,
+}
+
+impl LinkModel {
+    /// A LAN-like link: 0.2–1.2 ms one-way delay, no loss.
+    pub fn lan() -> Self {
+        LinkModel {
+            delay_min: TimeDelta::from_micros(200),
+            delay_max: TimeDelta::from_micros(1_200),
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+        }
+    }
+
+    /// A lossy LAN: same delays as [`lan`](Self::lan) with the given loss
+    /// probability.
+    pub fn lossy_lan(drop_prob: f64) -> Self {
+        LinkModel { drop_prob, ..Self::lan() }
+    }
+
+    /// A WAN-like link: 10–40 ms one-way delay, 0.1% loss.
+    pub fn wan() -> Self {
+        LinkModel {
+            delay_min: TimeDelta::from_millis(10),
+            delay_max: TimeDelta::from_millis(40),
+            drop_prob: 0.001,
+            dup_prob: 0.0,
+        }
+    }
+
+    /// Samples a one-way delay for this link.
+    pub fn sample_delay<R: Rng>(&self, rng: &mut R) -> TimeDelta {
+        let lo = self.delay_min.as_nanos();
+        let hi = self.delay_max.as_nanos().max(lo + 1);
+        TimeDelta::from_nanos(rng.gen_range(lo..hi))
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+/// The global network model: a default link, per-pair overrides, and the
+/// current partition (if any).
+#[derive(Clone, Debug, Default)]
+pub struct NetworkModel {
+    default_link: LinkModel,
+    overrides: Vec<((ProcessId, ProcessId), LinkModel)>,
+    /// Current partition: a process may communicate only with processes in
+    /// its own group. Processes absent from every group are isolated.
+    partition: Option<Vec<Vec<ProcessId>>>,
+}
+
+impl NetworkModel {
+    /// Creates a network where every link uses `default_link`.
+    pub fn new(default_link: LinkModel) -> Self {
+        NetworkModel { default_link, overrides: Vec::new(), partition: None }
+    }
+
+    /// Overrides the model of the directed link `from -> to`.
+    pub fn set_link(&mut self, from: ProcessId, to: ProcessId, link: LinkModel) {
+        if let Some(slot) = self.overrides.iter_mut().find(|(k, _)| *k == (from, to)) {
+            slot.1 = link;
+        } else {
+            self.overrides.push(((from, to), link));
+        }
+    }
+
+    /// The model of the directed link `from -> to`.
+    pub fn link(&self, from: ProcessId, to: ProcessId) -> LinkModel {
+        self.overrides
+            .iter()
+            .find(|(k, _)| *k == (from, to))
+            .map(|(_, l)| *l)
+            .unwrap_or(self.default_link)
+    }
+
+    /// Installs a partition. Communication is allowed only within a group.
+    pub fn set_partition(&mut self, groups: Vec<Vec<ProcessId>>) {
+        self.partition = Some(groups);
+    }
+
+    /// Removes any partition.
+    pub fn heal(&mut self) {
+        self.partition = None;
+    }
+
+    /// Whether a message from `from` to `to` is currently blocked by a
+    /// partition.
+    pub fn blocked(&self, from: ProcessId, to: ProcessId) -> bool {
+        match &self.partition {
+            None => false,
+            Some(groups) => !groups.iter().any(|g| g.contains(&from) && g.contains(&to)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_delay_is_within_bounds() {
+        let link = LinkModel::lan();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let d = link.sample_delay(&mut rng);
+            assert!(d >= link.delay_min && d <= link.delay_max);
+        }
+    }
+
+    #[test]
+    fn partition_blocks_across_groups_only() {
+        let p = |i| ProcessId::new(i);
+        let mut net = NetworkModel::new(LinkModel::lan());
+        assert!(!net.blocked(p(0), p(1)));
+        net.set_partition(vec![vec![p(0), p(1)], vec![p(2)]]);
+        assert!(!net.blocked(p(0), p(1)));
+        assert!(net.blocked(p(0), p(2)));
+        assert!(net.blocked(p(2), p(1)));
+        net.heal();
+        assert!(!net.blocked(p(0), p(2)));
+    }
+
+    #[test]
+    fn isolated_process_is_blocked_from_everyone() {
+        let p = |i| ProcessId::new(i);
+        let mut net = NetworkModel::new(LinkModel::lan());
+        net.set_partition(vec![vec![p(0), p(1)]]);
+        assert!(net.blocked(p(2), p(0)));
+        assert!(net.blocked(p(0), p(2)));
+    }
+
+    #[test]
+    fn link_overrides_take_precedence() {
+        let p = |i| ProcessId::new(i);
+        let mut net = NetworkModel::new(LinkModel::lan());
+        net.set_link(p(0), p(1), LinkModel::wan());
+        assert_eq!(net.link(p(0), p(1)), LinkModel::wan());
+        assert_eq!(net.link(p(1), p(0)), LinkModel::lan());
+        // Overwriting an existing override replaces it.
+        net.set_link(p(0), p(1), LinkModel::lossy_lan(0.5));
+        assert_eq!(net.link(p(0), p(1)).drop_prob, 0.5);
+    }
+}

@@ -1,0 +1,880 @@
+//! The Isis-style stack (Figs 1–2): Membership+FD → View Synchrony (flush)
+//! → fixed-sequencer Atomic Broadcast.
+//!
+//! Structural properties reproduced faithfully (they are what the paper's
+//! Section 4 measures the new architecture against):
+//!
+//! * **Perfect-failure-detector emulation**: any suspicion leads to
+//!   exclusion; a wrongly excluded process is *killed* and must re-join with
+//!   a full state transfer (§4.3).
+//! * **Sending view delivery**: during a view change, senders are blocked
+//!   from the flush start until the new view is installed (§4.4); the stack
+//!   emits [`IsisEvent::Blocked`] markers so experiments can measure the
+//!   window.
+//! * **Two ordering protocols**: the sequencer orders application messages
+//!   in the steady state, and the flush protocol re-solves ordering for
+//!   in-flight messages at every view change (§4.1).
+//!
+//! Like the original Isis, the stack assumes reliable FIFO links (the
+//! paper-era systems ran on such a substrate); traditional-baseline
+//! experiments therefore run on a loss-free simulated LAN.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use bytes::Bytes;
+use gcs_kernel::{Component, Context, Event, Process, ProcessId, Time, TimeDelta, TimerId};
+use gcs_sim::{Metrics, SimConfig, SimWorld, Trace};
+
+/// Message identity within the Isis stack.
+pub type IsisMsgId = (ProcessId, u64);
+
+/// Configuration of an Isis-style process.
+#[derive(Clone, Copy, Debug)]
+pub struct IsisConfig {
+    /// Heartbeat period.
+    pub heartbeat_interval: TimeDelta,
+    /// Failure-detection timeout — in the traditional architecture this is
+    /// also the *exclusion* timeout (suspicion ⇒ exclusion).
+    pub fd_timeout: TimeDelta,
+    /// Application state transferred on (re-)join, in bytes (§4.3).
+    pub state_size: usize,
+    /// Whether a killed (wrongly excluded) process automatically re-joins.
+    pub auto_rejoin: bool,
+}
+
+impl Default for IsisConfig {
+    fn default() -> Self {
+        IsisConfig {
+            heartbeat_interval: TimeDelta::from_millis(5),
+            fd_timeout: TimeDelta::from_millis(100),
+            state_size: 0,
+            auto_rejoin: true,
+        }
+    }
+}
+
+/// Wire + local events of the Isis stack.
+#[derive(Clone, Debug)]
+pub enum IsisEvent {
+    // -- wire --
+    /// Failure-detection heartbeat.
+    Heartbeat,
+    /// Application data diffused to the group (awaiting sequencing).
+    Data {
+        /// Message identity.
+        id: IsisMsgId,
+        /// Payload.
+        payload: Bytes,
+    },
+    /// Sequencer's ordering decision: `id` is the `seq`-th message of the
+    /// view.
+    Order {
+        /// View the ordering belongs to.
+        vid: u64,
+        /// Position in the view's delivery order.
+        seq: u64,
+        /// The ordered message.
+        id: IsisMsgId,
+    },
+    /// Coordinator starts a view change (flush begins; senders block).
+    ViewProposal {
+        /// Proposed view number.
+        vid: u64,
+        /// Proposed membership.
+        members: Vec<ProcessId>,
+    },
+    /// A member's unstable messages for the flush.
+    FlushReport {
+        /// The proposed view this report answers.
+        vid: u64,
+        /// Messages not yet delivered at the reporter (id, payload, and the
+        /// sequencer position if one was assigned).
+        unstable: Vec<(IsisMsgId, Bytes, Option<u64>)>,
+    },
+    /// Coordinator commits the new view with the agreed flush deliveries.
+    NewView {
+        /// The new view number.
+        vid: u64,
+        /// The new membership (head = sequencer).
+        members: Vec<ProcessId>,
+        /// Messages to deliver before installing the view, in agreed order.
+        deliver_first: Vec<(IsisMsgId, Bytes)>,
+    },
+    /// A process (re-)requests membership.
+    JoinRequest,
+    /// State transfer to a (re-)joining process.
+    StateTransfer {
+        /// Size stands in for real state (§4.3's costly transfer).
+        state: Bytes,
+    },
+
+    // -- application ops --
+    /// Atomically broadcast `payload` (blocked while a flush is running —
+    /// sending view delivery).
+    Abcast(Bytes),
+    /// Ask to join via the current coordinator.
+    Join,
+
+    // -- outputs --
+    /// An ordered delivery.
+    Deliver {
+        /// Message identity.
+        id: IsisMsgId,
+        /// Payload.
+        payload: Bytes,
+        /// View in which the delivery happened.
+        vid: u64,
+    },
+    /// A new view was installed.
+    ViewInstalled {
+        /// View number.
+        vid: u64,
+        /// Membership (head = sequencer).
+        members: Vec<ProcessId>,
+    },
+    /// Send-blocking marker: `true` when the flush blocks senders, `false`
+    /// when the new view unblocks them (measured by experiment E4).
+    Blocked(bool),
+    /// This process discovered it was excluded: Isis semantics — it is
+    /// killed (and will re-join if configured).
+    Killed,
+    /// Re-join completed (state transfer received).
+    Rejoined,
+}
+
+impl Event for IsisEvent {
+    fn kind(&self) -> &'static str {
+        match self {
+            IsisEvent::Heartbeat => "isis/heartbeat",
+            IsisEvent::Data { .. } => "isis/data",
+            IsisEvent::Order { .. } => "isis/order",
+            IsisEvent::ViewProposal { .. } => "isis/view-proposal",
+            IsisEvent::FlushReport { .. } => "isis/flush-report",
+            IsisEvent::NewView { .. } => "isis/new-view",
+            IsisEvent::JoinRequest => "isis/join-request",
+            IsisEvent::StateTransfer { .. } => "isis/state-transfer",
+            IsisEvent::Abcast(_) => "op/abcast",
+            IsisEvent::Join => "op/join",
+            IsisEvent::Deliver { .. } => "out/deliver",
+            IsisEvent::ViewInstalled { .. } => "out/view",
+            IsisEvent::Blocked(_) => "out/blocked",
+            IsisEvent::Killed => "out/killed",
+            IsisEvent::Rejoined => "out/rejoined",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            IsisEvent::Heartbeat => 16,
+            IsisEvent::Data { payload, .. } => 28 + payload.len(),
+            IsisEvent::Order { .. } => 36,
+            IsisEvent::ViewProposal { members, .. } => 16 + 4 * members.len(),
+            IsisEvent::FlushReport { unstable, .. } => {
+                16 + unstable.iter().map(|(_, p, _)| 24 + p.len()).sum::<usize>()
+            }
+            IsisEvent::NewView { members, deliver_first, .. } => {
+                16 + 4 * members.len()
+                    + deliver_first.iter().map(|(_, p)| 16 + p.len()).sum::<usize>()
+            }
+            IsisEvent::JoinRequest => 16,
+            IsisEvent::StateTransfer { state } => 16 + state.len(),
+            _ => 64,
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum Mode {
+    /// Normal operation.
+    Steady,
+    /// Flush in progress (senders blocked).
+    Flushing,
+    /// Excluded and killed; awaiting re-join (if configured).
+    Dead,
+}
+
+/// The monolithic Isis-style stack as one component (the paper calls these
+/// systems *monolithic* — the composition is internal).
+pub struct IsisStack {
+    me: ProcessId,
+    config: IsisConfig,
+    /// Current view.
+    vid: u64,
+    members: Vec<ProcessId>,
+    member: bool,
+    mode: Mode,
+    /// FD state (integrated with membership — the traditional coupling).
+    last_heard: HashMap<ProcessId, Time>,
+    /// Sender side: next per-process message number.
+    next_msg: u64,
+    /// Sequencer side: next order number in this view.
+    next_order: u64,
+    /// Receiver side: messages awaiting their order, and orders awaiting
+    /// their message.
+    unordered: BTreeMap<IsisMsgId, Bytes>,
+    orders: BTreeMap<u64, IsisMsgId>,
+    next_deliver: u64,
+    delivered: HashSet<IsisMsgId>,
+    /// Abcasts issued while blocked (sending view delivery queues them).
+    send_queue: VecDeque<Bytes>,
+    /// Coordinator flush state.
+    flush_vid: u64,
+    flush_members: Vec<ProcessId>,
+    flush_reports: BTreeMap<ProcessId, Vec<(IsisMsgId, Bytes, Option<u64>)>>,
+    /// Joins waiting for the next view change (coordinator side).
+    pending_joins: BTreeSet<ProcessId>,
+    started_at: Time,
+}
+
+impl IsisStack {
+    /// Creates a stack; founding members pass the initial membership,
+    /// late joiners pass `None`.
+    pub fn new(me: ProcessId, initial: Option<Vec<ProcessId>>, config: IsisConfig) -> Self {
+        let (members, member) = match initial {
+            Some(m) => {
+                let is_member = m.contains(&me);
+                (m, is_member)
+            }
+            None => (Vec::new(), false),
+        };
+        IsisStack {
+            me,
+            config,
+            vid: 0,
+            members,
+            member,
+            mode: Mode::Steady,
+            last_heard: HashMap::new(),
+            next_msg: 0,
+            next_order: 0,
+            unordered: BTreeMap::new(),
+            orders: BTreeMap::new(),
+            next_deliver: 0,
+            delivered: HashSet::new(),
+            send_queue: VecDeque::new(),
+            flush_vid: 0,
+            flush_members: Vec::new(),
+            flush_reports: BTreeMap::new(),
+            pending_joins: BTreeSet::new(),
+            started_at: Time::ZERO,
+        }
+    }
+
+    fn sequencer(&self) -> Option<ProcessId> {
+        self.members.first().copied()
+    }
+
+    /// The coordinator is the smallest member this process does not suspect.
+    fn coordinator(&self, now: Time) -> Option<ProcessId> {
+        self.members.iter().copied().find(|&p| p == self.me || !self.suspects(p, now))
+    }
+
+    fn suspects(&self, p: ProcessId, now: Time) -> bool {
+        let last = self.last_heard.get(&p).copied().unwrap_or(self.started_at);
+        now.since(last) > self.config.fd_timeout
+    }
+
+    fn others(&self) -> Vec<ProcessId> {
+        self.members.iter().copied().filter(|&p| p != self.me).collect()
+    }
+
+    fn broadcast(&self, ev: IsisEvent, ctx: &mut Context<'_, IsisEvent>) {
+        for p in self.others() {
+            ctx.send(p, "isis", ev.clone());
+        }
+    }
+
+    fn do_abcast(&mut self, payload: Bytes, ctx: &mut Context<'_, IsisEvent>) {
+        let id = (self.me, self.next_msg);
+        self.next_msg += 1;
+        let data = IsisEvent::Data { id, payload: payload.clone() };
+        self.broadcast(data, ctx);
+        self.accept_data(id, payload, ctx);
+    }
+
+    fn accept_data(&mut self, id: IsisMsgId, payload: Bytes, ctx: &mut Context<'_, IsisEvent>) {
+        if self.delivered.contains(&id) || self.unordered.contains_key(&id) {
+            return;
+        }
+        self.unordered.insert(id, payload);
+        // Fixed sequencer: the view head assigns the order.
+        if self.member && self.mode == Mode::Steady && self.sequencer() == Some(self.me) {
+            let seq = self.next_order;
+            self.next_order += 1;
+            let order = IsisEvent::Order { vid: self.vid, seq, id };
+            self.broadcast(order.clone(), ctx);
+            self.on_order(self.vid, seq, id, ctx);
+        }
+        self.try_deliver(ctx);
+    }
+
+    fn on_order(&mut self, vid: u64, seq: u64, id: IsisMsgId, ctx: &mut Context<'_, IsisEvent>) {
+        if vid != self.vid {
+            return; // stale view: the flush re-orders in-flight messages
+        }
+        self.orders.insert(seq, id);
+        self.try_deliver(ctx);
+    }
+
+    fn try_deliver(&mut self, ctx: &mut Context<'_, IsisEvent>) {
+        if !self.member || self.mode == Mode::Dead {
+            return;
+        }
+        while let Some(&id) = self.orders.get(&self.next_deliver) {
+            let Some(payload) = self.unordered.remove(&id) else {
+                break; // order known, data still in flight
+            };
+            self.orders.remove(&self.next_deliver);
+            self.next_deliver += 1;
+            self.delivered.insert(id);
+            ctx.output(IsisEvent::Deliver { id, payload, vid: self.vid });
+        }
+    }
+
+    // -- view changes (membership + view synchrony) -------------------------
+
+    /// Coordinator: start a flush towards a new membership.
+    ///
+    /// Primary-partition rule: a successor view must contain a majority of
+    /// the current one (a minority partition blocks rather than forming its
+    /// own view — Isis §2.1.1).
+    fn start_view_change(&mut self, new_members: Vec<ProcessId>, ctx: &mut Context<'_, IsisEvent>) {
+        if new_members == self.members && self.pending_joins.is_empty() {
+            return;
+        }
+        let survivors = new_members.iter().filter(|p| self.members.contains(p)).count();
+        if survivors < self.members.len() / 2 + 1 {
+            return; // minority: wait, do not split the brain
+        }
+        self.mode = Mode::Flushing;
+        ctx.output(IsisEvent::Blocked(true));
+        self.flush_vid = self.vid + 1;
+        self.flush_members = new_members.clone();
+        self.flush_reports.clear();
+        let proposal = IsisEvent::ViewProposal { vid: self.flush_vid, members: new_members.clone() };
+        // Survivors of the current view participate in the flush.
+        for p in self.others() {
+            ctx.send(p, "isis", proposal.clone());
+        }
+        // Our own report.
+        let report = self.local_unstable();
+        self.flush_reports.insert(self.me, report);
+        self.maybe_commit_view(ctx);
+    }
+
+    fn local_unstable(&self) -> Vec<(IsisMsgId, Bytes, Option<u64>)> {
+        let seq_of: HashMap<IsisMsgId, u64> =
+            self.orders.iter().map(|(&s, &id)| (id, s)).collect();
+        self.unordered
+            .iter()
+            .map(|(&id, p)| (id, p.clone(), seq_of.get(&id).copied()))
+            .collect()
+    }
+
+    fn on_view_proposal(
+        &mut self,
+        from: ProcessId,
+        vid: u64,
+        members: Vec<ProcessId>,
+        ctx: &mut Context<'_, IsisEvent>,
+    ) {
+        if vid <= self.vid || !self.member {
+            return;
+        }
+        if self.mode != Mode::Flushing {
+            self.mode = Mode::Flushing;
+            ctx.output(IsisEvent::Blocked(true));
+        }
+        let _ = members;
+        let report = IsisEvent::FlushReport { vid, unstable: self.local_unstable() };
+        ctx.send(from, "isis", report);
+    }
+
+    fn on_flush_report(
+        &mut self,
+        from: ProcessId,
+        vid: u64,
+        unstable: Vec<(IsisMsgId, Bytes, Option<u64>)>,
+        ctx: &mut Context<'_, IsisEvent>,
+    ) {
+        if vid != self.flush_vid || self.mode != Mode::Flushing {
+            return;
+        }
+        self.flush_reports.insert(from, unstable);
+        self.maybe_commit_view(ctx);
+    }
+
+    /// Coordinator: once every surviving proposed member reported, compute
+    /// the agreed flush deliveries and commit the view.
+    fn maybe_commit_view(&mut self, ctx: &mut Context<'_, IsisEvent>) {
+        if self.mode != Mode::Flushing || self.flush_members.is_empty() {
+            return;
+        }
+        let waiting_on: Vec<ProcessId> = self
+            .flush_members
+            .iter()
+            .copied()
+            .filter(|p| self.members.contains(p) && !self.flush_reports.contains_key(p))
+            .collect();
+        if !waiting_on.is_empty() {
+            return;
+        }
+        // Agreed order for in-flight messages: sequencer positions first,
+        // then unsequenced by id (view synchrony: same set, same order).
+        let mut sequenced: BTreeMap<u64, (IsisMsgId, Bytes)> = BTreeMap::new();
+        let mut unsequenced: BTreeMap<IsisMsgId, Bytes> = BTreeMap::new();
+        for report in self.flush_reports.values() {
+            for (id, payload, seq) in report {
+                match seq {
+                    Some(s) => {
+                        sequenced.insert(*s, (*id, payload.clone()));
+                    }
+                    None => {
+                        unsequenced.insert(*id, payload.clone());
+                    }
+                }
+            }
+        }
+        let mut deliver_first: Vec<(IsisMsgId, Bytes)> = sequenced.into_values().collect();
+        for (id, p) in unsequenced {
+            if !deliver_first.iter().any(|(i, _)| *i == id) {
+                deliver_first.push((id, p));
+            }
+        }
+        let new_view = IsisEvent::NewView {
+            vid: self.flush_vid,
+            members: self.flush_members.clone(),
+            deliver_first: deliver_first.clone(),
+        };
+        // Tell survivors and joiners alike.
+        let mut targets: BTreeSet<ProcessId> =
+            self.members.iter().chain(self.flush_members.iter()).copied().collect();
+        targets.remove(&self.me);
+        for p in targets {
+            ctx.send(p, "isis", new_view.clone());
+        }
+        // State transfer to joiners (the §4.3 cost).
+        for &j in self.pending_joins.clone().iter() {
+            if self.flush_members.contains(&j) {
+                ctx.send(
+                    j,
+                    "isis",
+                    IsisEvent::StateTransfer {
+                        state: Bytes::from(vec![0u8; self.config.state_size]),
+                    },
+                );
+            }
+        }
+        self.pending_joins.clear();
+        self.install_view(self.flush_vid, self.flush_members.clone(), deliver_first, ctx);
+    }
+
+    fn install_view(
+        &mut self,
+        vid: u64,
+        members: Vec<ProcessId>,
+        deliver_first: Vec<(IsisMsgId, Bytes)>,
+        ctx: &mut Context<'_, IsisEvent>,
+    ) {
+        // Deliver the flush set (view synchrony), skipping what we delivered.
+        for (id, payload) in deliver_first {
+            if self.delivered.insert(id) {
+                self.unordered.remove(&id);
+                ctx.output(IsisEvent::Deliver { id, payload, vid: self.vid });
+            }
+        }
+        if !members.contains(&self.me) {
+            // Wrongly excluded (or removed): Isis kills the process (§4.3).
+            self.mode = Mode::Dead;
+            self.member = false;
+            ctx.output(IsisEvent::Killed);
+            if self.config.auto_rejoin {
+                if let Some(&coord) = members.first() {
+                    ctx.send(coord, "isis", IsisEvent::JoinRequest);
+                }
+            }
+            return;
+        }
+        self.vid = vid;
+        self.members = members.clone();
+        self.member = true;
+        self.mode = Mode::Steady;
+        self.unordered.clear();
+        self.orders.clear();
+        self.next_order = 0;
+        self.next_deliver = 0;
+        // Fresh FD horizon for the new view.
+        let now = ctx.now();
+        for &p in &members {
+            self.last_heard.insert(p, now);
+        }
+        ctx.output(IsisEvent::ViewInstalled { vid, members });
+        ctx.output(IsisEvent::Blocked(false));
+        // Sending view delivery: queued sends go out in the new view.
+        let queued: Vec<Bytes> = self.send_queue.drain(..).collect();
+        for payload in queued {
+            self.do_abcast(payload, ctx);
+        }
+    }
+}
+
+impl Component<IsisEvent> for IsisStack {
+    fn name(&self) -> &'static str {
+        "isis"
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, IsisEvent>) {
+        self.started_at = ctx.now();
+        ctx.set_timer(self.config.heartbeat_interval);
+    }
+
+    fn on_event(&mut self, event: IsisEvent, ctx: &mut Context<'_, IsisEvent>) {
+        match event {
+            IsisEvent::Abcast(payload) => {
+                if !self.member || self.mode != Mode::Steady {
+                    // Sending view delivery: block (queue) during a flush.
+                    self.send_queue.push_back(payload);
+                } else {
+                    self.do_abcast(payload, ctx);
+                }
+            }
+            IsisEvent::Join => {
+                // Contact the lowest-id process we know of.
+                if let Some(&coord) = self.members.first().filter(|&&c| c != self.me) {
+                    ctx.send(coord, "isis", IsisEvent::JoinRequest);
+                } else {
+                    ctx.send(ProcessId::new(0), "isis", IsisEvent::JoinRequest);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, event: IsisEvent, ctx: &mut Context<'_, IsisEvent>) {
+        if self.mode == Mode::Dead {
+            // A killed process only listens for its re-admission.
+            match event {
+                IsisEvent::NewView { vid, members, deliver_first } if members.contains(&self.me) => {
+                    self.delivered.clear();
+                    self.install_view(vid, members, deliver_first, ctx);
+                }
+                IsisEvent::StateTransfer { .. } => {
+                    ctx.output(IsisEvent::Rejoined);
+                }
+                _ => {}
+            }
+            return;
+        }
+        match event {
+            IsisEvent::Heartbeat => {
+                self.last_heard.insert(from, ctx.now());
+                // A heartbeat from a process outside our view means it holds
+                // a stale view (it was excluded while unreachable): notify it
+                // so it learns its exclusion (and gets killed, Isis-style).
+                if self.member
+                    && !self.members.contains(&from)
+                    && !self.pending_joins.contains(&from)
+                    && self.coordinator(ctx.now()) == Some(self.me)
+                {
+                    ctx.send(
+                        from,
+                        "isis",
+                        IsisEvent::NewView {
+                            vid: self.vid,
+                            members: self.members.clone(),
+                            deliver_first: Vec::new(),
+                        },
+                    );
+                }
+            }
+            IsisEvent::Data { id, payload } => self.accept_data(id, payload, ctx),
+            IsisEvent::Order { vid, seq, id } => self.on_order(vid, seq, id, ctx),
+            IsisEvent::ViewProposal { vid, members } => {
+                self.on_view_proposal(from, vid, members, ctx)
+            }
+            IsisEvent::FlushReport { vid, unstable } => {
+                self.on_flush_report(from, vid, unstable, ctx)
+            }
+            IsisEvent::NewView { vid, members, deliver_first } => {
+                if vid > self.vid {
+                    self.install_view(vid, members, deliver_first, ctx);
+                }
+            }
+            IsisEvent::JoinRequest => {
+                self.pending_joins.insert(from);
+                if self.member && self.coordinator(ctx.now()) == Some(self.me) {
+                    let mut m = self.members.clone();
+                    if !m.contains(&from) {
+                        m.push(from);
+                    }
+                    self.start_view_change(m, ctx);
+                }
+            }
+            IsisEvent::StateTransfer { .. } => ctx.output(IsisEvent::Rejoined),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, ctx: &mut Context<'_, IsisEvent>) {
+        ctx.set_timer(self.config.heartbeat_interval);
+        if !self.member || self.mode == Mode::Dead {
+            return;
+        }
+        let now = ctx.now();
+        for p in self.others() {
+            ctx.send(p, "isis", IsisEvent::Heartbeat);
+        }
+        // The traditional coupling: suspicion IS exclusion. The coordinator
+        // (lowest unsuspected member) reacts to any suspicion by starting a
+        // view change that expels the suspects.
+        if self.mode == Mode::Steady && self.coordinator(now) == Some(self.me) {
+            let survivors: Vec<ProcessId> =
+                self.members.iter().copied().filter(|&p| p == self.me || !self.suspects(p, now)).collect();
+            if survivors.len() != self.members.len() || !self.pending_joins.is_empty() {
+                let mut next = survivors;
+                for &j in &self.pending_joins {
+                    if !next.contains(&j) {
+                        next.push(j);
+                    }
+                }
+                self.start_view_change(next, ctx);
+            }
+        }
+    }
+}
+
+/// Simulation harness for groups running the Isis-style stack; mirrors
+/// `gcs_core::GroupSim` so experiments can swap architectures.
+pub struct IsisSim {
+    world: SimWorld<IsisEvent>,
+    n: usize,
+}
+
+impl IsisSim {
+    /// Creates `n` founding members (plus `joiners` outsiders) on a
+    /// loss-free LAN (the substrate Isis assumed).
+    pub fn new(n: usize, joiners: usize, config: IsisConfig, seed: u64) -> Self {
+        let members: Vec<ProcessId> = (0..n as u32).map(ProcessId::new).collect();
+        let mut world = SimWorld::new(SimConfig::lan(seed));
+        for _ in 0..n {
+            let m = members.clone();
+            world.add_node(|id| Process::builder(id).with(IsisStack::new(id, Some(m), config)).build());
+        }
+        for _ in 0..joiners {
+            world.add_node(|id| {
+                Process::builder(id).with(IsisStack::new(id, None, config)).build()
+            });
+        }
+        IsisSim { world, n: n + joiners }
+    }
+
+    /// Schedules an atomic broadcast.
+    pub fn abcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
+        self.world.inject_at(t, p, "isis", IsisEvent::Abcast(payload.into()));
+    }
+
+    /// Schedules a join request by an outsider (or killed process).
+    pub fn join_at(&mut self, t: Time, p: ProcessId) {
+        self.world.inject_at(t, p, "isis", IsisEvent::Join);
+    }
+
+    /// Crashes `p` at `t`.
+    pub fn crash_at(&mut self, t: Time, p: ProcessId) {
+        self.world.crash_at(t, p);
+    }
+
+    /// Runs until virtual time `t`.
+    pub fn run_until(&mut self, t: Time) {
+        self.world.run_until(t);
+    }
+
+    /// Underlying world (fault injection, metrics).
+    pub fn world_mut(&mut self) -> &mut SimWorld<IsisEvent> {
+        &mut self.world
+    }
+
+    /// The delivery trace.
+    pub fn trace(&self) -> &Trace<IsisEvent> {
+        self.world.trace()
+    }
+
+    /// Simulation metrics.
+    pub fn metrics(&self) -> &Metrics {
+        self.world.metrics()
+    }
+
+    /// Per-process delivered payload sequences.
+    pub fn delivered_payloads(&self) -> Vec<Vec<Vec<u8>>> {
+        self.world.trace().per_proc(self.n, |e| match e {
+            IsisEvent::Deliver { payload, .. } => Some(payload.to_vec()),
+            _ => None,
+        })
+    }
+
+    /// Per-process installed views `(vid, members)`.
+    pub fn views(&self) -> Vec<Vec<(u64, Vec<ProcessId>)>> {
+        self.world.trace().per_proc(self.n, |e| match e {
+            IsisEvent::ViewInstalled { vid, members } => Some((*vid, members.clone())),
+            _ => None,
+        })
+    }
+
+    /// Send-blocking windows per process: `(start, end)` pairs (E4).
+    pub fn blocked_windows(&self, p: ProcessId) -> Vec<(Time, Time)> {
+        let mut windows = Vec::new();
+        let mut open: Option<Time> = None;
+        for e in self.world.trace().of_proc(p) {
+            match e.event {
+                IsisEvent::Blocked(true) => open = open.or(Some(e.time)),
+                IsisEvent::Blocked(false) => {
+                    if let Some(s) = open.take() {
+                        windows.push((s, e.time));
+                    }
+                }
+                _ => {}
+            }
+        }
+        windows
+    }
+
+    /// Times at which each process was killed / rejoined (E3).
+    pub fn kill_and_rejoin_times(&self, p: ProcessId) -> (Option<Time>, Option<Time>) {
+        let mut killed = None;
+        let mut rejoined = None;
+        for e in self.world.trace().of_proc(p) {
+            match e.event {
+                IsisEvent::Killed if killed.is_none() => killed = Some(e.time),
+                IsisEvent::Rejoined if rejoined.is_none() => rejoined = Some(e.time),
+                _ => {}
+            }
+        }
+        (killed, rejoined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_sim::{check_no_duplicates, check_prefix_consistency};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn failure_free_total_order() {
+        let mut sim = IsisSim::new(3, 0, IsisConfig::default(), 1);
+        for i in 0..10u32 {
+            sim.abcast_at(Time::from_millis(1 + i as u64), p(i % 3), vec![i as u8]);
+        }
+        sim.run_until(Time::from_secs(1));
+        let seqs = sim.delivered_payloads();
+        for s in &seqs {
+            assert_eq!(s.len(), 10);
+        }
+        check_prefix_consistency(&seqs).expect("sequencer total order");
+        check_no_duplicates(&seqs).expect("no duplicates");
+    }
+
+    #[test]
+    fn sequencer_crash_triggers_exclusion_view_change() {
+        let mut sim = IsisSim::new(3, 0, IsisConfig::default(), 2);
+        sim.abcast_at(Time::from_millis(1), p(1), b"before".to_vec());
+        sim.crash_at(Time::from_millis(20), p(0)); // p0 is the sequencer
+        sim.abcast_at(Time::from_millis(300), p(1), b"after".to_vec());
+        sim.run_until(Time::from_secs(1));
+        let views = sim.views();
+        // Survivors installed a view without p0; new sequencer is p1.
+        for i in 1..3 {
+            let (vid, members) = views[i].last().expect("view change");
+            assert_eq!(*vid, 1);
+            assert_eq!(members, &vec![p(1), p(2)]);
+        }
+        let seqs = sim.delivered_payloads();
+        assert!(seqs[1].contains(&b"after".to_vec()));
+        assert_eq!(seqs[1], seqs[2]);
+    }
+
+    #[test]
+    fn flush_blocks_senders_sending_view_delivery() {
+        let mut sim = IsisSim::new(3, 1, IsisConfig::default(), 3);
+        sim.join_at(Time::from_millis(10), p(3));
+        sim.run_until(Time::from_secs(1));
+        // The coordinator (p0) blocked during the flush.
+        let windows = sim.blocked_windows(p(0));
+        assert_eq!(windows.len(), 1, "one view change, one blocking window");
+        let (s, e) = windows[0];
+        assert!(e > s, "non-empty blocking window");
+        // The joiner is in the final view everywhere.
+        for i in 0..3 {
+            let (_, members) = sim.views()[i].last().expect("view").clone();
+            assert!(members.contains(&p(3)));
+        }
+    }
+
+    #[test]
+    fn abcast_during_flush_is_queued_not_lost() {
+        let mut sim = IsisSim::new(3, 1, IsisConfig::default(), 4);
+        sim.join_at(Time::from_millis(10), p(3));
+        // Send while the flush is (likely) in progress.
+        sim.abcast_at(Time::from_millis(12), p(1), b"queued".to_vec());
+        sim.run_until(Time::from_secs(1));
+        let seqs = sim.delivered_payloads();
+        for i in 0..3 {
+            assert!(seqs[i].contains(&b"queued".to_vec()), "p{i} delivers the queued send");
+        }
+    }
+
+    #[test]
+    fn wrong_suspicion_kills_and_rejoins_with_state_transfer() {
+        let mut config = IsisConfig::default();
+        config.state_size = 64 * 1024;
+        let mut sim = IsisSim::new(3, 0, config, 5);
+        // p2 is unreachable for a while — alive, but suspected: the
+        // traditional architecture excludes it (perfect-FD emulation), it is
+        // killed, and must re-join with a full state transfer (§4.3).
+        sim.world_mut().partition_at(
+            Time::from_millis(50),
+            vec![vec![p(0), p(1)], vec![p(2)]],
+        );
+        sim.world_mut().heal_at(Time::from_millis(400));
+        sim.run_until(Time::from_secs(3));
+        let (killed, rejoined) = sim.kill_and_rejoin_times(p(2));
+        let k = killed.expect("p2 was wrongly excluded and killed");
+        let r = rejoined.expect("p2 re-joined after the heal");
+        assert!(r > k);
+        // State transfer cost was paid.
+        assert!(sim.metrics().sent_of_kind("isis/state-transfer") >= 1);
+        // And the final view contains all three processes again.
+        let (_, members) = sim.views()[0].last().expect("views installed").clone();
+        assert_eq!(members.len(), 3);
+    }
+
+    #[test]
+    fn minority_partition_does_not_split_the_brain() {
+        let mut sim = IsisSim::new(3, 0, IsisConfig::default(), 8);
+        // Everyone is isolated from everyone: no majority exists, so no new
+        // view may form (primary-partition rule).
+        sim.world_mut().partition_at(
+            Time::from_millis(50),
+            vec![vec![p(0)], vec![p(1)], vec![p(2)]],
+        );
+        sim.run_until(Time::from_secs(1));
+        for i in 0..3 {
+            assert!(sim.views()[i].is_empty(), "p{i} must not install a singleton view");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = IsisSim::new(3, 0, IsisConfig::default(), seed);
+            for i in 0..5u32 {
+                sim.abcast_at(Time::from_millis(1 + i as u64), p(i % 3), vec![i as u8]);
+            }
+            sim.run_until(Time::from_secs(1));
+            (sim.delivered_payloads(), sim.metrics().total_sent())
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

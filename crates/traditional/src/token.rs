@@ -1,0 +1,643 @@
+//! The token-ring stack (Figs 3–4, RMP/Totem family).
+//!
+//! A token rotates around a logical ring of the members; the holder stamps
+//! its pending broadcasts with consecutive sequence numbers taken from the
+//! token (total order) and passes the token on. Structural properties
+//! reproduced from the paper's description:
+//!
+//! * **ordering rides the token** — no sequencer process, but ordering still
+//!   depends on membership: if the ring breaks, ordering stops;
+//! * **token-loss detection → ring reformation** (the Totem membership
+//!   protocol): a member that has not seen the token for a timeout starts a
+//!   reformation; non-responding members are excluded;
+//! * **recovery layer**: reformation exchanges undelivered sequenced
+//!   messages so survivors agree on the delivered set ((extended) view
+//!   synchrony, Fig 4's "Recovery" box);
+//! * **fault-free membership over the total order** (RMP, Fig 3): joins are
+//!   ordinary sequenced messages, handled without the fault-tolerant
+//!   reformation path.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use bytes::Bytes;
+use gcs_kernel::{Component, Context, Event, Process, ProcessId, Time, TimeDelta, TimerId};
+use gcs_sim::{Metrics, SimConfig, SimWorld, Trace};
+
+/// Configuration of a token-ring process.
+#[derive(Clone, Copy, Debug)]
+pub struct TokenConfig {
+    /// How long a holder keeps the token before passing it on.
+    pub hold: TimeDelta,
+    /// Token-loss timeout: a member that has not seen the token for this
+    /// long starts a reformation.
+    pub token_timeout: TimeDelta,
+    /// How long a reformer waits for reports before excluding silents.
+    pub reform_timeout: TimeDelta,
+}
+
+impl Default for TokenConfig {
+    fn default() -> Self {
+        TokenConfig {
+            hold: TimeDelta::from_micros(300),
+            token_timeout: TimeDelta::from_millis(50),
+            reform_timeout: TimeDelta::from_millis(20),
+        }
+    }
+}
+
+/// Wire + local events of the token stack.
+#[derive(Clone, Debug)]
+pub enum TokenEvent {
+    // -- wire --
+    /// The rotating token.
+    Token {
+        /// Ring generation.
+        vid: u64,
+        /// Next unassigned global sequence number.
+        next_seq: u64,
+    },
+    /// A sequenced broadcast (possibly a membership message, RMP-style).
+    Data {
+        /// Global sequence number stamped by the token holder.
+        seq: u64,
+        /// Originating process.
+        origin: ProcessId,
+        /// Payload; `join` data carries the joiner instead.
+        payload: Bytes,
+        /// RMP fault-free membership: this message adds `joiner` to the ring.
+        joiner: Option<ProcessId>,
+    },
+    /// Reformation probe by the reformer.
+    Reform {
+        /// Proposed ring generation.
+        vid: u64,
+    },
+    /// A member's recovery report.
+    ReformReport {
+        /// Generation this report answers.
+        vid: u64,
+        /// Sequenced messages the reporter holds (delivered or not).
+        known: Vec<(u64, ProcessId, Bytes)>,
+    },
+    /// The reformer commits the new ring.
+    NewRing {
+        /// New generation.
+        vid: u64,
+        /// The surviving ring, in token order.
+        ring: Vec<ProcessId>,
+        /// Recovery set: all known sequenced messages.
+        recovery: Vec<(u64, ProcessId, Bytes)>,
+        /// Sequence numbering continues from here.
+        next_seq: u64,
+    },
+    /// An outsider asks a member to sponsor its (fault-free) join.
+    JoinRequest,
+    /// Ring bootstrap information for a joiner.
+    RingInfo {
+        /// Generation.
+        vid: u64,
+        /// The ring including the joiner.
+        ring: Vec<ProcessId>,
+        /// First sequence number the joiner will see.
+        next_deliver: u64,
+    },
+
+    // -- ops --
+    /// Broadcast `payload` in total order.
+    Abcast(Bytes),
+    /// Ask to join the ring via process 0.
+    Join,
+
+    // -- outputs --
+    /// An ordered delivery.
+    Deliver {
+        /// Global sequence number.
+        seq: u64,
+        /// Originating process.
+        origin: ProcessId,
+        /// Payload.
+        payload: Bytes,
+    },
+    /// A ring (view) installation.
+    RingInstalled {
+        /// Generation.
+        vid: u64,
+        /// Members in token order.
+        ring: Vec<ProcessId>,
+    },
+}
+
+impl Event for TokenEvent {
+    fn kind(&self) -> &'static str {
+        match self {
+            TokenEvent::Token { .. } => "token/token",
+            TokenEvent::Data { .. } => "token/data",
+            TokenEvent::Reform { .. } => "token/reform",
+            TokenEvent::ReformReport { .. } => "token/reform-report",
+            TokenEvent::NewRing { .. } => "token/new-ring",
+            TokenEvent::JoinRequest => "token/join-request",
+            TokenEvent::RingInfo { .. } => "token/ring-info",
+            TokenEvent::Abcast(_) => "op/abcast",
+            TokenEvent::Join => "op/join",
+            TokenEvent::Deliver { .. } => "out/deliver",
+            TokenEvent::RingInstalled { .. } => "out/ring",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            TokenEvent::Token { .. } => 24,
+            TokenEvent::Data { payload, .. } => 32 + payload.len(),
+            TokenEvent::Reform { .. } => 16,
+            TokenEvent::ReformReport { known, .. } | TokenEvent::NewRing { recovery: known, .. } => {
+                24 + known.iter().map(|(_, _, p)| 16 + p.len()).sum::<usize>()
+            }
+            TokenEvent::JoinRequest => 16,
+            TokenEvent::RingInfo { ring, .. } => 24 + 4 * ring.len(),
+            _ => 64,
+        }
+    }
+}
+
+/// One process of the token-ring stack.
+pub struct TokenStack {
+    me: ProcessId,
+    config: TokenConfig,
+    vid: u64,
+    ring: Vec<ProcessId>,
+    member: bool,
+    /// Outbound queue, stamped when we hold the token.
+    outbox: VecDeque<(Bytes, Option<ProcessId>)>,
+    /// Sequenced messages by seq (delivered or buffered).
+    known: BTreeMap<u64, (ProcessId, Bytes, Option<ProcessId>)>,
+    next_deliver: u64,
+    last_token_seen: Time,
+    /// Reformer state.
+    reforming: Option<(u64, Time)>,
+    reports: BTreeMap<ProcessId, Vec<(u64, ProcessId, Bytes)>>,
+    /// Pending sponsor duties: joiners to announce.
+    sponsor_queue: VecDeque<ProcessId>,
+    holding_token: bool,
+}
+
+impl TokenStack {
+    /// Creates a stack; founding members pass the ring, joiners `None`.
+    pub fn new(me: ProcessId, ring: Option<Vec<ProcessId>>, config: TokenConfig) -> Self {
+        let (ring, member) = match ring {
+            Some(mut r) => {
+                r.sort_unstable();
+                let m = r.contains(&me);
+                (r, m)
+            }
+            None => (Vec::new(), false),
+        };
+        TokenStack {
+            me,
+            config,
+            vid: 0,
+            ring,
+            member,
+            outbox: VecDeque::new(),
+            known: BTreeMap::new(),
+            next_deliver: 0,
+            last_token_seen: Time::ZERO,
+            reforming: None,
+            reports: BTreeMap::new(),
+            sponsor_queue: VecDeque::new(),
+            holding_token: false,
+        }
+    }
+
+    fn successor(&self) -> Option<ProcessId> {
+        let idx = self.ring.iter().position(|&p| p == self.me)?;
+        Some(self.ring[(idx + 1) % self.ring.len()])
+    }
+
+    fn broadcast(&self, ev: TokenEvent, ctx: &mut Context<'_, TokenEvent>) {
+        for &p in &self.ring {
+            if p != self.me {
+                ctx.send(p, "token", ev.clone());
+            }
+        }
+    }
+
+    /// Token in hand: stamp and broadcast everything queued, pass it on.
+    fn work_token(&mut self, vid: u64, mut next_seq: u64, ctx: &mut Context<'_, TokenEvent>) {
+        if vid != self.vid || !self.member {
+            return; // stale token from a previous ring generation
+        }
+        self.last_token_seen = ctx.now();
+        self.holding_token = true;
+        while let Some((payload, joiner)) = self.outbox.pop_front() {
+            let seq = next_seq;
+            next_seq += 1;
+            let data = TokenEvent::Data { seq, origin: self.me, payload: payload.clone(), joiner };
+            self.broadcast(data, ctx);
+            self.accept_data(seq, self.me, payload, joiner, ctx);
+        }
+        while let Some(j) = self.sponsor_queue.pop_front() {
+            let seq = next_seq;
+            next_seq += 1;
+            let data =
+                TokenEvent::Data { seq, origin: self.me, payload: Bytes::new(), joiner: Some(j) };
+            self.broadcast(data, ctx);
+            self.accept_data(seq, self.me, Bytes::new(), Some(j), ctx);
+        }
+        self.holding_token = false;
+        if let Some(next) = self.successor() {
+            if next == self.me {
+                // Singleton ring: hold the token by re-arming the timer.
+                return;
+            }
+            ctx.send(next, "token", TokenEvent::Token { vid, next_seq });
+        }
+    }
+
+    fn accept_data(
+        &mut self,
+        seq: u64,
+        origin: ProcessId,
+        payload: Bytes,
+        joiner: Option<ProcessId>,
+        ctx: &mut Context<'_, TokenEvent>,
+    ) {
+        self.known.entry(seq).or_insert((origin, payload, joiner));
+        self.try_deliver(ctx);
+    }
+
+    fn try_deliver(&mut self, ctx: &mut Context<'_, TokenEvent>) {
+        if !self.member {
+            return;
+        }
+        while let Some((origin, payload, joiner)) = self.known.get(&self.next_deliver).cloned() {
+            let seq = self.next_deliver;
+            self.next_deliver += 1;
+            if let Some(j) = joiner {
+                // RMP fault-free membership: the join is a totally ordered
+                // message; everyone extends the ring at the same point.
+                if !self.ring.contains(&j) {
+                    self.ring.push(j);
+                    self.ring.sort_unstable();
+                    self.vid += 1;
+                    ctx.output(TokenEvent::RingInstalled {
+                        vid: self.vid,
+                        ring: self.ring.clone(),
+                    });
+                    if origin == self.me {
+                        ctx.send(
+                            j,
+                            "token",
+                            TokenEvent::RingInfo {
+                                vid: self.vid,
+                                ring: self.ring.clone(),
+                                next_deliver: self.next_deliver,
+                            },
+                        );
+                    }
+                }
+            } else {
+                ctx.output(TokenEvent::Deliver { seq, origin, payload });
+            }
+        }
+    }
+
+    fn start_reformation(&mut self, ctx: &mut Context<'_, TokenEvent>) {
+        let vid = self.vid + 1;
+        self.reforming = Some((vid, ctx.now() + self.config.reform_timeout));
+        self.reports.clear();
+        self.reports.insert(self.me, self.known_list());
+        self.broadcast(TokenEvent::Reform { vid }, ctx);
+    }
+
+    fn known_list(&self) -> Vec<(u64, ProcessId, Bytes)> {
+        self.known
+            .iter()
+            .filter(|(_, (_, _, j))| j.is_none())
+            .map(|(&s, (o, p, _))| (s, *o, p.clone()))
+            .collect()
+    }
+
+    fn finish_reformation(&mut self, ctx: &mut Context<'_, TokenEvent>) {
+        let Some((vid, _)) = self.reforming.take() else {
+            return;
+        };
+        let ring: Vec<ProcessId> = {
+            let mut r: Vec<ProcessId> = self.reports.keys().copied().collect();
+            r.sort_unstable();
+            r
+        };
+        // Recovery: union of all known sequenced messages.
+        let mut recovery: BTreeMap<u64, (ProcessId, Bytes)> = BTreeMap::new();
+        for report in self.reports.values() {
+            for (s, o, p) in report {
+                recovery.entry(*s).or_insert((*o, p.clone()));
+            }
+        }
+        let next_seq = recovery.keys().next_back().map_or(0, |s| s + 1);
+        let recovery: Vec<(u64, ProcessId, Bytes)> =
+            recovery.into_iter().map(|(s, (o, p))| (s, o, p)).collect();
+        let ev = TokenEvent::NewRing { vid, ring: ring.clone(), recovery: recovery.clone(), next_seq };
+        for &p in &ring {
+            if p != self.me {
+                ctx.send(p, "token", ev.clone());
+            }
+        }
+        self.install_ring(vid, ring, recovery, next_seq, ctx);
+    }
+
+    fn install_ring(
+        &mut self,
+        vid: u64,
+        ring: Vec<ProcessId>,
+        recovery: Vec<(u64, ProcessId, Bytes)>,
+        next_seq: u64,
+        ctx: &mut Context<'_, TokenEvent>,
+    ) {
+        for (s, o, p) in recovery {
+            self.known.entry(s).or_insert((o, p, None));
+        }
+        // Gaps left by crashed holders are skipped: delivery resumes at the
+        // first recovered sequence at or above the old cursor.
+        let resume = self.known.keys().copied().find(|&s| s >= self.next_deliver);
+        if let Some(r) = resume {
+            self.next_deliver = self.next_deliver.max(r.min(next_seq));
+            // Skip unfillable gaps (sequence numbers nobody reported).
+            while !self.known.contains_key(&self.next_deliver) && self.next_deliver < next_seq {
+                self.next_deliver += 1;
+            }
+        } else {
+            self.next_deliver = next_seq;
+        }
+        self.vid = vid;
+        self.ring = ring.clone();
+        self.member = ring.contains(&self.me);
+        self.reforming = None;
+        self.last_token_seen = ctx.now();
+        self.try_deliver(ctx);
+        ctx.output(TokenEvent::RingInstalled { vid, ring: ring.clone() });
+        // The reformer (lowest id) re-injects the token.
+        if self.member && ring.first() == Some(&self.me) {
+            self.work_token(vid, next_seq, ctx);
+        }
+    }
+}
+
+impl Component<TokenEvent> for TokenStack {
+    fn name(&self) -> &'static str {
+        "token"
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, TokenEvent>) {
+        self.last_token_seen = ctx.now();
+        ctx.set_timer(self.config.hold);
+        if self.member && self.ring.first() == Some(&self.me) {
+            // The lowest-id member creates the token.
+            self.work_token(0, 0, ctx);
+        }
+        if self.member {
+            ctx.output(TokenEvent::RingInstalled { vid: 0, ring: self.ring.clone() });
+        }
+    }
+
+    fn on_event(&mut self, event: TokenEvent, ctx: &mut Context<'_, TokenEvent>) {
+        match event {
+            TokenEvent::Abcast(payload) => self.outbox.push_back((payload, None)),
+            TokenEvent::Join => {
+                if !self.member {
+                    ctx.send(ProcessId::new(0), "token", TokenEvent::JoinRequest);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, event: TokenEvent, ctx: &mut Context<'_, TokenEvent>) {
+        match event {
+            TokenEvent::Token { vid, next_seq } => self.work_token(vid, next_seq, ctx),
+            TokenEvent::Data { seq, origin, payload, joiner } => {
+                self.last_token_seen = ctx.now(); // data implies a live ring
+                self.accept_data(seq, origin, payload, joiner, ctx)
+            }
+            TokenEvent::Reform { vid } => {
+                if vid > self.vid && self.member {
+                    ctx.send(
+                        from,
+                        "token",
+                        TokenEvent::ReformReport { vid, known: self.known_list() },
+                    );
+                    self.last_token_seen = ctx.now(); // reformation under way
+                }
+            }
+            TokenEvent::ReformReport { vid, known } => {
+                if let Some((rvid, _)) = self.reforming {
+                    if vid == rvid {
+                        self.reports.insert(from, known);
+                        let everyone: HashSet<ProcessId> = self.ring.iter().copied().collect();
+                        if self.reports.len() == everyone.len() {
+                            self.finish_reformation(ctx);
+                        }
+                    }
+                }
+            }
+            TokenEvent::NewRing { vid, ring, recovery, next_seq } => {
+                if vid > self.vid {
+                    self.install_ring(vid, ring, recovery, next_seq, ctx);
+                }
+            }
+            TokenEvent::JoinRequest => {
+                if self.member {
+                    self.sponsor_queue.push_back(from);
+                }
+            }
+            TokenEvent::RingInfo { vid, ring, next_deliver } => {
+                if !self.member {
+                    self.vid = vid;
+                    self.ring = ring.clone();
+                    self.member = true;
+                    self.next_deliver = next_deliver;
+                    ctx.output(TokenEvent::RingInstalled { vid, ring });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, ctx: &mut Context<'_, TokenEvent>) {
+        ctx.set_timer(self.config.hold);
+        if !self.member {
+            return;
+        }
+        let now = ctx.now();
+        if let Some((_, deadline)) = self.reforming {
+            if now >= deadline {
+                self.finish_reformation(ctx);
+            }
+            return;
+        }
+        // Token-loss detection: the Totem membership trigger.
+        if now.since(self.last_token_seen) > self.config.token_timeout {
+            let unsuspected_lowest = self.ring.first().copied();
+            // The lowest member starts reformation; if the lowest crashed,
+            // everyone times out and the lowest *survivor*'s probe wins (the
+            // vid guard makes the protocols converge).
+            if unsuspected_lowest == Some(self.me)
+                || self
+                    .ring
+                    .iter()
+                    .take_while(|&&p| p != self.me)
+                    .all(|_| now.since(self.last_token_seen) > self.config.token_timeout)
+            {
+                self.start_reformation(ctx);
+            }
+        }
+    }
+}
+
+/// Simulation harness for token-ring groups.
+pub struct TokenSim {
+    world: SimWorld<TokenEvent>,
+    n: usize,
+}
+
+impl TokenSim {
+    /// Creates `n` ring members (plus `joiners` outsiders) on a loss-free
+    /// LAN.
+    pub fn new(n: usize, joiners: usize, config: TokenConfig, seed: u64) -> Self {
+        let ring: Vec<ProcessId> = (0..n as u32).map(ProcessId::new).collect();
+        let mut world = SimWorld::new(SimConfig::lan(seed));
+        for _ in 0..n {
+            let r = ring.clone();
+            world.add_node(|id| {
+                Process::builder(id).with(TokenStack::new(id, Some(r), config)).build()
+            });
+        }
+        for _ in 0..joiners {
+            world.add_node(|id| {
+                Process::builder(id).with(TokenStack::new(id, None, config)).build()
+            });
+        }
+        TokenSim { world, n: n + joiners }
+    }
+
+    /// Schedules an atomic broadcast.
+    pub fn abcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
+        self.world.inject_at(t, p, "token", TokenEvent::Abcast(payload.into()));
+    }
+
+    /// Schedules an RMP-style fault-free join.
+    pub fn join_at(&mut self, t: Time, p: ProcessId) {
+        self.world.inject_at(t, p, "token", TokenEvent::Join);
+    }
+
+    /// Crashes `p` at `t`.
+    pub fn crash_at(&mut self, t: Time, p: ProcessId) {
+        self.world.crash_at(t, p);
+    }
+
+    /// Runs until `t`.
+    pub fn run_until(&mut self, t: Time) {
+        self.world.run_until(t);
+    }
+
+    /// Underlying world.
+    pub fn world_mut(&mut self) -> &mut SimWorld<TokenEvent> {
+        &mut self.world
+    }
+
+    /// The delivery trace.
+    pub fn trace(&self) -> &Trace<TokenEvent> {
+        self.world.trace()
+    }
+
+    /// Simulation metrics.
+    pub fn metrics(&self) -> &Metrics {
+        self.world.metrics()
+    }
+
+    /// Per-process delivered payload sequences.
+    pub fn delivered_payloads(&self) -> Vec<Vec<Vec<u8>>> {
+        self.world.trace().per_proc(self.n, |e| match e {
+            TokenEvent::Deliver { payload, .. } => Some(payload.to_vec()),
+            _ => None,
+        })
+    }
+
+    /// Per-process installed rings.
+    pub fn rings(&self) -> Vec<Vec<(u64, Vec<ProcessId>)>> {
+        self.world.trace().per_proc(self.n, |e| match e {
+            TokenEvent::RingInstalled { vid, ring } => Some((*vid, ring.clone())),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_sim::{check_no_duplicates, check_prefix_consistency};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn token_orders_messages_from_all_senders() {
+        let mut sim = TokenSim::new(3, 0, TokenConfig::default(), 1);
+        for i in 0..12u32 {
+            sim.abcast_at(Time::from_millis(1 + (i / 3) as u64), p(i % 3), vec![i as u8]);
+        }
+        sim.run_until(Time::from_secs(1));
+        let seqs = sim.delivered_payloads();
+        for s in &seqs {
+            assert_eq!(s.len(), 12, "everything delivered: {seqs:?}");
+        }
+        check_prefix_consistency(&seqs).expect("token total order");
+        check_no_duplicates(&seqs).expect("no duplicates");
+    }
+
+    #[test]
+    fn token_loss_triggers_reformation_and_recovery() {
+        let mut sim = TokenSim::new(3, 0, TokenConfig::default(), 2);
+        sim.abcast_at(Time::from_millis(1), p(1), b"pre".to_vec());
+        sim.crash_at(Time::from_millis(5), p(0));
+        sim.abcast_at(Time::from_millis(200), p(2), b"post".to_vec());
+        sim.run_until(Time::from_secs(2));
+        let rings = sim.rings();
+        for i in 1..3 {
+            let (_, ring) = rings[i].last().expect("reformation happened");
+            assert_eq!(ring, &vec![p(1), p(2)], "p{i} sees the reformed ring");
+        }
+        let seqs = sim.delivered_payloads();
+        assert!(seqs[1].contains(&b"post".to_vec()), "ordering resumed: {seqs:?}");
+        assert_eq!(seqs[1], seqs[2]);
+    }
+
+    #[test]
+    fn rmp_join_rides_the_total_order() {
+        let mut sim = TokenSim::new(3, 1, TokenConfig::default(), 3);
+        sim.join_at(Time::from_millis(5), p(3));
+        sim.abcast_at(Time::from_millis(100), p(1), b"hello".to_vec());
+        sim.run_until(Time::from_secs(1));
+        let rings = sim.rings();
+        for i in 0..4 {
+            let (_, ring) = rings[i].last().expect("ring installed");
+            assert!(ring.contains(&p(3)), "p{i} sees the joiner");
+        }
+        // The joiner receives post-join traffic.
+        let seqs = sim.delivered_payloads();
+        assert!(seqs[3].contains(&b"hello".to_vec()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = TokenSim::new(3, 0, TokenConfig::default(), seed);
+            for i in 0..6u32 {
+                sim.abcast_at(Time::from_millis(1), p(i % 3), vec![i as u8]);
+            }
+            sim.run_until(Time::from_millis(500));
+            (sim.delivered_payloads(), sim.metrics().total_sent())
+        };
+        assert_eq!(run(4), run(4));
+    }
+}

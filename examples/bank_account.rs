@@ -1,0 +1,66 @@
+//! The paper's §4.2 bank account on generic broadcast: deposits commute
+//! (fast path, no consensus), withdrawals are ordered against everything.
+//!
+//! ```text
+//! cargo run --example bank_account
+//! ```
+
+use gcs::core::{DeliveryKind, Ev, GroupSim, StackConfig};
+use gcs::kernel::{ProcessId, Time};
+use gcs::replication::bank::{bank_conflicts, BankAccount, BankOp};
+
+fn main() {
+    let p = ProcessId::new;
+    let mut cfg = StackConfig::default();
+    cfg.conflict = bank_conflicts();
+    let mut group = GroupSim::new(4, cfg, 11);
+
+    // A burst of commutative deposits from all replicas…
+    let ops = [
+        (1, BankOp::Deposit(100)),
+        (2, BankOp::Deposit(50)),
+        (3, BankOp::Deposit(25)),
+        (0, BankOp::Deposit(10)),
+        // …then a withdrawal, which must be ordered against the deposits.
+        (1, BankOp::Withdraw(120)),
+        (2, BankOp::Deposit(5)),
+    ];
+    for (i, (replica, op)) in ops.iter().enumerate() {
+        group.gbcast_at(
+            Time::from_millis(1 + i as u64),
+            p(*replica),
+            op.class(),
+            op.encode(),
+        );
+    }
+    group.run_until(Time::from_secs(3));
+
+    // Replay each replica's generic-delivery order through an account.
+    let per_replica = group.trace().per_proc(4, |e| match e {
+        Ev::Deliver(d) if d.kind != DeliveryKind::Atomic => {
+            Some((d.kind, BankOp::decode(&d.payload[..]).expect("bank op")))
+        }
+        _ => None,
+    });
+    for (i, seq) in per_replica.iter().enumerate() {
+        let mut account = BankAccount::default();
+        let mut fast = 0;
+        for (kind, op) in seq {
+            account.apply(*op);
+            if *kind == DeliveryKind::GenericFast {
+                fast += 1;
+            }
+        }
+        println!(
+            "replica {i}: balance={} rejected={} ({} of {} ops on the conflict-free fast path)",
+            account.balance(),
+            account.rejected(),
+            fast,
+            seq.len()
+        );
+    }
+    println!(
+        "\nconsensus messages used: {} (deposits never touch consensus — the thrifty property)",
+        group.metrics().sent_matching(|k| k.starts_with("ct/"))
+    );
+}

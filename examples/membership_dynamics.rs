@@ -1,0 +1,54 @@
+//! Membership on top of atomic broadcast (§3.1.1): a join with state
+//! transfer, a crash detected by the monitoring component's long timeout,
+//! and the resulting exclusion — all as ordinary ordered messages.
+//!
+//! ```text
+//! cargo run --example membership_dynamics
+//! ```
+
+use gcs::core::{GroupSim, StackConfig};
+use gcs::kernel::{ProcessId, Time, TimeDelta};
+
+fn main() {
+    let p = ProcessId::new;
+    let mut cfg = StackConfig::default();
+    cfg.monitoring_timeout = TimeDelta::from_millis(300); // exclusion timeout
+    cfg.state_size = 4096; // joiners receive 4 KiB of application state
+    let mut group = GroupSim::with_joiners(3, 1, cfg, 21);
+
+    // p3 joins through p0 at t=20ms.
+    group.join_at(Time::from_millis(20), p(3), p(0));
+    // p2 crashes at t=200ms; the monitoring component excludes it after its
+    // long-timeout suspicion fires (failure detection stays decoupled).
+    group.crash_at(Time::from_millis(200), p(2));
+    // Traffic keeps flowing throughout.
+    for i in 0..40u64 {
+        group.abcast_at(Time::from_millis(10 + 20 * i), p((i % 2) as u32), vec![i as u8]);
+    }
+    group.run_until(Time::from_secs(3));
+
+    for i in [0u32, 1, 3] {
+        let views = &group.views()[i as usize];
+        let rendered: Vec<String> = views
+            .iter()
+            .map(|v| format!("v{}{:?}", v.id, v.members.iter().map(|m| m.raw()).collect::<Vec<_>>()))
+            .collect();
+        println!("p{i} views: {}", rendered.join(" -> "));
+    }
+    let final_views: Vec<_> = [0u32, 1, 3]
+        .iter()
+        .map(|&i| group.views()[i as usize].last().expect("views installed").clone())
+        .collect();
+    assert!(final_views.windows(2).all(|w| w[0] == w[1]), "view agreement");
+    assert!(!final_views[0].contains(p(2)), "crashed member excluded");
+    assert!(final_views[0].contains(p(3)), "joiner admitted");
+
+    let seqs = group.adelivered_payloads();
+    assert_eq!(seqs[0], seqs[1], "same total order at old members");
+    println!(
+        "\nfinal view v{} {:?}; {} messages delivered in agreement at the members.",
+        final_views[0].id,
+        final_views[0].members,
+        seqs[0].len()
+    );
+}

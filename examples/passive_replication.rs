@@ -1,0 +1,45 @@
+//! The paper's Fig 8: passive replication over generic broadcast. An
+//! `update` from the primary races a `primary-change(s1)` from a backup;
+//! generic broadcast guarantees exactly one of the two legal outcomes —
+//! identically at every replica.
+//!
+//! ```text
+//! cargo run --example passive_replication
+//! ```
+
+use gcs::kernel::{ProcessId, Time};
+use gcs::replication::passive::PassiveGroup;
+
+fn main() {
+    let p = ProcessId::new;
+    let mut outcome1 = 0;
+    let mut outcome2 = 0;
+
+    for seed in 0..20u64 {
+        let mut group = PassiveGroup::new(3, seed);
+        // s1 (p0) processes a client request and broadcasts the update…
+        group.update_at(Time::from_millis(10), p(0), 1, b"state-update");
+        // …while s2 (p1) suspects s1 and broadcasts primary-change(s1),
+        // "approximately at the same time t" (Fig 8).
+        group.primary_change_at(Time::from_millis(4 + seed % 13), p(1), p(0));
+        group.run_until(Time::from_secs(2));
+
+        let outcomes = group.outcomes();
+        assert!(outcomes.iter().all(|o| o == &outcomes[0]), "replicas agree");
+        let o = &outcomes[0];
+        assert_eq!(o.primary, p(1), "s2 is the new primary");
+        if o.applied == vec![1] {
+            outcome1 += 1; // update ordered before the primary change
+        } else {
+            assert_eq!(o.ignored, vec![1]);
+            outcome2 += 1; // change first: deposed primary's update ignored
+        }
+    }
+
+    println!("20 seeded races, all replicas agreed in every run:");
+    println!("  outcome 1 (update delivered before primary-change): {outcome1}");
+    println!("  outcome 2 (primary-change first, update ignored, client re-issues): {outcome2}");
+    println!("\nthe old primary was rotated to the tail of the view, never excluded —");
+    println!("no view synchrony component was involved (paper §3.2.3).");
+    assert!(outcome1 > 0 && outcome2 > 0, "both legal outcomes observed");
+}

@@ -1,0 +1,57 @@
+//! # gcs — group communication middleware, the AB-GB architecture
+//!
+//! A full reproduction of *A Step Towards a New Generation of Group
+//! Communication Systems* (Mena, Schiper, Wojciechowski — Middleware 2003,
+//! EPFL TR IC/2003/01): the proposed architecture where **atomic broadcast
+//! is the basic abstraction** and **generic broadcast replaces view
+//! synchrony**, together with runnable **traditional GM-VS baselines**
+//! (Isis-style and token-ring stacks) and a replication layer (active and
+//! passive) on top.
+//!
+//! The workspace crates, re-exported here:
+//!
+//! * [`kernel`] — the protocol-composition framework (Appia/Cactus
+//!   counterpart): components, events, timers, linear stacks.
+//! * [`sim`] — deterministic discrete-event simulator: virtual time,
+//!   configurable network, fault injection, metrics, trace checking.
+//! * [`net`] — the reliable channel (acks, retransmission, FIFO,
+//!   output-triggered suspicion).
+//! * [`fd`] — heartbeat failure detection with independent timeout classes.
+//! * [`consensus`] — Chandra-Toueg ◇S consensus (+ Paxos ablation).
+//! * [`core`] — the new architecture itself: atomic broadcast over
+//!   consensus, thrifty generic broadcast, membership above abcast,
+//!   monitoring-driven exclusion. Start with [`core::GroupSim`].
+//! * [`traditional`] — the baselines the paper compares against.
+//! * [`replication`] — active (state machine) and passive (primary-backup)
+//!   replication, including the paper's Fig 8 scenario and the §4.2 bank
+//!   account.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gcs::core::{GroupSim, StackConfig};
+//! use gcs::kernel::{ProcessId, Time};
+//!
+//! // Three replicas on a simulated LAN.
+//! let mut group = GroupSim::new(3, StackConfig::default(), 42);
+//! group.abcast_at(Time::from_millis(1), ProcessId::new(0), b"m1".to_vec());
+//! group.abcast_at(Time::from_millis(1), ProcessId::new(2), b"m2".to_vec());
+//! group.run_until(Time::from_millis(500));
+//!
+//! // Same messages, same order, at every replica.
+//! let delivered = group.adelivered_payloads();
+//! assert_eq!(delivered[0], delivered[1]);
+//! assert_eq!(delivered[1], delivered[2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gcs_consensus as consensus;
+pub use gcs_core as core;
+pub use gcs_fd as fd;
+pub use gcs_kernel as kernel;
+pub use gcs_net as net;
+pub use gcs_replication as replication;
+pub use gcs_sim as sim;
+pub use gcs_traditional as traditional;

@@ -1,0 +1,213 @@
+//! F1–F7: every architecture figure of the paper as a runnable stack.
+//!
+//! Each test builds the corresponding protocol stack, drives the scenario
+//! the paper uses to motivate it, and checks the properties the figure is
+//! supposed to provide.
+
+use gcs::core::{ConflictRelation, GroupSim, MessageClass, StackConfig};
+use gcs::kernel::{ProcessId, Time, TimeDelta};
+use gcs::sim::{check_no_duplicates, check_prefix_consistency, check_total_order};
+use gcs::traditional::{IsisConfig, IsisSim, TokenConfig, TokenSim};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// F1 — Fig 1 (Isis): membership below view synchrony below abcast; a crash
+/// causes an exclusion view change, after which ordering continues under a
+/// new sequencer.
+#[test]
+fn isis_stack_fig1() {
+    let mut sim = IsisSim::new(4, 0, IsisConfig::default(), 101);
+    for i in 0..8u32 {
+        sim.abcast_at(Time::from_millis(1 + i as u64), p(i % 4), vec![i as u8]);
+    }
+    sim.crash_at(Time::from_millis(50), p(0));
+    sim.abcast_at(Time::from_millis(400), p(2), b"post".to_vec());
+    sim.run_until(Time::from_secs(2));
+
+    let seqs = sim.delivered_payloads();
+    check_prefix_consistency(&seqs[1..].to_vec()).expect("survivors agree on the order");
+    check_no_duplicates(&seqs).expect("no duplicates");
+    // The crash forced a membership change (the traditional coupling).
+    let (_, members) = sim.views()[1].last().expect("exclusion view change").clone();
+    assert_eq!(members, vec![p(1), p(2), p(3)]);
+    assert!(seqs[1].contains(&b"post".to_vec()));
+}
+
+/// F2 — Fig 2 (Phoenix): same layering, but exclusion decisions survive at
+/// the granularity of processes, not processors — modelled by the same
+/// stack where a killed process is re-admitted rather than lost.
+#[test]
+fn phoenix_stack_fig2() {
+    let mut cfg = IsisConfig::default();
+    cfg.auto_rejoin = true;
+    let mut sim = IsisSim::new(3, 0, cfg, 102);
+    sim.world_mut().partition_at(Time::from_millis(40), vec![vec![p(0), p(1)], vec![p(2)]]);
+    sim.world_mut().heal_at(Time::from_millis(400));
+    sim.run_until(Time::from_secs(3));
+    let (killed, rejoined) = sim.kill_and_rejoin_times(p(2));
+    assert!(killed.is_some(), "p2 was excluded while unreachable");
+    assert!(rejoined.is_some(), "process-level recovery: p2 re-admitted");
+    let (_, members) = sim.views()[0].last().expect("views").clone();
+    assert_eq!(members.len(), 3, "full membership restored");
+}
+
+/// F3 — Fig 3 (RMP): fault-free membership rides the *total order* (a join
+/// is an ordered message), while crashes go through the separate
+/// fault-tolerant reformation protocol.
+#[test]
+fn rmp_stack_fig3() {
+    let mut sim = TokenSim::new(3, 1, TokenConfig::default(), 103);
+    // Fault-free join: ordered like any other message.
+    sim.join_at(Time::from_millis(5), p(3));
+    sim.abcast_at(Time::from_millis(80), p(0), b"hello".to_vec());
+    sim.run_until(Time::from_millis(500));
+    for i in 0..4 {
+        let (_, ring) = sim.rings()[i].last().expect("ring").clone();
+        assert!(ring.contains(&p(3)), "p{i}: join ordered through abcast");
+    }
+    // Fault path: reformation.
+    sim.crash_at(Time::from_millis(500), p(0));
+    sim.abcast_at(Time::from_millis(800), p(1), b"post-crash".to_vec());
+    sim.run_until(Time::from_secs(2));
+    let seqs = sim.delivered_payloads();
+    assert!(seqs[1].contains(&b"post-crash".to_vec()));
+    assert_eq!(seqs[1], seqs[2]);
+}
+
+/// F4 — Fig 4 (Totem): token ordering + membership (token-loss detection)
+/// + recovery of messages lost with the broken ring.
+#[test]
+fn totem_stack_fig4() {
+    let mut sim = TokenSim::new(5, 0, TokenConfig::default(), 104);
+    for i in 0..15u32 {
+        sim.abcast_at(Time::from_millis(1 + (i / 5) as u64 * 3), p(i % 5), vec![i as u8]);
+    }
+    sim.crash_at(Time::from_millis(30), p(2));
+    sim.run_until(Time::from_secs(2));
+    let seqs = sim.delivered_payloads();
+    let survivors: Vec<Vec<Vec<u8>>> =
+        (0..5).filter(|&i| i != 2).map(|i| seqs[i].clone()).collect();
+    check_prefix_consistency(&survivors).expect("recovered order agrees");
+    // Reformation excluded the crashed member.
+    for i in [0usize, 1, 3, 4] {
+        let (_, ring) = sim.rings()[i].last().expect("reformed").clone();
+        assert!(!ring.contains(&p(2)), "p{i} excluded the crashed member");
+    }
+}
+
+/// F5 — Fig 5 (Ensemble): a *modular* linear stack assembled from layers by
+/// the composition kernel, with events travelling up and down.
+#[test]
+fn ensemble_stack_fig5() {
+    use gcs::kernel::{Direction, Event, Layer, LayerContext, Process, StackBuilder};
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Ev {
+        Send(u32),
+        Recv(u32),
+    }
+    impl Event for Ev {
+        fn kind(&self) -> &'static str {
+            "ev"
+        }
+    }
+
+    /// "stable"-like bookkeeping layer: counts what passes through.
+    struct Counter {
+        up: u32,
+        down: u32,
+    }
+    impl Layer<Ev> for Counter {
+        fn name(&self) -> &'static str {
+            "stable"
+        }
+        fn on_event(&mut self, ev: Ev, dir: Direction, ctx: &mut LayerContext<'_, '_, Ev>) {
+            match dir {
+                Direction::Up => self.up += 1,
+                Direction::Down => self.down += 1,
+            }
+            ctx.pass(dir, ev);
+        }
+    }
+
+    /// Bottom "network" layer.
+    struct Net;
+    impl Layer<Ev> for Net {
+        fn name(&self) -> &'static str {
+            "net"
+        }
+        fn on_event(&mut self, ev: Ev, dir: Direction, ctx: &mut LayerContext<'_, '_, Ev>) {
+            match (dir, ev) {
+                (Direction::Down, Ev::Send(n)) => ctx.send(ProcessId::new(1), Ev::Recv(n)),
+                (Direction::Up, ev) => ctx.up(ev),
+                _ => {}
+            }
+        }
+    }
+
+    let build = |id: ProcessId| {
+        let stack = StackBuilder::new("ensemble")
+            .layer(Counter { up: 0, down: 0 }) // top (applic side)
+            .layer(Counter { up: 0, down: 0 }) // middle
+            .layer(Net) // bottom
+            .build();
+        assert_eq!(stack.depth(), 3);
+        assert_eq!(stack.layer_names(), vec!["net", "stable", "stable"]);
+        Process::builder(id).with(stack).build()
+    };
+    let mut sim: gcs::sim::SimWorld<Ev> = gcs::sim::SimWorld::new(gcs::sim::SimConfig::lan(105));
+    sim.add_node(build);
+    sim.add_node(build);
+    sim.inject_at(Time::from_millis(1), p(0), "ensemble", Ev::Send(9));
+    assert!(sim.run_to_quiescence(Time::from_secs(1)));
+    // The event traversed p0's stack downwards and p1's stack upwards.
+    let got: Vec<Ev> = sim.trace().entries().iter().map(|e| e.event.clone()).collect();
+    assert_eq!(got, vec![Ev::Recv(9)]);
+}
+
+/// F6 — Fig 6 (new architecture, overview): consensus+FD at the bottom,
+/// abcast above them, membership above abcast. A crash does *not* trigger a
+/// view change yet ordering continues.
+#[test]
+fn new_stack_fig6() {
+    let mut cfg = StackConfig::default();
+    cfg.monitoring_timeout = TimeDelta::from_secs(3600);
+    let mut g = GroupSim::new(5, cfg, 106);
+    g.crash_at(Time::from_millis(30), p(0));
+    g.crash_at(Time::from_millis(35), p(4));
+    for i in 0..10u32 {
+        g.abcast_at(Time::from_millis(40 + i as u64 * 2), p(1 + i % 3), vec![i as u8]);
+    }
+    g.run_until(Time::from_secs(3));
+    let seqs = g.adelivered_payloads();
+    for i in 1..4 {
+        assert_eq!(seqs[i].len(), 10, "p{i} delivered all despite f=2 crashes");
+    }
+    check_prefix_consistency(&seqs[1..4].to_vec()).expect("total order");
+    assert!(g.views().iter().all(|v| v.is_empty()), "no membership change needed");
+}
+
+/// F7 — Fig 7 (new architecture, augmented): generic broadcast between the
+/// application and atomic broadcast, ordering only what conflicts.
+#[test]
+fn new_stack_fig7() {
+    let mut cfg = StackConfig::default();
+    let mut rel = ConflictRelation::none(4);
+    rel.set_conflict(MessageClass(1), MessageClass(1));
+    cfg.conflict = rel;
+    let mut g = GroupSim::new(4, cfg, 107);
+    // Class 0 messages commute; class 1 conflict with each other only.
+    for i in 0..12u32 {
+        let class = MessageClass((i % 2) as u16);
+        g.gbcast_at(Time::from_millis(1 + i as u64), p(i % 4), class, vec![i as u8]);
+    }
+    g.run_until(Time::from_secs(3));
+    let ids = g.gdelivered_ids();
+    for s in &ids {
+        assert_eq!(s.len(), 12);
+    }
+    check_total_order(&ids).expect("conflicting pairs ordered consistently");
+    check_no_duplicates(&ids).expect("no duplicates");
+}
