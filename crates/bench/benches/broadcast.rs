@@ -12,6 +12,8 @@
 //! * `gb_escalation`         — E2's 100%-conflict point.
 //! * `failover_new/isis`     — E3's crash-recovery scenario.
 //! * `consensus_instance/n`  — A1's single-decision cost (CT, in-memory).
+//! * `sim_throughput/n`      — raw simulator speed (events/sec) at n=16, 64,
+//!   with the counts-only trace sink (the long-run configuration).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gcs_core::{ConflictRelation, GroupSim, MessageClass, StackConfig};
@@ -75,7 +77,12 @@ fn generic_broadcast(c: &mut Criterion) {
             cfg.conflict = ConflictRelation::none(4);
             let mut g = GroupSim::new(4, cfg, 2);
             for i in 0..20u32 {
-                g.gbcast_at(Time::from_millis(1 + i as u64), p(i % 4), MessageClass(0), vec![i as u8]);
+                g.gbcast_at(
+                    Time::from_millis(1 + i as u64),
+                    p(i % 4),
+                    MessageClass(0),
+                    vec![i as u8],
+                );
             }
             g.run_until(Time::from_millis(300));
             assert_eq!(g.metrics().sent_matching(|k| k.starts_with("ct/")), 0);
@@ -87,7 +94,12 @@ fn generic_broadcast(c: &mut Criterion) {
             cfg.conflict = ConflictRelation::all(4);
             let mut g = GroupSim::new(4, cfg, 2);
             for i in 0..20u32 {
-                g.gbcast_at(Time::from_millis(1 + i as u64), p(i % 4), MessageClass(0), vec![i as u8]);
+                g.gbcast_at(
+                    Time::from_millis(1 + i as u64),
+                    p(i % 4),
+                    MessageClass(0),
+                    vec![i as u8],
+                );
             }
             g.run_until(Time::from_secs(2));
         });
@@ -123,8 +135,10 @@ fn consensus_instance(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let ids: Vec<ProcessId> = (0..n).map(p).collect();
-                let mut insts: Vec<CtConsensus<u64>> =
-                    ids.iter().map(|&q| CtConsensus::new(q, ids.clone())).collect();
+                let mut insts: Vec<CtConsensus<u64>> = ids
+                    .iter()
+                    .map(|&q| CtConsensus::new(q, ids.clone()))
+                    .collect();
                 let mut queue: VecDeque<(ProcessId, ProcessId, CtMsg<u64>)> = VecDeque::new();
                 for (i, inst) in insts.iter_mut().enumerate() {
                     for o in inst.propose(i as u64) {
@@ -149,6 +163,18 @@ fn consensus_instance(c: &mut Criterion) {
     group.finish();
 }
 
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    // Horizons chosen so one iteration stays well under a second even at
+    // n = 64 (the repro binary's bench-pr1 runs the full one-second form).
+    for (n, horizon_ms) in [(16usize, 500u64), (64, 150)] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| gcs_bench::perf::sim_throughput_counts(n, horizon_ms));
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     // Each iteration simulates a whole distributed scenario; keep sampling
@@ -157,6 +183,7 @@ criterion_group! {
         .sample_size(20)
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = abcast_steady, traditional_steady, generic_broadcast, failover, consensus_instance
+    targets = abcast_steady, traditional_steady, generic_broadcast, failover, consensus_instance,
+        sim_throughput
 }
 criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Allocation counter for the perf-trajectory workloads: wraps the system
+//! allocator and reports allocations-per-simulated-event, the metric the
+//! PR-1 hot-path work drove down. Usage: `allocs [isis|abcast|token]`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates directly to `System`; the counters are side effects.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(l.size() as u64, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "isis".into());
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let events = match which.as_str() {
+        "abcast" => gcs_bench::perf::abcast_steady_5(),
+        "token" => gcs_bench::perf::token_steady_5(),
+        _ => gcs_bench::perf::isis_steady_5(),
+    };
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    println!(
+        "{which}: {events} events, {allocs} allocs ({:.2}/event), {} bytes",
+        allocs as f64 / events as f64,
+        BYTES.load(Ordering::Relaxed)
+    );
+}

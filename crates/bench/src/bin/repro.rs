@@ -1,12 +1,25 @@
 //! Regenerates the paper's experiments. Usage:
 //!
 //! ```text
-//! repro [e1|e2|e3|e4|a1|a2|all]
+//! repro [e1|e2|e3|e4|a1|a2|all|bench-pr1]
 //! ```
 //!
 //! Output is markdown; EXPERIMENTS.md records a run of `repro all`.
+//!
+//! `bench-pr1` times the hot-path workloads tracked since PR 1 and prints
+//! the measurement block of `BENCH_PR1.json` (see that file for the
+//! committed before/after trajectory). Run it from a `--release` build.
 
-use gcs_bench::experiments;
+use gcs_bench::{experiments, perf};
+
+fn bench_pr1() {
+    let reps = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15usize);
+    let measurements = perf::run_all(reps);
+    println!("{}", perf::to_json(&measurements));
+}
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -21,8 +34,9 @@ fn main() {
         "a1" => experiments::a1_consensus_ablation(),
         "a2" => experiments::a2_fd_quality(),
         "all" => experiments::run_all(),
+        "bench-pr1" => bench_pr1(),
         other => {
-            eprintln!("unknown experiment {other:?}; use e1|e2|e3|e4|a1|a2|all");
+            eprintln!("unknown experiment {other:?}; use e1|e2|e3|e4|a1|a2|all|bench-pr1");
             std::process::exit(2);
         }
     }

@@ -1,7 +1,6 @@
 //! The experiments of DESIGN.md §3: each function runs one experiment and
 //! prints a markdown table (virtual-time latencies, message counts).
 
-
 use gcs_core::{ConflictRelation, Ev, GroupSim, StackConfig};
 use gcs_kernel::{Component, Context, Event, Process, ProcessId, Time, TimeDelta, TimerId};
 use gcs_replication::bank::{bank_conflicts, BankOp, CLASS_DEPOSIT, CLASS_WITHDRAW};
@@ -45,7 +44,11 @@ pub fn e1_ordering_complexity() {
         cfg.monitoring_timeout = TimeDelta::from_secs(3600); // isolate: no exclusion
         let mut g = GroupSim::new(n, cfg, 1);
         for i in 0..msgs {
-            g.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % n as u32), vec![i as u8]);
+            g.abcast_at(
+                Time::from_millis(1 + i as u64 * 2),
+                p(i % n as u32),
+                vec![i as u8],
+            );
         }
         g.run_until(Time::from_millis(400));
         let steady = g.metrics().sent_matching(|k| !k.starts_with("fd/"));
@@ -66,7 +69,11 @@ pub fn e1_ordering_complexity() {
     {
         let mut sim = IsisSim::new(n, 0, IsisConfig::default(), 1);
         for i in 0..msgs {
-            sim.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % n as u32), vec![i as u8]);
+            sim.abcast_at(
+                Time::from_millis(1 + i as u64 * 2),
+                p(i % n as u32),
+                vec![i as u8],
+            );
         }
         sim.run_until(Time::from_millis(400));
         let steady = sim.metrics().sent_matching(|k| !k.contains("heartbeat"));
@@ -85,7 +92,11 @@ pub fn e1_ordering_complexity() {
     {
         let mut sim = TokenSim::new(n, 0, TokenConfig::default(), 1);
         for i in 0..msgs {
-            sim.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % n as u32), vec![i as u8]);
+            sim.abcast_at(
+                Time::from_millis(1 + i as u64 * 2),
+                p(i % n as u32),
+                vec![i as u8],
+            );
         }
         sim.run_until(Time::from_millis(400));
         let steady = sim.metrics().sent_matching(|k| k != "token/token");
@@ -120,7 +131,8 @@ pub fn e2_generic_vs_atomic() {
         let ops: Vec<BankOp> = (0..ops_count)
             .map(|i| {
                 // Deterministic mix with the requested withdrawal share.
-                if (i * 100 / ops_count.max(1)) % 100 < withdraw_pct && i % (100 / withdraw_pct.max(1)).max(1) == 0
+                if (i * 100 / ops_count.max(1)) % 100 < withdraw_pct
+                    && i % (100 / withdraw_pct.max(1)).max(1) == 0
                     || (withdraw_pct > 0 && i % (100 / withdraw_pct).max(1) == 0)
                 {
                     BankOp::Withdraw(1)
@@ -216,15 +228,12 @@ pub fn e3_failover_latency() {
             sim.crash_at(Time::from_millis(100), p(0));
             sim.abcast_at(Time::from_millis(105), p(1), b"probe".to_vec());
             sim.run_until(Time::from_millis(100 + timeout_ms * 4 + 2000));
-            sim.trace()
-                .entries()
-                .iter()
-                .find_map(|e| match &e.event {
-                    IsisEvent::Deliver { payload, .. } if payload.as_ref() == b"probe" => {
-                        Some(e.time.since(Time::from_millis(105)).as_millis_f64())
-                    }
-                    _ => None,
-                })
+            sim.trace().entries().iter().find_map(|e| match &e.event {
+                IsisEvent::Deliver { payload, .. } if payload.as_ref() == b"probe" => {
+                    Some(e.time.since(Time::from_millis(105)).as_millis_f64())
+                }
+                _ => None,
+            })
         };
         println!(
             "| {timeout_ms} | {} | {} |",
@@ -239,7 +248,9 @@ pub fn e3_failover_latency() {
 /// for 300 ms. The new stack shrugs; Isis kills it and pays exclusion +
 /// re-join + state transfer.
 pub fn e3_false_suspicion_cost() {
-    println!("## E3b — §4.3 false-suspicion cost (n=3, p2 unreachable 50–350ms, FD timeout 100ms)\n");
+    println!(
+        "## E3b — §4.3 false-suspicion cost (n=3, p2 unreachable 50–350ms, FD timeout 100ms)\n"
+    );
     println!("| architecture | state size | victim disrupted (ms) | extra msgs | extra bytes |");
     println!("|---|---|---|---|---|");
     for state_size in [0usize, 64 * 1024, 1024 * 1024] {
@@ -259,7 +270,8 @@ pub fn e3_false_suspicion_cost() {
             };
             let _ = baseline;
             let before = g.metrics().clone();
-            g.world_mut().partition_at(Time::from_millis(50), vec![vec![p(0), p(1)], vec![p(2)]]);
+            g.world_mut()
+                .partition_at(Time::from_millis(50), vec![vec![p(0), p(1)], vec![p(2)]]);
             g.world_mut().heal_at(Time::from_millis(350));
             // p2 proves it is functional again by broadcasting after heal.
             g.abcast_at(Time::from_millis(360), p(2), b"back".to_vec());
@@ -271,8 +283,8 @@ pub fn e3_false_suspicion_cost() {
                     _ => None,
                 })
                 .map(|(t, _, _)| t);
-            let disrupted = back_at
-                .map_or(f64::NAN, |t| t.since(Time::from_millis(50)).as_millis_f64());
+            let disrupted =
+                back_at.map_or(f64::NAN, |t| t.since(Time::from_millis(50)).as_millis_f64());
             let delta = g.metrics().delta_since(&before);
             let excluded = g.views().iter().any(|v| !v.is_empty());
             println!(
@@ -289,12 +301,13 @@ pub fn e3_false_suspicion_cost() {
             cfg.state_size = state_size;
             let mut sim = IsisSim::new(3, 0, cfg, 9);
             let before = sim.metrics().clone();
-            sim.world_mut().partition_at(Time::from_millis(50), vec![vec![p(0), p(1)], vec![p(2)]]);
+            sim.world_mut()
+                .partition_at(Time::from_millis(50), vec![vec![p(0), p(1)], vec![p(2)]]);
             sim.world_mut().heal_at(Time::from_millis(350));
             sim.run_until(Time::from_secs(3));
             let (_killed, rejoined) = sim.kill_and_rejoin_times(p(2));
-            let disrupted = rejoined
-                .map_or(f64::NAN, |t| t.since(Time::from_millis(50)).as_millis_f64());
+            let disrupted =
+                rejoined.map_or(f64::NAN, |t| t.since(Time::from_millis(50)).as_millis_f64());
             let delta = sim.metrics().delta_since(&before);
             println!(
                 "| Isis (GM-VS) | {state_size} | {disrupted:.1} | {} | {} |",
@@ -313,7 +326,9 @@ pub fn e3_false_suspicion_cost() {
 /// E4: a join lands in the middle of a continuous sender's stream; measure
 /// the sender's blocking window and the worst inter-delivery gap.
 pub fn e4_view_change_blocking() {
-    println!("## E4 — §4.4 view-change blocking (n=3 + 1 joiner at 100ms, sender streams every 2ms)\n");
+    println!(
+        "## E4 — §4.4 view-change blocking (n=3 + 1 joiner at 100ms, sender streams every 2ms)\n"
+    );
     println!("| architecture | send-blocked (ms) | max delivery gap (ms) | join msgs |");
     println!("|---|---|---|---|");
 
@@ -340,7 +355,10 @@ pub fn e4_view_change_blocking() {
             .windows(2)
             .map(|w| w[1].since(w[0]).as_millis_f64())
             .fold(0.0f64, f64::max);
-        let join_msgs = g.metrics().delta_since(&before).sent_matching(|k| k.starts_with("mb/"));
+        let join_msgs = g
+            .metrics()
+            .delta_since(&before)
+            .sent_matching(|k| k.starts_with("mb/"));
         // The new stack never blocks senders: same view delivery (§4.4).
         println!("| new (AB-GB) | 0.0 | {max_gap:.1} | {join_msgs} |");
     }
@@ -373,10 +391,9 @@ pub fn e4_view_change_blocking() {
             .windows(2)
             .map(|w| w[1].since(w[0]).as_millis_f64())
             .fold(0.0f64, f64::max);
-        let join_msgs = sim
-            .metrics()
-            .delta_since(&before)
-            .sent_matching(|k| k.contains("view") || k.contains("flush") || k.contains("join") || k.contains("state"));
+        let join_msgs = sim.metrics().delta_since(&before).sent_matching(|k| {
+            k.contains("view") || k.contains("flush") || k.contains("join") || k.contains("state")
+        });
         println!("| Isis (GM-VS) | {blocked:.1} | {max_gap:.1} | {join_msgs} |");
     }
     println!();
@@ -403,8 +420,10 @@ pub fn a1_consensus_ablation() {
 
             // Chandra-Toueg.
             let ct_msgs = {
-                let mut insts: Vec<CtConsensus<u32>> =
-                    ids.iter().map(|&q| CtConsensus::new(q, ids.clone())).collect();
+                let mut insts: Vec<CtConsensus<u32>> = ids
+                    .iter()
+                    .map(|&q| CtConsensus::new(q, ids.clone()))
+                    .collect();
                 let mut queue: VecDeque<(ProcessId, ProcessId, CtMsg<u32>)> = VecDeque::new();
                 let mut crashed: HashSet<ProcessId> = HashSet::new();
                 if crash0 {
@@ -412,9 +431,9 @@ pub fn a1_consensus_ablation() {
                 }
                 let mut sent = 0u64;
                 let apply = |from: ProcessId,
-                                 outs: Vec<CtOut<u32>>,
-                                 queue: &mut VecDeque<(ProcessId, ProcessId, CtMsg<u32>)>,
-                                 sent: &mut u64| {
+                             outs: Vec<CtOut<u32>>,
+                             queue: &mut VecDeque<(ProcessId, ProcessId, CtMsg<u32>)>,
+                             sent: &mut u64| {
                     for o in outs {
                         if let CtOut::Send { to, msg } = o {
                             *sent += 1;
@@ -448,8 +467,10 @@ pub fn a1_consensus_ablation() {
 
             // Paxos.
             let paxos_msgs = {
-                let mut insts: Vec<PaxosConsensus<u32>> =
-                    ids.iter().map(|&q| PaxosConsensus::new(q, ids.clone())).collect();
+                let mut insts: Vec<PaxosConsensus<u32>> = ids
+                    .iter()
+                    .map(|&q| PaxosConsensus::new(q, ids.clone()))
+                    .collect();
                 let mut queue: VecDeque<(ProcessId, ProcessId, PaxosMsg<u32>)> = VecDeque::new();
                 let mut crashed: HashSet<ProcessId> = HashSet::new();
                 if crash0 {
@@ -457,9 +478,9 @@ pub fn a1_consensus_ablation() {
                 }
                 let mut sent = 0u64;
                 let apply = |from: ProcessId,
-                                 outs: Vec<PaxosOut<u32>>,
-                                 queue: &mut VecDeque<(ProcessId, ProcessId, PaxosMsg<u32>)>,
-                                 sent: &mut u64| {
+                             outs: Vec<PaxosOut<u32>>,
+                             queue: &mut VecDeque<(ProcessId, ProcessId, PaxosMsg<u32>)>,
+                             sent: &mut u64| {
                     for o in outs {
                         if let PaxosOut::Send { to, msg } = o {
                             *sent += 1;
@@ -493,7 +514,11 @@ pub fn a1_consensus_ablation() {
 
             println!(
                 "| {n} | {} | {ct_msgs} | {paxos_msgs} |",
-                if crash0 { "coordinator crash" } else { "failure-free" }
+                if crash0 {
+                    "coordinator crash"
+                } else {
+                    "failure-free"
+                }
             );
         }
     }
@@ -571,7 +596,10 @@ pub fn a2_fd_quality() {
         for _ in 0..2 {
             world.add_node(|id| {
                 let mut fd = gcs_fd::HeartbeatFd::new(id, TimeDelta::from_millis(10));
-                fd.register_class(gcs_fd::MonitorClass::CONSENSUS, TimeDelta::from_millis(timeout_ms));
+                fd.register_class(
+                    gcs_fd::MonitorClass::CONSENSUS,
+                    TimeDelta::from_millis(timeout_ms),
+                );
                 fd.set_peers((0..2).map(p).filter(|&q| q != id), Time::ZERO);
                 Process::builder(id).with(FdProbe { fd }).build()
             });

@@ -1,0 +1,191 @@
+//! Wall-clock perf trajectory: the workloads tracked across PRs.
+//!
+//! Criterion (see `benches/broadcast.rs`) is for interactive runs; this
+//! module is the *recorded* trajectory — `repro bench-pr1` times the same
+//! workloads with a plain `Instant` loop and emits `BENCH_PR1.json`, so
+//! future PRs can diff hot-path performance against committed numbers.
+
+use std::time::Instant;
+
+use gcs_core::{GroupSim, StackConfig};
+use gcs_kernel::{ProcessId, Time, TimeDelta};
+use gcs_sim::{SimConfig, TraceMode};
+use gcs_traditional::{IsisConfig, IsisSim, TokenConfig, TokenSim};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// One measured workload.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Workload name (matches the criterion bench id).
+    pub name: &'static str,
+    /// Median wall-clock nanoseconds per workload run.
+    pub median_ns: u64,
+    /// Minimum wall-clock nanoseconds per workload run.
+    pub min_ns: u64,
+    /// Simulated events executed per wall-clock second (0 when the workload
+    /// does not expose an event counter).
+    pub events_per_sec: u64,
+}
+
+/// The `abcast_steady/5` workload: 20 abcasts across 5 processes on the new
+/// architecture, run for 300 simulated milliseconds.
+pub fn abcast_steady_5() -> u64 {
+    let mut cfg = StackConfig::default();
+    cfg.monitoring_timeout = TimeDelta::from_secs(3600);
+    let mut g = GroupSim::new(5, cfg, 1);
+    for i in 0..20u32 {
+        g.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % 5), vec![i as u8]);
+    }
+    g.run_until(Time::from_millis(300));
+    assert_eq!(g.adelivered_payloads()[0].len(), 20);
+    g.world().events_executed()
+}
+
+/// The `isis_steady/5` workload: the same 20-abcast steady state on the
+/// Isis-style baseline.
+pub fn isis_steady_5() -> u64 {
+    let mut sim = IsisSim::new(5, 0, IsisConfig::default(), 1);
+    for i in 0..20u32 {
+        sim.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % 5), vec![i as u8]);
+    }
+    sim.run_until(Time::from_millis(300));
+    assert_eq!(sim.delivered_payloads()[0].len(), 20);
+    sim.world_mut().events_executed()
+}
+
+/// The `token_steady/5` workload on the token-ring baseline.
+pub fn token_steady_5() -> u64 {
+    let mut sim = TokenSim::new(5, 0, TokenConfig::default(), 1);
+    for i in 0..20u32 {
+        sim.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % 5), vec![i as u8]);
+    }
+    sim.run_until(Time::from_millis(300));
+    assert_eq!(sim.delivered_payloads()[0].len(), 20);
+    sim.world_mut().events_executed()
+}
+
+/// The `sim_throughput/n` workload: a saturated steady state (heartbeats,
+/// reliable-channel ticks, a rolling abcast load) at group size `n`, run for
+/// one simulated second. Returns events executed.
+pub fn sim_throughput(n: usize) -> u64 {
+    let mut cfg = StackConfig::default();
+    cfg.monitoring_timeout = TimeDelta::from_secs(3600);
+    let mut g = GroupSim::new(n, cfg, 7);
+    for i in 0..50u32 {
+        g.abcast_at(
+            Time::from_millis(1 + i as u64 * 4),
+            p(i % n as u32),
+            vec![i as u8],
+        );
+    }
+    g.run_until(Time::from_secs(1));
+    assert_eq!(g.adelivered_payloads()[0].len(), 50);
+    g.world().events_executed()
+}
+
+/// The criterion-group variant of [`sim_throughput`]: counts-only trace sink
+/// (the configuration long throughput runs should use — the full sink would
+/// accumulate an unbounded entry `Vec`) and a configurable horizon so the
+/// `n = 64` point stays CI-friendly. Returns events executed.
+pub fn sim_throughput_counts(n: usize, horizon_ms: u64) -> u64 {
+    let mut cfg = StackConfig::default();
+    cfg.monitoring_timeout = TimeDelta::from_secs(3600);
+    let sim = SimConfig::lan(7).with_trace(TraceMode::CountsOnly);
+    let mut g = GroupSim::with_sim(n, 0, cfg, sim);
+    for i in 0..50u32 {
+        g.abcast_at(
+            Time::from_millis(1 + i as u64 * 4),
+            p(i % n as u32),
+            vec![i as u8],
+        );
+    }
+    g.run_until(Time::from_millis(horizon_ms));
+    assert!(
+        g.world().trace().delivery_count() >= 50,
+        "deliveries happened"
+    );
+    g.world().events_executed()
+}
+
+/// Times `workload` (which returns its executed-event count) over `reps`
+/// runs (at least one) after one warm-up, reporting median/min and
+/// events-per-second.
+pub fn measure(name: &'static str, reps: usize, workload: impl Fn() -> u64) -> Measurement {
+    let events = workload(); // warm-up, and capture the event count
+    let mut samples_ns: Vec<u64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(workload());
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples_ns.sort_unstable();
+    let median_ns = samples_ns[samples_ns.len() / 2];
+    let min_ns = samples_ns[0];
+    let events_per_sec = events
+        .saturating_mul(1_000_000_000)
+        .checked_div(median_ns)
+        .unwrap_or(0);
+    Measurement {
+        name,
+        median_ns,
+        min_ns,
+        events_per_sec,
+    }
+}
+
+/// Runs the full PR-1 measurement set.
+pub fn run_all(reps: usize) -> Vec<Measurement> {
+    vec![
+        measure("abcast_steady/5", reps, abcast_steady_5),
+        measure("isis_steady/5", reps, isis_steady_5),
+        measure("token_steady/5", reps, token_steady_5),
+        measure("sim_throughput/16", reps.min(10), || sim_throughput(16)),
+        measure("sim_throughput/64", reps.clamp(1, 3), || sim_throughput(64)),
+    ]
+}
+
+/// Renders measurements as a JSON object (no external JSON dependency).
+pub fn to_json(measurements: &[Measurement]) -> String {
+    let mut s = String::from("{\n");
+    for (i, m) in measurements.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {{\"median_ns\": {}, \"min_ns\": {}, \"events_per_sec\": {}}}{}\n",
+            m.name,
+            m.median_ns,
+            m.min_ns,
+            m.events_per_sec,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  }");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_run_and_count_events() {
+        assert!(abcast_steady_5() > 100);
+        assert!(isis_steady_5() > 100);
+        assert!(token_steady_5() > 100);
+    }
+
+    #[test]
+    fn json_shape() {
+        let m = Measurement {
+            name: "x/1",
+            median_ns: 10,
+            min_ns: 9,
+            events_per_sec: 100,
+        };
+        let j = to_json(&[m]);
+        assert!(j.contains("\"x/1\""));
+        assert!(j.contains("\"median_ns\": 10"));
+    }
+}

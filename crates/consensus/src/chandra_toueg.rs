@@ -201,7 +201,10 @@ impl<V: Value> CtConsensus<V> {
             // Help laggards: everything after a decision is answered with it.
             if !matches!(msg, CtMsg::Decide { .. }) {
                 if let Some(est) = self.estimate.clone() {
-                    out.push(CtOut::Send { to: from, msg: CtMsg::Decide { est } });
+                    out.push(CtOut::Send {
+                        to: from,
+                        msg: CtMsg::Decide { est },
+                    });
                 }
             }
             return out;
@@ -251,10 +254,17 @@ impl<V: Value> CtConsensus<V> {
         loop {
             let r = self.round;
             let coord = self.coordinator(r);
-            let est = self.estimate.clone().expect("started instance has an estimate");
+            let est = self
+                .estimate
+                .clone()
+                .expect("started instance has an estimate");
             out.push(CtOut::Send {
                 to: coord,
-                msg: CtMsg::Estimate { round: r, est, ts: self.ts },
+                msg: CtMsg::Estimate {
+                    round: r,
+                    est,
+                    ts: self.ts,
+                },
             });
             if !self.answer_round(r, out) {
                 break; // phase 3: wait for proposal or suspicion
@@ -270,10 +280,17 @@ impl<V: Value> CtConsensus<V> {
             let next = self.round + 1;
             self.round = next;
             let coord = self.coordinator(next);
-            let est = self.estimate.clone().expect("started instance has an estimate");
+            let est = self
+                .estimate
+                .clone()
+                .expect("started instance has an estimate");
             out.push(CtOut::Send {
                 to: coord,
-                msg: CtMsg::Estimate { round: next, est, ts: self.ts },
+                msg: CtMsg::Estimate {
+                    round: next,
+                    est,
+                    ts: self.ts,
+                },
             });
         }
     }
@@ -289,11 +306,17 @@ impl<V: Value> CtConsensus<V> {
             self.estimate = Some(est);
             self.ts = round + 1;
             self.answered.insert(round);
-            out.push(CtOut::Send { to: coord, msg: CtMsg::Ack { round } });
+            out.push(CtOut::Send {
+                to: coord,
+                msg: CtMsg::Ack { round },
+            });
             true
         } else if self.suspected.contains(&coord) {
             self.answered.insert(round);
-            out.push(CtOut::Send { to: coord, msg: CtMsg::Nack { round } });
+            out.push(CtOut::Send {
+                to: coord,
+                msg: CtMsg::Nack { round },
+            });
             true
         } else {
             false
@@ -320,7 +343,13 @@ impl<V: Value> CtConsensus<V> {
             .expect("majority reached, set non-empty");
         self.proposed.insert(round, est.clone());
         for &p in &self.participants {
-            out.push(CtOut::Send { to: p, msg: CtMsg::Propose { round, est: est.clone() } });
+            out.push(CtOut::Send {
+                to: p,
+                msg: CtMsg::Propose {
+                    round,
+                    est: est.clone(),
+                },
+            });
         }
     }
 
@@ -334,7 +363,10 @@ impl<V: Value> CtConsensus<V> {
         // we crash right after deciding (reliable broadcast by diffusion).
         for &p in &self.participants {
             if p != self.me {
-                out.push(CtOut::Send { to: p, msg: CtMsg::Decide { est: est.clone() } });
+                out.push(CtOut::Send {
+                    to: p,
+                    msg: CtMsg::Decide { est: est.clone() },
+                });
             }
         }
         out.push(CtOut::Decided(est));
@@ -363,7 +395,10 @@ mod tests {
         fn new(n: u32) -> Self {
             let ids: Vec<ProcessId> = (0..n).map(pid).collect();
             Net {
-                instances: ids.iter().map(|&p| CtConsensus::new(p, ids.clone())).collect(),
+                instances: ids
+                    .iter()
+                    .map(|&p| CtConsensus::new(p, ids.clone()))
+                    .collect(),
                 queue: Default::default(),
                 crashed: HashSet::new(),
                 decisions: HashMap::new(),
@@ -494,7 +529,11 @@ mod tests {
             net.propose(pid(i), 40 + i);
         }
         net.run();
-        assert_eq!(net.decisions.len(), 3, "wrongly suspected process still decides");
+        assert_eq!(
+            net.decisions.len(),
+            3,
+            "wrongly suspected process still decides"
+        );
         net.check_agreement();
     }
 
@@ -548,22 +587,20 @@ mod proptests {
     /// crashes (up to a minority) and suspicions. Checks uniform agreement
     /// and validity on every schedule; checks termination when every
     /// crashed process is eventually suspected by all.
-    fn run_adversarial(
-        n: u32,
-        crashes: Vec<u32>,
-        schedule: Vec<u16>,
-    ) -> Result<(), TestCaseError> {
+    fn run_adversarial(n: u32, crashes: Vec<u32>, schedule: Vec<u16>) -> Result<(), TestCaseError> {
         let ids: Vec<ProcessId> = (0..n).map(pid).collect();
-        let mut insts: Vec<CtConsensus<u32>> =
-            ids.iter().map(|&p| CtConsensus::new(p, ids.clone())).collect();
+        let mut insts: Vec<CtConsensus<u32>> = ids
+            .iter()
+            .map(|&p| CtConsensus::new(p, ids.clone()))
+            .collect();
         let mut queue: Vec<(ProcessId, ProcessId, CtMsg<u32>)> = Vec::new();
         let mut crashed: HashSet<ProcessId> = HashSet::new();
         let mut decisions: HashMap<ProcessId, u32> = HashMap::new();
 
-        let mut apply = |from: ProcessId,
-                         outs: Vec<CtOut<u32>>,
-                         queue: &mut Vec<(ProcessId, ProcessId, CtMsg<u32>)>,
-                         decisions: &mut HashMap<ProcessId, u32>| {
+        let apply = |from: ProcessId,
+                     outs: Vec<CtOut<u32>>,
+                     queue: &mut Vec<(ProcessId, ProcessId, CtMsg<u32>)>,
+                     decisions: &mut HashMap<ProcessId, u32>| {
             for o in outs {
                 match o {
                     CtOut::Send { to, msg } => queue.push((from, to, msg)),
@@ -586,7 +623,7 @@ mod proptests {
         for step in schedule {
             match step % 4 {
                 // Deliver a pseudo-randomly chosen queued message.
-                0 | 1 | 2 => {
+                0..=2 => {
                     if queue.is_empty() {
                         continue;
                     }

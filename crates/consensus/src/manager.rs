@@ -96,17 +96,18 @@ impl<V: Value> ConsensusManager<V> {
     /// Messages for unknown instances are answered with the cached decision
     /// when available; otherwise they must be buffered by the caller until
     /// it proposes for that instance (the caller — atomic broadcast — knows
-    /// the participant set, the manager does not). The second return value
-    /// is `false` in that buffering case.
+    /// the participant set, the manager does not). In that buffering case
+    /// the message is handed back as the second return value, so the caller
+    /// does not have to clone defensively up front.
     pub fn on_msg(
         &mut self,
         instance: InstanceId,
         from: ProcessId,
         msg: CtMsg<V>,
-    ) -> (Vec<ManagerOut<V>>, bool) {
+    ) -> (Vec<ManagerOut<V>>, Option<CtMsg<V>>) {
         if let Some(v) = self.decisions.get(&instance) {
             if matches!(msg, CtMsg::Decide { .. }) {
-                return (Vec::new(), true);
+                return (Vec::new(), None);
             }
             return (
                 vec![ManagerOut::Send {
@@ -114,14 +115,14 @@ impl<V: Value> ConsensusManager<V> {
                     instance,
                     msg: CtMsg::Decide { est: v.clone() },
                 }],
-                true,
+                None,
             );
         }
         let Some(inst) = self.instances.get_mut(&instance) else {
-            return (Vec::new(), false);
+            return (Vec::new(), Some(msg));
         };
         let outs = inst.on_msg(from, msg);
-        (self.collect(instance, outs), true)
+        (self.collect(instance, outs), None)
     }
 
     /// Records a suspicion and forwards it to every running instance.
@@ -200,13 +201,15 @@ mod tests {
         while let Some((from, to, instance, msg)) = queue.pop_front() {
             steps += 1;
             assert!(steps < 100_000);
-            let (outs, handled) = managers[to.index()].on_msg(instance, from, msg);
-            assert!(handled, "nothing should need buffering here");
+            let (outs, rejected) = managers[to.index()].on_msg(instance, from, msg);
+            assert!(rejected.is_none(), "nothing should need buffering here");
             for o in outs {
                 match o {
-                    ManagerOut::Send { to: t, instance, msg } => {
-                        queue.push_back((to, t, instance, msg))
-                    }
+                    ManagerOut::Send {
+                        to: t,
+                        instance,
+                        msg,
+                    } => queue.push_back((to, t, instance, msg)),
                     ManagerOut::Decided { instance, value } => {
                         decided.insert((to.index(), instance), value);
                     }
@@ -224,8 +227,9 @@ mod tests {
         // Every process decided both instances.
         assert_eq!(decided.len(), 6);
         for inst in 0..2u64 {
-            let vals: HashSet<u32> =
-                (0..3).map(|p| *decided.get(&(p, inst)).expect("decided")).collect();
+            let vals: HashSet<u32> = (0..3)
+                .map(|p| *decided.get(&(p, inst)).expect("decided"))
+                .collect();
             assert_eq!(vals.len(), 1, "instance {inst} disagreement");
         }
         // Decisions are cached.
@@ -236,10 +240,17 @@ mod tests {
     #[test]
     fn unknown_instance_requests_buffering() {
         let mut m: ConsensusManager<u32> = ConsensusManager::new(pid(0));
-        let (outs, handled) =
-            m.on_msg(7, pid(1), CtMsg::Estimate { round: 0, est: 1, ts: 0 });
+        let (outs, rejected) = m.on_msg(
+            7,
+            pid(1),
+            CtMsg::Estimate {
+                round: 0,
+                est: 1,
+                ts: 0,
+            },
+        );
         assert!(outs.is_empty());
-        assert!(!handled);
+        assert!(matches!(rejected, Some(CtMsg::Estimate { .. })));
     }
 
     #[test]
@@ -247,9 +258,16 @@ mod tests {
         let mut managers: Vec<ConsensusManager<u32>> =
             (0..3).map(|i| ConsensusManager::new(pid(i))).collect();
         drive(&mut managers);
-        let (outs, handled) =
-            managers[0].on_msg(0, pid(2), CtMsg::Estimate { round: 5, est: 9, ts: 0 });
-        assert!(handled);
+        let (outs, rejected) = managers[0].on_msg(
+            0,
+            pid(2),
+            CtMsg::Estimate {
+                round: 5,
+                est: 9,
+                ts: 0,
+            },
+        );
+        assert!(rejected.is_none());
         assert!(matches!(
             outs.as_slice(),
             [ManagerOut::Send { to, msg: CtMsg::Decide { .. }, .. }] if *to == pid(2)
@@ -278,6 +296,9 @@ mod tests {
         let sends_to_self_round1 = outs.iter().any(|o| {
             matches!(o, ManagerOut::Send { to, msg: CtMsg::Estimate { round: 1, .. }, .. } if *to == pid(1))
         });
-        assert!(sends_to_self_round1, "expected immediate round advance: {outs:?}");
+        assert!(
+            sends_to_self_round1,
+            "expected immediate round advance: {outs:?}"
+        );
     }
 }

@@ -194,7 +194,10 @@ impl<V: Value> PaxosConsensus<V> {
         }
         self.promises.insert(b, HashMap::new());
         for &p in &self.participants {
-            out.push(PaxosOut::Send { to: p, msg: PaxosMsg::Prepare { b } });
+            out.push(PaxosOut::Send {
+                to: p,
+                msg: PaxosMsg::Prepare { b },
+            });
         }
     }
 
@@ -204,7 +207,10 @@ impl<V: Value> PaxosConsensus<V> {
         if self.decided {
             if !matches!(msg, PaxosMsg::Decide { .. }) {
                 if let Some((_, v)) = &self.accepted {
-                    out.push(PaxosOut::Send { to: from, msg: PaxosMsg::Decide { v: v.clone() } });
+                    out.push(PaxosOut::Send {
+                        to: from,
+                        msg: PaxosMsg::Decide { v: v.clone() },
+                    });
                 }
             }
             return out;
@@ -212,16 +218,22 @@ impl<V: Value> PaxosConsensus<V> {
         match msg {
             PaxosMsg::Prepare { b } => {
                 self.current = self.current.max(b);
-                if self.promised.map_or(true, |p| b >= p) {
+                if self.promised.is_none_or(|p| b >= p) {
                     self.promised = Some(b);
                     out.push(PaxosOut::Send {
                         to: from,
-                        msg: PaxosMsg::Promise { b, accepted: self.accepted.clone() },
+                        msg: PaxosMsg::Promise {
+                            b,
+                            accepted: self.accepted.clone(),
+                        },
                     });
                 } else {
                     out.push(PaxosOut::Send {
                         to: from,
-                        msg: PaxosMsg::Reject { b, promised: self.promised.unwrap_or(0) },
+                        msg: PaxosMsg::Reject {
+                            b,
+                            promised: self.promised.unwrap_or(0),
+                        },
                     });
                 }
             }
@@ -250,14 +262,20 @@ impl<V: Value> PaxosConsensus<V> {
             }
             PaxosMsg::Accept { b, v } => {
                 self.current = self.current.max(b);
-                if self.promised.map_or(true, |p| b >= p) {
+                if self.promised.is_none_or(|p| b >= p) {
                     self.promised = Some(b);
                     self.accepted = Some((b, v));
-                    out.push(PaxosOut::Send { to: from, msg: PaxosMsg::Accepted { b } });
+                    out.push(PaxosOut::Send {
+                        to: from,
+                        msg: PaxosMsg::Accepted { b },
+                    });
                 } else {
                     out.push(PaxosOut::Send {
                         to: from,
-                        msg: PaxosMsg::Reject { b, promised: self.promised.unwrap_or(0) },
+                        msg: PaxosMsg::Reject {
+                            b,
+                            promised: self.promised.unwrap_or(0),
+                        },
                     });
                 }
             }
@@ -304,7 +322,10 @@ impl<V: Value> PaxosConsensus<V> {
         self.accepted = Some((u64::MAX, v.clone()));
         for &p in &self.participants {
             if p != self.me {
-                out.push(PaxosOut::Send { to: p, msg: PaxosMsg::Decide { v: v.clone() } });
+                out.push(PaxosOut::Send {
+                    to: p,
+                    msg: PaxosMsg::Decide { v: v.clone() },
+                });
             }
         }
         out.push(PaxosOut::Decided(v));
@@ -330,7 +351,10 @@ mod tests {
         fn new(n: u32) -> Self {
             let ids: Vec<ProcessId> = (0..n).map(pid).collect();
             Net {
-                instances: ids.iter().map(|&p| PaxosConsensus::new(p, ids.clone())).collect(),
+                instances: ids
+                    .iter()
+                    .map(|&p| PaxosConsensus::new(p, ids.clone()))
+                    .collect(),
                 queue: Default::default(),
                 crashed: HashSet::new(),
                 decisions: HashMap::new(),

@@ -87,7 +87,13 @@ impl AbcastCore {
                 rb.set_peers(&v.members);
                 (v, true)
             }
-            None => (View { id: 0, members: Vec::new() }, false),
+            None => (
+                View {
+                    id: 0,
+                    members: Vec::new(),
+                },
+                false,
+            ),
         };
         AbcastCore {
             me,
@@ -131,7 +137,9 @@ impl AbcastCore {
         let id = self.rb.next_id();
         let message = Message { id, class, body };
         let mut out = Vec::new();
-        for to in self.rb.broadcast(&message) {
+        // Message clones are shallow (`Bytes` payloads are shared), so the
+        // per-peer diffusion fan-out is cheap.
+        for &to in self.rb.broadcast(&message) {
             out.push(AbOut::Wire(to, WireMsg::Ab(AbMsg::Data(message.clone()))));
         }
         if !self.adelivered.contains(&id) {
@@ -163,7 +171,7 @@ impl AbcastCore {
         if instance < self.cursor || self.batches.contains_key(&instance) {
             return out; // duplicate decision report
         }
-        for m in &batch {
+        for m in batch.iter() {
             self.committed.insert(m.id);
             self.pending.remove(&m.id);
         }
@@ -232,7 +240,9 @@ impl AbcastCore {
     /// Delivers decided batches in instance order, messages in id order.
     fn flush(&mut self, out: &mut Vec<AbOut>) {
         while let Some(batch) = self.batches.remove(&self.cursor) {
-            let mut batch = batch;
+            // Shallow copy into a sortable buffer (`Message` clones are
+            // cheap); the shared batch may still be referenced by peers.
+            let mut batch: Vec<Message> = batch.to_vec();
             batch.sort_by_key(|m| m.id);
             for m in batch {
                 if !self.adelivered.insert(m.id) {
@@ -247,7 +257,7 @@ impl AbcastCore {
                         payload: payload.clone(),
                         view: self.view.id,
                     })),
-                    Body::Join(_) | Body::Remove(_) | Body::GbEnd { .. } => {
+                    Body::Join(_) | Body::Remove(_) | Body::GbEnd(_) => {
                         out.push(AbOut::Ctrl(m.clone()))
                     }
                 }
@@ -273,7 +283,11 @@ mod tests {
     }
 
     fn app(id: MsgId) -> Message {
-        Message { id, class: MessageClass::ABCAST, body: Body::App(Bytes::from_static(b"m")) }
+        Message {
+            id,
+            class: MessageClass::ABCAST,
+            body: Body::App(Bytes::from_static(b"m")),
+        }
     }
 
     #[test]
@@ -282,17 +296,23 @@ mod tests {
         let out = c.abcast(MessageClass::ABCAST, Body::App(Bytes::from_static(b"m")));
         let wires = out.iter().filter(|o| matches!(o, AbOut::Wire(..))).count();
         assert_eq!(wires, 2, "diffusion to both peers");
-        assert!(out.iter().any(
-            |o| matches!(o, AbOut::Propose { instance: 0, batch, .. } if batch.len() == 1)
-        ));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, AbOut::Propose { instance: 0, batch, .. } if batch.len() == 1)));
     }
 
     #[test]
     fn decide_flushes_in_id_order_and_advances_cursor() {
         let mut c = core(0, 3);
-        let m1 = app(MsgId { sender: pid(2), seq: 0 });
-        let m2 = app(MsgId { sender: pid(1), seq: 0 });
-        let out = c.on_decide(0, vec![m1.clone(), m2.clone()]);
+        let m1 = app(MsgId {
+            sender: pid(2),
+            seq: 0,
+        });
+        let m2 = app(MsgId {
+            sender: pid(1),
+            seq: 0,
+        });
+        let out = c.on_decide(0, vec![m1.clone(), m2.clone()].into());
         let delivered: Vec<MsgId> = out
             .iter()
             .filter_map(|o| match o {
@@ -307,11 +327,20 @@ mod tests {
     #[test]
     fn out_of_order_decisions_wait_for_the_gap() {
         let mut c = core(0, 3);
-        let m1 = app(MsgId { sender: pid(1), seq: 0 });
-        let m2 = app(MsgId { sender: pid(2), seq: 0 });
-        let out = c.on_decide(1, vec![m2.clone()]);
-        assert!(out.iter().all(|o| !matches!(o, AbOut::App(_))), "batch 1 held back");
-        let out = c.on_decide(0, vec![m1.clone()]);
+        let m1 = app(MsgId {
+            sender: pid(1),
+            seq: 0,
+        });
+        let m2 = app(MsgId {
+            sender: pid(2),
+            seq: 0,
+        });
+        let out = c.on_decide(1, vec![m2.clone()].into());
+        assert!(
+            out.iter().all(|o| !matches!(o, AbOut::App(_))),
+            "batch 1 held back"
+        );
+        let out = c.on_decide(0, vec![m1.clone()].into());
         let delivered: Vec<MsgId> = out
             .iter()
             .filter_map(|o| match o {
@@ -326,21 +355,27 @@ mod tests {
     #[test]
     fn no_redelivery_across_batches() {
         let mut c = core(0, 3);
-        let m = app(MsgId { sender: pid(1), seq: 0 });
-        let out = c.on_decide(0, vec![m.clone()]);
+        let m = app(MsgId {
+            sender: pid(1),
+            seq: 0,
+        });
+        let out = c.on_decide(0, vec![m.clone()].into());
         assert_eq!(out.iter().filter(|o| matches!(o, AbOut::App(_))).count(), 1);
-        let out = c.on_decide(1, vec![m.clone()]);
+        let out = c.on_decide(1, vec![m.clone()].into());
         assert_eq!(out.iter().filter(|o| matches!(o, AbOut::App(_))).count(), 0);
     }
 
     #[test]
     fn received_data_joins_proposal_pool() {
         let mut c = core(0, 3);
-        let m = app(MsgId { sender: pid(1), seq: 0 });
+        let m = app(MsgId {
+            sender: pid(1),
+            seq: 0,
+        });
         let out = c.on_data(pid(1), m.clone());
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, AbOut::Propose { instance: 0, batch, .. } if batch[0].id == m.id)));
+        assert!(out.iter().any(
+            |o| matches!(o, AbOut::Propose { instance: 0, batch, .. } if batch[0].id == m.id)
+        ));
         // Duplicate data: no second proposal.
         let out2 = c.on_data(pid(2), m);
         assert!(out2.is_empty());
@@ -350,20 +385,23 @@ mod tests {
     fn need_instance_triggers_empty_proposal() {
         let mut c = core(0, 3);
         let out = c.need_instance(0);
-        assert!(out.iter().any(
-            |o| matches!(o, AbOut::Propose { instance: 0, batch, .. } if batch.is_empty())
-        ));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, AbOut::Propose { instance: 0, batch, .. } if batch.is_empty())));
     }
 
     #[test]
     fn ctrl_bodies_route_to_ctrl() {
         let mut c = core(0, 3);
         let m = Message {
-            id: MsgId { sender: pid(1), seq: 0 },
+            id: MsgId {
+                sender: pid(1),
+                seq: 0,
+            },
             class: MessageClass::ABCAST,
             body: Body::Join(pid(3)),
         };
-        let out = c.on_decide(0, vec![m]);
+        let out = c.on_decide(0, vec![m].into());
         assert!(out.iter().any(|o| matches!(o, AbOut::Ctrl(_))));
     }
 
@@ -374,7 +412,10 @@ mod tests {
         let out = c.abcast(MessageClass::ABCAST, Body::App(Bytes::from_static(b"x")));
         assert!(!out.iter().any(|o| matches!(o, AbOut::Propose { .. })));
         let snap = SnapshotData {
-            view: View { id: 2, members: vec![pid(0), pid(1), pid(3)] },
+            view: View {
+                id: 2,
+                members: vec![pid(0), pid(1), pid(3)],
+            },
             next_instance: 5,
             adelivered: vec![],
             gdelivered: vec![],
@@ -390,7 +431,10 @@ mod tests {
     #[test]
     fn removed_member_deactivates_on_view_change() {
         let mut c = core(0, 3);
-        c.set_view(View { id: 1, members: vec![pid(1), pid(2)] });
+        c.set_view(View {
+            id: 1,
+            members: vec![pid(1), pid(2)],
+        });
         assert!(!c.is_active());
     }
 }

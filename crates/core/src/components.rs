@@ -78,10 +78,13 @@ impl RcComponent {
     /// Creates the reliable-channel component for `me`.
     pub fn new(me: ProcessId, config: RcConfig) -> Self {
         let tick = config.tick_interval;
-        RcComponent { rc: ReliableChannel::new(me, config), tick }
+        RcComponent {
+            rc: ReliableChannel::new(me, config),
+            tick,
+        }
     }
 
-    fn apply(&mut self, outs: Vec<RcOut<WireMsg>>, ctx: &mut Context<'_, Ev>) {
+    fn apply(&mut self, outs: impl IntoIterator<Item = RcOut<WireMsg>>, ctx: &mut Context<'_, Ev>) {
         for o in outs {
             match o {
                 RcOut::Transmit { to, packet } => ctx.send(to, names::RC, Ev::Packet(packet)),
@@ -161,9 +164,13 @@ impl FdComponent {
     }
 
     fn apply(&mut self, outs: Vec<FdOut>, ctx: &mut Context<'_, Ev>) {
+        // Heartbeats fan out to every peer each interval: batch them into a
+        // single broadcast envelope instead of one send (and one per-peer
+        // event clone) each.
+        let mut heartbeat_to: Vec<ProcessId> = Vec::new();
         for o in outs {
             match o {
-                FdOut::SendHeartbeat { to } => ctx.send(to, names::FD, Ev::Heartbeat),
+                FdOut::SendHeartbeat { to } => heartbeat_to.push(to),
                 FdOut::Suspect { class, peer } => {
                     let target = if class == MonitorClass::CONSENSUS {
                         names::CONSENSUS
@@ -182,6 +189,9 @@ impl FdComponent {
                 }
             }
         }
+        if !heartbeat_to.is_empty() {
+            ctx.send_to_all(heartbeat_to, names::FD, Ev::Heartbeat);
+        }
     }
 }
 
@@ -191,8 +201,10 @@ impl Component<Ev> for FdComponent {
     }
 
     fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
-        self.fd.register_class(MonitorClass::CONSENSUS, self.consensus_timeout);
-        self.fd.register_class(MonitorClass::MONITORING, self.monitoring_timeout);
+        self.fd
+            .register_class(MonitorClass::CONSENSUS, self.consensus_timeout);
+        self.fd
+            .register_class(MonitorClass::MONITORING, self.monitoring_timeout);
         let peers = std::mem::take(&mut self.initial_peers);
         self.fd.set_peers(peers, ctx.now());
         ctx.set_timer(self.fd.interval());
@@ -232,7 +244,10 @@ pub struct ConsensusComponent {
 impl ConsensusComponent {
     /// Creates the consensus component for `me`.
     pub fn new(me: ProcessId) -> Self {
-        ConsensusComponent { mgr: ConsensusManager::new(me), buffered: BTreeMap::new() }
+        ConsensusComponent {
+            mgr: ConsensusManager::new(me),
+            buffered: BTreeMap::new(),
+        }
     }
 
     fn apply(&mut self, outs: Vec<ManagerOut<Batch>>, ctx: &mut Context<'_, Ev>) {
@@ -267,9 +282,9 @@ impl Component<Ev> for ConsensusComponent {
                 }
             }
             Ev::Net(from, WireMsg::Ct { instance, msg }) => {
-                let (outs, handled) = self.mgr.on_msg(instance, from, msg.clone());
+                let (outs, rejected) = self.mgr.on_msg(instance, from, msg);
                 self.apply(outs, ctx);
-                if !handled {
+                if let Some(msg) = rejected {
                     self.buffered.entry(instance).or_default().push((from, msg));
                     ctx.emit(names::ABCAST, Ev::NeedInstance(instance));
                 }
@@ -296,20 +311,26 @@ pub struct AbcastComponent {
 impl AbcastComponent {
     /// Creates the atomic-broadcast component.
     pub fn new(me: ProcessId, initial_view: Option<View>) -> Self {
-        AbcastComponent { core: AbcastCore::new(me, initial_view) }
+        AbcastComponent {
+            core: AbcastCore::new(me, initial_view),
+        }
     }
 
     fn apply(&mut self, outs: Vec<AbOut>, ctx: &mut Context<'_, Ev>) {
         for o in outs {
             match o {
                 AbOut::Wire(to, wire) => ctx.emit(names::RC, Ev::RcSend(to, wire)),
-                AbOut::Propose { instance, batch, participants } => {
+                AbOut::Propose {
+                    instance,
+                    batch,
+                    participants,
+                } => {
                     ctx.emit(names::CONSENSUS, Ev::Propose(instance, batch, participants));
                 }
                 AbOut::App(d) => ctx.output(Ev::Deliver(d)),
                 AbOut::Ctrl(m) => {
                     let target = match &m.body {
-                        Body::GbEnd { .. } => names::GENERIC,
+                        Body::GbEnd(_) => names::GENERIC,
                         _ => names::MEMBERSHIP,
                     };
                     ctx.emit(target, Ev::CtrlDelivered(m));
@@ -376,7 +397,10 @@ pub struct GenericComponent {
 impl GenericComponent {
     /// Creates the generic-broadcast component.
     pub fn new(core: GenericCore) -> Self {
-        GenericComponent { core, deferred: Vec::new() }
+        GenericComponent {
+            core,
+            deferred: Vec::new(),
+        }
     }
 
     fn apply(&mut self, outs: Vec<GbOut>, ctx: &mut Context<'_, Ev>) {
@@ -426,8 +450,8 @@ impl Component<Ev> for GenericComponent {
                 self.apply(outs, ctx);
             }
             Ev::CtrlDelivered(m) => {
-                if let Body::GbEnd { epoch, acked, pending } = m.body {
-                    let outs = self.core.on_end_delivered(m.id.sender, epoch, acked, pending);
+                if let Body::GbEnd(end) = m.body {
+                    let outs = self.core.on_end_delivered(m.id.sender, end);
                     self.apply(outs, ctx);
                     self.flush_deferred(ctx);
                 }
@@ -437,7 +461,8 @@ impl Component<Ev> for GenericComponent {
                 self.apply(outs, ctx);
             }
             Ev::InstallSnapshot(snap) => {
-                self.core.install_snapshot(&snap.view, snap.gb_epoch, &snap.gdelivered);
+                self.core
+                    .install_snapshot(&snap.view, snap.gb_epoch, &snap.gdelivered);
             }
             Ev::SnapFill { joiner, snap } => {
                 self.deferred.push((joiner, snap));
@@ -519,7 +544,10 @@ impl Component<Ev> for MembershipComponent {
                 self.apply(outs, ctx);
             }
             Ev::SnapReady { joiner, snap } => {
-                ctx.emit(names::RC, Ev::RcSend(joiner, WireMsg::Mb(MbMsg::Snapshot(snap))));
+                ctx.emit(
+                    names::RC,
+                    Ev::RcSend(joiner, WireMsg::Mb(MbMsg::Snapshot(snap))),
+                );
             }
             _ => {}
         }
@@ -538,7 +566,9 @@ pub struct MonitoringComponent {
 impl MonitoringComponent {
     /// Creates the monitoring component.
     pub fn new(me: ProcessId, members: Vec<ProcessId>, policy: MonitoringPolicy) -> Self {
-        MonitoringComponent { core: MonitoringCore::new(me, members, policy) }
+        MonitoringComponent {
+            core: MonitoringCore::new(me, members, policy),
+        }
     }
 
     fn apply(&mut self, outs: Vec<MonOut>, ctx: &mut Context<'_, Ev>) {

@@ -42,8 +42,8 @@ use gcs_kernel::ProcessId;
 
 use crate::rbcast::Rbcast;
 use crate::types::{
-    Body, ConflictRelation, Delivery, DeliveryKind, GbMsg, Message, MessageClass, MsgId, View,
-    WireMsg,
+    Body, ConflictRelation, Delivery, DeliveryKind, GbEndData, GbMsg, Message, MessageClass, MsgId,
+    View, WireMsg,
 };
 
 /// An instruction produced by the generic-broadcast core.
@@ -86,8 +86,9 @@ pub struct GenericCore {
     gdelivered: HashSet<MsgId>,
     /// Frozen: stop acking / fast-delivering until the epoch closes.
     frozen: bool,
-    /// `End` bodies collected for the current epoch, in a-delivery order.
-    ends: Vec<(ProcessId, Vec<Message>, Vec<Message>)>,
+    /// `End` bodies collected for the current epoch, in a-delivery order
+    /// (shared payloads — collecting an `End` does not copy its sets).
+    ends: Vec<(ProcessId, std::sync::Arc<GbEndData>)>,
     /// A view waiting to be applied at the next epoch boundary.
     pending_view: Option<View>,
     /// FIFO mode (paper footnote 9): deliveries of one sender's messages
@@ -174,7 +175,7 @@ impl GenericCore {
 
     /// Crash tolerance of the epoch-closure path: `⌈n/3⌉ − 1`.
     pub fn f_gb(&self) -> usize {
-        (self.n() + 2) / 3 - 1
+        self.n().div_ceil(3) - 1
     }
 
     /// Number of `End`s that close an epoch.
@@ -191,7 +192,8 @@ impl GenericCore {
         let id = self.rb.next_id();
         let message = Message { id, class, body };
         let mut out = Vec::new();
-        for to in self.rb.broadcast(&message) {
+        // Shallow per-peer clones: payloads are shared `Bytes`.
+        for &to in self.rb.broadcast(&message) {
             out.push(GbOut::Wire(to, WireMsg::Gb(GbMsg::Data(message.clone()))));
         }
         self.admit(message, &mut out);
@@ -236,13 +238,13 @@ impl GenericCore {
             .any(|(&x, m)| x != id && self.relation.conflicts(m.class, class));
         if conflicting {
             self.escalate(out);
-        } else if !self.acked.contains_key(&id) {
-            self.acked.insert(id, message);
+        } else if let std::collections::btree_map::Entry::Vacant(e) = self.acked.entry(id) {
+            e.insert(message);
             let epoch = self.epoch;
             // Count the local ack directly; send to the other members.
             self.ack_senders.entry(id).or_default().insert(self.me);
             let me = self.me;
-            for &p in self.epoch_members.clone().iter() {
+            for &p in &self.epoch_members {
                 if p != me {
                     out.push(GbOut::Wire(p, WireMsg::Gb(GbMsg::Ack { epoch, id })));
                 }
@@ -263,7 +265,13 @@ impl GenericCore {
             .filter(|(id, _)| !self.acked.contains_key(id))
             .map(|(_, m)| m.clone())
             .collect();
-        out.push(GbOut::Escalate(Body::GbEnd { epoch: self.epoch, acked, pending }));
+        out.push(GbOut::Escalate(Body::GbEnd(std::sync::Arc::new(
+            GbEndData {
+                epoch: self.epoch,
+                acked,
+                pending,
+            },
+        ))));
     }
 
     /// Handles an ack from `from`.
@@ -307,10 +315,16 @@ impl GenericCore {
         // FIFO hold-back: deliver only when every earlier message of the
         // same sender has been delivered; release any unblocked successors.
         let sender = id.sender;
-        self.holdback.entry(sender).or_default().insert(id.seq, (message, kind));
+        self.holdback
+            .entry(sender)
+            .or_default()
+            .insert(id.seq, (message, kind));
         loop {
             let next = self.next_fifo.entry(sender).or_insert(0);
-            let Some((m, k)) = self.holdback.get_mut(&sender).and_then(|h| h.remove(&*next))
+            let Some((m, k)) = self
+                .holdback
+                .get_mut(&sender)
+                .and_then(|h| h.remove(&*next))
             else {
                 break;
             };
@@ -336,20 +350,18 @@ impl GenericCore {
     pub fn on_end_delivered(
         &mut self,
         end_sender: ProcessId,
-        epoch: u64,
-        acked: Vec<Message>,
-        pending: Vec<Message>,
+        end: std::sync::Arc<GbEndData>,
     ) -> Vec<GbOut> {
         let mut out = Vec::new();
-        if !self.active || epoch != self.epoch {
+        if !self.active || end.epoch != self.epoch {
             return out; // stale straggler (or pre-join traffic)
         }
         // The epoch is closing: contribute our own End if we have not yet.
         self.escalate(&mut out);
-        if self.ends.iter().any(|(s, _, _)| *s == end_sender) {
+        if self.ends.iter().any(|(s, _)| *s == end_sender) {
             return out;
         }
-        self.ends.push((end_sender, acked, pending));
+        self.ends.push((end_sender, end));
         if self.ends.len() >= self.end_quorum() {
             self.close_epoch(&mut out);
         }
@@ -404,13 +416,13 @@ impl GenericCore {
         // *acked* components.
         let mut union: BTreeMap<MsgId, Message> = BTreeMap::new();
         let mut support: BTreeMap<MsgId, usize> = BTreeMap::new();
-        for (_, acked, pending) in std::mem::take(&mut self.ends) {
-            for m in acked {
+        for (_, end) in std::mem::take(&mut self.ends) {
+            for m in &end.acked {
                 *support.entry(m.id).or_insert(0) += 1;
-                union.entry(m.id).or_insert(m);
+                union.entry(m.id).or_insert_with(|| m.clone());
             }
-            for m in pending {
-                union.entry(m.id).or_insert(m);
+            for m in &end.pending {
+                union.entry(m.id).or_insert_with(|| m.clone());
             }
         }
         // Prioritized first (id order), then the rest (id order).
@@ -477,9 +489,20 @@ mod tests {
         GenericCore::new(pid(i), relation, Some(View::initial(members(n))))
     }
 
+    fn empty_end(epoch: u64) -> std::sync::Arc<GbEndData> {
+        std::sync::Arc::new(GbEndData {
+            epoch,
+            acked: vec![],
+            pending: vec![],
+        })
+    }
+
     fn app(sender: u32, seq: u64, class: u16) -> Message {
         Message {
-            id: MsgId { sender: pid(sender), seq },
+            id: MsgId {
+                sender: pid(sender),
+                seq,
+            },
             class: MessageClass(class),
             body: Body::App(Bytes::from_static(b"x")),
         }
@@ -502,8 +525,10 @@ mod tests {
     fn non_conflicting_message_is_acked_to_all_members() {
         let mut c = core(0, 4, ConflictRelation::none(4));
         let out = c.on_data(pid(1), app(1, 0, 0));
-        let acks =
-            out.iter().filter(|o| matches!(o, GbOut::Wire(_, WireMsg::Gb(GbMsg::Ack { .. })))).count();
+        let acks = out
+            .iter()
+            .filter(|o| matches!(o, GbOut::Wire(_, WireMsg::Gb(GbMsg::Ack { .. }))))
+            .count();
         assert_eq!(acks, 3, "ack to every other member");
         assert!(!c.is_frozen());
     }
@@ -517,7 +542,8 @@ mod tests {
         assert!(c.on_ack(pid(1), 0, m.id).is_empty());
         let out = c.on_ack(pid(2), 0, m.id);
         assert!(
-            out.iter().any(|o| matches!(o, GbOut::Deliver(d) if d.kind == DeliveryKind::GenericFast)),
+            out.iter()
+                .any(|o| matches!(o, GbOut::Deliver(d) if d.kind == DeliveryKind::GenericFast)),
             "fast delivery at quorum: {out:?}"
         );
         // Further acks for a delivered message are ignored.
@@ -529,7 +555,9 @@ mod tests {
         let mut c = core(0, 4, ConflictRelation::all(4));
         c.on_data(pid(1), app(1, 0, 0));
         let out = c.on_data(pid(2), app(2, 0, 1));
-        assert!(out.iter().any(|o| matches!(o, GbOut::Escalate(Body::GbEnd { .. }))));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, GbOut::Escalate(Body::GbEnd { .. }))));
         assert!(c.is_frozen());
         // Frozen: no acks for new arrivals.
         let out = c.on_data(pid(3), app(3, 0, 2));
@@ -547,13 +575,16 @@ mod tests {
         let _ = c.on_data(pid(2), m2.clone()); // escalates (conflict)
         assert!(c.is_frozen());
         // n=3 → end quorum 3: three Ends close the epoch.
-        let mk_end = |sender: u32| (pid(sender), vec![m1.clone()], vec![m2.clone()]);
-        let (s0, a0, p0) = mk_end(0);
-        assert!(c.on_end_delivered(s0, 0, a0, p0).is_empty());
-        let (s1, a1, p1) = mk_end(1);
-        assert!(c.on_end_delivered(s1, 0, a1, p1).is_empty());
-        let (s2, a2, p2) = mk_end(2);
-        let out = c.on_end_delivered(s2, 0, a2, p2);
+        let mk_end = |_sender: u32| {
+            std::sync::Arc::new(GbEndData {
+                epoch: 0,
+                acked: vec![m1.clone()],
+                pending: vec![m2.clone()],
+            })
+        };
+        assert!(c.on_end_delivered(pid(0), mk_end(0)).is_empty());
+        assert!(c.on_end_delivered(pid(1), mk_end(1)).is_empty());
+        let out = c.on_end_delivered(pid(2), mk_end(2));
         let delivered: Vec<MsgId> = out
             .iter()
             .filter_map(|o| match o {
@@ -569,11 +600,11 @@ mod tests {
     #[test]
     fn stale_and_duplicate_ends_are_ignored() {
         let mut c = core(0, 3, ConflictRelation::all(4));
-        assert!(c.on_end_delivered(pid(1), 7, vec![], vec![]).is_empty());
+        assert!(c.on_end_delivered(pid(1), empty_end(7)).is_empty());
         // Freeze via a first End of the right epoch.
-        let _ = c.on_end_delivered(pid(1), 0, vec![], vec![]);
+        let _ = c.on_end_delivered(pid(1), empty_end(0));
         // Duplicate sender does not advance the count.
-        let _ = c.on_end_delivered(pid(1), 0, vec![], vec![]);
+        let _ = c.on_end_delivered(pid(1), empty_end(0));
         assert_eq!(c.epoch(), 0);
     }
 
@@ -584,27 +615,33 @@ mod tests {
         // Ack for epoch 1 arrives while we are in epoch 0.
         assert!(c.on_ack(pid(1), 1, m.id).is_empty());
         // Close epoch 0 (three empty Ends).
-        let _ = c.on_end_delivered(pid(0), 0, vec![], vec![]);
-        let _ = c.on_end_delivered(pid(1), 0, vec![], vec![]);
-        let _ = c.on_end_delivered(pid(2), 0, vec![], vec![]);
+        let _ = c.on_end_delivered(pid(0), empty_end(0));
+        let _ = c.on_end_delivered(pid(1), empty_end(0));
+        let _ = c.on_end_delivered(pid(2), empty_end(0));
         assert_eq!(c.epoch(), 1);
         // Now the data + one more ack complete the n=3 fast quorum
         // (self + p1-buffered + p2).
         c.on_data(pid(1), m.clone());
         let out = c.on_ack(pid(2), 1, m.id);
-        assert!(out.iter().any(|o| matches!(o, GbOut::Deliver(_))), "{out:?}");
+        assert!(
+            out.iter().any(|o| matches!(o, GbOut::Deliver(_))),
+            "{out:?}"
+        );
     }
 
     #[test]
     fn view_change_forces_epoch_boundary() {
         let mut c = core(0, 3, ConflictRelation::none(4));
-        let v1 = View { id: 1, members: vec![pid(0), pid(1), pid(2), pid(3)] };
+        let v1 = View {
+            id: 1,
+            members: vec![pid(0), pid(1), pid(2), pid(3)],
+        };
         let out = c.on_view_change(v1.clone());
         assert!(out.iter().any(|o| matches!(o, GbOut::Escalate(_))));
         // Close the epoch; the new view applies afterwards.
-        let _ = c.on_end_delivered(pid(0), 0, vec![], vec![]);
-        let _ = c.on_end_delivered(pid(1), 0, vec![], vec![]);
-        let out = c.on_end_delivered(pid(2), 0, vec![], vec![]);
+        let _ = c.on_end_delivered(pid(0), empty_end(0));
+        let _ = c.on_end_delivered(pid(1), empty_end(0));
+        let out = c.on_end_delivered(pid(2), empty_end(0));
         assert!(out.is_empty());
         assert_eq!(c.epoch(), 1);
         assert_eq!(c.fast_quorum(), 3, "quorums recomputed for n=4");
@@ -613,7 +650,10 @@ mod tests {
     #[test]
     fn removed_member_goes_inactive() {
         let mut c = core(2, 3, ConflictRelation::none(4));
-        let v1 = View { id: 1, members: vec![pid(0), pid(1)] };
+        let v1 = View {
+            id: 1,
+            members: vec![pid(0), pid(1)],
+        };
         let _ = c.on_view_change(v1);
         let out = c.gbcast(MessageClass(0), Body::App(Bytes::from_static(b"x")));
         // Still diffuses (it is not a member, deliveries will not happen for
@@ -634,7 +674,10 @@ mod tests {
         // m1 reaches the quorum (3 for n=4) first: self + p1 + p2.
         c.on_ack(pid(1), 0, m1.id);
         let out = c.on_ack(pid(2), 0, m1.id);
-        assert!(out.iter().all(|o| !matches!(o, GbOut::Deliver(_))), "m1 held back: {out:?}");
+        assert!(
+            out.iter().all(|o| !matches!(o, GbOut::Deliver(_))),
+            "m1 held back: {out:?}"
+        );
         // m0 completes: both are released, in order.
         c.on_ack(pid(1), 0, m0.id);
         let out = c.on_ack(pid(3), 0, m0.id);
@@ -651,10 +694,17 @@ mod tests {
     #[test]
     fn fifo_snapshot_resumes_per_sender_cursor() {
         let mut c = GenericCore::new(pid(3), ConflictRelation::none(4), None).with_fifo();
-        let v = View { id: 1, members: vec![pid(0), pid(1), pid(2), pid(3)] };
+        let v = View {
+            id: 1,
+            members: vec![pid(0), pid(1), pid(2), pid(3)],
+        };
         // Sender p1 already had seqs 0..=2 delivered before the join.
-        let delivered: Vec<MsgId> =
-            (0..3).map(|s| MsgId { sender: pid(1), seq: s }).collect();
+        let delivered: Vec<MsgId> = (0..3)
+            .map(|s| MsgId {
+                sender: pid(1),
+                seq: s,
+            })
+            .collect();
         c.install_snapshot(&v, 4, &delivered);
         // The next message from p1 (seq 3) is deliverable immediately.
         let m3 = app(1, 3, 0);
@@ -663,7 +713,8 @@ mod tests {
         out.extend(c.on_ack(pid(1), 4, m3.id));
         out.extend(c.on_ack(pid(2), 4, m3.id));
         assert!(
-            out.iter().any(|o| matches!(o, GbOut::Deliver(d) if d.id == m3.id)),
+            out.iter()
+                .any(|o| matches!(o, GbOut::Deliver(d) if d.id == m3.id)),
             "cursor resumed past the snapshot: {out:?}"
         );
     }

@@ -62,9 +62,21 @@ impl MembershipCore {
                 let m = v.contains(me);
                 (v, m)
             }
-            None => (View { id: 0, members: Vec::new() }, false),
+            None => (
+                View {
+                    id: 0,
+                    members: Vec::new(),
+                },
+                false,
+            ),
         };
-        MembershipCore { me, view, member, sponsoring: BTreeSet::new(), state_size }
+        MembershipCore {
+            me,
+            view,
+            member,
+            sponsoring: BTreeSet::new(),
+            state_size,
+        }
     }
 
     /// The current view.
@@ -143,7 +155,7 @@ impl MembershipCore {
                 out.push(MbOut::ViewChanged(self.view.clone()));
                 out.push(MbOut::Forget(*p));
             }
-            Body::App(_) | Body::GbEnd { .. } => {}
+            Body::App(_) | Body::GbEnd(_) => {}
         }
         out
     }
@@ -170,7 +182,10 @@ mod tests {
 
     fn ctrl(sender: u32, body: Body) -> Message {
         Message {
-            id: MsgId { sender: pid(sender), seq: 0 },
+            id: MsgId {
+                sender: pid(sender),
+                seq: 0,
+            },
             class: MessageClass::ABCAST,
             body,
         }
@@ -195,7 +210,9 @@ mod tests {
         let _ = m.on_join_request(pid(3));
         let out = m.on_ctrl(&ctrl(0, Body::Join(pid(3))));
         assert!(matches!(out[0], MbOut::ViewChanged(ref v) if v.id == 1 && v.contains(pid(3))));
-        assert!(out.iter().any(|o| matches!(o, MbOut::AssembleSnapshot { joiner, .. } if *joiner == pid(3))));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, MbOut::AssembleSnapshot { joiner, .. } if *joiner == pid(3))));
         // Non-sponsors only install the view.
         let mut m1 = member(1);
         let out = m1.on_ctrl(&ctrl(0, Body::Join(pid(3))));
@@ -238,7 +255,10 @@ mod tests {
         let out = j.join_via(pid(0));
         assert!(matches!(out[0], MbOut::Wire(p, WireMsg::Mb(MbMsg::JoinRequest)) if p == pid(0)));
         let snap = SnapshotData {
-            view: View { id: 1, members: vec![pid(0), pid(1), pid(2), pid(3)] },
+            view: View {
+                id: 1,
+                members: vec![pid(0), pid(1), pid(2), pid(3)],
+            },
             next_instance: 4,
             adelivered: vec![],
             gdelivered: vec![],

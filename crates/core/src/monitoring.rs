@@ -34,7 +34,11 @@ pub struct MonitoringPolicy {
 
 impl Default for MonitoringPolicy {
     fn default() -> Self {
-        MonitoringPolicy { threshold: 1, use_fd: true, use_output_triggered: true }
+        MonitoringPolicy {
+            threshold: 1,
+            use_fd: true,
+            use_output_triggered: true,
+        }
     }
 }
 
@@ -62,7 +66,13 @@ pub struct MonitoringCore {
 impl MonitoringCore {
     /// Creates the core for `me` monitoring `members`.
     pub fn new(me: ProcessId, members: Vec<ProcessId>, policy: MonitoringPolicy) -> Self {
-        MonitoringCore { me, members, policy, reporters: BTreeMap::new(), excluded: BTreeSet::new() }
+        MonitoringCore {
+            me,
+            members,
+            policy,
+            reporters: BTreeMap::new(),
+            excluded: BTreeSet::new(),
+        }
     }
 
     /// Installs a new member set (view change). State about processes no
@@ -159,7 +169,10 @@ mod tests {
 
     #[test]
     fn threshold_two_waits_for_a_second_reporter() {
-        let policy = MonitoringPolicy { threshold: 2, ..Default::default() };
+        let policy = MonitoringPolicy {
+            threshold: 2,
+            ..Default::default()
+        };
         let mut m = MonitoringCore::new(pid(0), members(), policy);
         let out = m.on_fd_suspect(pid(3));
         assert!(!out.contains(&MonOut::Exclude(pid(3))));
@@ -169,7 +182,10 @@ mod tests {
 
     #[test]
     fn restore_withdraws_report() {
-        let policy = MonitoringPolicy { threshold: 2, ..Default::default() };
+        let policy = MonitoringPolicy {
+            threshold: 2,
+            ..Default::default()
+        };
         let mut m = MonitoringCore::new(pid(0), members(), policy);
         let _ = m.on_fd_suspect(pid(3));
         m.on_fd_restore(pid(3));
@@ -184,14 +200,20 @@ mod tests {
         let out = m.on_stuck(pid(2));
         assert!(out.contains(&MonOut::Exclude(pid(2))));
 
-        let off = MonitoringPolicy { use_output_triggered: false, ..Default::default() };
+        let off = MonitoringPolicy {
+            use_output_triggered: false,
+            ..Default::default()
+        };
         let mut m = MonitoringCore::new(pid(0), members(), off);
         assert!(m.on_stuck(pid(2)).is_empty());
     }
 
     #[test]
     fn fd_reports_ignored_when_disabled() {
-        let policy = MonitoringPolicy { use_fd: false, ..Default::default() };
+        let policy = MonitoringPolicy {
+            use_fd: false,
+            ..Default::default()
+        };
         let mut m = MonitoringCore::new(pid(0), members(), policy);
         assert!(m.on_fd_suspect(pid(1)).is_empty());
     }
@@ -205,7 +227,10 @@ mod tests {
 
     #[test]
     fn view_change_drops_stale_state() {
-        let policy = MonitoringPolicy { threshold: 2, ..Default::default() };
+        let policy = MonitoringPolicy {
+            threshold: 2,
+            ..Default::default()
+        };
         let mut m = MonitoringCore::new(pid(0), members(), policy);
         let _ = m.on_fd_suspect(pid(3));
         m.set_members(vec![pid(0), pid(1), pid(2)]);

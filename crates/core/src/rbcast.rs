@@ -35,7 +35,12 @@ pub struct Rbcast {
 impl Rbcast {
     /// Creates a broadcast module for `me`; peers come from the view.
     pub fn new(me: ProcessId) -> Self {
-        Rbcast { me, peers: Vec::new(), seen: HashSet::new(), next_seq: 0 }
+        Rbcast {
+            me,
+            peers: Vec::new(),
+            seen: HashSet::new(),
+            next_seq: 0,
+        }
     }
 
     /// Updates the destination set (driven by view changes). `me` is kept
@@ -51,23 +56,30 @@ impl Rbcast {
 
     /// Allocates the next message id for this sender.
     pub fn next_id(&mut self) -> MsgId {
-        let id = MsgId { sender: self.me, seq: self.next_seq };
+        let id = MsgId {
+            sender: self.me,
+            seq: self.next_seq,
+        };
         self.next_seq += 1;
         id
     }
 
     /// Broadcasts `message`: marks it seen locally (the caller delivers it
-    /// to itself directly) and returns the send targets.
-    pub fn broadcast(&mut self, message: &Message) -> Vec<ProcessId> {
+    /// to itself directly) and returns the send targets — a borrow of the
+    /// peer list, so broadcasting allocates nothing.
+    pub fn broadcast(&mut self, message: &Message) -> &[ProcessId] {
         self.seen.insert(message.id);
-        self.peers.clone()
+        &self.peers
     }
 
     /// Handles a received copy of `message`: first copies are delivered and
     /// relayed to every peer except the transport-level sender.
     pub fn on_data(&mut self, from: ProcessId, message: Message) -> RbReceipt {
         if !self.seen.insert(message.id) {
-            return RbReceipt { deliver: None, relay_to: Vec::new() };
+            return RbReceipt {
+                deliver: None,
+                relay_to: Vec::new(),
+            };
         }
         let relay_to: Vec<ProcessId> = self
             .peers
@@ -75,7 +87,10 @@ impl Rbcast {
             .copied()
             .filter(|&p| p != from && p != message.id.sender)
             .collect();
-        RbReceipt { deliver: Some(message), relay_to }
+        RbReceipt {
+            deliver: Some(message),
+            relay_to,
+        }
     }
 
     /// Whether `id` has been seen (sent or received).
@@ -95,7 +110,11 @@ mod tests {
     }
 
     fn msg(id: MsgId) -> Message {
-        Message { id, class: MessageClass::RBCAST, body: Body::App(Bytes::from_static(b"x")) }
+        Message {
+            id,
+            class: MessageClass::RBCAST,
+            body: Body::App(Bytes::from_static(b"x")),
+        }
     }
 
     #[test]
@@ -103,7 +122,13 @@ mod tests {
         let mut rb = Rbcast::new(pid(0));
         rb.set_peers(&[pid(0), pid(1), pid(2)]);
         let id = rb.next_id();
-        assert_eq!(id, MsgId { sender: pid(0), seq: 0 });
+        assert_eq!(
+            id,
+            MsgId {
+                sender: pid(0),
+                seq: 0
+            }
+        );
         let targets = rb.broadcast(&msg(id));
         assert_eq!(targets, vec![pid(1), pid(2)]);
         assert!(rb.seen(id));
@@ -113,7 +138,10 @@ mod tests {
     fn first_copy_delivers_and_relays_skipping_source() {
         let mut rb = Rbcast::new(pid(2));
         rb.set_peers(&[pid(0), pid(1), pid(2), pid(3)]);
-        let id = MsgId { sender: pid(0), seq: 5 };
+        let id = MsgId {
+            sender: pid(0),
+            seq: 5,
+        };
         let r = rb.on_data(pid(1), msg(id));
         assert!(r.deliver.is_some());
         // Relays to everyone except self, the relayer (p1) and origin (p0).

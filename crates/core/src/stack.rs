@@ -7,8 +7,8 @@ use gcs_net::RcConfig;
 use gcs_sim::{Metrics, SimConfig, SimWorld, Trace};
 
 use crate::components::{
-    names, AbcastComponent, ConsensusComponent, FdComponent, GenericComponent,
-    MembershipComponent, MonitoringComponent, RcComponent,
+    names, AbcastComponent, ConsensusComponent, FdComponent, GenericComponent, MembershipComponent,
+    MonitoringComponent, RcComponent,
 };
 use crate::generic::GenericCore;
 use crate::membership::MembershipCore;
@@ -59,8 +59,15 @@ impl Default for StackConfig {
 ///
 /// `initial_view` is `Some` for founding members, `None` for processes that
 /// will join later via [`GroupSim::join_at`].
-pub fn build_process(id: ProcessId, config: &StackConfig, initial_view: Option<View>) -> Process<Ev> {
-    let fd_peers = initial_view.as_ref().map(|v| v.members.clone()).unwrap_or_default();
+pub fn build_process(
+    id: ProcessId,
+    config: &StackConfig,
+    initial_view: Option<View>,
+) -> Process<Ev> {
+    let fd_peers = initial_view
+        .as_ref()
+        .map(|v| v.members.clone())
+        .unwrap_or_default();
     Process::builder(id)
         .with(RcComponent::new(id, config.rc))
         .with(FdComponent::new(
@@ -138,7 +145,11 @@ impl GroupSim {
             let c = &config;
             world.add_node(|id| build_process(id, c, None));
         }
-        GroupSim { world, n_members: n, n_total: n + joiners }
+        GroupSim {
+            world,
+            n_members: n,
+            n_total: n + joiners,
+        }
     }
 
     /// Number of processes (members + joiners).
@@ -170,28 +181,39 @@ impl GroupSim {
 
     /// Schedules an atomic broadcast by `p` at time `t`.
     pub fn abcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
-        self.world.inject_at(t, p, names::ABCAST, Ev::Abcast(payload.into()));
+        self.world
+            .inject_at(t, p, names::ABCAST, Ev::Abcast(payload.into()));
     }
 
     /// Schedules a generic broadcast of `class` by `p` at time `t`.
-    pub fn gbcast_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: impl Into<Bytes>) {
-        self.world.inject_at(t, p, names::GENERIC, Ev::Gbcast(class, payload.into()));
+    pub fn gbcast_at(
+        &mut self,
+        t: Time,
+        p: ProcessId,
+        class: MessageClass,
+        payload: impl Into<Bytes>,
+    ) {
+        self.world
+            .inject_at(t, p, names::GENERIC, Ev::Gbcast(class, payload.into()));
     }
 
     /// Schedules a reliable broadcast (through generic broadcast, class
     /// [`MessageClass::RBCAST`]) by `p` at time `t`.
     pub fn rbcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
-        self.world.inject_at(t, p, names::GENERIC, Ev::Rbcast(payload.into()));
+        self.world
+            .inject_at(t, p, names::GENERIC, Ev::Rbcast(payload.into()));
     }
 
     /// Schedules non-member `joiner` to request membership via `contact`.
     pub fn join_at(&mut self, t: Time, joiner: ProcessId, contact: ProcessId) {
-        self.world.inject_at(t, joiner, names::MEMBERSHIP, Ev::JoinVia(contact));
+        self.world
+            .inject_at(t, joiner, names::MEMBERSHIP, Ev::JoinVia(contact));
     }
 
     /// Schedules member `by` to ask for the removal of `target`.
     pub fn remove_at(&mut self, t: Time, by: ProcessId, target: ProcessId) {
-        self.world.inject_at(t, by, names::MEMBERSHIP, Ev::RemoveMember(target));
+        self.world
+            .inject_at(t, by, names::MEMBERSHIP, Ev::RemoveMember(target));
     }
 
     /// Crashes `p` at `t` (crash-stop).
@@ -326,7 +348,12 @@ mod tests {
         cfg.conflict = ConflictRelation::none(4);
         let mut g = GroupSim::new(4, cfg, 4);
         for i in 0..10u32 {
-            g.gbcast_at(Time::from_millis(1 + i as u64), p(i % 4), MessageClass(0), vec![i as u8]);
+            g.gbcast_at(
+                Time::from_millis(1 + i as u64),
+                p(i % 4),
+                MessageClass(0),
+                vec![i as u8],
+            );
         }
         g.run_until(Time::from_secs(2));
         let ids = g.gdelivered_ids();
@@ -343,7 +370,12 @@ mod tests {
         cfg.conflict = ConflictRelation::all(4);
         let mut g = GroupSim::new(4, cfg, 5);
         for i in 0..6u32 {
-            g.gbcast_at(Time::from_millis(1), p(i % 4), MessageClass(0), vec![i as u8]);
+            g.gbcast_at(
+                Time::from_millis(1),
+                p(i % 4),
+                MessageClass(0),
+                vec![i as u8],
+            );
         }
         g.run_until(Time::from_secs(3));
         let ids = g.gdelivered_ids();
@@ -388,6 +420,33 @@ mod tests {
             assert!(!last.contains(p(2)), "p{i} excluded the crashed member");
             assert_eq!(last.members.len(), 2);
         }
+    }
+
+    /// The reliable channel's ack piggybacking (with delayed standalone
+    /// acks and batched retransmissions) must cut the steady-state packet
+    /// count of the full stack by at least 40% — heartbeats excluded, since
+    /// they never carried acks in either scheme.
+    #[test]
+    fn ack_piggybacking_cuts_steady_state_packets() {
+        let run = |piggyback: bool| -> u64 {
+            let mut cfg = StackConfig::default();
+            cfg.monitoring_timeout = TimeDelta::from_secs(3600);
+            cfg.rc.piggyback_acks = piggyback;
+            let mut g = GroupSim::new(5, cfg, 1);
+            for i in 0..20u32 {
+                g.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % 5), vec![i as u8]);
+            }
+            g.run_until(Time::from_millis(300));
+            let seqs = g.adelivered_payloads();
+            assert_eq!(seqs[0].len(), 20, "workload completes");
+            g.metrics().sent_matching(|k| k != "fd/heartbeat")
+        };
+        let classic = run(false);
+        let piggybacked = run(true);
+        assert!(
+            10 * piggybacked <= 6 * classic,
+            "expected ≥40% packet reduction: {piggybacked} vs {classic}"
+        );
     }
 
     #[test]

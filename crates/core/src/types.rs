@@ -6,6 +6,7 @@ use gcs_consensus::{CtMsg, InstanceId};
 use gcs_kernel::{Event, ProcessId, Time};
 use gcs_net::Packet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Globally unique message identity: `(sender, per-sender sequence)`.
 ///
@@ -56,14 +57,20 @@ impl ConflictRelation {
     /// A relation over classes `0..size` where nothing conflicts.
     pub fn none(size: u16) -> Self {
         let size = size as usize;
-        ConflictRelation { size, matrix: vec![false; size * size] }
+        ConflictRelation {
+            size,
+            matrix: vec![false; size * size],
+        }
     }
 
     /// A relation over classes `0..size` where everything conflicts
     /// (generic broadcast degenerates to atomic broadcast).
     pub fn all(size: u16) -> Self {
         let size = size as usize;
-        ConflictRelation { size, matrix: vec![true; size * size] }
+        ConflictRelation {
+            size,
+            matrix: vec![true; size * size],
+        }
     }
 
     /// The paper's §3.3 relation between [`MessageClass::RBCAST`] and
@@ -142,23 +149,36 @@ impl View {
         if !members.contains(&p) {
             members.push(p);
         }
-        View { id: self.id + 1, members }
+        View {
+            id: self.id + 1,
+            members,
+        }
     }
 
     /// The successor view after removing `p`.
     pub fn with_remove(&self, p: ProcessId) -> View {
-        View { id: self.id + 1, members: self.members.iter().copied().filter(|&m| m != p).collect() }
+        View {
+            id: self.id + 1,
+            members: self.members.iter().copied().filter(|&m| m != p).collect(),
+        }
     }
 
     /// The successor view that rotates `old_primary` to the tail
     /// (primary-change, paper Fig 8 footnote 10).
     pub fn with_rotation(&self, old_primary: ProcessId) -> View {
-        let mut members: Vec<ProcessId> =
-            self.members.iter().copied().filter(|&m| m != old_primary).collect();
+        let mut members: Vec<ProcessId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != old_primary)
+            .collect();
         if self.members.contains(&old_primary) {
             members.push(old_primary);
         }
-        View { id: self.id + 1, members }
+        View {
+            id: self.id + 1,
+            members,
+        }
     }
 }
 
@@ -173,15 +193,21 @@ pub enum Body {
     Remove(ProcessId),
     /// Generic-broadcast epoch closure (internal; ordered through abcast).
     /// Carries full messages so closure deliveries never stall on missing
-    /// payloads.
-    GbEnd {
-        /// The epoch being closed.
-        epoch: u64,
-        /// Messages the sender had acked in this epoch.
-        acked: Vec<Message>,
-        /// Other undelivered messages the sender knew of.
-        pending: Vec<Message>,
-    },
+    /// payloads. The payload lives behind an `Arc`: epoch closures are
+    /// diffused to every member, and the shared pointer keeps that fan-out
+    /// from deep-copying the message sets per destination.
+    GbEnd(Arc<GbEndData>),
+}
+
+/// The payload of a [`Body::GbEnd`] epoch-closure message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GbEndData {
+    /// The epoch being closed.
+    pub epoch: u64,
+    /// Messages the sender had acked in this epoch.
+    pub acked: Vec<Message>,
+    /// Other undelivered messages the sender knew of.
+    pub pending: Vec<Message>,
 }
 
 impl Body {
@@ -190,8 +216,13 @@ impl Body {
         match self {
             Body::App(b) => b.len(),
             Body::Join(_) | Body::Remove(_) => 8,
-            Body::GbEnd { acked, pending, .. } => {
-                16 + acked.iter().chain(pending).map(|m| 32 + m.body.size_hint()).sum::<usize>()
+            Body::GbEnd(end) => {
+                16 + end
+                    .acked
+                    .iter()
+                    .chain(&end.pending)
+                    .map(|m| 32 + m.body.size_hint())
+                    .sum::<usize>()
             }
         }
     }
@@ -361,7 +392,11 @@ impl WireMsg {
 /// Batches carry full messages (not just ids): the Chandra-Toueg reduction
 /// is only live if a decided message's payload is available wherever the
 /// decision is, even when the original sender crashed mid-diffusion.
-pub type Batch = Vec<Message>;
+///
+/// Shared (`Arc`) because consensus broadcasts each estimate/proposal/
+/// decision to every participant: with a shared slice the per-destination
+/// clone is a reference-count bump instead of a deep copy of the batch.
+pub type Batch = Arc<[Message]>;
 
 // ---------------------------------------------------------------------------
 // The process-local event catalog (the arrows of Fig 9)
@@ -453,6 +488,7 @@ impl Event for Ev {
     fn kind(&self) -> &'static str {
         match self {
             Ev::Packet(Packet::Data { msg, .. }) => msg.kind(),
+            Ev::Packet(Packet::Batch { .. }) => "rc/batch",
             Ev::Packet(Packet::Ack { .. }) => "rc/ack",
             Ev::Heartbeat => "fd/heartbeat",
             Ev::Abcast(_) => "op/abcast",
@@ -485,7 +521,11 @@ impl Event for Ev {
 
     fn wire_size(&self) -> usize {
         match self {
-            Ev::Packet(Packet::Data { msg, .. }) => 16 + msg.size_hint(),
+            // Data packets carry 8 extra bytes for the piggybacked ack.
+            Ev::Packet(Packet::Data { msg, .. }) => 24 + msg.size_hint(),
+            Ev::Packet(Packet::Batch { msgs, .. }) => {
+                24 + msgs.iter().map(|(_, m)| 8 + m.size_hint()).sum::<usize>()
+            }
             Ev::Packet(Packet::Ack { .. }) => 24,
             Ev::Heartbeat => 16,
             _ => 64,
@@ -540,8 +580,14 @@ mod tests {
 
     #[test]
     fn msgid_order_is_sender_then_seq() {
-        let a = MsgId { sender: ProcessId::new(0), seq: 9 };
-        let b = MsgId { sender: ProcessId::new(1), seq: 0 };
+        let a = MsgId {
+            sender: ProcessId::new(0),
+            seq: 9,
+        };
+        let b = MsgId {
+            sender: ProcessId::new(1),
+            seq: 0,
+        };
         assert!(a < b);
     }
 }

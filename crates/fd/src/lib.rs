@@ -24,8 +24,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-
 use gcs_kernel::{ProcessId, Time, TimeDelta};
 
 /// Identifies one registered suspicion client (timeout class).
@@ -72,15 +70,23 @@ struct ClassState {
 }
 
 /// A heartbeat failure detector with per-class timeouts.
+///
+/// Internal tables are small and dense (a handful of classes, a group's
+/// worth of peers), so they are flat sorted vectors rather than hash maps —
+/// `on_heartbeat` runs on every received heartbeat and allocates nothing.
 #[derive(Debug)]
 pub struct HeartbeatFd {
     me: ProcessId,
     interval: TimeDelta,
     peers: Vec<ProcessId>,
-    classes: HashMap<MonitorClass, ClassState>,
-    last_heard: HashMap<ProcessId, Time>,
-    /// (class, peer) pairs currently suspected.
-    suspected: HashMap<(MonitorClass, ProcessId), bool>,
+    /// Registered classes, sorted by class id.
+    classes: Vec<(MonitorClass, ClassState)>,
+    /// Last heartbeat per peer, indexed by raw process id.
+    last_heard: Vec<Option<Time>>,
+    /// Suspicion flags: parallel to `classes`, each a dense per-peer table
+    /// indexed by raw process id — O(1) per (class, peer) on the tick and
+    /// heartbeat paths.
+    suspected: Vec<(MonitorClass, Vec<bool>)>,
     started_at: Time,
 }
 
@@ -92,9 +98,9 @@ impl HeartbeatFd {
             me,
             interval,
             peers: Vec::new(),
-            classes: HashMap::new(),
-            last_heard: HashMap::new(),
-            suspected: HashMap::new(),
+            classes: Vec::new(),
+            last_heard: Vec::new(),
+            suspected: Vec::new(),
             started_at: Time::ZERO,
         }
     }
@@ -106,13 +112,45 @@ impl HeartbeatFd {
 
     /// Registers (or re-times) a suspicion class. (`start_monitor` in Fig 9.)
     pub fn register_class(&mut self, class: MonitorClass, timeout: TimeDelta) {
-        self.classes.insert(class, ClassState { timeout });
+        if let Some(slot) = self.classes.iter_mut().find(|(c, _)| *c == class) {
+            slot.1 = ClassState { timeout };
+        } else {
+            self.classes.push((class, ClassState { timeout }));
+            self.classes.sort_unstable_by_key(|&(c, _)| c);
+            self.suspected.push((class, Vec::new()));
+            self.suspected.sort_unstable_by_key(|&(c, _)| c);
+        }
     }
 
     /// Removes a suspicion class. (`stop_monitor` in Fig 9.)
     pub fn unregister_class(&mut self, class: MonitorClass) {
-        self.classes.remove(&class);
-        self.suspected.retain(|(c, _), _| *c != class);
+        self.classes.retain(|&(c, _)| c != class);
+        self.suspected.retain(|(c, _)| *c != class);
+    }
+
+    fn suspicion_flag(&mut self, class_idx: usize, peer: ProcessId) -> &mut bool {
+        let table = &mut self.suspected[class_idx].1;
+        let idx = peer.index();
+        if idx >= table.len() {
+            table.resize(idx + 1, false);
+        }
+        &mut table[idx]
+    }
+
+    fn last_heard_of(&self, p: ProcessId) -> Time {
+        self.last_heard
+            .get(p.index())
+            .copied()
+            .flatten()
+            .unwrap_or(self.started_at)
+    }
+
+    fn note_heard(&mut self, p: ProcessId, now: Time) {
+        let idx = p.index();
+        if idx >= self.last_heard.len() {
+            self.last_heard.resize(idx + 1, None);
+        }
+        self.last_heard[idx] = Some(now);
     }
 
     /// Replaces the set of monitored peers (driven by `new_view`).
@@ -123,14 +161,29 @@ impl HeartbeatFd {
         self.peers = peers.into_iter().filter(|p| *p != me).collect();
         self.peers.sort_unstable();
         self.peers.dedup();
-        let keep: std::collections::HashSet<ProcessId> = self.peers.iter().copied().collect();
-        self.last_heard.retain(|p, _| keep.contains(p));
-        self.suspected.retain(|(_, p), _| keep.contains(p));
-        // Newly monitored peers get a grace period of one full timeout from
-        // now rather than being instantly suspected.
-        for &p in &self.peers {
-            self.last_heard.entry(p).or_insert(now);
+        // `peers` is sorted and deduplicated above, so membership checks
+        // during cleanup are binary searches.
+        for (i, slot) in self.last_heard.iter_mut().enumerate() {
+            if self.peers.binary_search(&ProcessId::new(i as u32)).is_err() {
+                *slot = None;
+            }
         }
+        for (_, table) in &mut self.suspected {
+            for (i, flag) in table.iter_mut().enumerate() {
+                if self.peers.binary_search(&ProcessId::new(i as u32)).is_err() {
+                    *flag = false;
+                }
+            }
+        }
+        // Newly monitored (never-heard) peers get a grace period of one full
+        // timeout from now rather than being instantly suspected.
+        let peers = std::mem::take(&mut self.peers);
+        for &p in &peers {
+            if self.last_heard.get(p.index()).copied().flatten().is_none() {
+                self.note_heard(p, now);
+            }
+        }
+        self.peers = peers;
         self.started_at = self.started_at.max(now);
     }
 
@@ -145,15 +198,18 @@ impl HeartbeatFd {
         if !self.peers.contains(&from) {
             return Vec::new();
         }
-        self.last_heard.insert(from, now);
+        self.note_heard(from, now);
         let mut out = Vec::new();
-        let mut classes: Vec<MonitorClass> = self.classes.keys().copied().collect();
-        classes.sort_unstable();
-        for class in classes {
-            if let Some(s) = self.suspected.get_mut(&(class, from)) {
-                if *s {
-                    *s = false;
-                    out.push(FdOut::Restore { class, peer: from });
+        // `suspected` is kept sorted by class, so restore transitions stay
+        // deterministic.
+        for (class, table) in &mut self.suspected {
+            if let Some(flag) = table.get_mut(from.index()) {
+                if *flag {
+                    *flag = false;
+                    out.push(FdOut::Restore {
+                        class: *class,
+                        peer: from,
+                    });
                 }
             }
         }
@@ -162,43 +218,55 @@ impl HeartbeatFd {
 
     /// Periodic driver: emits heartbeats and evaluates timeouts.
     pub fn on_tick(&mut self, now: Time) -> Vec<FdOut> {
-        let mut out: Vec<FdOut> =
-            self.peers.iter().map(|&to| FdOut::SendHeartbeat { to }).collect();
-        let mut classes: Vec<(MonitorClass, ClassState)> =
-            self.classes.iter().map(|(c, s)| (*c, *s)).collect();
-        classes.sort_unstable_by_key(|(c, _)| *c);
-        for &peer in &self.peers {
-            let last = self.last_heard.get(&peer).copied().unwrap_or(self.started_at);
-            for &(class, state) in &classes {
+        let mut out: Vec<FdOut> = self
+            .peers
+            .iter()
+            .map(|&to| FdOut::SendHeartbeat { to })
+            .collect();
+        let peers = std::mem::take(&mut self.peers);
+        for &peer in &peers {
+            let last = self.last_heard_of(peer);
+            for i in 0..self.classes.len() {
+                let (class, state) = self.classes[i];
                 let suspected_now = now.since(last) > state.timeout;
-                let entry = self.suspected.entry((class, peer)).or_insert(false);
-                if suspected_now && !*entry {
-                    *entry = true;
+                let flag = self.suspicion_flag(i, peer);
+                if suspected_now && !*flag {
+                    *flag = true;
                     out.push(FdOut::Suspect { class, peer });
-                } else if !suspected_now && *entry {
-                    *entry = false;
+                } else if !suspected_now && *flag {
+                    *flag = false;
                     out.push(FdOut::Restore { class, peer });
                 }
             }
         }
+        self.peers = peers;
         out
     }
 
     /// Whether `peer` is currently suspected by `class`.
     pub fn is_suspected(&self, class: MonitorClass, peer: ProcessId) -> bool {
-        self.suspected.get(&(class, peer)).copied().unwrap_or(false)
+        self.suspected
+            .iter()
+            .find(|(c, _)| *c == class)
+            .and_then(|(_, table)| table.get(peer.index()))
+            .copied()
+            .unwrap_or(false)
     }
 
     /// All peers currently suspected by `class`, sorted.
     pub fn suspected_by(&self, class: MonitorClass) -> Vec<ProcessId> {
-        let mut v: Vec<ProcessId> = self
-            .suspected
+        self.suspected
             .iter()
-            .filter(|((c, _), s)| *c == class && **s)
-            .map(|((_, p), _)| *p)
-            .collect();
-        v.sort_unstable();
-        v
+            .find(|(c, _)| *c == class)
+            .map(|(_, table)| {
+                table
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| s)
+                    .map(|(i, _)| ProcessId::new(i as u32))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 }
 
@@ -239,13 +307,19 @@ mod tests {
         fd.on_heartbeat(P2, Time::ZERO);
         // At 100 ms only the consensus class has timed out.
         let out = fd.on_tick(Time::from_millis(100));
-        assert!(out.contains(&FdOut::Suspect { class: MonitorClass::CONSENSUS, peer: P1 }));
+        assert!(out.contains(&FdOut::Suspect {
+            class: MonitorClass::CONSENSUS,
+            peer: P1
+        }));
         assert!(!out.iter().any(
             |o| matches!(o, FdOut::Suspect { class, .. } if *class == MonitorClass::MONITORING)
         ));
         // At 600 ms the monitoring class suspects too.
         let out = fd.on_tick(Time::from_millis(600));
-        assert!(out.contains(&FdOut::Suspect { class: MonitorClass::MONITORING, peer: P1 }));
+        assert!(out.contains(&FdOut::Suspect {
+            class: MonitorClass::MONITORING,
+            peer: P1
+        }));
         assert!(fd.is_suspected(MonitorClass::CONSENSUS, P1));
         assert_eq!(fd.suspected_by(MonitorClass::MONITORING), vec![P1, P2]);
     }
@@ -256,7 +330,13 @@ mod tests {
         fd.on_tick(Time::from_millis(100));
         assert!(fd.is_suspected(MonitorClass::CONSENSUS, P1));
         let out = fd.on_heartbeat(P1, Time::from_millis(101));
-        assert_eq!(out, vec![FdOut::Restore { class: MonitorClass::CONSENSUS, peer: P1 }]);
+        assert_eq!(
+            out,
+            vec![FdOut::Restore {
+                class: MonitorClass::CONSENSUS,
+                peer: P1
+            }]
+        );
         assert!(!fd.is_suspected(MonitorClass::CONSENSUS, P1));
     }
 
@@ -279,8 +359,14 @@ mod tests {
         let p9 = ProcessId::new(9);
         fd.set_peers([P1, p9], now);
         let out = fd.on_tick(now + TimeDelta::from_millis(10));
-        assert!(out.contains(&FdOut::Suspect { class: MonitorClass::CONSENSUS, peer: P1 }));
-        assert!(!out.contains(&FdOut::Suspect { class: MonitorClass::CONSENSUS, peer: p9 }));
+        assert!(out.contains(&FdOut::Suspect {
+            class: MonitorClass::CONSENSUS,
+            peer: P1
+        }));
+        assert!(!out.contains(&FdOut::Suspect {
+            class: MonitorClass::CONSENSUS,
+            peer: p9
+        }));
     }
 
     #[test]

@@ -27,6 +27,17 @@ pub enum Action<E> {
         /// The event to send.
         event: E,
     },
+    /// Send one event to the same component of many processes — the
+    /// broadcast envelope: the event is carried **once** and fanned out by
+    /// the runtime, instead of being cloned per destination here.
+    Multicast {
+        /// Destination processes (inline up to typical group sizes).
+        targets: crate::smallvec::SmallVec<ProcessId, 8>,
+        /// Destination component name within each target.
+        component: &'static str,
+        /// The event to send (shared across all targets).
+        event: E,
+    },
     /// Request a one-shot timer.
     SetTimer {
         /// Id handed back to the requesting component on expiry.
@@ -64,7 +75,13 @@ impl<'a, E: Event> Context<'a, E> {
         actions: &'a mut Vec<(usize, Action<E>)>,
         next_timer: &'a mut u64,
     ) -> Self {
-        Context { now, me, component, actions, next_timer }
+        Context {
+            now,
+            me,
+            component,
+            actions,
+            next_timer,
+        }
     }
 
     /// Current virtual time.
@@ -84,31 +101,53 @@ impl<'a, E: Event> Context<'a, E> {
     /// The hosting process panics during dispatch if no component with that
     /// name exists — a miswired graph is a programming error.
     pub fn emit(&mut self, to: &'static str, event: E) {
-        self.actions.push((self.component, Action::Emit { to, event }));
+        self.actions
+            .push((self.component, Action::Emit { to, event }));
     }
 
     /// Sends `event` to component `component` of process `to`.
     pub fn send(&mut self, to: ProcessId, component: &'static str, event: E) {
-        self.actions.push((self.component, Action::Send { to, component, event }));
+        self.actions.push((
+            self.component,
+            Action::Send {
+                to,
+                component,
+                event,
+            },
+        ));
     }
 
-    /// Sends a clone of `event` to the same component of every process in
-    /// `targets` (including `self` if listed; self-sends loop through the
-    /// network like any other message).
+    /// Sends `event` to the same component of every process in `targets`
+    /// (including `self` if listed; self-sends loop through the network like
+    /// any other message).
+    ///
+    /// The event travels as a single broadcast envelope: it is **not**
+    /// cloned per destination here — the hosting runtime expands the fan-out
+    /// (cloning only where delivery demands it).
     pub fn send_to_all<I>(&mut self, targets: I, component: &'static str, event: E)
     where
         I: IntoIterator<Item = ProcessId>,
     {
-        for t in targets {
-            self.send(t, component, event.clone());
+        let targets: crate::smallvec::SmallVec<ProcessId, 8> = targets.into_iter().collect();
+        if targets.is_empty() {
+            return;
         }
+        self.actions.push((
+            self.component,
+            Action::Multicast {
+                targets,
+                component,
+                event,
+            },
+        ));
     }
 
     /// Requests a one-shot timer firing `after` from now; returns its id.
     pub fn set_timer(&mut self, after: TimeDelta) -> TimerId {
         let id = TimerId::new(*self.next_timer);
         *self.next_timer += 1;
-        self.actions.push((self.component, Action::SetTimer { id, after }));
+        self.actions
+            .push((self.component, Action::SetTimer { id, after }));
         id
     }
 

@@ -53,12 +53,14 @@ mod component;
 mod event;
 mod ids;
 mod process;
+mod smallvec;
 mod stack;
 mod time;
 
 pub use component::{Action, Component, Context};
 pub use event::Event;
 pub use ids::{ProcessId, TimerId};
-pub use process::{Effects, Envelope, Process, ProcessBuilder, TimerRequest};
+pub use process::{Effects, Envelope, Multicast, Process, ProcessBuilder, TimerRequest};
+pub use smallvec::SmallVec;
 pub use stack::{Direction, Layer, LayerContext, StackBuilder, StackComponent};
 pub use time::{Time, TimeDelta};

@@ -1,10 +1,11 @@
 //! A process hosting a graph of components, with deterministic dispatch.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::component::{Action, Component, Context};
 use crate::event::Event;
 use crate::ids::{ProcessId, TimerId};
+use crate::smallvec::SmallVec;
 use crate::time::{Time, TimeDelta};
 
 /// A network message produced by a dispatch step.
@@ -17,6 +18,21 @@ pub struct Envelope<E> {
     /// Destination component name within the destination process.
     pub component: &'static str,
     /// The event carried by this message.
+    pub event: E,
+}
+
+/// A broadcast envelope produced by a dispatch step: one event destined for
+/// the same component of many processes. The runtime expands the fan-out,
+/// cloning the event only where delivery demands it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Multicast<E> {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Destination processes.
+    pub to: SmallVec<ProcessId, 8>,
+    /// Destination component name within each destination process.
+    pub component: &'static str,
+    /// The event carried to every destination.
     pub event: E,
 }
 
@@ -33,26 +49,60 @@ pub struct TimerRequest {
 ///
 /// The hosting runtime (simulator or threaded runtime) is responsible for
 /// carrying these out: scheduling sends and timers and recording outputs.
+///
+/// The buffers are [`SmallVec`]s: the common dispatch produces only a
+/// handful of effects, which then never touch the allocator. Runtimes on the
+/// hot path should keep one `Effects` alive and use the `*_into` entry
+/// points of [`Process`] ([`deliver_into`](Process::deliver_into) et al.),
+/// which reuse the buffers across dispatches.
 #[derive(Debug)]
 pub struct Effects<E> {
     /// Messages to transmit over the network.
-    pub sends: Vec<Envelope<E>>,
+    pub sends: SmallVec<Envelope<E>, 4>,
+    /// Broadcast envelopes to expand and transmit.
+    pub casts: SmallVec<Multicast<E>, 1>,
     /// Timers to schedule.
-    pub timers: Vec<TimerRequest>,
+    pub timers: SmallVec<TimerRequest, 2>,
     /// Events delivered to the application observer.
-    pub outputs: Vec<E>,
+    pub outputs: SmallVec<E, 2>,
     /// True if the process halted itself during this step.
     pub halted: bool,
 }
 
 impl<E> Effects<E> {
-    fn new() -> Self {
-        Effects { sends: Vec::new(), timers: Vec::new(), outputs: Vec::new(), halted: false }
+    /// Creates an empty effects buffer.
+    pub fn new() -> Self {
+        Effects {
+            sends: SmallVec::new(),
+            casts: SmallVec::new(),
+            timers: SmallVec::new(),
+            outputs: SmallVec::new(),
+            halted: false,
+        }
     }
 
     /// True when the step produced no externally visible effect at all.
     pub fn is_empty(&self) -> bool {
-        self.sends.is_empty() && self.timers.is_empty() && self.outputs.is_empty() && !self.halted
+        self.sends.is_empty()
+            && self.casts.is_empty()
+            && self.timers.is_empty()
+            && self.outputs.is_empty()
+            && !self.halted
+    }
+
+    /// Empties all buffers (retaining spill capacity) for reuse.
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.casts.clear();
+        self.timers.clear();
+        self.outputs.clear();
+        self.halted = false;
+    }
+}
+
+impl<E> Default for Effects<E> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -88,18 +138,24 @@ impl<E: Event> ProcessBuilder<E> {
 
     /// Finalizes the process graph.
     pub fn build(self) -> Process<E> {
-        let mut index = HashMap::new();
+        let mut index: Vec<(&'static str, usize)> = Vec::new();
         for (i, c) in self.components.iter().enumerate() {
-            let prev = index.insert(c.name(), i);
-            assert!(prev.is_none(), "duplicate component name {:?}", c.name());
+            assert!(
+                index.iter().all(|&(n, _)| n != c.name()),
+                "duplicate component name {:?}",
+                c.name()
+            );
+            index.push((c.name(), i));
         }
         Process {
             id: self.id,
             components: self.components,
             index,
             next_timer: 0,
-            timer_owner: HashMap::new(),
+            timer_owner: Vec::new(),
             halted: false,
+            scratch_actions: Vec::new(),
+            scratch_pending: VecDeque::new(),
         }
     }
 }
@@ -114,16 +170,27 @@ impl<E: Event> ProcessBuilder<E> {
 pub struct Process<E: Event> {
     id: ProcessId,
     components: Vec<Box<dyn Component<E>>>,
-    index: HashMap<&'static str, usize>,
+    // Component-name routing table. A process has a handful of components
+    // and names are `'static` literals, so a pointer-first linear scan beats
+    // hashing on every emit of the dispatch cascade.
+    index: Vec<(&'static str, usize)>,
     next_timer: u64,
-    timer_owner: HashMap<TimerId, usize>,
+    // Live timers are few; linear scan + swap_remove beats a hash map.
+    timer_owner: Vec<(TimerId, usize)>,
     halted: bool,
+    // Dispatch scratch buffers, reused across steps so a steady-state event
+    // dispatch performs no allocation.
+    scratch_actions: Vec<(usize, Action<E>)>,
+    scratch_pending: VecDeque<(usize, E)>,
 }
 
 impl<E: Event> Process<E> {
     /// Starts building a process with the given identity.
     pub fn builder(id: ProcessId) -> ProcessBuilder<E> {
-        ProcessBuilder { id, components: Vec::new() }
+        ProcessBuilder {
+            id,
+            components: Vec::new(),
+        }
     }
 
     /// The identity of this process.
@@ -148,7 +215,14 @@ impl<E: Event> Process<E> {
 
     /// Invokes `on_start` on every component, in registration order.
     pub fn start(&mut self, now: Time) -> Effects<E> {
-        self.run(now, |this, actions, next_timer| {
+        let mut fx = Effects::new();
+        self.start_into(now, &mut fx);
+        fx
+    }
+
+    /// Like [`start`](Self::start), appending into a caller-owned buffer.
+    pub fn start_into(&mut self, now: Time, fx: &mut Effects<E>) {
+        self.run(now, fx, |this, actions, next_timer| {
             for i in 0..this.components.len() {
                 let mut ctx = Context::new(now, this.id, i, actions, next_timer);
                 this.components[i].on_start(&mut ctx);
@@ -164,8 +238,17 @@ impl<E: Event> Process<E> {
     /// Panics if no component is registered under `component` — a miswired
     /// graph is a programming error, not a runtime condition.
     pub fn deliver(&mut self, component: &str, event: E, now: Time) -> Effects<E> {
+        let mut fx = Effects::new();
+        self.deliver_into(component, event, now, &mut fx);
+        fx
+    }
+
+    /// Like [`deliver`](Self::deliver), appending into a caller-owned
+    /// buffer — the hot-path entry point: reusing one `Effects` across
+    /// dispatches keeps the buffers allocation-free.
+    pub fn deliver_into(&mut self, component: &str, event: E, now: Time, fx: &mut Effects<E>) {
         let target = self.lookup(component);
-        self.run(now, |this, actions, next_timer| {
+        self.run(now, fx, |this, actions, next_timer| {
             let mut ctx = Context::new(now, this.id, target, actions, next_timer);
             this.components[target].on_event(event, &mut ctx);
         })
@@ -184,67 +267,107 @@ impl<E: Event> Process<E> {
         event: E,
         now: Time,
     ) -> Effects<E> {
+        let mut fx = Effects::new();
+        self.deliver_net_into(from, component, event, now, &mut fx);
+        fx
+    }
+
+    /// Like [`deliver_net`](Self::deliver_net), appending into a
+    /// caller-owned buffer.
+    pub fn deliver_net_into(
+        &mut self,
+        from: ProcessId,
+        component: &str,
+        event: E,
+        now: Time,
+        fx: &mut Effects<E>,
+    ) {
         let target = self.lookup(component);
-        self.run(now, |this, actions, next_timer| {
+        self.run(now, fx, |this, actions, next_timer| {
             let mut ctx = Context::new(now, this.id, target, actions, next_timer);
             this.components[target].on_message(from, event, &mut ctx);
         })
     }
 
     fn lookup(&self, component: &str) -> usize {
-        *self
-            .index
-            .get(component)
+        self.index
+            .iter()
+            .find(|&&(n, _)| std::ptr::eq(n, component) || n == component)
+            .map(|&(_, i)| i)
             .unwrap_or_else(|| panic!("{:?}: no component named {component:?}", self.id))
+    }
+
+    fn take_timer_owner(&mut self, id: TimerId) -> Option<usize> {
+        let pos = self.timer_owner.iter().position(|&(t, _)| t == id)?;
+        Some(self.timer_owner.swap_remove(pos).1)
     }
 
     /// Fires a timer. Unknown (fired or cancelled) ids are ignored.
     pub fn fire_timer(&mut self, id: TimerId, now: Time) -> Effects<E> {
-        let Some(owner) = self.timer_owner.remove(&id) else {
-            return Effects::new();
+        let mut fx = Effects::new();
+        self.fire_timer_into(id, now, &mut fx);
+        fx
+    }
+
+    /// Like [`fire_timer`](Self::fire_timer), appending into a caller-owned
+    /// buffer.
+    pub fn fire_timer_into(&mut self, id: TimerId, now: Time, fx: &mut Effects<E>) {
+        let Some(owner) = self.take_timer_owner(id) else {
+            return;
         };
-        self.run(now, |this, actions, next_timer| {
+        self.run(now, fx, |this, actions, next_timer| {
             let mut ctx = Context::new(now, this.id, owner, actions, next_timer);
             this.components[owner].on_timer(id, &mut ctx);
         })
     }
 
     /// Runs `seed` and then the cascade of locally emitted events until
-    /// quiescence, in FIFO order, collecting external effects.
+    /// quiescence, in FIFO order, collecting external effects into `fx`.
+    ///
+    /// The action and cascade queues are scratch buffers owned by the
+    /// process, so steady-state dispatch does not allocate.
     fn run(
         &mut self,
         now: Time,
+        fx: &mut Effects<E>,
         seed: impl FnOnce(&mut Self, &mut Vec<(usize, Action<E>)>, &mut u64),
-    ) -> Effects<E> {
+    ) {
         if self.halted {
-            return Effects::new();
+            return;
         }
-        let mut fx = Effects::new();
-        let mut pending: VecDeque<(usize, E)> = VecDeque::new();
-        let mut actions: Vec<(usize, Action<E>)> = Vec::new();
+        let mut pending = std::mem::take(&mut self.scratch_pending);
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        debug_assert!(pending.is_empty() && actions.is_empty());
         let mut next_timer = self.next_timer;
 
         seed(self, &mut actions, &mut next_timer);
-        self.drain_actions(&mut actions, &mut pending, &mut fx);
+        self.drain_actions(&mut actions, &mut pending, fx);
 
         // A generous bound on cascade length catches accidental emit loops.
         let mut steps = 0usize;
         while let Some((target, event)) = pending.pop_front() {
             steps += 1;
-            assert!(steps < 1_000_000, "{:?}: runaway local event cascade", self.id);
+            assert!(
+                steps < 1_000_000,
+                "{:?}: runaway local event cascade",
+                self.id
+            );
             if fx.halted {
                 break;
             }
             let mut ctx = Context::new(now, self.id, target, &mut actions, &mut next_timer);
             self.components[target].on_event(event, &mut ctx);
-            self.drain_actions(&mut actions, &mut pending, &mut fx);
+            self.drain_actions(&mut actions, &mut pending, fx);
         }
 
         self.next_timer = next_timer;
         if fx.halted {
             self.halted = true;
         }
-        fx
+        pending.clear();
+        actions.clear();
+        self.scratch_pending = pending;
+        self.scratch_actions = actions;
     }
 
     fn drain_actions(
@@ -256,21 +379,46 @@ impl<E: Event> Process<E> {
         for (owner, action) in actions.drain(..) {
             match action {
                 Action::Emit { to, event } => {
-                    let target = *self
+                    let target = self
                         .index
-                        .get(to)
-                        .unwrap_or_else(|| panic!("{:?}: emit to unknown component {to:?}", self.id));
+                        .iter()
+                        .find(|&&(n, _)| std::ptr::eq(n, to) || n == to)
+                        .map(|&(_, i)| i)
+                        .unwrap_or_else(|| {
+                            panic!("{:?}: emit to unknown component {to:?}", self.id)
+                        });
                     pending.push_back((target, event));
                 }
-                Action::Send { to, component, event } => {
-                    fx.sends.push(Envelope { from: self.id, to, component, event });
+                Action::Send {
+                    to,
+                    component,
+                    event,
+                } => {
+                    fx.sends.push(Envelope {
+                        from: self.id,
+                        to,
+                        component,
+                        event,
+                    });
+                }
+                Action::Multicast {
+                    targets,
+                    component,
+                    event,
+                } => {
+                    fx.casts.push(Multicast {
+                        from: self.id,
+                        to: targets,
+                        component,
+                        event,
+                    });
                 }
                 Action::SetTimer { id, after } => {
-                    self.timer_owner.insert(id, owner);
+                    self.timer_owner.push((id, owner));
                     fx.timers.push(TimerRequest { id, after });
                 }
                 Action::CancelTimer(id) => {
-                    self.timer_owner.remove(&id);
+                    let _ = self.take_timer_owner(id);
                 }
                 Action::Output(event) => fx.outputs.push(event),
                 Action::Halt => fx.halted = true,
@@ -341,7 +489,10 @@ mod tests {
     }
 
     fn proc() -> Process<Ev> {
-        Process::builder(ProcessId::new(0)).with(Gateway).with(Replier { timer: None }).build()
+        Process::builder(ProcessId::new(0))
+            .with(Gateway)
+            .with(Replier { timer: None })
+            .build()
     }
 
     #[test]
@@ -391,7 +542,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate component name")]
     fn duplicate_names_panic() {
-        let _ = Process::builder(ProcessId::new(0)).with(Gateway).with(Gateway).build();
+        let _ = Process::builder(ProcessId::new(0))
+            .with(Gateway)
+            .with(Gateway)
+            .build();
     }
 
     #[test]

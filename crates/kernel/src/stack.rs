@@ -44,6 +44,7 @@ enum LayerOp<E> {
     Up(E),
     Down(E),
     Send { to: ProcessId, event: E },
+    Multicast { targets: Vec<ProcessId>, event: E },
     Output(E),
     OwnTimer(TimerId),
     Cancel(TimerId),
@@ -110,15 +111,17 @@ impl<'a, 'b, E: Event> LayerContext<'a, 'b, E> {
         self.ops.push(LayerOp::Send { to, event });
     }
 
-    /// Sends a clone of `event` to the same stack on every process in
-    /// `targets`.
+    /// Sends `event` to the same stack on every process in `targets`, as a
+    /// single broadcast envelope (no per-destination clone here).
     pub fn send_to_all<I>(&mut self, targets: I, event: E)
     where
         I: IntoIterator<Item = ProcessId>,
     {
-        for t in targets {
-            self.send(t, event.clone());
+        let targets: Vec<ProcessId> = targets.into_iter().collect();
+        if targets.is_empty() {
+            return;
         }
+        self.ops.push(LayerOp::Multicast { targets, event });
     }
 
     /// Delivers an event to the application observer directly (bypassing the
@@ -151,7 +154,10 @@ pub struct StackBuilder<E: Event> {
 impl<E: Event> StackBuilder<E> {
     /// Starts a stack that will register under `name`.
     pub fn new(name: &'static str) -> Self {
-        StackBuilder { name, top_first: Vec::new() }
+        StackBuilder {
+            name,
+            top_first: Vec::new(),
+        }
     }
 
     /// Adds the next layer *below* all previously added layers.
@@ -166,10 +172,20 @@ impl<E: Event> StackBuilder<E> {
     ///
     /// Panics if the stack has no layers.
     pub fn build(self) -> StackComponent<E> {
-        assert!(!self.top_first.is_empty(), "a stack needs at least one layer");
+        assert!(
+            !self.top_first.is_empty(),
+            "a stack needs at least one layer"
+        );
         let mut layers = self.top_first;
         layers.reverse(); // store bottom-first
-        StackComponent { name: self.name, layers, timer_owner: HashMap::new() }
+        StackComponent {
+            name: self.name,
+            layers,
+            timer_owner: HashMap::new(),
+            scratch_ops: Vec::new(),
+            scratch_issued: Vec::new(),
+            scratch_queue: VecDeque::new(),
+        }
     }
 }
 
@@ -181,6 +197,11 @@ pub struct StackComponent<E: Event> {
     name: &'static str,
     layers: Vec<Box<dyn Layer<E>>>, // index 0 = bottom
     timer_owner: HashMap<TimerId, usize>,
+    // Per-dispatch op buffers, reused across dispatches so steady-state
+    // traversals do not allocate.
+    scratch_ops: Vec<LayerOp<E>>,
+    scratch_issued: Vec<TimerId>,
+    scratch_queue: VecDeque<(usize, Direction, E)>,
 }
 
 impl<E: Event> StackComponent<E> {
@@ -196,17 +217,20 @@ impl<E: Event> StackComponent<E> {
 
     fn dispatch(
         &mut self,
-        entry: VecDeque<(usize, Direction, E)>,
+        mut queue: VecDeque<(usize, Direction, E)>,
         sender: Option<ProcessId>,
         ctx: &mut Context<'_, E>,
     ) {
-        let mut queue = entry;
-        let mut ops: Vec<LayerOp<E>> = Vec::new();
-        let mut issued: Vec<TimerId> = Vec::new();
+        let mut ops = std::mem::take(&mut self.scratch_ops);
+        let mut issued = std::mem::take(&mut self.scratch_issued);
         let mut steps = 0usize;
         while let Some((idx, dir, ev)) = queue.pop_front() {
             steps += 1;
-            assert!(steps < 1_000_000, "stack {:?}: runaway layer cascade", self.name);
+            assert!(
+                steps < 1_000_000,
+                "stack {:?}: runaway layer cascade",
+                self.name
+            );
             {
                 let mut lctx = LayerContext {
                     now: ctx.now(),
@@ -220,6 +244,17 @@ impl<E: Event> StackComponent<E> {
             }
             self.apply_ops(idx, &mut ops, &mut issued, &mut queue, ctx);
         }
+        ops.clear();
+        issued.clear();
+        queue.clear();
+        self.scratch_ops = ops;
+        self.scratch_issued = issued;
+        self.scratch_queue = queue;
+    }
+
+    /// Takes the reusable entry queue (empty) for a dispatch.
+    fn take_queue(&mut self) -> VecDeque<(usize, Direction, E)> {
+        std::mem::take(&mut self.scratch_queue)
     }
 
     fn apply_ops(
@@ -240,10 +275,15 @@ impl<E: Event> StackComponent<E> {
                     }
                 }
                 LayerOp::Down(ev) => {
-                    assert!(idx > 0, "stack {:?}: bottom layer passed down; use send", self.name);
+                    assert!(
+                        idx > 0,
+                        "stack {:?}: bottom layer passed down; use send",
+                        self.name
+                    );
                     queue.push_back((idx - 1, Direction::Down, ev));
                 }
                 LayerOp::Send { to, event } => ctx.send(to, self.name, event),
+                LayerOp::Multicast { targets, event } => ctx.send_to_all(targets, self.name, event),
                 LayerOp::Output(ev) => ctx.output(ev),
                 LayerOp::OwnTimer(id) => {
                     self.timer_owner.insert(id, idx);
@@ -287,14 +327,14 @@ impl<E: Event> Component<E> for StackComponent<E> {
     /// Local events enter at the **top**, travelling down.
     fn on_event(&mut self, event: E, ctx: &mut Context<'_, E>) {
         let top = self.layers.len() - 1;
-        let mut q = VecDeque::new();
+        let mut q = self.take_queue();
         q.push_back((top, Direction::Down, event));
         self.dispatch(q, None, ctx);
     }
 
     /// Network messages enter at the **bottom**, travelling up.
     fn on_message(&mut self, from: ProcessId, event: E, ctx: &mut Context<'_, E>) {
-        let mut q = VecDeque::new();
+        let mut q = self.take_queue();
         q.push_back((0, Direction::Up, event));
         self.dispatch(q, Some(from), ctx);
     }
@@ -341,7 +381,12 @@ mod tests {
         fn name(&self) -> &'static str {
             self.0
         }
-        fn on_event(&mut self, mut ev: Tagged, dir: Direction, ctx: &mut LayerContext<'_, '_, Tagged>) {
+        fn on_event(
+            &mut self,
+            mut ev: Tagged,
+            dir: Direction,
+            ctx: &mut LayerContext<'_, '_, Tagged>,
+        ) {
             ev.0.push(self.0);
             ctx.pass(dir, ev);
         }
@@ -353,7 +398,12 @@ mod tests {
         fn name(&self) -> &'static str {
             "net"
         }
-        fn on_event(&mut self, mut ev: Tagged, dir: Direction, ctx: &mut LayerContext<'_, '_, Tagged>) {
+        fn on_event(
+            &mut self,
+            mut ev: Tagged,
+            dir: Direction,
+            ctx: &mut LayerContext<'_, '_, Tagged>,
+        ) {
             ev.0.push("net");
             match dir {
                 Direction::Down => ctx.send(ProcessId::new(1), ev),
@@ -363,7 +413,11 @@ mod tests {
     }
 
     fn stack_proc() -> Process<Tagged> {
-        let stack = StackBuilder::new("stack").layer(Tag("a")).layer(Tag("b")).layer(Net).build();
+        let stack = StackBuilder::new("stack")
+            .layer(Tag("a"))
+            .layer(Tag("b"))
+            .layer(Net)
+            .build();
         Process::builder(ProcessId::new(0)).with(stack).build()
     }
 
@@ -386,8 +440,10 @@ mod tests {
 
     #[test]
     fn layer_names_are_bottom_first() {
-        let stack =
-            StackBuilder::<Tagged>::new("s").layer(Tag("top")).layer(Tag("bottom")).build();
+        let stack = StackBuilder::<Tagged>::new("s")
+            .layer(Tag("top"))
+            .layer(Tag("bottom"))
+            .build();
         assert_eq!(stack.layer_names(), vec!["bottom", "top"]);
         assert_eq!(stack.depth(), 2);
     }

@@ -1,8 +1,58 @@
 //! The sans-I/O reliable channel.
+//!
+//! Steady-state packet economy (PR 1): every data packet carries the
+//! sender's cumulative acknowledgement for the reverse direction
+//! (**piggybacking**), standalone acks are **delayed** until the next tick
+//! (and suppressed entirely when reverse data flows), and per-tick
+//! retransmissions to one peer are **coalesced** into a single batch
+//! packet. Relative to the classic ack-per-data scheme this roughly halves
+//! the packet count of a steady bidirectional exchange.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, VecDeque};
 
-use gcs_kernel::{ProcessId, Time, TimeDelta};
+use gcs_kernel::{ProcessId, SmallVec, Time, TimeDelta};
+
+/// Dense per-peer table: process ids are small dense integers in every
+/// runtime this channel targets, so peer state is indexed directly instead
+/// of hashed. Slots are created on first contact.
+#[derive(Debug)]
+struct PeerTable<T>(Vec<Option<T>>);
+
+impl<T> PeerTable<T> {
+    fn new() -> Self {
+        PeerTable(Vec::new())
+    }
+
+    fn get(&self, p: ProcessId) -> Option<&T> {
+        self.0.get(p.index()).and_then(|s| s.as_ref())
+    }
+
+    fn get_mut(&mut self, p: ProcessId) -> Option<&mut T> {
+        self.0.get_mut(p.index()).and_then(|s| s.as_mut())
+    }
+
+    fn entry(&mut self, p: ProcessId, default: impl FnOnce() -> T) -> &mut T {
+        let idx = p.index();
+        if idx >= self.0.len() {
+            self.0.resize_with(idx + 1, || None);
+        }
+        self.0[idx].get_or_insert_with(default)
+    }
+
+    fn remove(&mut self, p: ProcessId) {
+        if let Some(slot) = self.0.get_mut(p.index()) {
+            *slot = None;
+        }
+    }
+
+    /// Occupied entries in process-id order (deterministic).
+    fn iter_mut(&mut self) -> impl Iterator<Item = (ProcessId, &mut T)> {
+        self.0
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|t| (ProcessId::new(i as u32), t)))
+    }
+}
 
 /// Configuration of a [`ReliableChannel`].
 #[derive(Clone, Copy, Debug)]
@@ -14,6 +64,10 @@ pub struct RcConfig {
     pub stuck_after: TimeDelta,
     /// How often the owner should call [`ReliableChannel::on_tick`].
     pub tick_interval: TimeDelta,
+    /// Piggyback cumulative acks on reverse-direction data packets and delay
+    /// standalone acks to the next tick. Disable to get the classic
+    /// ack-per-data behavior (used by packet-count comparisons).
+    pub piggyback_acks: bool,
 }
 
 impl Default for RcConfig {
@@ -22,21 +76,38 @@ impl Default for RcConfig {
             retransmit_after: TimeDelta::from_millis(20),
             stuck_after: TimeDelta::from_secs(30),
             tick_interval: TimeDelta::from_millis(10),
+            piggyback_acks: true,
         }
     }
 }
 
 /// A packet on the wire between two reliable-channel endpoints.
+///
+/// Every data-bearing packet also carries `ack`, the sender's cumulative
+/// acknowledgement for the reverse direction of the link, so a steady
+/// bidirectional flow needs no standalone [`Ack`](Packet::Ack) packets.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Packet<M> {
     /// A data packet carrying the `seq`-th message from the sender.
     Data {
         /// Per-(sender → receiver) sequence number, starting at 0.
         seq: u64,
+        /// Piggybacked cumulative ack: every reverse-direction `seq < ack`
+        /// was received by the sender of this packet.
+        ack: u64,
         /// The carried message.
         msg: M,
     },
-    /// Cumulative acknowledgement: every `seq < upto` was received.
+    /// Coalesced retransmission: several data packets for one peer in one
+    /// wire packet (produced by [`ReliableChannel::on_tick`]).
+    Batch {
+        /// Piggybacked cumulative ack (as in [`Data`](Packet::Data)).
+        ack: u64,
+        /// The retransmitted `(seq, message)` pairs, in sequence order.
+        msgs: Vec<(u64, M)>,
+    },
+    /// Standalone cumulative acknowledgement: every `seq < upto` was
+    /// received.
     Ack {
         /// One past the highest contiguously received sequence number.
         upto: u64,
@@ -75,31 +146,49 @@ pub enum RcOut<M> {
     },
 }
 
+/// The small output buffer returned by the packet-grained entry points;
+/// inline capacity covers the common cases without allocating.
+pub type RcOuts<M> = SmallVec<RcOut<M>, 4>;
+
 #[derive(Debug)]
 struct PeerTx<M> {
     next_seq: u64,
-    /// Unacknowledged packets: seq → (message, first-send time, last-send time).
-    inflight: BTreeMap<u64, (M, Time, Time)>,
+    /// Unacknowledged packets, oldest first: `(seq, message, first-send,
+    /// last-send)`. Sequence numbers are contiguous and cumulative acks
+    /// discard a prefix, so a deque (amortized allocation-free) replaces a
+    /// node-per-packet map.
+    inflight: VecDeque<(u64, M, Time, Time)>,
     stuck_reported: bool,
 }
 
 impl<M> Default for PeerTx<M> {
     fn default() -> Self {
-        PeerTx { next_seq: 0, inflight: BTreeMap::new(), stuck_reported: false }
+        PeerTx {
+            next_seq: 0,
+            inflight: VecDeque::new(),
+            stuck_reported: false,
+        }
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct PeerRx<M> {
     /// One past the highest contiguously delivered sequence number.
     next_deliver: u64,
     /// Out-of-order buffer.
     buffer: BTreeMap<u64, M>,
+    /// An acknowledgement is owed to this peer (piggyback mode): it will
+    /// ride the next data packet we send there, or flush at the next tick.
+    owe_ack: bool,
 }
 
-impl<M> Default for PeerRx<M> {
-    fn default() -> Self {
-        PeerRx { next_deliver: 0, buffer: BTreeMap::new() }
+impl<M> PeerRx<M> {
+    fn new() -> Self {
+        PeerRx {
+            next_deliver: 0,
+            buffer: BTreeMap::new(),
+            owe_ack: false,
+        }
     }
 }
 
@@ -110,7 +199,7 @@ impl<M> Default for PeerRx<M> {
 /// 1. call [`send`](Self::send) to transmit messages,
 /// 2. feed every received [`Packet`] to [`on_packet`](Self::on_packet),
 /// 3. call [`on_tick`](Self::on_tick) every
-///    [`RcConfig::tick_interval`],
+///    [`RcConfig::tick_interval`] (this also flushes delayed acks),
 ///
 /// and carry out the returned [`RcOut`] instructions.
 ///
@@ -122,14 +211,19 @@ impl<M> Default for PeerRx<M> {
 pub struct ReliableChannel<M> {
     me: ProcessId,
     config: RcConfig,
-    tx: HashMap<ProcessId, PeerTx<M>>,
-    rx: HashMap<ProcessId, PeerRx<M>>,
+    tx: PeerTable<PeerTx<M>>,
+    rx: PeerTable<PeerRx<M>>,
 }
 
 impl<M: Clone> ReliableChannel<M> {
     /// Creates a channel endpoint for process `me`.
     pub fn new(me: ProcessId, config: RcConfig) -> Self {
-        ReliableChannel { me, config, tx: HashMap::new(), rx: HashMap::new() }
+        ReliableChannel {
+            me,
+            config,
+            tx: PeerTable::new(),
+            rx: PeerTable::new(),
+        }
     }
 
     /// The configured tick interval, for the owner's timer.
@@ -137,74 +231,165 @@ impl<M: Clone> ReliableChannel<M> {
         self.config.tick_interval
     }
 
+    /// The cumulative ack to piggyback on a packet towards `to`, clearing
+    /// any owed standalone ack (the data packet carries it).
+    fn piggyback_for(&mut self, to: ProcessId) -> u64 {
+        match self.rx.get_mut(to) {
+            Some(rx) => {
+                rx.owe_ack = false;
+                rx.next_deliver
+            }
+            None => 0,
+        }
+    }
+
     /// Queues `msg` for reliable delivery to `to` and returns the initial
     /// transmission. Sending to self delivers immediately (loopback).
-    pub fn send(&mut self, to: ProcessId, msg: M, now: Time) -> Vec<RcOut<M>> {
+    pub fn send(&mut self, to: ProcessId, msg: M, now: Time) -> RcOuts<M> {
+        let mut out = RcOuts::new();
         if to == self.me {
-            return vec![RcOut::Deliver { from: self.me, msg }];
+            out.push(RcOut::Deliver { from: self.me, msg });
+            return out;
         }
-        let peer = self.tx.entry(to).or_default();
+        let peer = self.tx.entry(to, PeerTx::default);
         let seq = peer.next_seq;
         peer.next_seq += 1;
-        peer.inflight.insert(seq, (msg.clone(), now, now));
-        vec![RcOut::Transmit { to, packet: Packet::Data { seq, msg } }]
+        peer.inflight.push_back((seq, msg.clone(), now, now));
+        let ack = self.piggyback_for(to);
+        out.push(RcOut::Transmit {
+            to,
+            packet: Packet::Data { seq, ack, msg },
+        });
+        out
+    }
+
+    /// Processes the cumulative-ack component of any received packet.
+    fn on_ack_component(&mut self, from: ProcessId, upto: u64, out: &mut RcOuts<M>) {
+        if let Some(tx) = self.tx.get_mut(from) {
+            while tx.inflight.front().is_some_and(|&(seq, ..)| seq < upto) {
+                tx.inflight.pop_front();
+            }
+            if tx.stuck_reported && tx.inflight.is_empty() {
+                tx.stuck_reported = false;
+                out.push(RcOut::Unstuck { peer: from });
+            }
+        }
+    }
+
+    /// Processes one data component; acknowledgements are accumulated, not
+    /// sent here.
+    fn on_data_component(&mut self, from: ProcessId, seq: u64, msg: M, out: &mut RcOuts<M>) {
+        let rx = self.rx.entry(from, PeerRx::new);
+        if seq == rx.next_deliver && rx.buffer.is_empty() {
+            // Fast path: the expected packet, nothing buffered — deliver
+            // without touching the out-of-order map.
+            rx.next_deliver += 1;
+            out.push(RcOut::Deliver { from, msg });
+        } else if seq >= rx.next_deliver {
+            rx.buffer.entry(seq).or_insert(msg);
+            while let Some(m) = rx.buffer.remove(&rx.next_deliver) {
+                rx.next_deliver += 1;
+                out.push(RcOut::Deliver { from, msg: m });
+            }
+        }
+        // An ack is now owed — for fresh data and for pure duplicates alike
+        // (the sender may have lost our previous ack).
+        rx.owe_ack = true;
+    }
+
+    /// Emits the owed standalone ack to `from` immediately (classic mode).
+    fn emit_ack_now(&mut self, from: ProcessId, out: &mut RcOuts<M>) {
+        let rx = self.rx.entry(from, PeerRx::new);
+        rx.owe_ack = false;
+        out.push(RcOut::Transmit {
+            to: from,
+            packet: Packet::Ack {
+                upto: rx.next_deliver,
+            },
+        });
     }
 
     /// Handles a packet received from `from`.
-    pub fn on_packet(&mut self, from: ProcessId, packet: Packet<M>, now: Time) -> Vec<RcOut<M>> {
+    pub fn on_packet(&mut self, from: ProcessId, packet: Packet<M>, now: Time) -> RcOuts<M> {
         let _ = now;
+        let mut out = RcOuts::new();
         match packet {
-            Packet::Data { seq, msg } => {
-                let rx = self.rx.entry(from).or_default();
-                let mut out = Vec::new();
-                if seq >= rx.next_deliver {
-                    rx.buffer.entry(seq).or_insert(msg);
-                    while let Some(m) = rx.buffer.remove(&rx.next_deliver) {
-                        rx.next_deliver += 1;
-                        out.push(RcOut::Deliver { from, msg: m });
-                    }
+            Packet::Data { seq, ack, msg } => {
+                self.on_ack_component(from, ack, &mut out);
+                self.on_data_component(from, seq, msg, &mut out);
+                if !self.config.piggyback_acks {
+                    self.emit_ack_now(from, &mut out);
                 }
-                // Always (re-)acknowledge, including pure duplicates, so the
-                // sender can clear its buffer even when acks were lost.
-                out.push(RcOut::Transmit {
-                    to: from,
-                    packet: Packet::Ack { upto: rx.next_deliver },
-                });
-                out
+            }
+            Packet::Batch { ack, msgs } => {
+                self.on_ack_component(from, ack, &mut out);
+                for (seq, msg) in msgs {
+                    self.on_data_component(from, seq, msg, &mut out);
+                }
+                if !self.config.piggyback_acks {
+                    self.emit_ack_now(from, &mut out);
+                }
             }
             Packet::Ack { upto } => {
-                let mut out = Vec::new();
-                if let Some(tx) = self.tx.get_mut(&from) {
-                    tx.inflight = tx.inflight.split_off(&upto);
-                    if tx.stuck_reported && tx.inflight.is_empty() {
-                        tx.stuck_reported = false;
-                        out.push(RcOut::Unstuck { peer: from });
-                    }
-                }
-                out
+                self.on_ack_component(from, upto, &mut out);
             }
         }
+        out
     }
 
-    /// Periodic maintenance: retransmissions and stuck-peer detection.
+    /// Periodic maintenance: coalesced retransmissions, stuck-peer
+    /// detection, and delayed-ack flushing.
     pub fn on_tick(&mut self, now: Time) -> Vec<RcOut<M>> {
         let mut out = Vec::new();
-        let mut peers: Vec<ProcessId> = self.tx.keys().copied().collect();
-        peers.sort(); // deterministic output order
-        for p in peers {
-            let tx = self.tx.get_mut(&p).expect("peer present");
-            for (&seq, (msg, first, last)) in tx.inflight.iter_mut() {
+        // Expired retransmissions, peers in id order (deterministic).
+        let mut resends: Vec<(ProcessId, Vec<(u64, M)>)> = Vec::new();
+        for (p, tx) in self.tx.iter_mut() {
+            let mut resend: Vec<(u64, M)> = Vec::new();
+            for &mut (seq, ref msg, first, ref mut last) in tx.inflight.iter_mut() {
                 if now.since(*last) >= self.config.retransmit_after {
                     *last = now;
-                    out.push(RcOut::Transmit {
-                        to: p,
-                        packet: Packet::Data { seq, msg: msg.clone() },
+                    resend.push((seq, msg.clone()));
+                }
+                if !tx.stuck_reported && now.since(first) >= self.config.stuck_after {
+                    tx.stuck_reported = true;
+                    out.push(RcOut::Stuck {
+                        peer: p,
+                        since: first,
                     });
                 }
-                if !tx.stuck_reported && now.since(*first) >= self.config.stuck_after {
-                    tx.stuck_reported = true;
-                    out.push(RcOut::Stuck { peer: p, since: *first });
-                }
+            }
+            if !resend.is_empty() {
+                resends.push((p, resend));
+            }
+        }
+        for (p, mut resend) in resends {
+            if resend.len() == 1 {
+                // A single retransmission travels as a plain data packet.
+                let (seq, msg) = resend.pop().expect("one element");
+                let ack = self.piggyback_for(p);
+                out.push(RcOut::Transmit {
+                    to: p,
+                    packet: Packet::Data { seq, ack, msg },
+                });
+            } else {
+                // Multiple expired packets coalesce into one batch.
+                let ack = self.piggyback_for(p);
+                out.push(RcOut::Transmit {
+                    to: p,
+                    packet: Packet::Batch { ack, msgs: resend },
+                });
+            }
+        }
+        // Flush owed acks that found no data packet to ride, in id order.
+        for (p, rx) in self.rx.iter_mut() {
+            if rx.owe_ack {
+                rx.owe_ack = false;
+                out.push(RcOut::Transmit {
+                    to: p,
+                    packet: Packet::Ack {
+                        upto: rx.next_deliver,
+                    },
+                });
             }
         }
         out
@@ -216,13 +401,13 @@ impl<M: Clone> ReliableChannel<M> {
     /// obligation to deliver to it, so buffered messages "can be safely
     /// discarded" (paper §3.3.2).
     pub fn forget_peer(&mut self, peer: ProcessId) {
-        self.tx.remove(&peer);
-        self.rx.remove(&peer);
+        self.tx.remove(peer);
+        self.rx.remove(peer);
     }
 
     /// Number of unacknowledged messages queued for `peer`.
     pub fn backlog(&self, peer: ProcessId) -> usize {
-        self.tx.get(&peer).map_or(0, |t| t.inflight.len())
+        self.tx.get(peer).map_or(0, |t| t.inflight.len())
     }
 }
 
@@ -237,11 +422,21 @@ mod tests {
         ReliableChannel::new(me, RcConfig::default())
     }
 
+    /// All `(seq, msg)` data components (plain or batched) transmitted.
     fn data_of(out: &[RcOut<&'static str>]) -> Vec<(u64, &'static str)> {
         out.iter()
-            .filter_map(|o| match o {
-                RcOut::Transmit { packet: Packet::Data { seq, msg }, .. } => Some((*seq, *msg)),
-                _ => None,
+            .flat_map(|o| match o {
+                RcOut::Transmit {
+                    packet: Packet::Data { seq, msg, .. },
+                    ..
+                } => {
+                    vec![(*seq, *msg)]
+                }
+                RcOut::Transmit {
+                    packet: Packet::Batch { msgs, .. },
+                    ..
+                } => msgs.clone(),
+                _ => vec![],
             })
             .collect()
     }
@@ -255,16 +450,30 @@ mod tests {
             .collect()
     }
 
+    fn transmits(out: &[RcOut<&'static str>]) -> usize {
+        out.iter()
+            .filter(|o| matches!(o, RcOut::Transmit { .. }))
+            .count()
+    }
+
+    fn collect<M: Clone>(outs: impl IntoIterator<Item = RcOut<M>>) -> Vec<RcOut<M>> {
+        outs.into_iter().collect()
+    }
+
     #[test]
     fn in_order_delivery() {
         let mut a = rc(A);
         let mut b = rc(B);
         let t = Time::ZERO;
-        let o1 = a.send(B, "x", t);
-        let o2 = a.send(B, "y", t);
+        let o1 = collect(a.send(B, "x", t));
+        let o2 = collect(a.send(B, "y", t));
         let mut got = Vec::new();
         for (seq, msg) in data_of(&o1).into_iter().chain(data_of(&o2)) {
-            got.extend(delivered(&b.on_packet(A, Packet::Data { seq, msg }, t)));
+            got.extend(delivered(&collect(b.on_packet(
+                A,
+                Packet::Data { seq, ack: 0, msg },
+                t,
+            ))));
         }
         assert_eq!(got, vec!["x", "y"]);
     }
@@ -273,21 +482,114 @@ mod tests {
     fn out_of_order_is_reordered() {
         let mut b = rc(B);
         let t = Time::ZERO;
-        let first = b.on_packet(A, Packet::Data { seq: 1, msg: "y" }, t);
+        let first = collect(b.on_packet(
+            A,
+            Packet::Data {
+                seq: 1,
+                ack: 0,
+                msg: "y",
+            },
+            t,
+        ));
         assert!(delivered(&first).is_empty());
-        let second = b.on_packet(A, Packet::Data { seq: 0, msg: "x" }, t);
+        let second = collect(b.on_packet(
+            A,
+            Packet::Data {
+                seq: 0,
+                ack: 0,
+                msg: "x",
+            },
+            t,
+        ));
         assert_eq!(delivered(&second), vec!["x", "y"]);
     }
 
     #[test]
-    fn duplicates_are_suppressed_but_reacked() {
+    fn duplicates_are_suppressed_and_reacked_on_tick() {
         let mut b = rc(B);
         let t = Time::ZERO;
-        let one = b.on_packet(A, Packet::Data { seq: 0, msg: "x" }, t);
+        let one = collect(b.on_packet(
+            A,
+            Packet::Data {
+                seq: 0,
+                ack: 0,
+                msg: "x",
+            },
+            t,
+        ));
         assert_eq!(delivered(&one), vec!["x"]);
-        let two = b.on_packet(A, Packet::Data { seq: 0, msg: "x" }, t);
+        // Piggyback mode: no immediate standalone ack...
+        assert_eq!(transmits(&one), 0);
+        let two = collect(b.on_packet(
+            A,
+            Packet::Data {
+                seq: 0,
+                ack: 0,
+                msg: "x",
+            },
+            t,
+        ));
         assert!(delivered(&two).is_empty());
-        assert!(matches!(two[0], RcOut::Transmit { packet: Packet::Ack { upto: 1 }, .. }));
+        // ...the (re-)ack flushes at the next tick, duplicates included.
+        let tick = b.on_tick(t + TimeDelta::from_millis(10));
+        assert!(
+            tick.iter().any(|o| matches!(
+                o,
+                RcOut::Transmit {
+                    packet: Packet::Ack { upto: 1 },
+                    ..
+                }
+            )),
+            "owed ack flushed: {tick:?}"
+        );
+        // Nothing further owed.
+        assert!(b.on_tick(t + TimeDelta::from_millis(20)).is_empty());
+    }
+
+    #[test]
+    fn acks_piggyback_on_reverse_data() {
+        let mut a = rc(A);
+        let mut b = rc(B);
+        let t = Time::ZERO;
+        // A→B data delivered at B: B owes an ack.
+        let o = collect(a.send(B, "x", t));
+        let (seq, msg) = data_of(&o)[0];
+        b.on_packet(A, Packet::Data { seq, ack: 0, msg }, t);
+        // B now sends data back: the owed ack rides it.
+        let rev = collect(b.send(A, "reply", t));
+        match &rev[0] {
+            RcOut::Transmit {
+                to,
+                packet: Packet::Data { ack, .. },
+            } => {
+                assert_eq!(*to, A);
+                assert_eq!(*ack, 1, "cumulative ack piggybacked");
+            }
+            other => panic!("expected data transmit, got {other:?}"),
+        }
+        // The piggybacked ack clears A's backlog on receipt.
+        let (rseq, rmsg) = data_of(&rev)[0];
+        a.on_packet(
+            B,
+            Packet::Data {
+                seq: rseq,
+                ack: 1,
+                msg: rmsg,
+            },
+            t,
+        );
+        assert_eq!(a.backlog(B), 0);
+        // And B owes no standalone ack anymore.
+        assert!(b
+            .on_tick(t + TimeDelta::from_millis(10))
+            .iter()
+            .all(|o| !matches!(
+                o,
+                RcOut::Transmit {
+                    packet: Packet::Ack { .. },
+                    ..
+                }
+            )));
     }
 
     #[test]
@@ -308,22 +610,53 @@ mod tests {
     }
 
     #[test]
+    fn expired_retransmissions_coalesce_into_one_batch_packet() {
+        let mut a = rc(A);
+        let t0 = Time::ZERO;
+        a.send(B, "x", t0);
+        a.send(B, "y", t0);
+        a.send(B, "z", t0);
+        let out = a.on_tick(t0 + TimeDelta::from_millis(25));
+        assert_eq!(
+            transmits(&out),
+            1,
+            "one wire packet for three retransmissions: {out:?}"
+        );
+        assert_eq!(data_of(&out), vec![(0, "x"), (1, "y"), (2, "z")]);
+        // The receiver unpacks the batch in order.
+        let mut b = rc(B);
+        let batch = match &out[0] {
+            RcOut::Transmit { packet, .. } => packet.clone(),
+            other => panic!("expected transmit, got {other:?}"),
+        };
+        let got = collect(b.on_packet(A, batch, t0 + TimeDelta::from_millis(26)));
+        assert_eq!(delivered(&got), vec!["x", "y", "z"]);
+    }
+
+    #[test]
     fn stuck_then_unstuck() {
         let mut a = rc(A);
         a.send(B, "x", Time::ZERO);
         let late = Time::ZERO + TimeDelta::from_secs(31);
         let out = a.on_tick(late);
-        assert!(out.iter().any(|o| matches!(o, RcOut::Stuck { peer, .. } if *peer == B)));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, RcOut::Stuck { peer, .. } if *peer == B)));
         // Reported once only.
-        assert!(!a.on_tick(late + TimeDelta::from_secs(1)).iter().any(|o| matches!(o, RcOut::Stuck { .. })));
-        let acked = a.on_packet(B, Packet::Ack { upto: 1 }, late);
-        assert!(acked.iter().any(|o| matches!(o, RcOut::Unstuck { peer } if *peer == B)));
+        assert!(!a
+            .on_tick(late + TimeDelta::from_secs(1))
+            .iter()
+            .any(|o| matches!(o, RcOut::Stuck { .. })));
+        let acked = collect(a.on_packet(B, Packet::Ack { upto: 1 }, late));
+        assert!(acked
+            .iter()
+            .any(|o| matches!(o, RcOut::Unstuck { peer } if *peer == B)));
     }
 
     #[test]
     fn loopback_delivers_immediately() {
         let mut a = rc(A);
-        let out = a.send(A, "self", Time::ZERO);
+        let out = collect(a.send(A, "self", Time::ZERO));
         assert_eq!(delivered(&out), vec!["self"]);
     }
 
@@ -347,6 +680,100 @@ mod tests {
         a.on_packet(B, Packet::Ack { upto: 2 }, t);
         assert_eq!(a.backlog(B), 1);
     }
+
+    #[test]
+    fn classic_mode_acks_every_data_packet() {
+        let cfg = RcConfig {
+            piggyback_acks: false,
+            ..RcConfig::default()
+        };
+        let mut b: ReliableChannel<&'static str> = ReliableChannel::new(B, cfg);
+        let out = collect(b.on_packet(
+            A,
+            Packet::Data {
+                seq: 0,
+                ack: 0,
+                msg: "x",
+            },
+            Time::ZERO,
+        ));
+        assert!(matches!(
+            out.last(),
+            Some(RcOut::Transmit {
+                packet: Packet::Ack { upto: 1 },
+                ..
+            })
+        ));
+        // Nothing owed at tick time.
+        assert!(b.on_tick(Time::from_millis(10)).is_empty());
+    }
+
+    /// The headline number: a steady bidirectional exchange in piggyback
+    /// mode puts at least 40% fewer packets on the wire than classic
+    /// ack-per-data. (The full-stack counterpart lives in gcs-core's tests.)
+    #[test]
+    fn piggybacking_cuts_steady_state_packets_by_40_percent() {
+        let run = |piggyback: bool| -> usize {
+            let cfg = RcConfig {
+                piggyback_acks: piggyback,
+                ..RcConfig::default()
+            };
+            let mut a: ReliableChannel<u64> = ReliableChannel::new(A, cfg);
+            let mut b: ReliableChannel<u64> = ReliableChannel::new(B, cfg);
+            let mut packets = 0usize;
+            let mut now = Time::ZERO;
+            let mut wire: Vec<(ProcessId, ProcessId, Packet<u64>)> = Vec::new();
+            let push = |from: ProcessId,
+                        outs: Vec<RcOut<u64>>,
+                        wire: &mut Vec<(ProcessId, ProcessId, Packet<u64>)>,
+                        packets: &mut usize| {
+                for o in outs {
+                    if let RcOut::Transmit { to, packet } = o {
+                        *packets += 1;
+                        wire.push((from, to, packet));
+                    }
+                }
+            };
+            for i in 0..100u64 {
+                now += TimeDelta::from_millis(2);
+                // Request–response traffic: A sends, B replies to each
+                // *delivered request* exactly once.
+                let outs = a.send(B, i, now).into_iter().collect();
+                push(A, outs, &mut wire, &mut packets);
+                while let Some((from, to, packet)) = wire.pop() {
+                    let endpoint = if to == A { &mut a } else { &mut b };
+                    let outs: Vec<_> = endpoint.on_packet(from, packet, now).into_iter().collect();
+                    let delivered_to_b =
+                        to == B && outs.iter().any(|o| matches!(o, RcOut::Deliver { .. }));
+                    push(to, outs, &mut wire, &mut packets);
+                    if delivered_to_b {
+                        let outs: Vec<_> = b.send(A, 1000 + i, now).into_iter().collect();
+                        push(B, outs, &mut wire, &mut packets);
+                    }
+                }
+                // Periodic ticks on both endpoints.
+                if i % 5 == 0 {
+                    let outs = a.on_tick(now);
+                    push(A, outs, &mut wire, &mut packets);
+                    let outs = b.on_tick(now);
+                    push(B, outs, &mut wire, &mut packets);
+                    while let Some((from, to, packet)) = wire.pop() {
+                        let endpoint = if to == A { &mut a } else { &mut b };
+                        let outs: Vec<_> =
+                            endpoint.on_packet(from, packet, now).into_iter().collect();
+                        push(to, outs, &mut wire, &mut packets);
+                    }
+                }
+            }
+            packets
+        };
+        let classic = run(false);
+        let piggyback = run(true);
+        assert!(
+            (piggyback as f64) <= 0.6 * classic as f64,
+            "piggybacking saved too little: {piggyback} vs {classic} packets"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -365,18 +792,20 @@ mod proptests {
         #[test]
         fn fifo_no_dup_no_creation(
             n in 1usize..30,
+            piggyback in any::<bool>(),
             // For each "round": which pending wire packets get delivered, and
             // whether each is duplicated.
             schedule in proptest::collection::vec((0usize..8, any::<bool>(), any::<bool>()), 0..200),
         ) {
-            let mut a = ReliableChannel::new(A, RcConfig::default());
-            let mut b = ReliableChannel::new(B, RcConfig::default());
+            let cfg = RcConfig { piggyback_acks: piggyback, ..RcConfig::default() };
+            let mut a = ReliableChannel::new(A, cfg);
+            let mut b = ReliableChannel::new(B, cfg);
             let mut now = Time::ZERO;
             let mut wire_ab: Vec<Packet<u64>> = Vec::new();
             let mut wire_ba: Vec<Packet<u64>> = Vec::new();
             let mut got: Vec<u64> = Vec::new();
 
-            let mut push = |outs: Vec<RcOut<u64>>, wire_ab: &mut Vec<Packet<u64>>, wire_ba: &mut Vec<Packet<u64>>, got: &mut Vec<u64>| {
+            let push = |outs: Vec<RcOut<u64>>, wire_ab: &mut Vec<Packet<u64>>, wire_ba: &mut Vec<Packet<u64>>, got: &mut Vec<u64>| {
                 for o in outs {
                     match o {
                         RcOut::Transmit { to, packet } => {
@@ -389,52 +818,56 @@ mod proptests {
             };
 
             for i in 0..n {
-                let outs = a.send(B, i as u64, now);
+                let outs = a.send(B, i as u64, now).into_iter().collect();
                 push(outs, &mut wire_ab, &mut wire_ba, &mut got);
             }
 
             for (idx, dup, drop) in schedule {
-                now = now + TimeDelta::from_millis(30);
+                now += TimeDelta::from_millis(30);
                 // Maybe deliver one packet from A→B (possibly out of order).
                 if !wire_ab.is_empty() {
                     let k = idx % wire_ab.len();
                     let pkt = wire_ab.swap_remove(k);
                     if !drop {
                         if dup {
-                            let outs = b.on_packet(A, pkt.clone(), now);
+                            let outs = b.on_packet(A, pkt.clone(), now).into_iter().collect();
                             push(outs, &mut wire_ab, &mut wire_ba, &mut got);
                         }
-                        let outs = b.on_packet(A, pkt, now);
+                        let outs = b.on_packet(A, pkt, now).into_iter().collect();
                         push(outs, &mut wire_ab, &mut wire_ba, &mut got);
                     }
                 }
-                // Deliver one ack B→A.
+                // Deliver one ack-bearing packet B→A.
                 if !wire_ba.is_empty() {
                     let k = idx % wire_ba.len();
                     let pkt = wire_ba.swap_remove(k);
                     if !drop {
-                        let outs = a.on_packet(B, pkt, now);
+                        let outs = a.on_packet(B, pkt, now).into_iter().collect();
                         push(outs, &mut wire_ab, &mut wire_ba, &mut got);
                     }
                 }
                 let outs = a.on_tick(now);
+                push(outs, &mut wire_ab, &mut wire_ba, &mut got);
+                let outs = b.on_tick(now);
                 push(outs, &mut wire_ab, &mut wire_ba, &mut got);
             }
 
             // Drain: deliver everything still on the wire plus retransmissions
             // until quiescence.
             for _ in 0..(4 * n + 8) {
-                now = now + TimeDelta::from_millis(30);
+                now += TimeDelta::from_millis(30);
                 let outs = a.on_tick(now);
+                push(outs, &mut wire_ab, &mut wire_ba, &mut got);
+                let outs = b.on_tick(now);
                 push(outs, &mut wire_ab, &mut wire_ba, &mut got);
                 while !wire_ab.is_empty() {
                     let pkt = wire_ab.remove(0);
-                    let outs = b.on_packet(A, pkt, now);
+                    let outs = b.on_packet(A, pkt, now).into_iter().collect();
                     push(outs, &mut wire_ab, &mut wire_ba, &mut got);
                 }
                 while !wire_ba.is_empty() {
                     let pkt = wire_ba.remove(0);
-                    let outs = a.on_packet(B, pkt, now);
+                    let outs = a.on_packet(B, pkt, now).into_iter().collect();
                     push(outs, &mut wire_ab, &mut wire_ba, &mut got);
                 }
             }

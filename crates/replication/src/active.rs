@@ -54,7 +54,12 @@ impl StateMachine for KvStore {
             return b"err: malformed set".to_vec();
         }
         if let Some(k) = text.strip_prefix("get ") {
-            return self.entries.get(k).cloned().unwrap_or_default().into_bytes();
+            return self
+                .entries
+                .get(k)
+                .cloned()
+                .unwrap_or_default()
+                .into_bytes();
         }
         b"err: unknown command".to_vec()
     }
@@ -86,7 +91,10 @@ pub struct ActiveGroup<S: StateMachine> {
 impl<S: StateMachine> ActiveGroup<S> {
     /// Creates an actively replicated group of `n` replicas.
     pub fn new(n: usize, config: StackConfig, seed: u64) -> Self {
-        ActiveGroup { group: GroupSim::new(n, config, seed), _marker: std::marker::PhantomData }
+        ActiveGroup {
+            group: GroupSim::new(n, config, seed),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// A client sends `cmd` to replica `entry` at time `t`; the replica

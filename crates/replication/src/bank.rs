@@ -87,7 +87,10 @@ pub struct BankAccount {
 impl BankAccount {
     /// Creates an account with an opening balance.
     pub fn with_balance(balance: u64) -> Self {
-        BankAccount { balance, rejected: 0 }
+        BankAccount {
+            balance,
+            rejected: 0,
+        }
     }
 
     /// Applies an operation. Withdrawals that exceed the balance are
@@ -132,7 +135,10 @@ mod tests {
     #[test]
     fn conflict_relation_matches_section_4_2() {
         let r = bank_conflicts();
-        assert!(!r.conflicts(CLASS_DEPOSIT, CLASS_DEPOSIT), "deposits commute");
+        assert!(
+            !r.conflicts(CLASS_DEPOSIT, CLASS_DEPOSIT),
+            "deposits commute"
+        );
         assert!(r.conflicts(CLASS_DEPOSIT, CLASS_WITHDRAW));
         assert!(r.conflicts(CLASS_WITHDRAW, CLASS_WITHDRAW));
     }

@@ -67,7 +67,10 @@ impl PassiveGroup {
     pub fn with_config(n: usize, mut config: StackConfig, seed: u64) -> Self {
         config.conflict = passive_conflicts();
         config.fifo_generic = true; // footnote 9: FIFO generic broadcast
-        PassiveGroup { group: GroupSim::new(n, config, seed), n }
+        PassiveGroup {
+            group: GroupSim::new(n, config, seed),
+            n,
+        }
     }
 
     /// The primary processes a client request and broadcasts the resulting
@@ -75,7 +78,8 @@ impl PassiveGroup {
     pub fn update_at(&mut self, t: Time, primary: ProcessId, req: u64, data: &[u8]) {
         let mut payload = req.to_be_bytes().to_vec();
         payload.extend_from_slice(data);
-        self.group.gbcast_at(t, primary, CLASS_UPDATE, Bytes::from(payload));
+        self.group
+            .gbcast_at(t, primary, CLASS_UPDATE, Bytes::from(payload));
     }
 
     /// Replica `by` suspects `suspected` (the current primary) and
@@ -121,8 +125,7 @@ impl PassiveGroup {
         deliveries
             .into_iter()
             .map(|seq| {
-                let mut view: Vec<ProcessId> =
-                    (0..self.n as u32).map(ProcessId::new).collect();
+                let mut view: Vec<ProcessId> = (0..self.n as u32).map(ProcessId::new).collect();
                 let mut out = PassiveOutcome {
                     applied: Vec::new(),
                     ignored: Vec::new(),
@@ -131,8 +134,7 @@ impl PassiveGroup {
                 };
                 for (sender, class, payload) in seq {
                     if class == CLASS_PRIMARY_CHANGE {
-                        let raw =
-                            u32::from_be_bytes(payload[..4].try_into().expect("4-byte pid"));
+                        let raw = u32::from_be_bytes(payload[..4].try_into().expect("4-byte pid"));
                         let deposed = ProcessId::new(raw);
                         // Rotate the deposed primary to the tail (footnote
                         // 10): only meaningful if it is the current head.
@@ -141,8 +143,7 @@ impl PassiveGroup {
                             out.changes += 1;
                         }
                     } else if class == CLASS_UPDATE {
-                        let req =
-                            u64::from_be_bytes(payload[..8].try_into().expect("8-byte req"));
+                        let req = u64::from_be_bytes(payload[..8].try_into().expect("8-byte req"));
                         // Apply only updates from the *current* primary;
                         // updates from a deposed primary are ignored (the
                         // client re-issues).
@@ -208,8 +209,14 @@ mod tests {
                 other => panic!("illegal outcome {other:?} (seed {seed})"),
             }
         }
-        assert!(saw_applied, "outcome 1 (update before change) never observed");
-        assert!(saw_ignored, "outcome 2 (change before update) never observed");
+        assert!(
+            saw_applied,
+            "outcome 1 (update before change) never observed"
+        );
+        assert!(
+            saw_ignored,
+            "outcome 2 (change before update) never observed"
+        );
     }
 
     #[test]

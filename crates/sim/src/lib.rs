@@ -26,12 +26,14 @@
 mod metrics;
 mod network;
 mod trace;
+mod wheel;
 mod world;
 
 pub use metrics::Metrics;
 pub use network::{LinkModel, NetworkModel};
 pub use trace::{
     check_agreement, check_no_duplicates, check_prefix_consistency, check_total_order,
-    OrderViolation, Trace, TraceEntry,
+    OrderViolation, Trace, TraceEntry, TraceMode,
 };
+pub use wheel::{TimingWheel, WheelItem};
 pub use world::{SimConfig, SimWorld};

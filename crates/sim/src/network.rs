@@ -30,7 +30,10 @@ impl LinkModel {
     /// A lossy LAN: same delays as [`lan`](Self::lan) with the given loss
     /// probability.
     pub fn lossy_lan(drop_prob: f64) -> Self {
-        LinkModel { drop_prob, ..Self::lan() }
+        LinkModel {
+            drop_prob,
+            ..Self::lan()
+        }
     }
 
     /// A WAN-like link: 10–40 ms one-way delay, 0.1% loss.
@@ -71,7 +74,11 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// Creates a network where every link uses `default_link`.
     pub fn new(default_link: LinkModel) -> Self {
-        NetworkModel { default_link, overrides: Vec::new(), partition: None }
+        NetworkModel {
+            default_link,
+            overrides: Vec::new(),
+            partition: None,
+        }
     }
 
     /// Overrides the model of the directed link `from -> to`.

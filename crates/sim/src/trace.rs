@@ -23,35 +23,107 @@ pub struct TraceEntry<E> {
     pub event: E,
 }
 
-/// The full application-delivery trace of a run, in delivery order.
+/// How the simulation records application deliveries.
+///
+/// Long throughput runs should use [`CountsOnly`](TraceMode::CountsOnly) or
+/// [`Off`](TraceMode::Off): the [`Full`](TraceMode::Full) sink accumulates an
+/// unbounded `Vec` of entries, which both costs memory and pollutes
+/// wall-clock measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Record every delivery with its time, process, and event (default).
+    #[default]
+    Full,
+    /// Keep only per-process delivery counters; drop the events.
+    CountsOnly,
+    /// Record nothing.
+    Off,
+}
+
+/// The application-delivery trace of a run, in delivery order.
 #[derive(Clone, Debug, Default)]
 pub struct Trace<E> {
+    mode: TraceMode,
     entries: Vec<TraceEntry<E>>,
+    /// Deliveries per process (kept in every mode except [`TraceMode::Off`]).
+    counts: Vec<u64>,
+    total: u64,
 }
 
 impl<E> Trace<E> {
-    /// Creates an empty trace.
+    /// Creates an empty trace with the [`TraceMode::Full`] sink.
     pub fn new() -> Self {
-        Trace { entries: Vec::new() }
+        Self::with_mode(TraceMode::Full)
+    }
+
+    /// Creates an empty trace with the given sink mode.
+    pub fn with_mode(mode: TraceMode) -> Self {
+        Trace {
+            mode,
+            entries: Vec::new(),
+            counts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// The sink mode this trace records with.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
     }
 
     pub(crate) fn push(&mut self, time: Time, proc: ProcessId, event: E) {
-        self.entries.push(TraceEntry { time, proc, event });
+        match self.mode {
+            TraceMode::Off => {}
+            TraceMode::CountsOnly => {
+                self.total += 1;
+                let idx = proc.index();
+                if idx >= self.counts.len() {
+                    self.counts.resize(idx + 1, 0);
+                }
+                self.counts[idx] += 1;
+            }
+            TraceMode::Full => {
+                self.total += 1;
+                let idx = proc.index();
+                if idx >= self.counts.len() {
+                    self.counts.resize(idx + 1, 0);
+                }
+                self.counts[idx] += 1;
+                self.entries.push(TraceEntry { time, proc, event });
+            }
+        }
     }
 
-    /// All entries in global delivery order.
+    /// All entries in global delivery order (empty unless the mode is
+    /// [`TraceMode::Full`]).
     pub fn entries(&self) -> &[TraceEntry<E>] {
         &self.entries
     }
 
-    /// Number of recorded deliveries.
+    /// Number of recorded *entries* — zero in the counting-only modes even
+    /// when deliveries happened (use [`delivery_count`](Self::delivery_count)
+    /// for the mode-independent total).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// True when nothing was delivered.
+    /// True when no delivery was *observed*. Unlike [`len`](Self::len) this
+    /// accounts for the [`TraceMode::CountsOnly`] sink; under
+    /// [`TraceMode::Off`] nothing is observed, so this stays `true`.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.total == 0
+    }
+
+    /// Total deliveries observed, in any mode except [`TraceMode::Off`]
+    /// (where it stays zero).
+    pub fn delivery_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Deliveries observed at `proc` (zero when the mode is
+    /// [`TraceMode::Off`]).
+    pub fn deliveries_of(&self, proc: ProcessId) -> u64 {
+        self.counts.get(proc.index()).copied().unwrap_or(0)
     }
 
     /// Entries of one process, in delivery order.
@@ -85,7 +157,9 @@ impl<E> Trace<E> {
 
     /// First delivery time of the first event for which `f` returns `Some`.
     pub fn first_time<K>(&self, f: impl Fn(&E) -> Option<K>) -> Option<(Time, ProcessId, K)> {
-        self.entries.iter().find_map(|e| f(&e.event).map(|k| (e.time, e.proc, k)))
+        self.entries
+            .iter()
+            .find_map(|e| f(&e.event).map(|k| (e.time, e.proc, k)))
     }
 }
 
@@ -116,9 +190,7 @@ impl<K: fmt::Debug> fmt::Display for OrderViolation<K> {
 /// # Errors
 ///
 /// Returns the first violating pair found.
-pub fn check_total_order<K: Eq + Hash + Clone>(
-    seqs: &[Vec<K>],
-) -> Result<(), OrderViolation<K>> {
+pub fn check_total_order<K: Eq + Hash + Clone>(seqs: &[Vec<K>]) -> Result<(), OrderViolation<K>> {
     for a in 0..seqs.len() {
         for b in (a + 1)..seqs.len() {
             let pos_b: HashMap<&K, usize> =
@@ -242,7 +314,32 @@ mod tests {
     #[test]
     fn prefix_consistency() {
         assert!(check_prefix_consistency(&[vec![1, 2, 3], vec![1, 2]]).is_ok());
-        assert_eq!(check_prefix_consistency(&[vec![1, 2], vec![1, 3]]), Err((0, 1)));
+        assert_eq!(
+            check_prefix_consistency(&[vec![1, 2], vec![1, 3]]),
+            Err((0, 1))
+        );
+    }
+
+    #[test]
+    fn counts_only_mode_counts_without_storing() {
+        let mut t: Trace<u32> = Trace::with_mode(TraceMode::CountsOnly);
+        t.push(Time::from_millis(1), ProcessId::new(0), 10);
+        t.push(Time::from_millis(2), ProcessId::new(2), 20);
+        t.push(Time::from_millis(3), ProcessId::new(0), 30);
+        assert!(t.entries().is_empty());
+        assert_eq!(t.delivery_count(), 3);
+        assert_eq!(t.deliveries_of(ProcessId::new(0)), 2);
+        assert_eq!(t.deliveries_of(ProcessId::new(1)), 0);
+        assert_eq!(t.deliveries_of(ProcessId::new(2)), 1);
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let mut t: Trace<u32> = Trace::with_mode(TraceMode::Off);
+        t.push(Time::from_millis(1), ProcessId::new(0), 10);
+        assert!(t.entries().is_empty());
+        assert_eq!(t.delivery_count(), 0);
+        assert_eq!(t.mode(), TraceMode::Off);
     }
 
     #[test]

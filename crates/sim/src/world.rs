@@ -1,15 +1,13 @@
 //! The simulation world: event queue, process hosting, fault injection.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use gcs_kernel::{Effects, Event, Process, ProcessId, Time, TimeDelta, TimerId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::metrics::Metrics;
 use crate::network::{LinkModel, NetworkModel};
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceMode};
+use crate::wheel::{TimingWheel, WheelItem};
 
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -21,17 +19,31 @@ pub struct SimConfig {
     pub link: LinkModel,
     /// Fixed loopback delay for self-sends (never lost or partitioned).
     pub loopback_delay: TimeDelta,
+    /// How application deliveries are recorded (see [`TraceMode`]); long
+    /// throughput runs should switch off the full sink.
+    pub trace: TraceMode,
 }
 
 impl SimConfig {
     /// A LAN-like configuration with the given seed.
     pub fn lan(seed: u64) -> Self {
-        SimConfig { seed, link: LinkModel::lan(), loopback_delay: TimeDelta::from_micros(10) }
+        SimConfig {
+            seed,
+            link: LinkModel::lan(),
+            loopback_delay: TimeDelta::from_micros(10),
+            trace: TraceMode::Full,
+        }
     }
 
     /// Replaces the default link model.
     pub fn with_link(mut self, link: LinkModel) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Replaces the trace sink mode.
+    pub fn with_trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -44,14 +56,32 @@ impl Default for SimConfig {
 
 #[derive(Debug)]
 enum Pending<E> {
-    Net { from: ProcessId, to: ProcessId, component: &'static str, event: E },
-    Timer { proc: ProcessId, id: TimerId },
-    Inject { proc: ProcessId, component: &'static str, event: E },
+    Net {
+        from: ProcessId,
+        to: ProcessId,
+        component: &'static str,
+        event: E,
+    },
+    Timer {
+        proc: ProcessId,
+        id: TimerId,
+    },
+    Inject {
+        proc: ProcessId,
+        component: &'static str,
+        event: E,
+    },
     Crash(ProcessId),
     Partition(Vec<Vec<ProcessId>>),
     Heal,
-    DelaySpike { extra: TimeDelta, until: Time },
-    LossBurst { prob: f64, until: Time },
+    DelaySpike {
+        extra: TimeDelta,
+        until: Time,
+    },
+    LossBurst {
+        prob: f64,
+        until: Time,
+    },
 }
 
 #[derive(Debug)]
@@ -77,6 +107,11 @@ impl<E> Ord for Scheduled<E> {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
+impl<E> WheelItem for Scheduled<E> {
+    fn at_nanos(&self) -> u64 {
+        self.at.as_nanos()
+    }
+}
 
 struct Node<E: Event> {
     process: Process<E>,
@@ -94,7 +129,8 @@ struct Node<E: Event> {
 pub struct SimWorld<E: Event> {
     now: Time,
     seq: u64,
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    executed: u64,
+    queue: TimingWheel<Scheduled<E>>,
     nodes: Vec<Node<E>>,
     net: NetworkModel,
     rng: StdRng,
@@ -106,6 +142,11 @@ pub struct SimWorld<E: Event> {
     burst_prob: f64,
     burst_until: Time,
     started: bool,
+    /// Reused effects buffer: dispatches append into it and
+    /// [`apply_effects`](Self::apply_effects) drains it, so the steady state
+    /// allocates nothing per event. Boxed so borrowing it out of `self` is a
+    /// pointer swap, not a memcpy of the inline buffers.
+    fx: Option<Box<Effects<E>>>,
 }
 
 impl<E: Event> SimWorld<E> {
@@ -114,18 +155,20 @@ impl<E: Event> SimWorld<E> {
         SimWorld {
             now: Time::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            executed: 0,
+            queue: TimingWheel::new(),
             nodes: Vec::new(),
             net: NetworkModel::new(config.link),
             rng: StdRng::seed_from_u64(config.seed),
             metrics: Metrics::new(),
-            trace: Trace::new(),
+            trace: Trace::with_mode(config.trace),
             loopback_delay: config.loopback_delay,
             spike_extra: TimeDelta::ZERO,
             spike_until: Time::ZERO,
             burst_prob: 0.0,
             burst_until: Time::ZERO,
             started: false,
+            fx: Some(Box::new(Effects::new())),
         }
     }
 
@@ -136,11 +179,17 @@ impl<E: Event> SimWorld<E> {
     /// Panics if called after the world started running, or if `f` builds a
     /// process with a different id.
     pub fn add_node(&mut self, f: impl FnOnce(ProcessId) -> Process<E>) -> ProcessId {
-        assert!(!self.started, "processes must be added before the world starts");
+        assert!(
+            !self.started,
+            "processes must be added before the world starts"
+        );
         let id = ProcessId::new(self.nodes.len() as u32);
         let process = f(id);
         assert_eq!(process.id(), id, "process built with wrong id");
-        self.nodes.push(Node { process, alive: true });
+        self.nodes.push(Node {
+            process,
+            alive: true,
+        });
         id
     }
 
@@ -154,14 +203,20 @@ impl<E: Event> SimWorld<E> {
         self.nodes.is_empty()
     }
 
-    /// All process ids.
-    pub fn process_ids(&self) -> Vec<ProcessId> {
-        (0..self.nodes.len() as u32).map(ProcessId::new).collect()
+    /// All process ids, without allocating.
+    pub fn process_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.nodes.len() as u32).map(ProcessId::new)
     }
 
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// Number of simulation events executed so far (for events/sec
+    /// throughput measurements).
+    pub fn events_executed(&self) -> u64 {
+        self.executed
     }
 
     /// Whether a process is still running (not crashed / halted).
@@ -171,7 +226,10 @@ impl<E: Event> SimWorld<E> {
 
     /// Liveness flags indexed by process, for trace checkers.
     pub fn alive_flags(&self) -> Vec<bool> {
-        self.process_ids().iter().map(|&p| self.is_alive(p)).collect()
+        self.nodes
+            .iter()
+            .map(|n| n.alive && !n.process.is_halted())
+            .collect()
     }
 
     /// The collected metrics.
@@ -191,7 +249,14 @@ impl<E: Event> SimWorld<E> {
 
     /// Schedules a local event for `proc`'s component at time `at`.
     pub fn inject_at(&mut self, at: Time, proc: ProcessId, component: &'static str, event: E) {
-        self.schedule(at, Pending::Inject { proc, component, event });
+        self.schedule(
+            at,
+            Pending::Inject {
+                proc,
+                component,
+                event,
+            },
+        );
     }
 
     /// Crashes `proc` at time `at` (crash-stop).
@@ -212,18 +277,30 @@ impl<E: Event> SimWorld<E> {
     /// Adds `extra` delay to every link during `[at, at + duration)` —
     /// the false-suspicion generator of experiment E3.
     pub fn delay_spike_at(&mut self, at: Time, duration: TimeDelta, extra: TimeDelta) {
-        self.schedule(at, Pending::DelaySpike { extra, until: at + duration });
+        self.schedule(
+            at,
+            Pending::DelaySpike {
+                extra,
+                until: at + duration,
+            },
+        );
     }
 
     /// Drops messages with probability `prob` during `[at, at + duration)`.
     pub fn loss_burst_at(&mut self, at: Time, duration: TimeDelta, prob: f64) {
-        self.schedule(at, Pending::LossBurst { prob, until: at + duration });
+        self.schedule(
+            at,
+            Pending::LossBurst {
+                prob,
+                until: at + duration,
+            },
+        );
     }
 
     fn schedule(&mut self, at: Time, pending: Pending<E>) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, pending }));
+        self.queue.push(Scheduled { at, seq, pending });
     }
 
     fn ensure_started(&mut self) {
@@ -232,8 +309,10 @@ impl<E: Event> SimWorld<E> {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            let fx = self.nodes[i].process.start(self.now);
-            self.apply_effects(ProcessId::new(i as u32), fx);
+            let mut fx = self.fx.take().unwrap_or_default();
+            self.nodes[i].process.start_into(self.now, &mut fx);
+            self.apply_effects(ProcessId::new(i as u32), &mut fx);
+            self.fx = Some(fx);
         }
     }
 
@@ -241,33 +320,53 @@ impl<E: Event> SimWorld<E> {
     /// empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some(Reverse(next)) = self.heap.pop() else {
+        let Some(next) = self.queue.pop() else {
             return false;
         };
         debug_assert!(next.at >= self.now, "time went backwards");
         self.now = next.at;
+        self.executed += 1;
         match next.pending {
-            Pending::Net { from, to, component, event } => {
+            Pending::Net {
+                from,
+                to,
+                component,
+                event,
+            } => {
                 if self.nodes[to.index()].alive {
                     self.metrics.record_delivery();
-                    let fx = self.nodes[to.index()].process.deliver_net(
-                        from, component, event, self.now,
-                    );
-                    self.apply_effects(to, fx);
+                    let mut fx = self.fx.take().unwrap_or_default();
+                    self.nodes[to.index()]
+                        .process
+                        .deliver_net_into(from, component, event, self.now, &mut fx);
+                    self.apply_effects(to, &mut fx);
+                    self.fx = Some(fx);
                 } else {
                     self.metrics.record_drop_crash();
                 }
             }
             Pending::Timer { proc, id } => {
                 if self.nodes[proc.index()].alive {
-                    let fx = self.nodes[proc.index()].process.fire_timer(id, self.now);
-                    self.apply_effects(proc, fx);
+                    let mut fx = self.fx.take().unwrap_or_default();
+                    self.nodes[proc.index()]
+                        .process
+                        .fire_timer_into(id, self.now, &mut fx);
+                    self.apply_effects(proc, &mut fx);
+                    self.fx = Some(fx);
                 }
             }
-            Pending::Inject { proc, component, event } => {
+            Pending::Inject {
+                proc,
+                component,
+                event,
+            } => {
                 if self.nodes[proc.index()].alive {
-                    let fx = self.nodes[proc.index()].process.deliver(component, event, self.now);
-                    self.apply_effects(proc, fx);
+                    let mut fx = self.fx.take().unwrap_or_default();
+                    self.nodes[proc.index()]
+                        .process
+                        .deliver_into(component, event, self.now, &mut fx);
+                    self.apply_effects(proc, &mut fx);
+                    self.fx = Some(fx);
                 }
             }
             Pending::Crash(p) => {
@@ -292,7 +391,7 @@ impl<E: Event> SimWorld<E> {
     /// `now() == t` even if the queue drained earlier.
     pub fn run_until(&mut self, t: Time) {
         self.ensure_started();
-        while let Some(Reverse(head)) = self.heap.peek() {
+        while let Some(head) = self.queue.peek() {
             if head.at > t {
                 break;
             }
@@ -306,9 +405,9 @@ impl<E: Event> SimWorld<E> {
     pub fn run_to_quiescence(&mut self, limit: Time) -> bool {
         self.ensure_started();
         loop {
-            match self.heap.peek() {
+            match self.queue.peek() {
                 None => return true,
-                Some(Reverse(head)) if head.at > limit => return false,
+                Some(head) if head.at > limit => return false,
                 Some(_) => {
                     self.step();
                 }
@@ -316,19 +415,25 @@ impl<E: Event> SimWorld<E> {
         }
     }
 
-    fn apply_effects(&mut self, proc: ProcessId, fx: Effects<E>) {
-        for out in fx.outputs {
+    /// Drains a dispatch's effects into the queue/trace, leaving `fx` empty
+    /// and ready for reuse.
+    fn apply_effects(&mut self, proc: ProcessId, fx: &mut Effects<E>) {
+        for out in fx.outputs.drain() {
             self.trace.push(self.now, proc, out);
         }
-        for t in fx.timers {
+        for t in fx.timers.drain() {
             self.schedule(self.now + t.after, Pending::Timer { proc, id: t.id });
         }
-        for env in fx.sends {
+        for env in fx.sends.drain() {
             self.route(env.from, env.to, env.component, env.event);
+        }
+        for cast in fx.casts.drain() {
+            self.route_multicast(cast.from, &cast.to, cast.component, cast.event);
         }
         if fx.halted {
             self.nodes[proc.index()].alive = false;
         }
+        fx.clear();
     }
 
     fn route(&mut self, from: ProcessId, to: ProcessId, component: &'static str, event: E) {
@@ -336,7 +441,15 @@ impl<E: Event> SimWorld<E> {
         if from == to {
             // Loopback: fixed small delay, never lost or partitioned.
             let at = self.now + self.loopback_delay;
-            self.schedule(at, Pending::Net { from, to, component, event });
+            self.schedule(
+                at,
+                Pending::Net {
+                    from,
+                    to,
+                    component,
+                    event,
+                },
+            );
             return;
         }
         if self.net.blocked(from, to) {
@@ -360,10 +473,46 @@ impl<E: Event> SimWorld<E> {
             let delay2 = link.sample_delay(&mut self.rng);
             self.schedule(
                 self.now + delay2,
-                Pending::Net { from, to, component, event: event.clone() },
+                Pending::Net {
+                    from,
+                    to,
+                    component,
+                    event: event.clone(),
+                },
             );
         }
-        self.schedule(self.now + delay, Pending::Net { from, to, component, event });
+        self.schedule(
+            self.now + delay,
+            Pending::Net {
+                from,
+                to,
+                component,
+                event,
+            },
+        );
+    }
+
+    /// Expands a broadcast envelope: the wire-size/kind metrics are recorded
+    /// per destination (each transmission is a message on the network), and
+    /// the event is cloned once per *scheduled delivery* — the last
+    /// destination receives the original, so a unicast "broadcast" is fully
+    /// zero-copy and an `n`-cast performs `n − 1` cheap clones instead of
+    /// the `n` deep per-envelope copies the old per-destination path made.
+    fn route_multicast(
+        &mut self,
+        from: ProcessId,
+        to: &gcs_kernel::SmallVec<ProcessId, 8>,
+        component: &'static str,
+        event: E,
+    ) {
+        let n = to.len();
+        if n == 0 {
+            return;
+        }
+        for i in 0..n - 1 {
+            self.route(from, to[i], component, event.clone());
+        }
+        self.route(from, to[n - 1], component, event);
     }
 }
 
@@ -376,14 +525,12 @@ mod tests {
     enum Ev {
         Hello(u32),
         Deliver(u32),
-        Tick,
     }
     impl Event for Ev {
         fn kind(&self) -> &'static str {
             match self {
                 Ev::Hello(_) => "hello",
                 Ev::Deliver(_) => "deliver",
-                Ev::Tick => "tick",
             }
         }
     }
@@ -431,6 +578,42 @@ mod tests {
     }
 
     #[test]
+    fn equal_time_events_fire_in_schedule_order() {
+        // Tie-breaking pin for the scheduler: events scheduled at the same
+        // instant fire in scheduling (seq) order. The old BinaryHeap ordered
+        // by (time, seq); the timing wheel must preserve that exactly.
+        let mut w = world(1, 42);
+        for i in 0..50u32 {
+            w.inject_at(
+                Time::from_millis(5),
+                ProcessId::new(0),
+                "echo",
+                Ev::Hello(i),
+            );
+        }
+        assert!(w.run_to_quiescence(Time::from_secs(1)));
+        let seqs = w.trace().per_proc(1, |e| match e {
+            Ev::Deliver(v) => Some(*v),
+            _ => None,
+        });
+        assert_eq!(seqs[0], (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn counts_only_trace_still_counts_deliveries() {
+        let mut w: SimWorld<Ev> =
+            SimWorld::new(SimConfig::lan(1).with_trace(crate::trace::TraceMode::CountsOnly));
+        for _ in 0..3 {
+            w.add_node(|id| Process::builder(id).with(Echo { n: 3 }).build());
+        }
+        w.inject_at(Time::ZERO, ProcessId::new(0), "echo", Ev::Hello(1));
+        assert!(w.run_to_quiescence(Time::from_secs(1)));
+        assert!(w.trace().entries().is_empty(), "no entries stored");
+        assert_eq!(w.trace().delivery_count(), 3, "but deliveries counted");
+        assert_eq!(w.metrics().sent_of_kind("hello"), 3);
+    }
+
+    #[test]
     fn determinism_same_seed_same_trace() {
         let run = |seed| {
             let mut w = world(4, seed);
@@ -457,7 +640,12 @@ mod tests {
     fn crashed_node_receives_nothing() {
         let mut w = world(3, 2);
         w.crash_at(Time::from_millis(1), ProcessId::new(2));
-        w.inject_at(Time::from_millis(2), ProcessId::new(0), "echo", Ev::Hello(1));
+        w.inject_at(
+            Time::from_millis(2),
+            ProcessId::new(0),
+            "echo",
+            Ev::Hello(1),
+        );
         assert!(w.run_to_quiescence(Time::from_secs(1)));
         let seqs = w.trace().per_proc(3, |e| match e {
             Ev::Deliver(v) => Some(*v),
@@ -488,7 +676,12 @@ mod tests {
     fn loss_burst_drops_messages() {
         let mut w = world(2, 4);
         w.loss_burst_at(Time::ZERO, TimeDelta::from_secs(10), 1.0);
-        w.inject_at(Time::from_millis(1), ProcessId::new(0), "echo", Ev::Hello(9));
+        w.inject_at(
+            Time::from_millis(1),
+            ProcessId::new(0),
+            "echo",
+            Ev::Hello(9),
+        );
         assert!(w.run_to_quiescence(Time::from_secs(1)));
         // Self-send still arrives (loopback is never lost); peer send dropped.
         assert_eq!(w.metrics().dropped_loss(), 1);
@@ -505,7 +698,11 @@ mod tests {
         let measure = |spike: bool| {
             let mut w = world(2, 5);
             if spike {
-                w.delay_spike_at(Time::ZERO, TimeDelta::from_secs(1), TimeDelta::from_millis(50));
+                w.delay_spike_at(
+                    Time::ZERO,
+                    TimeDelta::from_secs(1),
+                    TimeDelta::from_millis(50),
+                );
             }
             w.inject_at(Time::ZERO, ProcessId::new(0), "echo", Ev::Hello(1));
             assert!(w.run_to_quiescence(Time::from_secs(2)));

@@ -172,9 +172,16 @@ impl Event for IsisEvent {
             IsisEvent::FlushReport { unstable, .. } => {
                 16 + unstable.iter().map(|(_, p, _)| 24 + p.len()).sum::<usize>()
             }
-            IsisEvent::NewView { members, deliver_first, .. } => {
+            IsisEvent::NewView {
+                members,
+                deliver_first,
+                ..
+            } => {
                 16 + 4 * members.len()
-                    + deliver_first.iter().map(|(_, p)| 16 + p.len()).sum::<usize>()
+                    + deliver_first
+                        .iter()
+                        .map(|(_, p)| 16 + p.len())
+                        .sum::<usize>()
             }
             IsisEvent::JoinRequest => 16,
             IsisEvent::StateTransfer { state } => 16 + state.len(),
@@ -204,7 +211,9 @@ pub struct IsisStack {
     member: bool,
     mode: Mode,
     /// FD state (integrated with membership — the traditional coupling).
-    last_heard: HashMap<ProcessId, Time>,
+    /// Indexed by raw process id: heartbeats arrive constantly, so this is
+    /// a dense table rather than a hash map.
+    last_heard: Vec<Option<Time>>,
     /// Sender side: next per-process message number.
     next_msg: u64,
     /// Sequencer side: next order number in this view.
@@ -244,7 +253,7 @@ impl IsisStack {
             members,
             member,
             mode: Mode::Steady,
-            last_heard: HashMap::new(),
+            last_heard: Vec::new(),
             next_msg: 0,
             next_order: 0,
             unordered: BTreeMap::new(),
@@ -266,28 +275,46 @@ impl IsisStack {
 
     /// The coordinator is the smallest member this process does not suspect.
     fn coordinator(&self, now: Time) -> Option<ProcessId> {
-        self.members.iter().copied().find(|&p| p == self.me || !self.suspects(p, now))
+        self.members
+            .iter()
+            .copied()
+            .find(|&p| p == self.me || !self.suspects(p, now))
     }
 
     fn suspects(&self, p: ProcessId, now: Time) -> bool {
-        let last = self.last_heard.get(&p).copied().unwrap_or(self.started_at);
+        let last = self
+            .last_heard
+            .get(p.index())
+            .copied()
+            .flatten()
+            .unwrap_or(self.started_at);
         now.since(last) > self.config.fd_timeout
     }
 
-    fn others(&self) -> Vec<ProcessId> {
-        self.members.iter().copied().filter(|&p| p != self.me).collect()
+    fn note_heard(&mut self, p: ProcessId, now: Time) {
+        let idx = p.index();
+        if idx >= self.last_heard.len() {
+            self.last_heard.resize(idx + 1, None);
+        }
+        self.last_heard[idx] = Some(now);
+    }
+
+    fn others(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.members.iter().copied().filter(move |&p| p != self.me)
     }
 
     fn broadcast(&self, ev: IsisEvent, ctx: &mut Context<'_, IsisEvent>) {
-        for p in self.others() {
-            ctx.send(p, "isis", ev.clone());
-        }
+        // One broadcast envelope instead of a per-peer clone loop.
+        ctx.send_to_all(self.others(), "isis", ev);
     }
 
     fn do_abcast(&mut self, payload: Bytes, ctx: &mut Context<'_, IsisEvent>) {
         let id = (self.me, self.next_msg);
         self.next_msg += 1;
-        let data = IsisEvent::Data { id, payload: payload.clone() };
+        let data = IsisEvent::Data {
+            id,
+            payload: payload.clone(),
+        };
         self.broadcast(data, ctx);
         self.accept_data(id, payload, ctx);
     }
@@ -301,7 +328,11 @@ impl IsisStack {
         if self.member && self.mode == Mode::Steady && self.sequencer() == Some(self.me) {
             let seq = self.next_order;
             self.next_order += 1;
-            let order = IsisEvent::Order { vid: self.vid, seq, id };
+            let order = IsisEvent::Order {
+                vid: self.vid,
+                seq,
+                id,
+            };
             self.broadcast(order.clone(), ctx);
             self.on_order(self.vid, seq, id, ctx);
         }
@@ -327,7 +358,11 @@ impl IsisStack {
             self.orders.remove(&self.next_deliver);
             self.next_deliver += 1;
             self.delivered.insert(id);
-            ctx.output(IsisEvent::Deliver { id, payload, vid: self.vid });
+            ctx.output(IsisEvent::Deliver {
+                id,
+                payload,
+                vid: self.vid,
+            });
         }
     }
 
@@ -342,7 +377,10 @@ impl IsisStack {
         if new_members == self.members && self.pending_joins.is_empty() {
             return;
         }
-        let survivors = new_members.iter().filter(|p| self.members.contains(p)).count();
+        let survivors = new_members
+            .iter()
+            .filter(|p| self.members.contains(p))
+            .count();
         if survivors < self.members.len() / 2 + 1 {
             return; // minority: wait, do not split the brain
         }
@@ -351,11 +389,12 @@ impl IsisStack {
         self.flush_vid = self.vid + 1;
         self.flush_members = new_members.clone();
         self.flush_reports.clear();
-        let proposal = IsisEvent::ViewProposal { vid: self.flush_vid, members: new_members.clone() };
+        let proposal = IsisEvent::ViewProposal {
+            vid: self.flush_vid,
+            members: new_members.clone(),
+        };
         // Survivors of the current view participate in the flush.
-        for p in self.others() {
-            ctx.send(p, "isis", proposal.clone());
-        }
+        self.broadcast(proposal, ctx);
         // Our own report.
         let report = self.local_unstable();
         self.flush_reports.insert(self.me, report);
@@ -363,8 +402,7 @@ impl IsisStack {
     }
 
     fn local_unstable(&self) -> Vec<(IsisMsgId, Bytes, Option<u64>)> {
-        let seq_of: HashMap<IsisMsgId, u64> =
-            self.orders.iter().map(|(&s, &id)| (id, s)).collect();
+        let seq_of: HashMap<IsisMsgId, u64> = self.orders.iter().map(|(&s, &id)| (id, s)).collect();
         self.unordered
             .iter()
             .map(|(&id, p)| (id, p.clone(), seq_of.get(&id).copied()))
@@ -386,7 +424,10 @@ impl IsisStack {
             ctx.output(IsisEvent::Blocked(true));
         }
         let _ = members;
-        let report = IsisEvent::FlushReport { vid, unstable: self.local_unstable() };
+        let report = IsisEvent::FlushReport {
+            vid,
+            unstable: self.local_unstable(),
+        };
         ctx.send(from, "isis", report);
     }
 
@@ -447,12 +488,14 @@ impl IsisStack {
             deliver_first: deliver_first.clone(),
         };
         // Tell survivors and joiners alike.
-        let mut targets: BTreeSet<ProcessId> =
-            self.members.iter().chain(self.flush_members.iter()).copied().collect();
+        let mut targets: BTreeSet<ProcessId> = self
+            .members
+            .iter()
+            .chain(self.flush_members.iter())
+            .copied()
+            .collect();
         targets.remove(&self.me);
-        for p in targets {
-            ctx.send(p, "isis", new_view.clone());
-        }
+        ctx.send_to_all(targets, "isis", new_view);
         // State transfer to joiners (the §4.3 cost).
         for &j in self.pending_joins.clone().iter() {
             if self.flush_members.contains(&j) {
@@ -466,7 +509,12 @@ impl IsisStack {
             }
         }
         self.pending_joins.clear();
-        self.install_view(self.flush_vid, self.flush_members.clone(), deliver_first, ctx);
+        self.install_view(
+            self.flush_vid,
+            self.flush_members.clone(),
+            deliver_first,
+            ctx,
+        );
     }
 
     fn install_view(
@@ -480,7 +528,11 @@ impl IsisStack {
         for (id, payload) in deliver_first {
             if self.delivered.insert(id) {
                 self.unordered.remove(&id);
-                ctx.output(IsisEvent::Deliver { id, payload, vid: self.vid });
+                ctx.output(IsisEvent::Deliver {
+                    id,
+                    payload,
+                    vid: self.vid,
+                });
             }
         }
         if !members.contains(&self.me) {
@@ -505,8 +557,8 @@ impl IsisStack {
         self.next_deliver = 0;
         // Fresh FD horizon for the new view.
         let now = ctx.now();
-        for &p in &members {
-            self.last_heard.insert(p, now);
+        for &m in &members {
+            self.note_heard(m, now);
         }
         ctx.output(IsisEvent::ViewInstalled { vid, members });
         ctx.output(IsisEvent::Blocked(false));
@@ -554,7 +606,11 @@ impl Component<IsisEvent> for IsisStack {
         if self.mode == Mode::Dead {
             // A killed process only listens for its re-admission.
             match event {
-                IsisEvent::NewView { vid, members, deliver_first } if members.contains(&self.me) => {
+                IsisEvent::NewView {
+                    vid,
+                    members,
+                    deliver_first,
+                } if members.contains(&self.me) => {
                     self.delivered.clear();
                     self.install_view(vid, members, deliver_first, ctx);
                 }
@@ -567,7 +623,7 @@ impl Component<IsisEvent> for IsisStack {
         }
         match event {
             IsisEvent::Heartbeat => {
-                self.last_heard.insert(from, ctx.now());
+                self.note_heard(from, ctx.now());
                 // A heartbeat from a process outside our view means it holds
                 // a stale view (it was excluded while unreachable): notify it
                 // so it learns its exclusion (and gets killed, Isis-style).
@@ -595,10 +651,12 @@ impl Component<IsisEvent> for IsisStack {
             IsisEvent::FlushReport { vid, unstable } => {
                 self.on_flush_report(from, vid, unstable, ctx)
             }
-            IsisEvent::NewView { vid, members, deliver_first } => {
-                if vid > self.vid {
-                    self.install_view(vid, members, deliver_first, ctx);
-                }
+            IsisEvent::NewView {
+                vid,
+                members,
+                deliver_first,
+            } if vid > self.vid => {
+                self.install_view(vid, members, deliver_first, ctx);
             }
             IsisEvent::JoinRequest => {
                 self.pending_joins.insert(from);
@@ -621,15 +679,17 @@ impl Component<IsisEvent> for IsisStack {
             return;
         }
         let now = ctx.now();
-        for p in self.others() {
-            ctx.send(p, "isis", IsisEvent::Heartbeat);
-        }
+        ctx.send_to_all(self.others(), "isis", IsisEvent::Heartbeat);
         // The traditional coupling: suspicion IS exclusion. The coordinator
         // (lowest unsuspected member) reacts to any suspicion by starting a
         // view change that expels the suspects.
         if self.mode == Mode::Steady && self.coordinator(now) == Some(self.me) {
-            let survivors: Vec<ProcessId> =
-                self.members.iter().copied().filter(|&p| p == self.me || !self.suspects(p, now)).collect();
+            let survivors: Vec<ProcessId> = self
+                .members
+                .iter()
+                .copied()
+                .filter(|&p| p == self.me || !self.suspects(p, now))
+                .collect();
             if survivors.len() != self.members.len() || !self.pending_joins.is_empty() {
                 let mut next = survivors;
                 for &j in &self.pending_joins {
@@ -658,19 +718,29 @@ impl IsisSim {
         let mut world = SimWorld::new(SimConfig::lan(seed));
         for _ in 0..n {
             let m = members.clone();
-            world.add_node(|id| Process::builder(id).with(IsisStack::new(id, Some(m), config)).build());
+            world.add_node(|id| {
+                Process::builder(id)
+                    .with(IsisStack::new(id, Some(m), config))
+                    .build()
+            });
         }
         for _ in 0..joiners {
             world.add_node(|id| {
-                Process::builder(id).with(IsisStack::new(id, None, config)).build()
+                Process::builder(id)
+                    .with(IsisStack::new(id, None, config))
+                    .build()
             });
         }
-        IsisSim { world, n: n + joiners }
+        IsisSim {
+            world,
+            n: n + joiners,
+        }
     }
 
     /// Schedules an atomic broadcast.
     pub fn abcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
-        self.world.inject_at(t, p, "isis", IsisEvent::Abcast(payload.into()));
+        self.world
+            .inject_at(t, p, "isis", IsisEvent::Abcast(payload.into()));
     }
 
     /// Schedules a join request by an outsider (or killed process).
@@ -821,7 +891,10 @@ mod tests {
         sim.run_until(Time::from_secs(1));
         let seqs = sim.delivered_payloads();
         for i in 0..3 {
-            assert!(seqs[i].contains(&b"queued".to_vec()), "p{i} delivers the queued send");
+            assert!(
+                seqs[i].contains(&b"queued".to_vec()),
+                "p{i} delivers the queued send"
+            );
         }
     }
 
@@ -833,10 +906,8 @@ mod tests {
         // p2 is unreachable for a while — alive, but suspected: the
         // traditional architecture excludes it (perfect-FD emulation), it is
         // killed, and must re-join with a full state transfer (§4.3).
-        sim.world_mut().partition_at(
-            Time::from_millis(50),
-            vec![vec![p(0), p(1)], vec![p(2)]],
-        );
+        sim.world_mut()
+            .partition_at(Time::from_millis(50), vec![vec![p(0), p(1)], vec![p(2)]]);
         sim.world_mut().heal_at(Time::from_millis(400));
         sim.run_until(Time::from_secs(3));
         let (killed, rejoined) = sim.kill_and_rejoin_times(p(2));
@@ -861,7 +932,10 @@ mod tests {
         );
         sim.run_until(Time::from_secs(1));
         for i in 0..3 {
-            assert!(sim.views()[i].is_empty(), "p{i} must not install a singleton view");
+            assert!(
+                sim.views()[i].is_empty(),
+                "p{i} must not install a singleton view"
+            );
         }
     }
 

@@ -149,9 +149,10 @@ impl Event for TokenEvent {
             TokenEvent::Token { .. } => 24,
             TokenEvent::Data { payload, .. } => 32 + payload.len(),
             TokenEvent::Reform { .. } => 16,
-            TokenEvent::ReformReport { known, .. } | TokenEvent::NewRing { recovery: known, .. } => {
-                24 + known.iter().map(|(_, _, p)| 16 + p.len()).sum::<usize>()
-            }
+            TokenEvent::ReformReport { known, .. }
+            | TokenEvent::NewRing {
+                recovery: known, ..
+            } => 24 + known.iter().map(|(_, _, p)| 16 + p.len()).sum::<usize>(),
             TokenEvent::JoinRequest => 16,
             TokenEvent::RingInfo { ring, .. } => 24 + 4 * ring.len(),
             _ => 64,
@@ -214,11 +215,12 @@ impl TokenStack {
     }
 
     fn broadcast(&self, ev: TokenEvent, ctx: &mut Context<'_, TokenEvent>) {
-        for &p in &self.ring {
-            if p != self.me {
-                ctx.send(p, "token", ev.clone());
-            }
-        }
+        // One broadcast envelope instead of a per-peer clone loop.
+        ctx.send_to_all(
+            self.ring.iter().copied().filter(|&p| p != self.me),
+            "token",
+            ev,
+        );
     }
 
     /// Token in hand: stamp and broadcast everything queued, pass it on.
@@ -231,15 +233,24 @@ impl TokenStack {
         while let Some((payload, joiner)) = self.outbox.pop_front() {
             let seq = next_seq;
             next_seq += 1;
-            let data = TokenEvent::Data { seq, origin: self.me, payload: payload.clone(), joiner };
+            let data = TokenEvent::Data {
+                seq,
+                origin: self.me,
+                payload: payload.clone(),
+                joiner,
+            };
             self.broadcast(data, ctx);
             self.accept_data(seq, self.me, payload, joiner, ctx);
         }
         while let Some(j) = self.sponsor_queue.pop_front() {
             let seq = next_seq;
             next_seq += 1;
-            let data =
-                TokenEvent::Data { seq, origin: self.me, payload: Bytes::new(), joiner: Some(j) };
+            let data = TokenEvent::Data {
+                seq,
+                origin: self.me,
+                payload: Bytes::new(),
+                joiner: Some(j),
+            };
             self.broadcast(data, ctx);
             self.accept_data(seq, self.me, Bytes::new(), Some(j), ctx);
         }
@@ -296,7 +307,11 @@ impl TokenStack {
                     }
                 }
             } else {
-                ctx.output(TokenEvent::Deliver { seq, origin, payload });
+                ctx.output(TokenEvent::Deliver {
+                    seq,
+                    origin,
+                    payload,
+                });
             }
         }
     }
@@ -336,12 +351,13 @@ impl TokenStack {
         let next_seq = recovery.keys().next_back().map_or(0, |s| s + 1);
         let recovery: Vec<(u64, ProcessId, Bytes)> =
             recovery.into_iter().map(|(s, (o, p))| (s, o, p)).collect();
-        let ev = TokenEvent::NewRing { vid, ring: ring.clone(), recovery: recovery.clone(), next_seq };
-        for &p in &ring {
-            if p != self.me {
-                ctx.send(p, "token", ev.clone());
-            }
-        }
+        let ev = TokenEvent::NewRing {
+            vid,
+            ring: ring.clone(),
+            recovery: recovery.clone(),
+            next_seq,
+        };
+        ctx.send_to_all(ring.iter().copied().filter(|&p| p != self.me), "token", ev);
         self.install_ring(vid, ring, recovery, next_seq, ctx);
     }
 
@@ -374,7 +390,10 @@ impl TokenStack {
         self.reforming = None;
         self.last_token_seen = ctx.now();
         self.try_deliver(ctx);
-        ctx.output(TokenEvent::RingInstalled { vid, ring: ring.clone() });
+        ctx.output(TokenEvent::RingInstalled {
+            vid,
+            ring: ring.clone(),
+        });
         // The reformer (lowest id) re-injects the token.
         if self.member && ring.first() == Some(&self.me) {
             self.work_token(vid, next_seq, ctx);
@@ -395,38 +414,50 @@ impl Component<TokenEvent> for TokenStack {
             self.work_token(0, 0, ctx);
         }
         if self.member {
-            ctx.output(TokenEvent::RingInstalled { vid: 0, ring: self.ring.clone() });
+            ctx.output(TokenEvent::RingInstalled {
+                vid: 0,
+                ring: self.ring.clone(),
+            });
         }
     }
 
     fn on_event(&mut self, event: TokenEvent, ctx: &mut Context<'_, TokenEvent>) {
         match event {
             TokenEvent::Abcast(payload) => self.outbox.push_back((payload, None)),
-            TokenEvent::Join => {
-                if !self.member {
-                    ctx.send(ProcessId::new(0), "token", TokenEvent::JoinRequest);
-                }
+            TokenEvent::Join if !self.member => {
+                ctx.send(ProcessId::new(0), "token", TokenEvent::JoinRequest);
             }
             _ => {}
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, event: TokenEvent, ctx: &mut Context<'_, TokenEvent>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        event: TokenEvent,
+        ctx: &mut Context<'_, TokenEvent>,
+    ) {
         match event {
             TokenEvent::Token { vid, next_seq } => self.work_token(vid, next_seq, ctx),
-            TokenEvent::Data { seq, origin, payload, joiner } => {
+            TokenEvent::Data {
+                seq,
+                origin,
+                payload,
+                joiner,
+            } => {
                 self.last_token_seen = ctx.now(); // data implies a live ring
                 self.accept_data(seq, origin, payload, joiner, ctx)
             }
-            TokenEvent::Reform { vid } => {
-                if vid > self.vid && self.member {
-                    ctx.send(
-                        from,
-                        "token",
-                        TokenEvent::ReformReport { vid, known: self.known_list() },
-                    );
-                    self.last_token_seen = ctx.now(); // reformation under way
-                }
+            TokenEvent::Reform { vid } if vid > self.vid && self.member => {
+                ctx.send(
+                    from,
+                    "token",
+                    TokenEvent::ReformReport {
+                        vid,
+                        known: self.known_list(),
+                    },
+                );
+                self.last_token_seen = ctx.now(); // reformation under way
             }
             TokenEvent::ReformReport { vid, known } => {
                 if let Some((rvid, _)) = self.reforming {
@@ -439,24 +470,27 @@ impl Component<TokenEvent> for TokenStack {
                     }
                 }
             }
-            TokenEvent::NewRing { vid, ring, recovery, next_seq } => {
-                if vid > self.vid {
-                    self.install_ring(vid, ring, recovery, next_seq, ctx);
-                }
+            TokenEvent::NewRing {
+                vid,
+                ring,
+                recovery,
+                next_seq,
+            } if vid > self.vid => {
+                self.install_ring(vid, ring, recovery, next_seq, ctx);
             }
-            TokenEvent::JoinRequest => {
-                if self.member {
-                    self.sponsor_queue.push_back(from);
-                }
+            TokenEvent::JoinRequest if self.member => {
+                self.sponsor_queue.push_back(from);
             }
-            TokenEvent::RingInfo { vid, ring, next_deliver } => {
-                if !self.member {
-                    self.vid = vid;
-                    self.ring = ring.clone();
-                    self.member = true;
-                    self.next_deliver = next_deliver;
-                    ctx.output(TokenEvent::RingInstalled { vid, ring });
-                }
+            TokenEvent::RingInfo {
+                vid,
+                ring,
+                next_deliver,
+            } if !self.member => {
+                self.vid = vid;
+                self.ring = ring.clone();
+                self.member = true;
+                self.next_deliver = next_deliver;
+                ctx.output(TokenEvent::RingInstalled { vid, ring });
             }
             _ => {}
         }
@@ -508,20 +542,28 @@ impl TokenSim {
         for _ in 0..n {
             let r = ring.clone();
             world.add_node(|id| {
-                Process::builder(id).with(TokenStack::new(id, Some(r), config)).build()
+                Process::builder(id)
+                    .with(TokenStack::new(id, Some(r), config))
+                    .build()
             });
         }
         for _ in 0..joiners {
             world.add_node(|id| {
-                Process::builder(id).with(TokenStack::new(id, None, config)).build()
+                Process::builder(id)
+                    .with(TokenStack::new(id, None, config))
+                    .build()
             });
         }
-        TokenSim { world, n: n + joiners }
+        TokenSim {
+            world,
+            n: n + joiners,
+        }
     }
 
     /// Schedules an atomic broadcast.
     pub fn abcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
-        self.world.inject_at(t, p, "token", TokenEvent::Abcast(payload.into()));
+        self.world
+            .inject_at(t, p, "token", TokenEvent::Abcast(payload.into()));
     }
 
     /// Schedules an RMP-style fault-free join.
@@ -584,7 +626,11 @@ mod tests {
     fn token_orders_messages_from_all_senders() {
         let mut sim = TokenSim::new(3, 0, TokenConfig::default(), 1);
         for i in 0..12u32 {
-            sim.abcast_at(Time::from_millis(1 + (i / 3) as u64), p(i % 3), vec![i as u8]);
+            sim.abcast_at(
+                Time::from_millis(1 + (i / 3) as u64),
+                p(i % 3),
+                vec![i as u8],
+            );
         }
         sim.run_until(Time::from_secs(1));
         let seqs = sim.delivered_payloads();
@@ -608,7 +654,10 @@ mod tests {
             assert_eq!(ring, &vec![p(1), p(2)], "p{i} sees the reformed ring");
         }
         let seqs = sim.delivered_payloads();
-        assert!(seqs[1].contains(&b"post".to_vec()), "ordering resumed: {seqs:?}");
+        assert!(
+            seqs[1].contains(&b"post".to_vec()),
+            "ordering resumed: {seqs:?}"
+        );
         assert_eq!(seqs[1], seqs[2]);
     }
 

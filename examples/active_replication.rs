@@ -38,8 +38,12 @@ fn main() {
             state.get("after"),
         );
     }
-    let survivors: Vec<&KvStore> =
-        states.iter().zip(&alive).filter(|(_, ok)| **ok).map(|(s, _)| s).collect();
+    let survivors: Vec<&KvStore> = states
+        .iter()
+        .zip(&alive)
+        .filter(|(_, ok)| **ok)
+        .map(|(s, _)| s)
+        .collect();
     assert!(survivors.windows(2).all(|w| w[0].digest() == w[1].digest()));
     println!("\nall surviving replicas converged on an identical state.");
 }

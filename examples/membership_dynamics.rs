@@ -23,7 +23,11 @@ fn main() {
     group.crash_at(Time::from_millis(200), p(2));
     // Traffic keeps flowing throughout.
     for i in 0..40u64 {
-        group.abcast_at(Time::from_millis(10 + 20 * i), p((i % 2) as u32), vec![i as u8]);
+        group.abcast_at(
+            Time::from_millis(10 + 20 * i),
+            p((i % 2) as u32),
+            vec![i as u8],
+        );
     }
     group.run_until(Time::from_secs(3));
 
@@ -31,15 +35,29 @@ fn main() {
         let views = &group.views()[i as usize];
         let rendered: Vec<String> = views
             .iter()
-            .map(|v| format!("v{}{:?}", v.id, v.members.iter().map(|m| m.raw()).collect::<Vec<_>>()))
+            .map(|v| {
+                format!(
+                    "v{}{:?}",
+                    v.id,
+                    v.members.iter().map(|m| m.raw()).collect::<Vec<_>>()
+                )
+            })
             .collect();
         println!("p{i} views: {}", rendered.join(" -> "));
     }
     let final_views: Vec<_> = [0u32, 1, 3]
         .iter()
-        .map(|&i| group.views()[i as usize].last().expect("views installed").clone())
+        .map(|&i| {
+            group.views()[i as usize]
+                .last()
+                .expect("views installed")
+                .clone()
+        })
         .collect();
-    assert!(final_views.windows(2).all(|w| w[0] == w[1]), "view agreement");
+    assert!(
+        final_views.windows(2).all(|w| w[0] == w[1]),
+        "view agreement"
+    );
     assert!(!final_views[0].contains(p(2)), "crashed member excluded");
     assert!(final_views[0].contains(p(3)), "joiner admitted");
 

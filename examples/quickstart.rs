@@ -31,11 +31,16 @@ fn main() {
 
     let delivered = group.adelivered_payloads();
     for (i, seq) in delivered.iter().enumerate() {
-        let rendered: Vec<String> =
-            seq.iter().map(|m| String::from_utf8_lossy(m).into_owned()).collect();
+        let rendered: Vec<String> = seq
+            .iter()
+            .map(|m| String::from_utf8_lossy(m).into_owned())
+            .collect();
         println!("p{i} delivered: {rendered:?}");
     }
-    assert_eq!(delivered[1], delivered[2], "identical order at the survivors");
+    assert_eq!(
+        delivered[1], delivered[2],
+        "identical order at the survivors"
+    );
     assert_eq!(delivered[1].len(), 4, "all four messages delivered");
     assert!(group.views()[1].is_empty(), "no view change was needed");
     println!("\ntotal order held across a crash with zero view changes.");

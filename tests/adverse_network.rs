@@ -17,7 +17,11 @@ fn total_order_over_lossy_duplicating_links() {
         cfg.monitoring_timeout = TimeDelta::from_secs(3600);
         // 10% loss + 5% duplication on every link.
         let mut sim = SimConfig::lan(seed);
-        sim.link = LinkModel { drop_prob: 0.10, dup_prob: 0.05, ..LinkModel::lan() };
+        sim.link = LinkModel {
+            drop_prob: 0.10,
+            dup_prob: 0.05,
+            ..LinkModel::lan()
+        };
         let mut g = GroupSim::with_sim(3, 0, cfg, sim);
         for i in 0..12u32 {
             g.abcast_at(Time::from_millis(1 + 4 * i as u64), p(i % 3), vec![i as u8]);
@@ -43,7 +47,11 @@ fn total_order_on_wan_latencies() {
     let sim = SimConfig::lan(3).with_link(LinkModel::wan());
     let mut g = GroupSim::with_sim(3, 0, cfg, sim);
     for i in 0..6u32 {
-        g.abcast_at(Time::from_millis(1 + 30 * i as u64), p(i % 3), vec![i as u8]);
+        g.abcast_at(
+            Time::from_millis(1 + 30 * i as u64),
+            p(i % 3),
+            vec![i as u8],
+        );
     }
     g.run_until(Time::from_secs(30));
     let seqs = g.adelivered_payloads();
@@ -58,10 +66,15 @@ fn transient_partition_heals_without_membership_change() {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
     let mut g = GroupSim::new(3, cfg, 11);
-    g.world_mut().partition_at(Time::from_millis(20), vec![vec![p(0), p(1)], vec![p(2)]]);
+    g.world_mut()
+        .partition_at(Time::from_millis(20), vec![vec![p(0), p(1)], vec![p(2)]]);
     g.world_mut().heal_at(Time::from_millis(300));
     for i in 0..10u32 {
-        g.abcast_at(Time::from_millis(25 + 10 * i as u64), p(i % 2), vec![i as u8]);
+        g.abcast_at(
+            Time::from_millis(25 + 10 * i as u64),
+            p(i % 2),
+            vec![i as u8],
+        );
     }
     g.run_until(Time::from_secs(5));
     let seqs = g.adelivered_payloads();
@@ -72,5 +85,8 @@ fn transient_partition_heals_without_membership_change() {
         assert_eq!(s.len(), 10, "p{i} delivered {} of 10", s.len());
     }
     check_prefix_consistency(&seqs).expect("consistent across the heal");
-    assert!(g.views().iter().all(|v| v.is_empty()), "no exclusion for a transient outage");
+    assert!(
+        g.views().iter().all(|v| v.is_empty()),
+        "no exclusion for a transient outage"
+    );
 }

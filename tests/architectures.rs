@@ -27,10 +27,13 @@ fn isis_stack_fig1() {
     sim.run_until(Time::from_secs(2));
 
     let seqs = sim.delivered_payloads();
-    check_prefix_consistency(&seqs[1..].to_vec()).expect("survivors agree on the order");
+    check_prefix_consistency(&seqs[1..]).expect("survivors agree on the order");
     check_no_duplicates(&seqs).expect("no duplicates");
     // The crash forced a membership change (the traditional coupling).
-    let (_, members) = sim.views()[1].last().expect("exclusion view change").clone();
+    let (_, members) = sim.views()[1]
+        .last()
+        .expect("exclusion view change")
+        .clone();
     assert_eq!(members, vec![p(1), p(2), p(3)]);
     assert!(seqs[1].contains(&b"post".to_vec()));
 }
@@ -43,7 +46,8 @@ fn phoenix_stack_fig2() {
     let mut cfg = IsisConfig::default();
     cfg.auto_rejoin = true;
     let mut sim = IsisSim::new(3, 0, cfg, 102);
-    sim.world_mut().partition_at(Time::from_millis(40), vec![vec![p(0), p(1)], vec![p(2)]]);
+    sim.world_mut()
+        .partition_at(Time::from_millis(40), vec![vec![p(0), p(1)], vec![p(2)]]);
     sim.world_mut().heal_at(Time::from_millis(400));
     sim.run_until(Time::from_secs(3));
     let (killed, rejoined) = sim.kill_and_rejoin_times(p(2));
@@ -82,13 +86,19 @@ fn rmp_stack_fig3() {
 fn totem_stack_fig4() {
     let mut sim = TokenSim::new(5, 0, TokenConfig::default(), 104);
     for i in 0..15u32 {
-        sim.abcast_at(Time::from_millis(1 + (i / 5) as u64 * 3), p(i % 5), vec![i as u8]);
+        sim.abcast_at(
+            Time::from_millis(1 + (i / 5) as u64 * 3),
+            p(i % 5),
+            vec![i as u8],
+        );
     }
     sim.crash_at(Time::from_millis(30), p(2));
     sim.run_until(Time::from_secs(2));
     let seqs = sim.delivered_payloads();
-    let survivors: Vec<Vec<Vec<u8>>> =
-        (0..5).filter(|&i| i != 2).map(|i| seqs[i].clone()).collect();
+    let survivors: Vec<Vec<Vec<u8>>> = (0..5)
+        .filter(|&i| i != 2)
+        .map(|i| seqs[i].clone())
+        .collect();
     check_prefix_consistency(&survivors).expect("recovered order agrees");
     // Reformation excluded the crashed member.
     for i in [0usize, 1, 3, 4] {
@@ -163,7 +173,12 @@ fn ensemble_stack_fig5() {
     sim.inject_at(Time::from_millis(1), p(0), "ensemble", Ev::Send(9));
     assert!(sim.run_to_quiescence(Time::from_secs(1)));
     // The event traversed p0's stack downwards and p1's stack upwards.
-    let got: Vec<Ev> = sim.trace().entries().iter().map(|e| e.event.clone()).collect();
+    let got: Vec<Ev> = sim
+        .trace()
+        .entries()
+        .iter()
+        .map(|e| e.event.clone())
+        .collect();
     assert_eq!(got, vec![Ev::Recv(9)]);
 }
 
@@ -178,15 +193,22 @@ fn new_stack_fig6() {
     g.crash_at(Time::from_millis(30), p(0));
     g.crash_at(Time::from_millis(35), p(4));
     for i in 0..10u32 {
-        g.abcast_at(Time::from_millis(40 + i as u64 * 2), p(1 + i % 3), vec![i as u8]);
+        g.abcast_at(
+            Time::from_millis(40 + i as u64 * 2),
+            p(1 + i % 3),
+            vec![i as u8],
+        );
     }
     g.run_until(Time::from_secs(3));
     let seqs = g.adelivered_payloads();
     for i in 1..4 {
         assert_eq!(seqs[i].len(), 10, "p{i} delivered all despite f=2 crashes");
     }
-    check_prefix_consistency(&seqs[1..4].to_vec()).expect("total order");
-    assert!(g.views().iter().all(|v| v.is_empty()), "no membership change needed");
+    check_prefix_consistency(&seqs[1..4]).expect("total order");
+    assert!(
+        g.views().iter().all(|v| v.is_empty()),
+        "no membership change needed"
+    );
 }
 
 /// F7 — Fig 7 (new architecture, augmented): generic broadcast between the
@@ -201,7 +223,12 @@ fn new_stack_fig7() {
     // Class 0 messages commute; class 1 conflict with each other only.
     for i in 0..12u32 {
         let class = MessageClass((i % 2) as u16);
-        g.gbcast_at(Time::from_millis(1 + i as u64), p(i % 4), class, vec![i as u8]);
+        g.gbcast_at(
+            Time::from_millis(1 + i as u64),
+            p(i % 4),
+            class,
+            vec![i as u8],
+        );
     }
     g.run_until(Time::from_secs(3));
     let ids = g.gdelivered_ids();

@@ -20,7 +20,11 @@ fn join_crash_exclude_lifecycle() {
     let mut g = GroupSim::with_joiners(3, 1, cfg, 900);
 
     for i in 0..30u64 {
-        g.abcast_at(Time::from_millis(5 + 10 * i), p((i % 2) as u32), vec![i as u8]);
+        g.abcast_at(
+            Time::from_millis(5 + 10 * i),
+            p((i % 2) as u32),
+            vec![i as u8],
+        );
     }
     g.join_at(Time::from_millis(60), p(3), p(1));
     g.crash_at(Time::from_millis(150), p(2));
@@ -29,17 +33,28 @@ fn join_crash_exclude_lifecycle() {
     // Views: everyone alive converges to v2 = {p0, p1, p3}.
     let mut finals = Vec::new();
     for i in [0u32, 1, 3] {
-        let v = g.views()[i as usize].last().expect("views installed").clone();
+        let v = g.views()[i as usize]
+            .last()
+            .expect("views installed")
+            .clone();
         finals.push(v);
     }
-    assert!(finals.windows(2).all(|w| w[0] == w[1]), "view agreement: {finals:?}");
+    assert!(
+        finals.windows(2).all(|w| w[0] == w[1]),
+        "view agreement: {finals:?}"
+    );
     assert_eq!(finals[0].members.len(), 3);
     assert!(!finals[0].contains(p(2)));
 
     // Ordering: members deliver the same totally ordered sequence.
     let seqs = g.adelivered_payloads();
-    assert_eq!(seqs[0].len(), 30, "all stream messages delivered: {:?}", seqs[0].len());
-    check_prefix_consistency(&vec![seqs[0].clone(), seqs[1].clone()]).expect("total order");
+    assert_eq!(
+        seqs[0].len(),
+        30,
+        "all stream messages delivered: {:?}",
+        seqs[0].len()
+    );
+    check_prefix_consistency(&[seqs[0].clone(), seqs[1].clone()]).expect("total order");
     check_no_duplicates(&seqs).expect("no duplicates");
 }
 
@@ -54,22 +69,30 @@ fn properties_across_seeds() {
         let crash_victim = p((seed % 5) as u32);
         g.crash_at(Time::from_millis(20 + (seed % 7) * 13), crash_victim);
         for i in 0..15u32 {
-            let sender = p((1 + (seed as u32 + i) % 4) as u32);
+            let sender = p(1 + (seed as u32 + i) % 4);
             if sender != crash_victim {
-                g.abcast_at(Time::from_millis(5 + 7 * i as u64), sender, vec![i as u8, seed as u8]);
+                g.abcast_at(
+                    Time::from_millis(5 + 7 * i as u64),
+                    sender,
+                    vec![i as u8, seed as u8],
+                );
             }
         }
         g.run_until(Time::from_secs(4));
         let seqs = g.adelivered_payloads();
-        check_prefix_consistency(&seqs.iter().enumerate().filter(|(i, _)| p(*i as u32) != crash_victim)
-            .map(|(_, s)| s.clone()).collect::<Vec<_>>())
-            .unwrap_or_else(|e| panic!("seed {seed}: order violation {e:?}"));
-        check_no_duplicates(&seqs).unwrap_or_else(|(i, m)| panic!("seed {seed}: dup {m:?} at p{i}"));
-        check_agreement(
-            &seqs,
-            &g.alive_flags(),
+        check_prefix_consistency(
+            &seqs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| p(*i as u32) != crash_victim)
+                .map(|(_, s)| s.clone())
+                .collect::<Vec<_>>(),
         )
-        .unwrap_or_else(|(a, b, _)| panic!("seed {seed}: agreement violation p{a}/p{b}"));
+        .unwrap_or_else(|e| panic!("seed {seed}: order violation {e:?}"));
+        check_no_duplicates(&seqs)
+            .unwrap_or_else(|(i, m)| panic!("seed {seed}: dup {m:?} at p{i}"));
+        check_agreement(&seqs, &g.alive_flags())
+            .unwrap_or_else(|(a, b, _)| panic!("seed {seed}: agreement violation p{a}/p{b}"));
     }
 }
 
@@ -79,7 +102,11 @@ fn properties_across_seeds() {
 #[test]
 fn output_triggered_exclusion() {
     let mut cfg = StackConfig::default();
-    cfg.monitoring = MonitoringPolicy { threshold: 1, use_fd: false, use_output_triggered: true };
+    cfg.monitoring = MonitoringPolicy {
+        threshold: 1,
+        use_fd: false,
+        use_output_triggered: true,
+    };
     cfg.monitoring_timeout = TimeDelta::from_secs(3600); // FD class never fires
     cfg.rc.stuck_after = TimeDelta::from_millis(200);
     let mut g = GroupSim::new(3, cfg, 901);
@@ -90,7 +117,10 @@ fn output_triggered_exclusion() {
     }
     g.run_until(Time::from_secs(4));
     let v = g.views()[0].last().expect("exclusion happened").clone();
-    assert!(!v.contains(p(2)), "stuck peer excluded via output-triggered suspicion");
+    assert!(
+        !v.contains(p(2)),
+        "stuck peer excluded via output-triggered suspicion"
+    );
 }
 
 /// FIFO generic broadcast (paper footnote 9): with FIFO enabled, every
