@@ -13,7 +13,9 @@
 //! * `failover_new/isis`     — E3's crash-recovery scenario.
 //! * `consensus_instance/n`  — A1's single-decision cost (CT, in-memory).
 //! * `sim_throughput/n`      — raw simulator speed (events/sec) at n=16, 64,
-//!   with the counts-only trace sink (the long-run configuration).
+//!   256, with the counts-only trace sink (the long-run configuration).
+//! * `scenario/<name>`       — scenario-engine variants (WAN topology,
+//!   skewed senders, churn) from the `gcs_bench::scenario` catalog.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gcs_core::{ConflictRelation, GroupSim, MessageClass, StackConfig};
@@ -175,6 +177,33 @@ fn sim_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn sim_throughput_large(c: &mut Criterion) {
+    // The 256-process point: the O(n²) heartbeat fan-out makes even a short
+    // horizon expensive (~seconds per iteration), so it lives in its own
+    // group with a minimal sampling budget — see the `big` group config.
+    let mut group = c.benchmark_group("sim_throughput");
+    group.bench_with_input(BenchmarkId::from_parameter(256usize), &256usize, |b, &n| {
+        b.iter(|| gcs_bench::perf::sim_throughput_counts(n, 10));
+    });
+    group.finish();
+}
+
+fn scenarios(c: &mut Criterion) {
+    // The scenario-engine variants of the throughput story: the same stack
+    // under WAN topologies and skewed senders (counts-only sink, like every
+    // long run).
+    use gcs_bench::scenario::by_name;
+    use gcs_sim::TraceMode;
+    let mut group = c.benchmark_group("scenario");
+    for name in ["uniform-wan3", "skewed-lan", "churn-lan"] {
+        let s = by_name(name).expect("tracked scenario");
+        group.bench_function(name, |b| {
+            b.iter(|| s.run(7, TraceMode::CountsOnly));
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     // Each iteration simulates a whole distributed scenario; keep sampling
@@ -184,6 +213,15 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
     targets = abcast_steady, traditional_steady, generic_broadcast, failover, consensus_instance,
-        sim_throughput
+        sim_throughput, scenarios
 }
-criterion_main!(benches);
+criterion_group! {
+    name = big;
+    // Seconds-per-iteration workloads: minimal sampling.
+    config = Criterion::default()
+        .sample_size(3)
+        .warm_up_time(std::time::Duration::from_millis(100))
+        .measurement_time(std::time::Duration::from_millis(500));
+    targets = sim_throughput_large
+}
+criterion_main!(benches, big);

@@ -1,24 +1,151 @@
-//! Regenerates the paper's experiments. Usage:
+//! Regenerates the paper's experiments and runs the scenario matrix.
 //!
 //! ```text
-//! repro [e1|e2|e3|e4|a1|a2|all|bench-pr1]
+//! repro [e1|e2|e3|e4|a1|a2|all]        paper experiments (markdown tables)
+//! repro list                           enumerate experiments + scenarios
+//! repro scenario <name> [seed]         run one named scenario
+//! repro bench-pr1 [reps]               PR-1 perf trajectory (JSON to stdout)
+//! repro bench-pr2 [reps]               PR-2 scenario trajectory → BENCH_PR2.json
 //! ```
 //!
-//! Output is markdown; EXPERIMENTS.md records a run of `repro all`.
-//!
-//! `bench-pr1` times the hot-path workloads tracked since PR 1 and prints
-//! the measurement block of `BENCH_PR1.json` (see that file for the
-//! committed before/after trajectory). Run it from a `--release` build.
+//! Experiment output is markdown; EXPERIMENTS.md records a run of
+//! `repro all`. The bench-* commands time hot-path workloads with a plain
+//! `Instant` loop (run them from a `--release` build); `bench-pr2` also
+//! writes `BENCH_PR2.json` in the current directory — the committed
+//! trajectory of the scenario engine.
 
-use gcs_bench::{experiments, perf};
+use gcs_bench::{experiments, perf, scenario};
+use gcs_sim::TraceMode;
+
+/// The paper experiments: one `(CLI name, description)` row per command —
+/// the single source `usage()` and `list()` both render.
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("e1", "ordering complexity (§4.1)"),
+    ("e2", "generic vs atomic broadcast (§4.2)"),
+    ("e3", "failover latency + false-suspicion cost (§4.3)"),
+    ("e4", "view-change blocking (§4.4)"),
+    ("a1", "consensus ablation (Chandra-Toueg vs Paxos)"),
+    ("a2", "failure-detector quality"),
+];
+
+fn usage() -> String {
+    let mut s = String::from("usage: repro <command>\n\npaper experiments (markdown tables):\n");
+    for (name, about) in EXPERIMENTS {
+        s.push_str(&format!("  {name:<10} {about}\n"));
+    }
+    s.push_str(
+        "  all        every experiment in order
+
+scenario engine:
+  list                       enumerate experiments and named scenarios
+  scenario <name> [seed]     run one scenario, print its report
+
+perf trajectories (use a --release build):
+  bench-pr1 [reps]           PR-1 workloads, JSON to stdout
+  bench-pr2 [reps]           scenario matrix + hot-path guard, writes BENCH_PR2.json
+",
+    );
+    s
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("{}", usage());
+    std::process::exit(2);
+}
+
+/// Parses positional argument `nth` as a number, defaulting when absent and
+/// exiting with usage on garbage (`what` labels the error).
+fn numeric_arg<T: std::str::FromStr>(nth: usize, what: &str, default: T) -> T {
+    std::env::args()
+        .nth(nth)
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| usage_error(&format!("bad {what} {s:?}")))
+        })
+        .unwrap_or(default)
+}
 
 fn bench_pr1() {
-    let reps = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(15usize);
-    let measurements = perf::run_all(reps);
+    let measurements = perf::run_all(numeric_arg(2, "reps", 15usize));
     println!("{}", perf::to_json(&measurements));
+}
+
+fn bench_pr2() {
+    let reps = numeric_arg(2, "reps", 7usize);
+    let measurements = perf::run_pr2(reps);
+    let body = perf::to_json(&measurements);
+    let json = format!(
+        "{{\n  \"description\": \"PR 2 scenario engine: wall-clock trajectory of the \
+workload × topology × schedule matrix (seed 7, counts-only trace). \
+sim_throughput/64 is the hot-path guard and must stay within noise of \
+BENCH_PR1.json. Regenerate with: cargo run --release -p gcs-bench --bin repro -- bench-pr2 [reps].\",\n  \
+\"measurements\": {body}\n}}"
+    );
+    println!("{json}");
+    match std::fs::write("BENCH_PR2.json", format!("{json}\n")) {
+        Ok(()) => eprintln!("wrote BENCH_PR2.json"),
+        Err(e) => {
+            eprintln!("repro: cannot write BENCH_PR2.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn list() {
+    println!("experiments:");
+    for (name, about) in EXPERIMENTS {
+        println!("  {name:<22} {about}");
+    }
+    println!("\nscenarios (workload × topology × schedule):");
+    for s in scenario::catalog() {
+        println!(
+            "  {:<22} n={}{} on {:<12} {}",
+            s.name,
+            s.n,
+            if s.joiners > 0 {
+                format!("+{}", s.joiners)
+            } else {
+                String::new()
+            },
+            s.topology.name(),
+            s.about
+        );
+    }
+    println!(
+        "\ntopology presets: {}",
+        gcs_sim::TOPOLOGY_PRESETS.join(", ")
+    );
+}
+
+fn run_scenario() {
+    let name = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| usage_error("scenario needs a name (see `repro list`)"));
+    let seed: u64 = numeric_arg(3, "seed", 7);
+    let Some(s) = scenario::by_name(&name) else {
+        usage_error(&format!("unknown scenario {name:?} (see `repro list`)"));
+    };
+    let r = s.run(seed, TraceMode::Full);
+    println!("## scenario {} (seed {seed})\n", s.name);
+    println!("{}", s.about);
+    println!();
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!(
+        "| group | n={} joiners={} on {} |",
+        s.n,
+        s.joiners,
+        s.topology.name()
+    );
+    println!("| injected ops | {} |", r.injected);
+    println!("| atomic deliveries | {} |", r.deliveries);
+    println!("| mean latency (virtual ms) | {:.2} |", r.mean_latency_ms);
+    println!("| p99 latency (virtual ms) | {:.2} |", r.p99_latency_ms);
+    println!("| messages sent | {} |", r.msgs);
+    println!("| wire bytes | {} |", r.bytes);
+    println!("| sim events executed | {} |", r.events);
+    println!("| run fingerprint | {:016x} |", r.fingerprint);
 }
 
 fn main() {
@@ -34,10 +161,11 @@ fn main() {
         "a1" => experiments::a1_consensus_ablation(),
         "a2" => experiments::a2_fd_quality(),
         "all" => experiments::run_all(),
+        "list" => list(),
+        "scenario" => run_scenario(),
         "bench-pr1" => bench_pr1(),
-        other => {
-            eprintln!("unknown experiment {other:?}; use e1|e2|e3|e4|a1|a2|all|bench-pr1");
-            std::process::exit(2);
-        }
+        "bench-pr2" => bench_pr2(),
+        "help" | "--help" | "-h" => println!("{}", usage()),
+        other => usage_error(&format!("unknown command {other:?}")),
     }
 }

@@ -4,8 +4,10 @@
 use gcs_core::{ConflictRelation, Ev, GroupSim, StackConfig};
 use gcs_kernel::{Component, Context, Event, Process, ProcessId, Time, TimeDelta, TimerId};
 use gcs_replication::bank::{bank_conflicts, BankOp, CLASS_DEPOSIT, CLASS_WITHDRAW};
-use gcs_sim::{SimConfig, SimWorld};
+use gcs_sim::{LinkModel, SimConfig, SimWorld};
 use gcs_traditional::{IsisConfig, IsisEvent, IsisSim, TokenConfig, TokenSim};
+
+use crate::workload::{Senders, UniformWorkload, Workload};
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
@@ -36,20 +38,16 @@ pub fn e1_ordering_complexity() {
     println!("|---|---|---|---|---|");
 
     let n = 5;
-    let msgs = 50u32;
+    // The shared steady-state stream: one workload value drives all three
+    // architectures (no more per-architecture injection loops).
+    let stream = UniformWorkload::steady(50, 2);
 
     // -- new architecture -------------------------------------------------
     {
         let mut cfg = StackConfig::default();
         cfg.monitoring_timeout = TimeDelta::from_secs(3600); // isolate: no exclusion
         let mut g = GroupSim::new(n, cfg, 1);
-        for i in 0..msgs {
-            g.abcast_at(
-                Time::from_millis(1 + i as u64 * 2),
-                p(i % n as u32),
-                vec![i as u8],
-            );
-        }
+        stream.inject(n, &mut g);
         g.run_until(Time::from_millis(400));
         let steady = g.metrics().sent_matching(|k| !k.starts_with("fd/"));
         let before = g.metrics().clone();
@@ -68,13 +66,7 @@ pub fn e1_ordering_complexity() {
     // -- Isis --------------------------------------------------------------
     {
         let mut sim = IsisSim::new(n, 0, IsisConfig::default(), 1);
-        for i in 0..msgs {
-            sim.abcast_at(
-                Time::from_millis(1 + i as u64 * 2),
-                p(i % n as u32),
-                vec![i as u8],
-            );
-        }
+        stream.inject(n, &mut sim);
         sim.run_until(Time::from_millis(400));
         let steady = sim.metrics().sent_matching(|k| !k.contains("heartbeat"));
         let before = sim.metrics().clone();
@@ -91,13 +83,7 @@ pub fn e1_ordering_complexity() {
     // -- token ring ---------------------------------------------------------
     {
         let mut sim = TokenSim::new(n, 0, TokenConfig::default(), 1);
-        for i in 0..msgs {
-            sim.abcast_at(
-                Time::from_millis(1 + i as u64 * 2),
-                p(i % n as u32),
-                vec![i as u8],
-            );
-        }
+        stream.inject(n, &mut sim);
         sim.run_until(Time::from_millis(400));
         let steady = sim.metrics().sent_matching(|k| k != "token/token");
         let token_steady = sim.metrics().sent_of_kind("token/token");
@@ -332,12 +318,20 @@ pub fn e4_view_change_blocking() {
     println!("| architecture | send-blocked (ms) | max delivery gap (ms) | join msgs |");
     println!("|---|---|---|---|");
 
+    // One continuous single-sender stream drives both architectures; the
+    // 2-byte tagged payloads identify stream deliveries in the traces.
+    let stream = UniformWorkload {
+        msgs: 150,
+        start: Time::from_millis(1),
+        interval: TimeDelta::from_millis(2),
+        payload: 2,
+        senders: Senders::One(p(0)),
+    };
+
     // -- new architecture ----------------------------------------------------
     {
         let mut g = GroupSim::with_joiners(3, 1, StackConfig::default(), 4);
-        for i in 0..150u64 {
-            g.abcast_at(Time::from_millis(2 * i + 1), p(0), vec![i as u8, 77]);
-        }
+        stream.inject(3, &mut g);
         let before = g.metrics().clone();
         g.join_at(Time::from_millis(100), p(3), p(1));
         g.run_until(Time::from_secs(3));
@@ -346,8 +340,7 @@ pub fn e4_view_change_blocking() {
             .entries()
             .iter()
             .filter(|e| {
-                e.proc == p(1)
-                    && matches!(&e.event, Ev::Deliver(d) if d.payload.len() == 2 && d.payload[1] == 77)
+                e.proc == p(1) && matches!(&e.event, Ev::Deliver(d) if d.payload.len() == 2)
             })
             .map(|e| e.time)
             .collect();
@@ -366,9 +359,7 @@ pub fn e4_view_change_blocking() {
     // -- Isis -----------------------------------------------------------------
     {
         let mut sim = IsisSim::new(3, 1, IsisConfig::default(), 4);
-        for i in 0..150u64 {
-            sim.abcast_at(Time::from_millis(2 * i + 1), p(0), vec![i as u8, 77]);
-        }
+        stream.inject(3, &mut sim);
         let before = sim.metrics().clone();
         sim.join_at(Time::from_millis(100), p(3));
         sim.run_until(Time::from_secs(3));
@@ -383,7 +374,7 @@ pub fn e4_view_change_blocking() {
             .iter()
             .filter(|e| {
                 e.proc == p(1)
-                    && matches!(&e.event, IsisEvent::Deliver { payload, .. } if payload.len() == 2 && payload[1] == 77)
+                    && matches!(&e.event, IsisEvent::Deliver { payload, .. } if payload.len() == 2)
             })
             .map(|e| e.time)
             .collect();
@@ -585,13 +576,13 @@ pub fn a2_fd_quality() {
     println!("| timeout (ms) | detection time (ms) | wrong suspicions (per 10s) |");
     println!("|---|---|---|");
     for timeout_ms in [15u64, 25, 50, 100, 200, 400] {
-        let mut sim = SimConfig::lan(7);
-        sim.link = gcs_sim::LinkModel {
+        let sim = SimConfig::lan(7).with_link(LinkModel {
             delay_min: TimeDelta::from_micros(200),
             delay_max: TimeDelta::from_millis(12), // heavy jitter
             drop_prob: 0.02,
             dup_prob: 0.0,
-        };
+            bandwidth: 0,
+        });
         let mut world: SimWorld<ProbeEv> = SimWorld::new(sim);
         for _ in 0..2 {
             world.add_node(|id| {

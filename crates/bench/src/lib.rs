@@ -18,3 +18,5 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod scenario;
+pub mod workload;

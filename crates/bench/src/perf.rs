@@ -8,13 +8,12 @@
 use std::time::Instant;
 
 use gcs_core::{GroupSim, StackConfig};
-use gcs_kernel::{ProcessId, Time, TimeDelta};
+use gcs_kernel::{Time, TimeDelta};
 use gcs_sim::{SimConfig, TraceMode};
 use gcs_traditional::{IsisConfig, IsisSim, TokenConfig, TokenSim};
 
-fn p(i: u32) -> ProcessId {
-    ProcessId::new(i)
-}
+use crate::scenario;
+use crate::workload::{UniformWorkload, Workload};
 
 /// One measured workload.
 #[derive(Clone, Debug)]
@@ -36,9 +35,7 @@ pub fn abcast_steady_5() -> u64 {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
     let mut g = GroupSim::new(5, cfg, 1);
-    for i in 0..20u32 {
-        g.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % 5), vec![i as u8]);
-    }
+    UniformWorkload::steady(20, 2).inject(5, &mut g);
     g.run_until(Time::from_millis(300));
     assert_eq!(g.adelivered_payloads()[0].len(), 20);
     g.world().events_executed()
@@ -48,9 +45,7 @@ pub fn abcast_steady_5() -> u64 {
 /// Isis-style baseline.
 pub fn isis_steady_5() -> u64 {
     let mut sim = IsisSim::new(5, 0, IsisConfig::default(), 1);
-    for i in 0..20u32 {
-        sim.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % 5), vec![i as u8]);
-    }
+    UniformWorkload::steady(20, 2).inject(5, &mut sim);
     sim.run_until(Time::from_millis(300));
     assert_eq!(sim.delivered_payloads()[0].len(), 20);
     sim.world_mut().events_executed()
@@ -59,9 +54,7 @@ pub fn isis_steady_5() -> u64 {
 /// The `token_steady/5` workload on the token-ring baseline.
 pub fn token_steady_5() -> u64 {
     let mut sim = TokenSim::new(5, 0, TokenConfig::default(), 1);
-    for i in 0..20u32 {
-        sim.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % 5), vec![i as u8]);
-    }
+    UniformWorkload::steady(20, 2).inject(5, &mut sim);
     sim.run_until(Time::from_millis(300));
     assert_eq!(sim.delivered_payloads()[0].len(), 20);
     sim.world_mut().events_executed()
@@ -74,13 +67,7 @@ pub fn sim_throughput(n: usize) -> u64 {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
     let mut g = GroupSim::new(n, cfg, 7);
-    for i in 0..50u32 {
-        g.abcast_at(
-            Time::from_millis(1 + i as u64 * 4),
-            p(i % n as u32),
-            vec![i as u8],
-        );
-    }
+    UniformWorkload::steady(50, 4).inject(n, &mut g);
     g.run_until(Time::from_secs(1));
     assert_eq!(g.adelivered_payloads()[0].len(), 50);
     g.world().events_executed()
@@ -89,19 +76,13 @@ pub fn sim_throughput(n: usize) -> u64 {
 /// The criterion-group variant of [`sim_throughput`]: counts-only trace sink
 /// (the configuration long throughput runs should use — the full sink would
 /// accumulate an unbounded entry `Vec`) and a configurable horizon so the
-/// `n = 64` point stays CI-friendly. Returns events executed.
+/// `n = 64` and `n = 256` points stay CI-friendly. Returns events executed.
 pub fn sim_throughput_counts(n: usize, horizon_ms: u64) -> u64 {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
     let sim = SimConfig::lan(7).with_trace(TraceMode::CountsOnly);
     let mut g = GroupSim::with_sim(n, 0, cfg, sim);
-    for i in 0..50u32 {
-        g.abcast_at(
-            Time::from_millis(1 + i as u64 * 4),
-            p(i % n as u32),
-            vec![i as u8],
-        );
-    }
+    UniformWorkload::steady(50, 4).inject(n, &mut g);
     g.run_until(Time::from_millis(horizon_ms));
     assert!(
         g.world().trace().delivery_count() >= 50,
@@ -146,6 +127,32 @@ pub fn run_all(reps: usize) -> Vec<Measurement> {
         measure("sim_throughput/16", reps.min(10), || sim_throughput(16)),
         measure("sim_throughput/64", reps.clamp(1, 3), || sim_throughput(64)),
     ]
+}
+
+/// The scenario names tracked by the PR-2 trajectory (`repro bench-pr2`).
+pub const PR2_SCENARIOS: &[&str] = &[
+    "uniform-lan",
+    "skewed-lan",
+    "large-payload-lan",
+    "uniform-wan3",
+    "churn-lan",
+];
+
+/// Runs the PR-2 measurement set: the scenario-engine matrix (counts-only
+/// trace sink, seed 7) plus the `sim_throughput/64` hot-path guard, which
+/// must stay within noise of the `BENCH_PR1.json` figure.
+pub fn run_pr2(reps: usize) -> Vec<Measurement> {
+    let mut out: Vec<Measurement> = PR2_SCENARIOS
+        .iter()
+        .map(|&name| {
+            let s = scenario::by_name(name).expect("tracked scenario exists");
+            measure(name, reps.min(7), || s.run(7, TraceMode::CountsOnly).events)
+        })
+        .collect();
+    out.push(measure("sim_throughput/64", reps.clamp(1, 3), || {
+        sim_throughput(64)
+    }));
+    out
 }
 
 /// Renders measurements as a JSON object (no external JSON dependency).

@@ -1,0 +1,319 @@
+//! Named scenarios: workload × topology × schedule, the full experiment
+//! matrix as first-class values.
+//!
+//! A [`Scenario`] bundles everything a run needs — group size, a
+//! [`Topology`], a [`Workload`] and a [`Schedule`] — so `repro`, the
+//! criterion benches and the determinism tests all execute the *same*
+//! definition. The built-in matrix lives in [`catalog`]; run one with
+//! [`Scenario::run`].
+
+use gcs_core::{DeliveryKind, Ev, GroupSim, StackConfig};
+use gcs_kernel::{Time, TimeDelta};
+use gcs_sim::{Schedule, SimConfig, Topology, TraceMode};
+
+use crate::workload::{
+    decode_op_index, ChurnWorkload, LargePayloadWorkload, SkewedWorkload, UniformWorkload, Workload,
+};
+
+/// One named experiment scenario over the new-architecture stack.
+pub struct Scenario {
+    /// Stable name (CLI handle: `repro scenario <name>`).
+    pub name: &'static str,
+    /// One-line description for `repro list`.
+    pub about: &'static str,
+    /// Founding members.
+    pub n: usize,
+    /// Processes started outside the group (churn joiners).
+    pub joiners: usize,
+    /// The network topology.
+    pub topology: Topology,
+    /// The broadcast stream.
+    pub workload: Box<dyn Workload>,
+    /// Scenario-level fault steps (merged with the workload's own schedule).
+    pub schedule: Schedule,
+    /// Virtual-time horizon the run executes to.
+    pub horizon: Time,
+}
+
+/// What one scenario run produced.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// The scenario name.
+    pub name: &'static str,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Ops injected by the workload.
+    pub injected: usize,
+    /// Atomic deliveries observed across all processes.
+    pub deliveries: u64,
+    /// Simulation events executed (events/sec numerator).
+    pub events: u64,
+    /// Total messages handed to the network.
+    pub msgs: u64,
+    /// Total wire bytes handed to the network.
+    pub bytes: u64,
+    /// Mean injection → delivery latency over (op, replica) pairs, in
+    /// virtual milliseconds (NaN when the trace mode records no entries).
+    pub mean_latency_ms: f64,
+    /// 99th-percentile latency, in virtual milliseconds (NaN without
+    /// entries).
+    pub p99_latency_ms: f64,
+    /// Order-sensitive digest of the run: folds every atomic delivery
+    /// (time, process, payload) and the event count, so two runs are
+    /// bit-identical iff their fingerprints match.
+    pub fingerprint: u64,
+}
+
+impl Scenario {
+    /// The combined fault/membership timeline (scenario steps plus the
+    /// workload's own churn steps).
+    pub fn full_schedule(&self) -> Schedule {
+        self.schedule
+            .clone()
+            .merge(self.workload.schedule(self.n, self.joiners))
+    }
+
+    /// Runs the scenario with the given network seed and trace sink,
+    /// returning the report. Deterministic: equal `(scenario, seed)` pairs
+    /// produce equal reports, including the fingerprint.
+    pub fn run(&self, seed: u64, trace: TraceMode) -> ScenarioReport {
+        let mut cfg = StackConfig::default();
+        // Exclusions are driven by the schedule, not wall-clock monitoring:
+        // an FD-triggered exclusion racing the scripted membership steps
+        // would make scenario comparisons measure the monitor, not the
+        // scenario.
+        cfg.monitoring_timeout = TimeDelta::from_secs(3600);
+        let sim = SimConfig::lan(seed)
+            .with_topology(self.topology.clone())
+            .with_trace(trace);
+        let mut g = GroupSim::with_sim(self.n, self.joiners, cfg, sim);
+        g.apply_schedule(&self.full_schedule());
+        let inject_times = self.workload.inject(self.n, &mut g);
+        g.run_until(self.horizon);
+
+        // Latencies from tagged payloads (Full trace mode only).
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut fingerprint: u64 = 0xcbf29ce484222325; // FNV-1a offset basis
+        let mut fnv = |byte: u8| {
+            fingerprint ^= byte as u64;
+            fingerprint = fingerprint.wrapping_mul(0x100000001b3);
+        };
+        for e in g.trace().entries() {
+            if let Ev::Deliver(d) = &e.event {
+                if d.kind != DeliveryKind::Atomic {
+                    continue;
+                }
+                for b in e.time.as_nanos().to_le_bytes() {
+                    fnv(b);
+                }
+                for b in (e.proc.index() as u32).to_le_bytes() {
+                    fnv(b);
+                }
+                for &b in d.payload.as_ref() {
+                    fnv(b);
+                }
+                if let Some(op) = decode_op_index(&d.payload) {
+                    if op < inject_times.len() {
+                        latencies.push(e.time.since(inject_times[op]).as_millis_f64());
+                    }
+                }
+            }
+        }
+        for b in g.world().events_executed().to_le_bytes() {
+            fnv(b);
+        }
+
+        let mean = if latencies.is_empty() {
+            f64::NAN
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let p99 = if latencies.is_empty() {
+            f64::NAN
+        } else {
+            let mut sorted = latencies.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted[(sorted.len() - 1) * 99 / 100]
+        };
+
+        ScenarioReport {
+            name: self.name,
+            seed,
+            injected: inject_times.len(),
+            deliveries: g.trace().delivery_count(),
+            events: g.world().events_executed(),
+            msgs: g.metrics().total_sent(),
+            bytes: g.metrics().total_bytes(),
+            mean_latency_ms: mean,
+            p99_latency_ms: p99,
+            fingerprint,
+        }
+    }
+}
+
+/// The built-in scenario matrix: every workload shape crossed with the
+/// topology presets plus the fault timelines ROADMAP calls for.
+pub fn catalog() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "uniform-lan",
+            about: "baseline: uniform round-robin stream on a flat LAN",
+            n: 8,
+            joiners: 0,
+            topology: Topology::lan(),
+            workload: Box::new(UniformWorkload::steady(200, 2)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(1),
+        },
+        Scenario {
+            name: "skewed-lan",
+            about: "zipf(1.2) senders: one hot publisher dominates",
+            n: 8,
+            joiners: 0,
+            topology: Topology::lan(),
+            workload: Box::new(SkewedWorkload::steady(200, 2)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(1),
+        },
+        Scenario {
+            name: "large-payload-lan",
+            about: "64 KiB payloads on a 125 MB/s LAN: serialization delay",
+            n: 8,
+            joiners: 0,
+            topology: Topology::uniform(
+                "lan-125MBps",
+                gcs_sim::LinkModel::lan().with_bandwidth(125_000_000),
+            ),
+            workload: Box::new(LargePayloadWorkload::steady(60, 5, 64 * 1024)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(2),
+        },
+        Scenario {
+            name: "uniform-wan2dc",
+            about: "two data centers, bandwidth-limited WAN link between",
+            n: 8,
+            joiners: 0,
+            topology: Topology::wan_2dc(),
+            workload: Box::new(UniformWorkload::steady(150, 4)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(3),
+        },
+        Scenario {
+            name: "uniform-wan3",
+            about: "three regions, asymmetric lossy long-haul links",
+            n: 9,
+            joiners: 0,
+            topology: Topology::wan_3region(),
+            workload: Box::new(UniformWorkload::steady(150, 4)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(5),
+        },
+        Scenario {
+            name: "lossy-lan",
+            about: "2% random loss: retransmission machinery under stress",
+            n: 8,
+            joiners: 0,
+            topology: Topology::lossy(),
+            workload: Box::new(UniformWorkload::steady(150, 3)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(3),
+        },
+        Scenario {
+            name: "churn-lan",
+            about: "join + removal mid-stream on a LAN (§4.4 under load)",
+            n: 4,
+            joiners: 1,
+            topology: Topology::lan(),
+            workload: Box::new(ChurnWorkload::steady(150, 2, 100, 200)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(2),
+        },
+        Scenario {
+            name: "churn-wan2dc",
+            about: "membership churn while crossing a WAN link",
+            n: 4,
+            joiners: 1,
+            topology: Topology::wan_2dc(),
+            workload: Box::new(ChurnWorkload::steady(100, 5, 150, 300)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(4),
+        },
+        Scenario {
+            name: "partition-heal-wan3",
+            about: "region partition at 200ms, heal at 600ms, stream on",
+            n: 9,
+            joiners: 0,
+            topology: Topology::wan_3region(),
+            workload: Box::new(UniformWorkload::steady(100, 4)),
+            schedule: Schedule::new()
+                .partition_regions(Time::from_millis(200))
+                .heal(Time::from_millis(600)),
+            horizon: Time::from_secs(8),
+        },
+    ]
+}
+
+/// Looks a built-in scenario up by name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    catalog().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_resolvable() {
+        let names: Vec<&str> = catalog().iter().map(|s| s.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "duplicate scenario name");
+        for n in names {
+            assert!(by_name(n).is_some());
+        }
+        assert!(by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn uniform_lan_delivers_everything() {
+        let s = by_name("uniform-lan").unwrap();
+        let r = s.run(1, TraceMode::Full);
+        assert_eq!(r.injected, 200);
+        // Every op delivered at every member.
+        assert!(r.deliveries >= (r.injected * s.n) as u64, "{r:?}");
+        assert!(r.mean_latency_ms.is_finite());
+        assert!(r.p99_latency_ms >= r.mean_latency_ms * 0.5);
+    }
+
+    #[test]
+    fn wan_latency_exceeds_lan_latency() {
+        let lan = by_name("uniform-lan").unwrap().run(2, TraceMode::Full);
+        let wan = by_name("uniform-wan3").unwrap().run(2, TraceMode::Full);
+        assert!(
+            wan.mean_latency_ms > lan.mean_latency_ms * 5.0,
+            "wan {} vs lan {}",
+            wan.mean_latency_ms,
+            lan.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn churn_scenario_stays_live() {
+        let s = by_name("churn-lan").unwrap();
+        let r = s.run(3, TraceMode::Full);
+        // All stream ops delivered at the surviving founding members.
+        assert!(
+            r.deliveries >= (r.injected * 3) as u64,
+            "stream live through churn: {r:?}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_seeds() {
+        let s = by_name("uniform-lan").unwrap();
+        let a = s.run(7, TraceMode::Full);
+        let b = s.run(8, TraceMode::Full);
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+}

@@ -1,0 +1,374 @@
+//! First-class workloads: who broadcasts what, when.
+//!
+//! Every experiment used to carry its own copy of the injection loop
+//! (`for i in 0..msgs { sim.abcast_at(...) }`); the [`Workload`] trait makes
+//! the stream a value that scenarios compose with a
+//! [`Topology`](gcs_sim::Topology) and a [`Schedule`](gcs_sim::Schedule).
+//! Implementations cover the scenario matrix: [`UniformWorkload`] (the old
+//! round-robin stream), [`SkewedWorkload`] (zipf-distributed senders),
+//! [`LargePayloadWorkload`] (bulk messages that pay serialization delay on
+//! bandwidth-limited links) and [`ChurnWorkload`] (a stream with membership
+//! churn riding on it).
+
+use gcs_core::GroupSim;
+use gcs_kernel::{ProcessId, Time, TimeDelta};
+use gcs_sim::Schedule;
+use gcs_traditional::{IsisSim, TokenSim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Anything that can accept a timed atomic-broadcast stream — implemented by
+/// the new-architecture [`GroupSim`] and both traditional baselines, so one
+/// workload definition drives every architecture in a comparison.
+pub trait AbcastStream {
+    /// Schedules an atomic broadcast of `payload` by `sender` at `t`.
+    fn abcast_at(&mut self, t: Time, sender: ProcessId, payload: Vec<u8>);
+}
+
+impl AbcastStream for GroupSim {
+    fn abcast_at(&mut self, t: Time, sender: ProcessId, payload: Vec<u8>) {
+        GroupSim::abcast_at(self, t, sender, payload);
+    }
+}
+
+impl AbcastStream for IsisSim {
+    fn abcast_at(&mut self, t: Time, sender: ProcessId, payload: Vec<u8>) {
+        IsisSim::abcast_at(self, t, sender, payload);
+    }
+}
+
+impl AbcastStream for TokenSim {
+    fn abcast_at(&mut self, t: Time, sender: ProcessId, payload: Vec<u8>) {
+        TokenSim::abcast_at(self, t, sender, payload);
+    }
+}
+
+/// Which processes send the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Senders {
+    /// Round-robin over the `n` founding members.
+    RoundRobin,
+    /// A single fixed sender.
+    One(ProcessId),
+}
+
+/// Encodes the op index into the payload head (little-endian `u16`), leaving
+/// the rest zero-filled to `size` (minimum 2 bytes) — the tag latency
+/// measurements decode with [`decode_op_index`].
+pub fn payload_for(op: usize, size: usize) -> Vec<u8> {
+    // A hard assert (injection is cold): a wrapped tag would silently
+    // attribute deliveries to the wrong injection time in release builds.
+    assert!(
+        op <= u16::MAX as usize,
+        "op index {op} overflows the u16 payload tag"
+    );
+    let mut payload = vec![0u8; size.max(2)];
+    payload[..2].copy_from_slice(&(op as u16).to_le_bytes());
+    payload
+}
+
+/// Decodes the op index a payload was tagged with by [`payload_for`].
+pub fn decode_op_index(payload: &[u8]) -> Option<usize> {
+    if payload.len() < 2 {
+        return None;
+    }
+    Some(u16::from_le_bytes([payload[0], payload[1]]) as usize)
+}
+
+/// A timed atomic-broadcast stream over a group of `n` processes.
+pub trait Workload {
+    /// Stable name (used by scenario catalogs and reports).
+    fn name(&self) -> &'static str;
+
+    /// Schedules the whole stream into `target` (a group of `n` founding
+    /// members); returns the injection time of each op, indexed by the op
+    /// tag embedded in its payload (see [`payload_for`]).
+    fn inject(&self, n: usize, target: &mut dyn AbcastStream) -> Vec<Time>;
+
+    /// The membership/fault steps this workload carries (empty for pure
+    /// streams; churn workloads schedule their join/remove here). `joiners`
+    /// is the number of processes started outside the group.
+    fn schedule(&self, n: usize, joiners: usize) -> Schedule {
+        let _ = (n, joiners);
+        Schedule::new()
+    }
+}
+
+/// The classic uniform stream: `msgs` broadcasts at a fixed interval,
+/// senders round-robin (or fixed), constant payload size.
+#[derive(Clone, Debug)]
+pub struct UniformWorkload {
+    /// Number of broadcasts.
+    pub msgs: u32,
+    /// Injection time of the first broadcast.
+    pub start: Time,
+    /// Interval between consecutive broadcasts.
+    pub interval: TimeDelta,
+    /// Payload size in bytes (minimum 2; the head carries the op tag).
+    pub payload: usize,
+    /// Sender selection.
+    pub senders: Senders,
+}
+
+impl UniformWorkload {
+    /// The steady-state stream used across the E1-style experiments:
+    /// `msgs` broadcasts every `interval_ms` ms starting at 1 ms, 2-byte
+    /// payloads, round-robin senders.
+    pub fn steady(msgs: u32, interval_ms: u64) -> Self {
+        UniformWorkload {
+            msgs,
+            start: Time::from_millis(1),
+            interval: TimeDelta::from_millis(interval_ms),
+            payload: 2,
+            senders: Senders::RoundRobin,
+        }
+    }
+}
+
+impl Workload for UniformWorkload {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn inject(&self, n: usize, target: &mut dyn AbcastStream) -> Vec<Time> {
+        let mut times = Vec::with_capacity(self.msgs as usize);
+        for i in 0..self.msgs {
+            let t = self.start + self.interval.saturating_mul(i as u64);
+            let sender = match self.senders {
+                Senders::RoundRobin => ProcessId::new(i % n as u32),
+                Senders::One(p) => p,
+            };
+            target.abcast_at(t, sender, payload_for(i as usize, self.payload));
+            times.push(t);
+        }
+        times
+    }
+}
+
+/// A zipf-skewed-sender stream: sender ranks follow a zipf distribution with
+/// exponent `s` (rank 0 = process 0 hottest), sampled from a dedicated
+/// deterministic PRNG — the shape real group-communication deployments show
+/// when a few publishers dominate.
+#[derive(Clone, Debug)]
+pub struct SkewedWorkload {
+    /// The underlying stream timing/sizing.
+    pub base: UniformWorkload,
+    /// Zipf exponent (1.0 = classic zipf; larger = more skew).
+    pub zipf_s: f64,
+    /// Seed of the sender-selection PRNG (independent of the network seed).
+    pub seed: u64,
+}
+
+impl SkewedWorkload {
+    /// A zipf(1.2) variant of [`UniformWorkload::steady`].
+    pub fn steady(msgs: u32, interval_ms: u64) -> Self {
+        SkewedWorkload {
+            base: UniformWorkload::steady(msgs, interval_ms),
+            zipf_s: 1.2,
+            seed: 0x5eed,
+        }
+    }
+
+    /// The cumulative zipf distribution over `n` ranks.
+    fn cdf(&self, n: usize) -> Vec<f64> {
+        let weights: Vec<f64> = (1..=n)
+            .map(|r| 1.0 / (r as f64).powf(self.zipf_s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect()
+    }
+}
+
+impl Workload for SkewedWorkload {
+    fn name(&self) -> &'static str {
+        "skewed"
+    }
+
+    fn inject(&self, n: usize, target: &mut dyn AbcastStream) -> Vec<Time> {
+        let cdf = self.cdf(n);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut times = Vec::with_capacity(self.base.msgs as usize);
+        for i in 0..self.base.msgs {
+            let t = self.base.start + self.base.interval.saturating_mul(i as u64);
+            let u: f64 = rng.gen();
+            let rank = cdf.iter().position(|&c| u < c).unwrap_or(n - 1);
+            target.abcast_at(
+                t,
+                ProcessId::new(rank as u32),
+                payload_for(i as usize, self.base.payload),
+            );
+            times.push(t);
+        }
+        times
+    }
+}
+
+/// A bulk stream: few messages, large payloads — on bandwidth-limited
+/// topologies each message pays real serialization delay.
+#[derive(Clone, Debug)]
+pub struct LargePayloadWorkload {
+    /// The underlying stream timing (its `payload` field is the bulk size).
+    pub base: UniformWorkload,
+}
+
+impl LargePayloadWorkload {
+    /// `msgs` broadcasts of `payload_bytes` each, every `interval_ms` ms.
+    pub fn steady(msgs: u32, interval_ms: u64, payload_bytes: usize) -> Self {
+        let mut base = UniformWorkload::steady(msgs, interval_ms);
+        base.payload = payload_bytes;
+        LargePayloadWorkload { base }
+    }
+}
+
+impl Workload for LargePayloadWorkload {
+    fn name(&self) -> &'static str {
+        "large-payload"
+    }
+
+    fn inject(&self, n: usize, target: &mut dyn AbcastStream) -> Vec<Time> {
+        self.base.inject(n, target)
+    }
+}
+
+/// A uniform stream with membership churn riding on it: the first joiner
+/// enters the group mid-stream and a founding member is removed shortly
+/// after — the join-under-load scenario of the paper's §4.4.
+#[derive(Clone, Debug)]
+pub struct ChurnWorkload {
+    /// The underlying stream.
+    pub base: UniformWorkload,
+    /// When the joiner requests membership.
+    pub join_at: Time,
+    /// When the removal is issued.
+    pub remove_at: Time,
+}
+
+impl ChurnWorkload {
+    /// A churn variant of [`UniformWorkload::steady`] with the join and
+    /// removal landing inside the stream.
+    pub fn steady(msgs: u32, interval_ms: u64, join_at_ms: u64, remove_at_ms: u64) -> Self {
+        ChurnWorkload {
+            base: UniformWorkload::steady(msgs, interval_ms),
+            join_at: Time::from_millis(join_at_ms),
+            remove_at: Time::from_millis(remove_at_ms),
+        }
+    }
+}
+
+impl Workload for ChurnWorkload {
+    fn name(&self) -> &'static str {
+        "churn"
+    }
+
+    fn inject(&self, n: usize, target: &mut dyn AbcastStream) -> Vec<Time> {
+        // The stream is the uniform one restricted to the survivors:
+        // round-robin senders skip the removal victim (the last founding
+        // member, see schedule()), and a fixed sender is honored as long as
+        // it is a survivor.
+        let survivors = (n - 1).max(1);
+        if let Senders::One(p) = self.base.senders {
+            assert!(
+                p.index() < survivors,
+                "churn sender {p:?} is the removal victim or out of range"
+            );
+        }
+        self.base.inject(survivors, target)
+    }
+
+    fn schedule(&self, n: usize, joiners: usize) -> Schedule {
+        let mut s = Schedule::new();
+        if joiners > 0 {
+            // The first joiner enters via p1 (p0 may be busy coordinating).
+            s = s.join(self.join_at, ProcessId::new(n as u32), ProcessId::new(1));
+        }
+        // The last founding member is removed by p0.
+        s = s.remove(
+            self.remove_at,
+            ProcessId::new(0),
+            ProcessId::new(n as u32 - 1),
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        ops: Vec<(Time, ProcessId, Vec<u8>)>,
+    }
+    impl AbcastStream for Recorder {
+        fn abcast_at(&mut self, t: Time, sender: ProcessId, payload: Vec<u8>) {
+            self.ops.push((t, sender, payload));
+        }
+    }
+
+    #[test]
+    fn payload_tag_round_trips() {
+        let p = payload_for(513, 16);
+        assert_eq!(p.len(), 16);
+        assert_eq!(decode_op_index(&p), Some(513));
+        assert_eq!(decode_op_index(&[1]), None);
+    }
+
+    #[test]
+    fn uniform_round_robins_senders_on_schedule() {
+        let w = UniformWorkload::steady(6, 2);
+        let mut r = Recorder::default();
+        let times = w.inject(3, &mut r);
+        assert_eq!(times.len(), 6);
+        assert_eq!(r.ops[0].0, Time::from_millis(1));
+        assert_eq!(r.ops[1].0, Time::from_millis(3));
+        let senders: Vec<u32> = r.ops.iter().map(|(_, s, _)| s.index() as u32).collect();
+        assert_eq!(senders, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(decode_op_index(&r.ops[4].2), Some(4));
+    }
+
+    #[test]
+    fn skewed_senders_follow_zipf() {
+        let w = SkewedWorkload::steady(400, 1);
+        let mut r = Recorder::default();
+        w.inject(8, &mut r);
+        let mut counts = [0usize; 8];
+        for (_, s, _) in &r.ops {
+            counts[s.index()] += 1;
+        }
+        assert!(
+            counts[0] > counts[7] * 3,
+            "rank 0 dominates rank 7: {counts:?}"
+        );
+        assert!(counts[0] > counts[1], "monotone head: {counts:?}");
+        // Deterministic: a second injection produces the same senders.
+        let mut r2 = Recorder::default();
+        w.inject(8, &mut r2);
+        assert_eq!(r.ops, r2.ops);
+    }
+
+    #[test]
+    fn churn_schedule_joins_and_removes() {
+        let w = ChurnWorkload::steady(10, 2, 8, 12);
+        let s = w.schedule(4, 1);
+        assert_eq!(s.len(), 2);
+        let mut r = Recorder::default();
+        w.inject(4, &mut r);
+        // Senders avoid the removal victim p3.
+        assert!(r.ops.iter().all(|(_, s, _)| s.index() < 3));
+    }
+
+    #[test]
+    fn large_payload_size_is_respected() {
+        let w = LargePayloadWorkload::steady(2, 5, 4096);
+        let mut r = Recorder::default();
+        w.inject(3, &mut r);
+        assert_eq!(r.ops[0].2.len(), 4096);
+    }
+}

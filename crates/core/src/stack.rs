@@ -4,7 +4,7 @@
 use bytes::Bytes;
 use gcs_kernel::{Process, ProcessId, Time, TimeDelta};
 use gcs_net::RcConfig;
-use gcs_sim::{Metrics, SimConfig, SimWorld, Trace};
+use gcs_sim::{Metrics, Schedule, ScheduleAction, SimConfig, SimWorld, Trace};
 
 use crate::components::{
     names, AbcastComponent, ConsensusComponent, FdComponent, GenericComponent, MembershipComponent,
@@ -219,6 +219,22 @@ impl GroupSim {
     /// Crashes `p` at `t` (crash-stop).
     pub fn crash_at(&mut self, t: Time, p: ProcessId) {
         self.world.crash_at(t, p);
+    }
+
+    /// Applies a scripted [`Schedule`]: simulator-level steps (crashes,
+    /// partitions, link changes, spikes, bursts) go to the world, and the
+    /// membership steps ([`ScheduleAction::Join`] /
+    /// [`ScheduleAction::Remove`]) are routed through this group's
+    /// membership component — the join-under-load path of the scenario
+    /// engine.
+    pub fn apply_schedule(&mut self, schedule: &Schedule) {
+        for (t, action) in self.world.apply_schedule(schedule) {
+            match action {
+                ScheduleAction::Join { joiner, contact } => self.join_at(t, joiner, contact),
+                ScheduleAction::Remove { by, target } => self.remove_at(t, by, target),
+                _ => unreachable!("apply_schedule only returns membership actions"),
+            }
+        }
     }
 
     // -- execution ---------------------------------------------------------
@@ -447,6 +463,26 @@ mod tests {
             10 * piggybacked <= 6 * classic,
             "expected ≥40% packet reduction: {piggybacked} vs {classic}"
         );
+    }
+
+    #[test]
+    fn schedule_driven_join_and_remove() {
+        // The schedule expresses what join_at/remove_at/crash_at used to:
+        // p3 joins via p1 and p2 is removed, all mid-stream.
+        let mut g = GroupSim::with_joiners(3, 1, StackConfig::default(), 13);
+        let schedule = Schedule::new()
+            .join(Time::from_millis(20), p(3), p(1))
+            .remove(Time::from_millis(200), p(0), p(2));
+        g.apply_schedule(&schedule);
+        g.run_until(Time::from_secs(2));
+        for i in [0u32, 1, 3] {
+            let last = g.views()[i as usize]
+                .last()
+                .unwrap_or_else(|| panic!("p{i} saw a view"))
+                .clone();
+            assert!(last.contains(p(3)), "p{i}: joiner in final view");
+            assert!(!last.contains(p(2)), "p{i}: removed member gone");
+        }
     }
 
     #[test]

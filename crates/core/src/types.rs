@@ -484,6 +484,17 @@ pub enum Ev {
     Excluded,
 }
 
+// The event enum is moved on every dispatch, routed send, and scheduler
+// slot; it must stay within two cache lines (ROADMAP lever from PR 1). The
+// fat-but-rare payloads (snapshots, GB epoch closures, consensus batches)
+// are already behind `Box`/`Arc` indirections; the hot
+// [`Ev::Packet`]`(Data)` variant is what pins the size, and boxing *it*
+// would put an allocation on the per-message hot path.
+const _: () = assert!(
+    std::mem::size_of::<Ev>() <= 128,
+    "Ev outgrew two cache lines; box the offending variant"
+);
+
 impl Event for Ev {
     fn kind(&self) -> &'static str {
         match self {
@@ -576,6 +587,18 @@ mod tests {
         // Rotating a non-member changes nothing but the id.
         let rot2 = v.with_rotation(p(9));
         assert_eq!(rot2.members, v.members);
+    }
+
+    #[test]
+    fn event_enum_stays_small() {
+        // The compile-time assert above guarantees ≤ 2 cache lines; this
+        // test documents the measured budget so a growth regression is a
+        // visible diff, not a silent slide toward the 128-byte wall.
+        assert!(
+            std::mem::size_of::<Ev>() <= 72,
+            "Ev grew to {} bytes (was 72); box the new fat variant",
+            std::mem::size_of::<Ev>()
+        );
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //!   reproducible bit-for-bit; the event queue breaks time ties by a
 //!   monotonically increasing sequence number and all randomness comes from
 //!   one seeded PRNG sampled in event order.
-//! * **Configurable network** — per-link delay ranges, loss, duplication,
-//!   plus scheduled partitions, delay spikes (the false-suspicion generator
-//!   of experiment E3) and loss bursts.
-//! * **Fault injection** — crash schedules; crashed processes silently stop,
+//! * **Configurable network** — region-based WAN [`Topology`]s (directed
+//!   latency matrices, asymmetric and lossy links, per-link bandwidth so
+//!   large payloads pay serialization delay), per-pair overrides, plus
+//!   scheduled partitions, delay spikes (the false-suspicion generator of
+//!   experiment E3) and loss bursts.
+//! * **Fault injection** — scripted [`Schedule`]s of crashes, partitions,
+//!   link changes and membership churn; crashed processes silently stop,
 //!   exactly the crash-stop model of the paper.
 //! * **Observability** — per-kind message/byte counters ([`Metrics`]) and a
 //!   full application-delivery [`Trace`] with property checkers used by the
@@ -25,12 +28,16 @@
 
 mod metrics;
 mod network;
+mod schedule;
+mod topology;
 mod trace;
 mod wheel;
 mod world;
 
 pub use metrics::Metrics;
 pub use network::{LinkModel, NetworkModel};
+pub use schedule::{Schedule, ScheduleAction};
+pub use topology::{Assignment, Topology, TOPOLOGY_PRESETS};
 pub use trace::{
     check_agreement, check_no_duplicates, check_prefix_consistency, check_total_order,
     OrderViolation, Trace, TraceEntry, TraceMode,

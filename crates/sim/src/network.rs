@@ -3,7 +3,9 @@
 use gcs_kernel::{ProcessId, TimeDelta};
 use rand::Rng;
 
-/// Delay/loss/duplication characteristics of one directed link.
+use crate::topology::Topology;
+
+/// Delay/loss/duplication/bandwidth characteristics of one directed link.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkModel {
     /// Minimum one-way delay.
@@ -14,16 +16,23 @@ pub struct LinkModel {
     pub drop_prob: f64,
     /// Probability that a message is delivered twice.
     pub dup_prob: f64,
+    /// Link bandwidth in bytes per second; `0` means unlimited. A message of
+    /// `s` wire bytes pays `s / bandwidth` of serialization delay on top of
+    /// the sampled propagation delay, so large payloads are slower than
+    /// small ones on constrained links.
+    pub bandwidth: u64,
 }
 
 impl LinkModel {
-    /// A LAN-like link: 0.2–1.2 ms one-way delay, no loss.
+    /// A LAN-like link: 0.2–1.2 ms one-way delay, no loss, unlimited
+    /// bandwidth.
     pub fn lan() -> Self {
         LinkModel {
             delay_min: TimeDelta::from_micros(200),
             delay_max: TimeDelta::from_micros(1_200),
             drop_prob: 0.0,
             dup_prob: 0.0,
+            bandwidth: 0,
         }
     }
 
@@ -43,7 +52,14 @@ impl LinkModel {
             delay_max: TimeDelta::from_millis(40),
             drop_prob: 0.001,
             dup_prob: 0.0,
+            bandwidth: 0,
         }
+    }
+
+    /// This link with the given bandwidth (bytes per second; 0 = unlimited).
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.bandwidth = bytes_per_sec;
+        self
     }
 
     /// Samples a one-way delay for this link.
@@ -51,6 +67,17 @@ impl LinkModel {
         let lo = self.delay_min.as_nanos();
         let hi = self.delay_max.as_nanos().max(lo + 1);
         TimeDelta::from_nanos(rng.gen_range(lo..hi))
+    }
+
+    /// Serialization delay of a `wire_bytes`-sized message on this link
+    /// (zero on unlimited-bandwidth links).
+    #[inline]
+    pub fn serialization_delay(&self, wire_bytes: usize) -> TimeDelta {
+        if self.bandwidth == 0 {
+            return TimeDelta::ZERO;
+        }
+        let nanos = (wire_bytes as u128 * 1_000_000_000) / self.bandwidth as u128;
+        TimeDelta::from_nanos(nanos as u64)
     }
 }
 
@@ -60,11 +87,11 @@ impl Default for LinkModel {
     }
 }
 
-/// The global network model: a default link, per-pair overrides, and the
-/// current partition (if any).
+/// The global network model: a region [`Topology`], per-pair overrides, and
+/// the current partition (if any).
 #[derive(Clone, Debug, Default)]
 pub struct NetworkModel {
-    default_link: LinkModel,
+    topology: Topology,
     overrides: Vec<((ProcessId, ProcessId), LinkModel)>,
     /// Current partition: a process may communicate only with processes in
     /// its own group. Processes absent from every group are isolated.
@@ -72,13 +99,24 @@ pub struct NetworkModel {
 }
 
 impl NetworkModel {
-    /// Creates a network where every link uses `default_link`.
+    /// Creates a network where every link uses `default_link` (a one-region
+    /// topology).
     pub fn new(default_link: LinkModel) -> Self {
+        Self::with_topology(Topology::uniform("uniform", default_link))
+    }
+
+    /// Creates a network resolving links through `topology`.
+    pub fn with_topology(topology: Topology) -> Self {
         NetworkModel {
-            default_link,
+            topology,
             overrides: Vec::new(),
             partition: None,
         }
+    }
+
+    /// The topology links resolve through (unless overridden per pair).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Overrides the model of the directed link `from -> to`.
@@ -90,13 +128,15 @@ impl NetworkModel {
         }
     }
 
-    /// The model of the directed link `from -> to`.
+    /// The model of the directed link `from -> to`: a per-pair override if
+    /// one was set, the topology's region link otherwise.
     pub fn link(&self, from: ProcessId, to: ProcessId) -> LinkModel {
-        self.overrides
-            .iter()
-            .find(|(k, _)| *k == (from, to))
-            .map(|(_, l)| *l)
-            .unwrap_or(self.default_link)
+        if !self.overrides.is_empty() {
+            if let Some((_, l)) = self.overrides.iter().find(|(k, _)| *k == (from, to)) {
+                return *l;
+            }
+        }
+        self.topology.link(from, to)
     }
 
     /// Installs a partition. Communication is allowed only within a group.
@@ -155,6 +195,25 @@ mod tests {
         net.set_partition(vec![vec![p(0), p(1)]]);
         assert!(net.blocked(p(2), p(0)));
         assert!(net.blocked(p(0), p(2)));
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_size() {
+        let free = LinkModel::lan();
+        assert_eq!(free.serialization_delay(1 << 20), TimeDelta::ZERO);
+        let thin = LinkModel::lan().with_bandwidth(1_000_000); // 1 MB/s
+        assert_eq!(thin.serialization_delay(1_000_000), TimeDelta::from_secs(1));
+        assert_eq!(thin.serialization_delay(1_000), TimeDelta::from_millis(1));
+    }
+
+    #[test]
+    fn network_resolves_links_through_topology() {
+        let p = |i| ProcessId::new(i);
+        let net = NetworkModel::with_topology(Topology::wan_2dc());
+        // Same DC (round-robin: p0, p2 in region 0): LAN link.
+        assert_eq!(net.link(p(0), p(2)), LinkModel::lan());
+        // Cross DC: the inter-region link.
+        assert!(net.link(p(0), p(1)).delay_min >= TimeDelta::from_millis(10));
     }
 
     #[test]

@@ -6,6 +6,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::metrics::Metrics;
 use crate::network::{LinkModel, NetworkModel};
+use crate::schedule::{Schedule, ScheduleAction};
+use crate::topology::Topology;
 use crate::trace::{Trace, TraceMode};
 use crate::wheel::{TimingWheel, WheelItem};
 
@@ -15,8 +17,8 @@ pub struct SimConfig {
     /// PRNG seed; two runs with equal seed, topology and workload are
     /// identical.
     pub seed: u64,
-    /// Default link model for every pair of processes.
-    pub link: LinkModel,
+    /// Network topology resolving the link model of every process pair.
+    pub topology: Topology,
     /// Fixed loopback delay for self-sends (never lost or partitioned).
     pub loopback_delay: TimeDelta,
     /// How application deliveries are recorded (see [`TraceMode`]); long
@@ -29,15 +31,20 @@ impl SimConfig {
     pub fn lan(seed: u64) -> Self {
         SimConfig {
             seed,
-            link: LinkModel::lan(),
+            topology: Topology::lan(),
             loopback_delay: TimeDelta::from_micros(10),
             trace: TraceMode::Full,
         }
     }
 
-    /// Replaces the default link model.
-    pub fn with_link(mut self, link: LinkModel) -> Self {
-        self.link = link;
+    /// Replaces the topology with a single uniform link model.
+    pub fn with_link(self, link: LinkModel) -> Self {
+        self.with_topology(Topology::uniform("uniform", link))
+    }
+
+    /// Replaces the network topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -73,6 +80,10 @@ enum Pending<E> {
     },
     Crash(ProcessId),
     Partition(Vec<Vec<ProcessId>>),
+    /// Region-boundary partition, resolved against the topology and node
+    /// count when the step *fires* (processes may be added between
+    /// scheduling and firing).
+    PartitionRegions,
     Heal,
     DelaySpike {
         extra: TimeDelta,
@@ -81,6 +92,11 @@ enum Pending<E> {
     LossBurst {
         prob: f64,
         until: Time,
+    },
+    SetLink {
+        from: ProcessId,
+        to: ProcessId,
+        link: LinkModel,
     },
 }
 
@@ -158,7 +174,7 @@ impl<E: Event> SimWorld<E> {
             executed: 0,
             queue: TimingWheel::new(),
             nodes: Vec::new(),
-            net: NetworkModel::new(config.link),
+            net: NetworkModel::with_topology(config.topology),
             rng: StdRng::seed_from_u64(config.seed),
             metrics: Metrics::new(),
             trace: Trace::with_mode(config.trace),
@@ -297,6 +313,41 @@ impl<E: Event> SimWorld<E> {
         );
     }
 
+    /// Replaces the directed link `from -> to` at time `at` (a per-pair
+    /// override on top of the topology).
+    pub fn set_link_at(&mut self, at: Time, from: ProcessId, to: ProcessId, link: LinkModel) {
+        self.schedule(at, Pending::SetLink { from, to, link });
+    }
+
+    /// Applies every simulator-level step of `schedule` (crashes,
+    /// partitions, link changes, spikes, bursts) and returns the membership
+    /// steps ([`ScheduleAction::Join`] / [`ScheduleAction::Remove`]) the
+    /// caller's protocol harness must route itself.
+    pub fn apply_schedule(&mut self, schedule: &Schedule) -> Vec<(Time, ScheduleAction)> {
+        let mut membership = Vec::new();
+        for (t, action) in schedule.steps() {
+            match action {
+                ScheduleAction::Crash(p) => self.crash_at(*t, *p),
+                ScheduleAction::Partition(groups) => self.partition_at(*t, groups.clone()),
+                ScheduleAction::PartitionRegions => self.schedule(*t, Pending::PartitionRegions),
+                ScheduleAction::Heal => self.heal_at(*t),
+                ScheduleAction::DelaySpike { duration, extra } => {
+                    self.delay_spike_at(*t, *duration, *extra)
+                }
+                ScheduleAction::LossBurst { duration, prob } => {
+                    self.loss_burst_at(*t, *duration, *prob)
+                }
+                ScheduleAction::SetLink { from, to, link } => {
+                    self.set_link_at(*t, *from, *to, *link)
+                }
+                ScheduleAction::Join { .. } | ScheduleAction::Remove { .. } => {
+                    membership.push((*t, action.clone()));
+                }
+            }
+        }
+        membership
+    }
+
     fn schedule(&mut self, at: Time, pending: Pending<E>) {
         let seq = self.seq;
         self.seq += 1;
@@ -374,6 +425,10 @@ impl<E: Event> SimWorld<E> {
                 self.nodes[p.index()].process.halt();
             }
             Pending::Partition(groups) => self.net.set_partition(groups),
+            Pending::PartitionRegions => {
+                let groups = self.net.topology().region_groups(self.nodes.len());
+                self.net.set_partition(groups);
+            }
             Pending::Heal => self.net.heal(),
             Pending::DelaySpike { extra, until } => {
                 self.spike_extra = extra;
@@ -383,6 +438,7 @@ impl<E: Event> SimWorld<E> {
                 self.burst_prob = prob;
                 self.burst_until = until;
             }
+            Pending::SetLink { from, to, link } => self.net.set_link(from, to, link),
         }
         true
     }
@@ -437,7 +493,8 @@ impl<E: Event> SimWorld<E> {
     }
 
     fn route(&mut self, from: ProcessId, to: ProcessId, component: &'static str, event: E) {
-        self.metrics.record_send(event.kind(), event.wire_size());
+        let wire_size = event.wire_size();
+        self.metrics.record_send(event.kind(), wire_size);
         if from == to {
             // Loopback: fixed small delay, never lost or partitioned.
             let at = self.now + self.loopback_delay;
@@ -465,12 +522,17 @@ impl<E: Event> SimWorld<E> {
             self.metrics.record_drop_loss();
             return;
         }
-        let mut delay = link.sample_delay(&mut self.rng);
-        if self.now < self.spike_until {
-            delay = delay + self.spike_extra;
-        }
+        // Every scheduled copy pays serialization and any active delay
+        // spike, duplicates included — a spike must slow *all* traffic.
+        let spike = if self.now < self.spike_until {
+            self.spike_extra
+        } else {
+            TimeDelta::ZERO
+        };
+        let serialization = link.serialization_delay(wire_size);
+        let delay = link.sample_delay(&mut self.rng) + serialization + spike;
         if link.dup_prob > 0.0 && self.rng.gen_bool(link.dup_prob) {
-            let delay2 = link.sample_delay(&mut self.rng);
+            let delay2 = link.sample_delay(&mut self.rng) + serialization + spike;
             self.schedule(
                 self.now + delay2,
                 Pending::Net {
@@ -724,6 +786,97 @@ mod tests {
         let mut w = world(2, 6);
         w.run_until(Time::from_millis(250));
         assert_eq!(w.now(), Time::from_millis(250));
+    }
+
+    #[test]
+    fn apply_schedule_drives_sim_actions_and_returns_membership() {
+        let p = |i| ProcessId::new(i);
+        let mut w = world(3, 7);
+        let s = crate::Schedule::new()
+            .crash(Time::from_millis(1), p(2))
+            .join(Time::from_millis(5), p(9), p(0))
+            .remove(Time::from_millis(6), p(0), p(1));
+        let leftover = w.apply_schedule(&s);
+        assert_eq!(leftover.len(), 2, "membership steps returned");
+        assert!(leftover.iter().all(|(_, a)| !a.is_sim_level()));
+        w.inject_at(Time::from_millis(2), p(0), "echo", Ev::Hello(1));
+        assert!(w.run_to_quiescence(Time::from_secs(1)));
+        assert!(!w.is_alive(p(2)), "scheduled crash applied");
+        assert_eq!(w.metrics().dropped_crash(), 1);
+    }
+
+    #[test]
+    fn region_partition_splits_along_topology() {
+        let p = |i| ProcessId::new(i);
+        let cfg = SimConfig::lan(8).with_topology(crate::Topology::wan_2dc());
+        let mut w: SimWorld<Ev> = SimWorld::new(cfg);
+        for _ in 0..4 {
+            w.add_node(|id| Process::builder(id).with(Echo { n: 4 }).build());
+        }
+        let s = crate::Schedule::new().partition_regions(Time::ZERO);
+        assert!(w.apply_schedule(&s).is_empty());
+        w.inject_at(Time::from_millis(1), p(0), "echo", Ev::Hello(3));
+        assert!(w.run_to_quiescence(Time::from_secs(1)));
+        let seqs = w.trace().per_proc(4, |e| match e {
+            Ev::Deliver(v) => Some(*v),
+            _ => None,
+        });
+        // Round-robin regions: p0/p2 in one DC, p1/p3 in the other.
+        assert_eq!(seqs[0], vec![3]);
+        assert_eq!(seqs[2], vec![3]);
+        assert_eq!(seqs[1], Vec::<u32>::new());
+        assert_eq!(seqs[3], Vec::<u32>::new());
+        assert_eq!(w.metrics().dropped_partition(), 2);
+    }
+
+    #[test]
+    fn scheduled_set_link_degrades_a_route() {
+        let p = |i| ProcessId::new(i);
+        let slow = LinkModel {
+            delay_min: TimeDelta::from_millis(80),
+            delay_max: TimeDelta::from_millis(90),
+            ..LinkModel::lan()
+        };
+        let measure = |degrade: bool| {
+            let mut w = world(2, 9);
+            if degrade {
+                let s = crate::Schedule::new().set_link(Time::ZERO, p(0), p(1), slow);
+                w.apply_schedule(&s);
+            }
+            w.inject_at(Time::from_millis(1), p(0), "echo", Ev::Hello(1));
+            assert!(w.run_to_quiescence(Time::from_secs(1)));
+            w.trace()
+                .project(|e| matches!(e, Ev::Deliver(_)).then_some(()))
+                .iter()
+                .find(|(_, q, _)| *q == p(1))
+                .map(|(t, _, _)| *t)
+                .unwrap()
+        };
+        let base = measure(false);
+        let degraded = measure(true);
+        assert!(degraded.as_nanos() >= base.as_nanos() + 78_000_000);
+    }
+
+    #[test]
+    fn bandwidth_limited_link_delays_by_wire_size() {
+        // Ev::Hello has the default 64-byte wire size; a 64-byte/sec link
+        // therefore adds a full second of serialization delay.
+        let p = |i| ProcessId::new(i);
+        let cfg = SimConfig::lan(10).with_link(LinkModel::lan().with_bandwidth(64));
+        let mut w: SimWorld<Ev> = SimWorld::new(cfg);
+        for _ in 0..2 {
+            w.add_node(|id| Process::builder(id).with(Echo { n: 2 }).build());
+        }
+        w.inject_at(Time::ZERO, p(0), "echo", Ev::Hello(1));
+        assert!(w.run_to_quiescence(Time::from_secs(5)));
+        let at = w
+            .trace()
+            .project(|e| matches!(e, Ev::Deliver(_)).then_some(()))
+            .iter()
+            .find(|(_, q, _)| *q == p(1))
+            .map(|(t, _, _)| *t)
+            .unwrap();
+        assert!(at >= Time::from_secs(1), "serialization delay paid: {at:?}");
     }
 }
 

@@ -92,14 +92,9 @@ pub enum IsisEvent {
         unstable: Vec<(IsisMsgId, Bytes, Option<u64>)>,
     },
     /// Coordinator commits the new view with the agreed flush deliveries.
-    NewView {
-        /// The new view number.
-        vid: u64,
-        /// The new membership (head = sequencer).
-        members: Vec<ProcessId>,
-        /// Messages to deliver before installing the view, in agreed order.
-        deliver_first: Vec<(IsisMsgId, Bytes)>,
-    },
+    /// Boxed: this rare, fat variant (two vectors) must not widen the hot
+    /// event enum past the cache-line budget.
+    NewView(Box<NewViewData>),
     /// A process (re-)requests membership.
     JoinRequest,
     /// State transfer to a (re-)joining process.
@@ -142,6 +137,24 @@ pub enum IsisEvent {
     Rejoined,
 }
 
+// Events are moved through every scheduler slot and dispatch; boxing the
+// reformation-time fat variants keeps the enum inside one cache line.
+const _: () = assert!(
+    std::mem::size_of::<IsisEvent>() <= 64,
+    "IsisEvent outgrew one cache line; box the offending variant"
+);
+
+/// The payload of an [`IsisEvent::NewView`] commit.
+#[derive(Clone, Debug)]
+pub struct NewViewData {
+    /// The new view number.
+    pub vid: u64,
+    /// The new membership (head = sequencer).
+    pub members: Vec<ProcessId>,
+    /// Messages to deliver before installing the view, in agreed order.
+    pub deliver_first: Vec<(IsisMsgId, Bytes)>,
+}
+
 impl Event for IsisEvent {
     fn kind(&self) -> &'static str {
         match self {
@@ -172,13 +185,9 @@ impl Event for IsisEvent {
             IsisEvent::FlushReport { unstable, .. } => {
                 16 + unstable.iter().map(|(_, p, _)| 24 + p.len()).sum::<usize>()
             }
-            IsisEvent::NewView {
-                members,
-                deliver_first,
-                ..
-            } => {
-                16 + 4 * members.len()
-                    + deliver_first
+            IsisEvent::NewView(nv) => {
+                16 + 4 * nv.members.len()
+                    + nv.deliver_first
                         .iter()
                         .map(|(_, p)| 16 + p.len())
                         .sum::<usize>()
@@ -482,11 +491,11 @@ impl IsisStack {
                 deliver_first.push((id, p));
             }
         }
-        let new_view = IsisEvent::NewView {
+        let new_view = IsisEvent::NewView(Box::new(NewViewData {
             vid: self.flush_vid,
             members: self.flush_members.clone(),
             deliver_first: deliver_first.clone(),
-        };
+        }));
         // Tell survivors and joiners alike.
         let mut targets: BTreeSet<ProcessId> = self
             .members
@@ -606,13 +615,9 @@ impl Component<IsisEvent> for IsisStack {
         if self.mode == Mode::Dead {
             // A killed process only listens for its re-admission.
             match event {
-                IsisEvent::NewView {
-                    vid,
-                    members,
-                    deliver_first,
-                } if members.contains(&self.me) => {
+                IsisEvent::NewView(nv) if nv.members.contains(&self.me) => {
                     self.delivered.clear();
-                    self.install_view(vid, members, deliver_first, ctx);
+                    self.install_view(nv.vid, nv.members, nv.deliver_first, ctx);
                 }
                 IsisEvent::StateTransfer { .. } => {
                     ctx.output(IsisEvent::Rejoined);
@@ -635,11 +640,11 @@ impl Component<IsisEvent> for IsisStack {
                     ctx.send(
                         from,
                         "isis",
-                        IsisEvent::NewView {
+                        IsisEvent::NewView(Box::new(NewViewData {
                             vid: self.vid,
                             members: self.members.clone(),
                             deliver_first: Vec::new(),
-                        },
+                        })),
                     );
                 }
             }
@@ -651,12 +656,8 @@ impl Component<IsisEvent> for IsisStack {
             IsisEvent::FlushReport { vid, unstable } => {
                 self.on_flush_report(from, vid, unstable, ctx)
             }
-            IsisEvent::NewView {
-                vid,
-                members,
-                deliver_first,
-            } if vid > self.vid => {
-                self.install_view(vid, members, deliver_first, ctx);
+            IsisEvent::NewView(nv) if nv.vid > self.vid => {
+                self.install_view(nv.vid, nv.members, nv.deliver_first, ctx);
             }
             IsisEvent::JoinRequest => {
                 self.pending_joins.insert(from);

@@ -26,5 +26,5 @@
 pub mod isis;
 pub mod token;
 
-pub use isis::{IsisConfig, IsisEvent, IsisSim};
-pub use token::{TokenConfig, TokenEvent, TokenSim};
+pub use isis::{IsisConfig, IsisEvent, IsisSim, NewViewData};
+pub use token::{NewRingData, TokenConfig, TokenEvent, TokenSim};

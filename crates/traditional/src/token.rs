@@ -79,17 +79,10 @@ pub enum TokenEvent {
         /// Sequenced messages the reporter holds (delivered or not).
         known: Vec<(u64, ProcessId, Bytes)>,
     },
-    /// The reformer commits the new ring.
-    NewRing {
-        /// New generation.
-        vid: u64,
-        /// The surviving ring, in token order.
-        ring: Vec<ProcessId>,
-        /// Recovery set: all known sequenced messages.
-        recovery: Vec<(u64, ProcessId, Bytes)>,
-        /// Sequence numbering continues from here.
-        next_seq: u64,
-    },
+    /// The reformer commits the new ring. Boxed: this rare, fat variant
+    /// (two vectors) must not widen the hot event enum past the cache-line
+    /// budget.
+    NewRing(Box<NewRingData>),
     /// An outsider asks a member to sponsor its (fault-free) join.
     JoinRequest,
     /// Ring bootstrap information for a joiner.
@@ -127,6 +120,26 @@ pub enum TokenEvent {
     },
 }
 
+// Events are moved through every scheduler slot and dispatch; boxing the
+// reformation-time fat variants keeps the enum inside one cache line.
+const _: () = assert!(
+    std::mem::size_of::<TokenEvent>() <= 64,
+    "TokenEvent outgrew one cache line; box the offending variant"
+);
+
+/// The payload of a [`TokenEvent::NewRing`] commit.
+#[derive(Clone, Debug)]
+pub struct NewRingData {
+    /// New generation.
+    pub vid: u64,
+    /// The surviving ring, in token order.
+    pub ring: Vec<ProcessId>,
+    /// Recovery set: all known sequenced messages.
+    pub recovery: Vec<(u64, ProcessId, Bytes)>,
+    /// Sequence numbering continues from here.
+    pub next_seq: u64,
+}
+
 impl Event for TokenEvent {
     fn kind(&self) -> &'static str {
         match self {
@@ -149,10 +162,16 @@ impl Event for TokenEvent {
             TokenEvent::Token { .. } => 24,
             TokenEvent::Data { payload, .. } => 32 + payload.len(),
             TokenEvent::Reform { .. } => 16,
-            TokenEvent::ReformReport { known, .. }
-            | TokenEvent::NewRing {
-                recovery: known, ..
-            } => 24 + known.iter().map(|(_, _, p)| 16 + p.len()).sum::<usize>(),
+            TokenEvent::ReformReport { known, .. } => {
+                24 + known.iter().map(|(_, _, p)| 16 + p.len()).sum::<usize>()
+            }
+            TokenEvent::NewRing(nr) => {
+                24 + nr
+                    .recovery
+                    .iter()
+                    .map(|(_, _, p)| 16 + p.len())
+                    .sum::<usize>()
+            }
             TokenEvent::JoinRequest => 16,
             TokenEvent::RingInfo { ring, .. } => 24 + 4 * ring.len(),
             _ => 64,
@@ -351,12 +370,12 @@ impl TokenStack {
         let next_seq = recovery.keys().next_back().map_or(0, |s| s + 1);
         let recovery: Vec<(u64, ProcessId, Bytes)> =
             recovery.into_iter().map(|(s, (o, p))| (s, o, p)).collect();
-        let ev = TokenEvent::NewRing {
+        let ev = TokenEvent::NewRing(Box::new(NewRingData {
             vid,
             ring: ring.clone(),
             recovery: recovery.clone(),
             next_seq,
-        };
+        }));
         ctx.send_to_all(ring.iter().copied().filter(|&p| p != self.me), "token", ev);
         self.install_ring(vid, ring, recovery, next_seq, ctx);
     }
@@ -470,13 +489,8 @@ impl Component<TokenEvent> for TokenStack {
                     }
                 }
             }
-            TokenEvent::NewRing {
-                vid,
-                ring,
-                recovery,
-                next_seq,
-            } if vid > self.vid => {
-                self.install_ring(vid, ring, recovery, next_seq, ctx);
+            TokenEvent::NewRing(nr) if nr.vid > self.vid => {
+                self.install_ring(nr.vid, nr.ring, nr.recovery, nr.next_seq, ctx);
             }
             TokenEvent::JoinRequest if self.member => {
                 self.sponsor_queue.push_back(from);

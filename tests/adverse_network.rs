@@ -16,12 +16,11 @@ fn total_order_over_lossy_duplicating_links() {
         let mut cfg = StackConfig::default();
         cfg.monitoring_timeout = TimeDelta::from_secs(3600);
         // 10% loss + 5% duplication on every link.
-        let mut sim = SimConfig::lan(seed);
-        sim.link = LinkModel {
+        let sim = SimConfig::lan(seed).with_link(LinkModel {
             drop_prob: 0.10,
             dup_prob: 0.05,
             ..LinkModel::lan()
-        };
+        });
         let mut g = GroupSim::with_sim(3, 0, cfg, sim);
         for i in 0..12u32 {
             g.abcast_at(Time::from_millis(1 + 4 * i as u64), p(i % 3), vec![i as u8]);
