@@ -1,0 +1,70 @@
+//! The instrumented global allocator behind the allocations-per-adelivery
+//! metric.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every allocation
+//! (and its size) with relaxed atomics. Binaries that want the metric
+//! install it as their global allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: gcs_bench::alloccount::CountingAlloc =
+//!     gcs_bench::alloccount::CountingAlloc;
+//! ```
+//!
+//! and read deltas with [`snapshot`]. In binaries that do *not* install it
+//! the counters simply stay at zero. The counters are process-global, so
+//! measurements must run the workload single-threaded (all tracked
+//! workloads are deterministic single-threaded simulations).
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper around the system allocator.
+pub struct CountingAlloc;
+
+// SAFETY: every call delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the counters are pure side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(l.size() as u64, Ordering::Relaxed);
+        System.alloc(l)
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+/// A point-in-time reading of the allocation counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Total allocations since process start.
+    pub allocs: u64,
+    /// Total allocated bytes since process start.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs - earlier.allocs,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// Reads the current counters (zero if [`CountingAlloc`] is not installed
+/// as the global allocator).
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}

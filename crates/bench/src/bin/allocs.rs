@@ -1,42 +1,62 @@
-//! Allocation counter for the perf-trajectory workloads: wraps the system
-//! allocator and reports allocations-per-simulated-event, the metric the
-//! PR-1 hot-path work drove down. Usage: `allocs [isis|abcast|token]`.
+//! Allocation profiler for the perf-trajectory workloads: installs the
+//! counting global allocator and reports allocations per simulated event
+//! and — the PR-3 tracked metric — allocations per payload delivery.
+//!
+//! ```text
+//! allocs [abcast|isis|token|all] [--json]
+//! ```
+//!
+//! `--json` emits the machine-readable object the alloc-regression guard
+//! and `repro bench-pr3` consume.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use gcs_bench::alloccount::CountingAlloc;
+use gcs_bench::perf::{self, AllocMeasurement};
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-static BYTES: AtomicU64 = AtomicU64::new(0);
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
 
-struct Counting;
-
-// SAFETY: delegates directly to `System`; the counters are side effects.
-unsafe impl GlobalAlloc for Counting {
-    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(l.size() as u64, Ordering::Relaxed);
-        System.alloc(l)
-    }
-    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
-        System.dealloc(p, l)
+fn measure(which: &str) -> AllocMeasurement {
+    match which {
+        "abcast" => perf::measure_allocs("abcast_steady/5", perf::abcast_steady_5_stats),
+        "isis" => perf::measure_allocs("isis_steady/5", perf::isis_steady_5_stats),
+        "token" => perf::measure_allocs("token_steady/5", perf::token_steady_5_stats),
+        other => {
+            eprintln!("allocs: unknown workload {other:?} (want abcast|isis|token|all)");
+            std::process::exit(2);
+        }
     }
 }
 
-#[global_allocator]
-static A: Counting = Counting;
-
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "isis".into());
-    let a0 = ALLOCS.load(Ordering::Relaxed);
-    let events = match which.as_str() {
-        "abcast" => gcs_bench::perf::abcast_steady_5(),
-        "token" => gcs_bench::perf::token_steady_5(),
-        _ => gcs_bench::perf::isis_steady_5(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let which = args
+        .iter()
+        .find(|a| *a != "--json")
+        .map(String::as_str)
+        .unwrap_or("all");
+    let measurements: Vec<AllocMeasurement> = if which == "all" {
+        ["abcast", "isis", "token"]
+            .iter()
+            .map(|w| measure(w))
+            .collect()
+    } else {
+        vec![measure(which)]
     };
-    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
-    println!(
-        "{which}: {events} events, {allocs} allocs ({:.2}/event), {} bytes",
-        allocs as f64 / events as f64,
-        BYTES.load(Ordering::Relaxed)
-    );
+    if json {
+        println!("{}", perf::allocs_to_json(&measurements));
+        return;
+    }
+    for m in &measurements {
+        println!(
+            "{}: {} events, {} deliveries, {} allocs ({:.2}/event, {:.2}/delivery), {} bytes",
+            m.name,
+            m.events,
+            m.deliveries,
+            m.allocs,
+            m.allocs_per_event(),
+            m.allocs_per_delivery(),
+            m.bytes
+        );
+    }
 }

@@ -4,8 +4,10 @@
 //! repro [e1|e2|e3|e4|a1|a2|all]        paper experiments (markdown tables)
 //! repro list                           enumerate experiments + scenarios
 //! repro scenario <name> [seed]         run one named scenario
+//! repro sweep [seeds] [base]           whole catalog × seeds across threads
 //! repro bench-pr1 [reps]               PR-1 perf trajectory (JSON to stdout)
 //! repro bench-pr2 [reps]               PR-2 scenario trajectory → BENCH_PR2.json
+//! repro bench-pr3 [reps]               PR-3 trajectory + alloc metric → BENCH_PR3.json
 //! ```
 //!
 //! Experiment output is markdown; EXPERIMENTS.md records a run of
@@ -14,8 +16,17 @@
 //! writes `BENCH_PR2.json` in the current directory — the committed
 //! trajectory of the scenario engine.
 
+use std::time::Instant;
+
+use gcs_bench::alloccount::CountingAlloc;
 use gcs_bench::{experiments, perf, scenario};
 use gcs_sim::TraceMode;
+
+// The instrumented allocator behind `bench-pr3`'s allocations-per-adelivery
+// metric. Two relaxed atomic adds per allocation; negligible against the
+// wall-clock workloads it coexists with.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// The paper experiments: one `(CLI name, description)` row per command —
 /// the single source `usage()` and `list()` both render.
@@ -39,10 +50,15 @@ fn usage() -> String {
 scenario engine:
   list                       enumerate experiments and named scenarios
   scenario <name> [seed]     run one scenario, print its report
+  sweep [seeds] [base] [threads]
+                             run the whole catalog x seeds across worker
+                             threads (default: 3 seeds from 7, all cores)
 
 perf trajectories (use a --release build):
   bench-pr1 [reps]           PR-1 workloads, JSON to stdout
   bench-pr2 [reps]           scenario matrix + hot-path guard, writes BENCH_PR2.json
+  bench-pr3 [reps]           scenario matrix + sim_throughput/{64,256} + abcast
+                             allocations-per-adelivery, writes BENCH_PR3.json
 ",
     );
     s
@@ -90,6 +106,85 @@ BENCH_PR1.json. Regenerate with: cargo run --release -p gcs-bench --bin repro --
             std::process::exit(1);
         }
     }
+}
+
+fn bench_pr3() {
+    let reps = numeric_arg(2, "reps", 7usize);
+    let measurements = perf::run_pr3(reps);
+    let body = perf::to_json(&measurements);
+    let allocs = vec![perf::measure_allocs(
+        "abcast_steady/5",
+        perf::abcast_steady_5_stats,
+    )];
+    let alloc_body = perf::allocs_to_json(&allocs);
+    let json = format!(
+        "{{\n  \"description\": \"PR 3 zero-copy message plane: wall-clock trajectory of the \
+tracked scenarios plus both sim_throughput guard points (seed 7, counts-only trace), and the \
+abcast steady-state allocation profile from the instrumented global allocator. \
+sim_throughput/64 must stay within noise of BENCH_PR2.json; allocs_per_delivery must stay \
+under the alloc_guard budget (pre-PR baseline: 33.4). Regenerate with: cargo run --release \
+-p gcs-bench --bin repro -- bench-pr3 [reps].\",\n  \
+\"measurements\": {body},\n  \"allocations\": {alloc_body}\n}}"
+    );
+    println!("{json}");
+    match std::fs::write("BENCH_PR3.json", format!("{json}\n")) {
+        Ok(()) => eprintln!("wrote BENCH_PR3.json"),
+        Err(e) => {
+            eprintln!("repro: cannot write BENCH_PR3.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `sweep [seeds] [base] [threads]`: run every cataloged scenario at
+/// `seeds` consecutive seeds starting from `base`, fanned out across
+/// worker threads (defaults to the machine's parallelism), and print one
+/// merged table in deterministic task order.
+fn sweep() {
+    // At least one seed: `sweep 0` would otherwise underflow the header
+    // range and run nothing.
+    let seeds: u64 = numeric_arg(2, "seeds", 3u64).max(1);
+    let base: u64 = numeric_arg(3, "base seed", 7u64);
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = numeric_arg(4, "threads", default_threads);
+    let names: Vec<&'static str> = scenario::catalog().iter().map(|s| s.name).collect();
+    let tasks: Vec<(&'static str, u64)> = names
+        .iter()
+        .flat_map(|&n| (0..seeds).map(move |k| (n, base + k)))
+        .collect();
+
+    let t0 = Instant::now();
+    let results = scenario::run_sweep(&tasks, threads, TraceMode::Full);
+    let wall = t0.elapsed();
+
+    println!(
+        "## scenario sweep: {} scenarios x {seeds} seeds ({base}..{}) on {threads} threads\n",
+        names.len(),
+        base + seeds - 1
+    );
+    println!("| scenario | seed | injected | deliveries | mean lat (ms) | p99 (ms) | msgs | events | fingerprint |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for r in &results {
+        println!(
+            "| {} | {} | {} | {} | {:.2} | {:.2} | {} | {} | {:016x} |",
+            r.name,
+            r.seed,
+            r.injected,
+            r.deliveries,
+            r.mean_latency_ms,
+            r.p99_latency_ms,
+            r.msgs,
+            r.events,
+            r.fingerprint
+        );
+    }
+    println!(
+        "\n{} runs in {:.2}s wall-clock on {threads} threads",
+        results.len(),
+        wall.as_secs_f64()
+    );
 }
 
 fn list() {
@@ -146,6 +241,17 @@ fn run_scenario() {
     println!("| wire bytes | {} |", r.bytes);
     println!("| sim events executed | {} |", r.events);
     println!("| run fingerprint | {:016x} |", r.fingerprint);
+    if !r.region_latency.is_empty() {
+        println!("\n### one-way link latency by region pair (log2 histograms)\n");
+        println!("| src region | dst region | msgs | mean (ms) | ~p50 (ms) | ~p99 (ms) |");
+        println!("|---|---|---|---|---|---|");
+        for p in &r.region_latency {
+            println!(
+                "| r{} | r{} | {} | {:.2} | {:.2} | {:.2} |",
+                p.from, p.to, p.count, p.mean_ms, p.p50_ms, p.p99_ms
+            );
+        }
+    }
 }
 
 fn main() {
@@ -163,8 +269,10 @@ fn main() {
         "all" => experiments::run_all(),
         "list" => list(),
         "scenario" => run_scenario(),
+        "sweep" => sweep(),
         "bench-pr1" => bench_pr1(),
         "bench-pr2" => bench_pr2(),
+        "bench-pr3" => bench_pr3(),
         "help" | "--help" | "-h" => println!("{}", usage()),
         other => usage_error(&format!("unknown command {other:?}")),
     }

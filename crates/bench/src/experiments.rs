@@ -160,7 +160,7 @@ pub fn e2_generic_vs_atomic() {
                 .entries()
                 .iter()
                 .filter_map(|e| match &e.event {
-                    Ev::Deliver(d) => Some((e.time, d.payload[0] as usize)),
+                    Ev::Deliver(d) => Some((e.time, g.resolve(d.payload)[0] as usize)),
                     _ => None,
                 })
                 .collect();
@@ -202,7 +202,7 @@ pub fn e3_failover_latency() {
             g.run_until(Time::from_millis(100 + timeout_ms * 4 + 2000));
             g.trace()
                 .first_time(|e| match e {
-                    Ev::Deliver(d) if d.payload.as_ref() == b"probe" => Some(()),
+                    Ev::Deliver(d) if g.resolve(d.payload).as_ref() == b"probe" => Some(()),
                     _ => None,
                 })
                 .map(|(t, _, _)| t.since(Time::from_millis(105)).as_millis_f64())
@@ -215,7 +215,9 @@ pub fn e3_failover_latency() {
             sim.abcast_at(Time::from_millis(105), p(1), b"probe".to_vec());
             sim.run_until(Time::from_millis(100 + timeout_ms * 4 + 2000));
             sim.trace().entries().iter().find_map(|e| match &e.event {
-                IsisEvent::Deliver { payload, .. } if payload.as_ref() == b"probe" => {
+                IsisEvent::Deliver { payload, .. }
+                    if sim.resolve(*payload).as_ref() == b"probe" =>
+                {
                     Some(e.time.since(Time::from_millis(105)).as_millis_f64())
                 }
                 _ => None,
@@ -265,7 +267,7 @@ pub fn e3_false_suspicion_cost() {
             let back_at = g
                 .trace()
                 .first_time(|e| match e {
-                    Ev::Deliver(d) if d.payload.as_ref() == b"back" => Some(()),
+                    Ev::Deliver(d) if g.resolve(d.payload).as_ref() == b"back" => Some(()),
                     _ => None,
                 })
                 .map(|(t, _, _)| t);

@@ -13,9 +13,12 @@
 //! cargo run -p gcs-bench --release --bin repro -- all
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the allocation-counter module needs one
+// carefully scoped `unsafe impl GlobalAlloc` (see `alloccount`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloccount;
 pub mod experiments;
 pub mod perf;
 pub mod scenario;

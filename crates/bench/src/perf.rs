@@ -29,35 +29,76 @@ pub struct Measurement {
     pub events_per_sec: u64,
 }
 
+/// What one steady-state workload run executed and delivered — the
+/// denominators of the perf trajectory (events/sec) and the alloc
+/// trajectory (allocations per adelivery).
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Simulation events executed.
+    pub events: u64,
+    /// Total payload deliveries across all processes.
+    pub deliveries: u64,
+}
+
 /// The `abcast_steady/5` workload: 20 abcasts across 5 processes on the new
 /// architecture, run for 300 simulated milliseconds.
 pub fn abcast_steady_5() -> u64 {
+    abcast_steady_5_stats().events
+}
+
+/// [`abcast_steady_5`] with the per-process delivery total (the
+/// allocations-per-adelivery denominator: 20 messages × 5 processes).
+pub fn abcast_steady_5_stats() -> RunStats {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
     let mut g = GroupSim::new(5, cfg, 1);
     UniformWorkload::steady(20, 2).inject(5, &mut g);
     g.run_until(Time::from_millis(300));
-    assert_eq!(g.adelivered_payloads()[0].len(), 20);
-    g.world().events_executed()
+    let delivered = g.adelivered_payloads();
+    assert_eq!(delivered[0].len(), 20);
+    RunStats {
+        events: g.world().events_executed(),
+        deliveries: delivered.iter().map(|s| s.len() as u64).sum(),
+    }
 }
 
 /// The `isis_steady/5` workload: the same 20-abcast steady state on the
 /// Isis-style baseline.
 pub fn isis_steady_5() -> u64 {
+    isis_steady_5_stats().events
+}
+
+/// [`isis_steady_5`] with the delivery total.
+pub fn isis_steady_5_stats() -> RunStats {
     let mut sim = IsisSim::new(5, 0, IsisConfig::default(), 1);
     UniformWorkload::steady(20, 2).inject(5, &mut sim);
     sim.run_until(Time::from_millis(300));
-    assert_eq!(sim.delivered_payloads()[0].len(), 20);
-    sim.world_mut().events_executed()
+    let delivered = sim.delivered_payloads();
+    assert_eq!(delivered[0].len(), 20);
+    let deliveries = delivered.iter().map(|s| s.len() as u64).sum();
+    RunStats {
+        events: sim.world_mut().events_executed(),
+        deliveries,
+    }
 }
 
 /// The `token_steady/5` workload on the token-ring baseline.
 pub fn token_steady_5() -> u64 {
+    token_steady_5_stats().events
+}
+
+/// [`token_steady_5`] with the delivery total.
+pub fn token_steady_5_stats() -> RunStats {
     let mut sim = TokenSim::new(5, 0, TokenConfig::default(), 1);
     UniformWorkload::steady(20, 2).inject(5, &mut sim);
     sim.run_until(Time::from_millis(300));
-    assert_eq!(sim.delivered_payloads()[0].len(), 20);
-    sim.world_mut().events_executed()
+    let delivered = sim.delivered_payloads();
+    assert_eq!(delivered[0].len(), 20);
+    let deliveries = delivered.iter().map(|s| s.len() as u64).sum();
+    RunStats {
+        events: sim.world_mut().events_executed(),
+        deliveries,
+    }
 }
 
 /// The `sim_throughput/n` workload: a saturated steady state (heartbeats,
@@ -153,6 +194,97 @@ pub fn run_pr2(reps: usize) -> Vec<Measurement> {
         sim_throughput(64)
     }));
     out
+}
+
+/// The scenario names tracked by the PR-3 trajectory — the same five as
+/// PR 2, so `BENCH_PR3.json` diffs directly against `BENCH_PR2.json`.
+pub const PR3_SCENARIOS: &[&str] = PR2_SCENARIOS;
+
+/// Runs the PR-3 measurement set: the tracked scenario matrix plus both
+/// hot-path guard points (`sim_throughput/64` must stay within noise of
+/// `BENCH_PR2.json`; `sim_throughput/256` is the profiling target, measured
+/// with the counts-only sink over a short horizon).
+pub fn run_pr3(reps: usize) -> Vec<Measurement> {
+    let mut out: Vec<Measurement> = PR3_SCENARIOS
+        .iter()
+        .map(|&name| {
+            let s = scenario::by_name(name).expect("tracked scenario exists");
+            measure(name, reps.min(7), || s.run(7, TraceMode::CountsOnly).events)
+        })
+        .collect();
+    out.push(measure("sim_throughput/64", reps.clamp(1, 3), || {
+        sim_throughput(64)
+    }));
+    out.push(measure("sim_throughput/256", 1, || {
+        sim_throughput_counts(256, 10)
+    }));
+    out
+}
+
+/// One steady-state allocation measurement (meaningful only in binaries
+/// that install [`CountingAlloc`](crate::alloccount::CountingAlloc) as the
+/// global allocator — elsewhere every counter reads zero).
+#[derive(Clone, Debug)]
+pub struct AllocMeasurement {
+    /// Workload name.
+    pub name: &'static str,
+    /// Allocations during the measured (post-warm-up) run.
+    pub allocs: u64,
+    /// Bytes allocated during the measured run.
+    pub bytes: u64,
+    /// Simulation events executed.
+    pub events: u64,
+    /// Payload deliveries across all processes.
+    pub deliveries: u64,
+}
+
+impl AllocMeasurement {
+    /// Allocations per payload delivery — the tracked metric.
+    pub fn allocs_per_delivery(&self) -> f64 {
+        self.allocs as f64 / self.deliveries.max(1) as f64
+    }
+
+    /// Allocations per simulated event.
+    pub fn allocs_per_event(&self) -> f64 {
+        self.allocs as f64 / self.events.max(1) as f64
+    }
+}
+
+/// Measures `workload` under the instrumented allocator: one warm-up run
+/// (populating lazy statics and caches), then one counted run.
+pub fn measure_allocs(name: &'static str, workload: impl Fn() -> RunStats) -> AllocMeasurement {
+    let _ = workload(); // warm-up
+    let before = crate::alloccount::snapshot();
+    let stats = workload();
+    let delta = crate::alloccount::snapshot().since(before);
+    AllocMeasurement {
+        name,
+        allocs: delta.allocs,
+        bytes: delta.bytes,
+        events: stats.events,
+        deliveries: stats.deliveries,
+    }
+}
+
+/// Renders alloc measurements as a JSON object.
+pub fn allocs_to_json(measurements: &[AllocMeasurement]) -> String {
+    let mut s = String::from("{\n");
+    for (i, m) in measurements.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {{\"allocs\": {}, \"bytes\": {}, \"events\": {}, \"deliveries\": {}, \
+\"allocs_per_delivery\": {:.3}, \"allocs_per_event\": {:.3}}}{}\n",
+            m.name,
+            m.allocs,
+            m.bytes,
+            m.events,
+            m.deliveries,
+            m.allocs_per_delivery(),
+            m.allocs_per_event(),
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  }");
+    s
 }
 
 /// Renders measurements as a JSON object (no external JSON dependency).

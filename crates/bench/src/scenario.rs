@@ -8,7 +8,7 @@
 //! [`Scenario::run`].
 
 use gcs_core::{DeliveryKind, Ev, GroupSim, StackConfig};
-use gcs_kernel::{Time, TimeDelta};
+use gcs_kernel::{ProcessId, Time, TimeDelta};
 use gcs_sim::{Schedule, SimConfig, Topology, TraceMode};
 
 use crate::workload::{
@@ -62,6 +62,28 @@ pub struct ScenarioReport {
     /// (time, process, payload) and the event count, so two runs are
     /// bit-identical iff their fingerprints match.
     pub fingerprint: u64,
+    /// Per-region-pair one-way link latency (empty on single-region
+    /// topologies): the log2-histogram summaries of every pair that saw
+    /// traffic.
+    pub region_latency: Vec<RegionPairLatency>,
+}
+
+/// Summary of one directed region pair's link-latency histogram.
+#[derive(Clone, Debug)]
+pub struct RegionPairLatency {
+    /// Source region index.
+    pub from: usize,
+    /// Destination region index.
+    pub to: usize,
+    /// Messages scheduled over this pair.
+    pub count: u64,
+    /// Mean one-way latency in virtual milliseconds.
+    pub mean_ms: f64,
+    /// Approximate median (log2-bucket upper edge), in milliseconds.
+    pub p50_ms: f64,
+    /// Approximate 99th percentile (log2-bucket upper edge), in
+    /// milliseconds.
+    pub p99_ms: f64,
 }
 
 impl Scenario {
@@ -109,10 +131,11 @@ impl Scenario {
                 for b in (e.proc.index() as u32).to_le_bytes() {
                     fnv(b);
                 }
-                for &b in d.payload.as_ref() {
+                let payload = g.resolve(d.payload);
+                for &b in payload.as_ref() {
                     fnv(b);
                 }
-                if let Some(op) = decode_op_index(&d.payload) {
+                if let Some(op) = decode_op_index(&payload) {
                     if op < inject_times.len() {
                         latencies.push(e.time.since(inject_times[op]).as_millis_f64());
                     }
@@ -136,6 +159,19 @@ impl Scenario {
             sorted[(sorted.len() - 1) * 99 / 100]
         };
 
+        let region_latency = g
+            .metrics()
+            .region_pairs()
+            .map(|(from, to, h)| RegionPairLatency {
+                from,
+                to,
+                count: h.count(),
+                mean_ms: h.mean_ns() as f64 / 1e6,
+                p50_ms: h.quantile_ns(0.5) as f64 / 1e6,
+                p99_ms: h.quantile_ns(0.99) as f64 / 1e6,
+            })
+            .collect();
+
         ScenarioReport {
             name: self.name,
             seed,
@@ -147,6 +183,7 @@ impl Scenario {
             mean_latency_ms: mean,
             p99_latency_ms: p99,
             fingerprint,
+            region_latency,
         }
     }
 }
@@ -239,6 +276,50 @@ pub fn catalog() -> Vec<Scenario> {
             horizon: Time::from_secs(4),
         },
         Scenario {
+            name: "flaky-churn",
+            about: "2% lossy links × join/remove churn, plus a loss burst",
+            n: 4,
+            joiners: 1,
+            topology: Topology::lossy(),
+            workload: Box::new(ChurnWorkload::steady(120, 3, 120, 260)),
+            schedule: Schedule::new().loss_burst(
+                Time::from_millis(400),
+                TimeDelta::from_millis(150),
+                0.25,
+            ),
+            horizon: Time::from_secs(4),
+        },
+        Scenario {
+            name: "rolling-restart-wan3",
+            about: "sequenced region outages (partition+heal) across all 3 regions",
+            n: 9,
+            joiners: 0,
+            topology: Topology::wan_3region(),
+            workload: Box::new(UniformWorkload::steady(90, 6)),
+            // One region at a time drops off the WAN and comes back — the
+            // crash-stop model cannot restart a process, so a rolling
+            // restart is modeled as a rolling partition: each region is
+            // unreachable for 300 ms, regions in sequence (round-robin
+            // assignment: region r = {r, r+3, r+6}).
+            schedule: {
+                let mut s = Schedule::new();
+                for r in 0..3u32 {
+                    let isolated: Vec<ProcessId> =
+                        (0..3).map(|k| ProcessId::new(r + 3 * k)).collect();
+                    let rest: Vec<ProcessId> = (0..9)
+                        .map(ProcessId::new)
+                        .filter(|p| !isolated.contains(p))
+                        .collect();
+                    let start = Time::from_millis(150 + 500 * r as u64);
+                    s = s
+                        .partition(start, vec![isolated, rest])
+                        .heal(start + TimeDelta::from_millis(300));
+                }
+                s
+            },
+            horizon: Time::from_secs(10),
+        },
+        Scenario {
             name: "partition-heal-wan3",
             about: "region partition at 200ms, heal at 600ms, stream on",
             n: 9,
@@ -251,6 +332,41 @@ pub fn catalog() -> Vec<Scenario> {
             horizon: Time::from_secs(8),
         },
     ]
+}
+
+/// Runs `(name, seed)` tasks across `threads` worker threads, one fully
+/// independent deterministic simulation per task, returning reports in task
+/// order. Each worker constructs its own [`Scenario`] from the catalog, so
+/// nothing is shared between runs and per-run determinism is untouched —
+/// this is the experiment-sweep parallelism the simulator's single-threaded
+/// design deliberately leaves to the harness.
+pub fn run_sweep(
+    tasks: &[(&'static str, u64)],
+    threads: usize,
+    trace: TraceMode,
+) -> Vec<ScenarioReport> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let threads = threads.clamp(1, tasks.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, ScenarioReport)>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(name, seed)) = tasks.get(i) else {
+                    break;
+                };
+                let s = by_name(name).unwrap_or_else(|| panic!("unknown scenario {name:?}"));
+                let report = s.run(seed, trace);
+                results.lock().expect("sweep poisoned").push((i, report));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("sweep poisoned");
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Looks a built-in scenario up by name.
@@ -307,6 +423,72 @@ mod tests {
             r.deliveries >= (r.injected * 3) as u64,
             "stream live through churn: {r:?}"
         );
+    }
+
+    #[test]
+    fn flaky_churn_survives_loss_and_churn() {
+        let s = by_name("flaky-churn").unwrap();
+        let r = s.run(5, TraceMode::Full);
+        // The stream stays live at the three surviving founding members
+        // despite 2% loss, a 25% loss burst, a join and a removal.
+        assert!(
+            r.deliveries >= (r.injected * 3) as u64,
+            "stream live through flaky churn: {r:?}"
+        );
+    }
+
+    #[test]
+    fn rolling_restart_wan3_delivers_everywhere_after_heals() {
+        let s = by_name("rolling-restart-wan3").unwrap();
+        let r = s.run(4, TraceMode::Full);
+        // Every region outage heals, so all 9 members eventually deliver
+        // the full stream (retransmissions catch the isolated region up).
+        assert_eq!(r.injected, 90);
+        assert!(
+            r.deliveries >= (r.injected * 9) as u64,
+            "all members caught up after rolling outages: {r:?}"
+        );
+    }
+
+    #[test]
+    fn wan_reports_carry_region_pair_latency() {
+        let wan = by_name("uniform-wan3").unwrap().run(2, TraceMode::Full);
+        assert!(!wan.region_latency.is_empty());
+        let get = |f: usize, t: usize| {
+            wan.region_latency
+                .iter()
+                .find(|p| p.from == f && p.to == t)
+                .unwrap_or_else(|| panic!("pair r{f}->r{t} missing"))
+        };
+        // Long-haul r0->r2 is slower than intra-region r0->r0, and the
+        // asymmetric return path r2->r0 is slower still (topology preset).
+        assert!(get(0, 2).mean_ms > get(0, 0).mean_ms * 5.0);
+        assert!(get(2, 0).mean_ms > get(0, 2).mean_ms);
+        // LAN runs record nothing.
+        let lan = by_name("uniform-lan").unwrap().run(2, TraceMode::Full);
+        assert!(lan.region_latency.is_empty());
+    }
+
+    #[test]
+    fn sweep_across_threads_matches_serial_fingerprints() {
+        let tasks: &[(&'static str, u64)] =
+            &[("uniform-lan", 7), ("churn-lan", 7), ("uniform-lan", 8)];
+        let parallel = run_sweep(tasks, 3, TraceMode::Full);
+        let serial: Vec<ScenarioReport> = tasks
+            .iter()
+            .map(|&(n, seed)| by_name(n).unwrap().run(seed, TraceMode::Full))
+            .collect();
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.seed, s.seed);
+            assert_eq!(
+                p.fingerprint, s.fingerprint,
+                "{}@{}: thread fan-out changed the run",
+                p.name, p.seed
+            );
+            assert_eq!(p.events, s.events);
+        }
     }
 
     #[test]

@@ -20,26 +20,35 @@ use rand::{Rng, SeedableRng};
 /// Anything that can accept a timed atomic-broadcast stream — implemented by
 /// the new-architecture [`GroupSim`] and both traditional baselines, so one
 /// workload definition drives every architecture in a comparison.
+///
+/// Payloads are *built in place*: `fill` writes into the target arena's
+/// pooled scratch buffer ([`SharedArena::build`](gcs_kernel::SharedArena)),
+/// so a streamed injection performs exactly one allocation per message —
+/// the interned payload itself — with no intermediate `Vec` per op.
 pub trait AbcastStream {
-    /// Schedules an atomic broadcast of `payload` by `sender` at `t`.
-    fn abcast_at(&mut self, t: Time, sender: ProcessId, payload: Vec<u8>);
+    /// Schedules an atomic broadcast by `sender` at `t`; `fill` writes the
+    /// payload into a reused scratch buffer.
+    fn abcast_build_at(&mut self, t: Time, sender: ProcessId, fill: &mut dyn FnMut(&mut Vec<u8>));
 }
 
 impl AbcastStream for GroupSim {
-    fn abcast_at(&mut self, t: Time, sender: ProcessId, payload: Vec<u8>) {
-        GroupSim::abcast_at(self, t, sender, payload);
+    fn abcast_build_at(&mut self, t: Time, sender: ProcessId, fill: &mut dyn FnMut(&mut Vec<u8>)) {
+        let payload = self.arena().build(|buf| fill(buf));
+        self.abcast_ref_at(t, sender, payload);
     }
 }
 
 impl AbcastStream for IsisSim {
-    fn abcast_at(&mut self, t: Time, sender: ProcessId, payload: Vec<u8>) {
-        IsisSim::abcast_at(self, t, sender, payload);
+    fn abcast_build_at(&mut self, t: Time, sender: ProcessId, fill: &mut dyn FnMut(&mut Vec<u8>)) {
+        let payload = self.arena().build(|buf| fill(buf));
+        self.abcast_ref_at(t, sender, payload);
     }
 }
 
 impl AbcastStream for TokenSim {
-    fn abcast_at(&mut self, t: Time, sender: ProcessId, payload: Vec<u8>) {
-        TokenSim::abcast_at(self, t, sender, payload);
+    fn abcast_build_at(&mut self, t: Time, sender: ProcessId, fill: &mut dyn FnMut(&mut Vec<u8>)) {
+        let payload = self.arena().build(|buf| fill(buf));
+        self.abcast_ref_at(t, sender, payload);
     }
 }
 
@@ -52,18 +61,26 @@ pub enum Senders {
     One(ProcessId),
 }
 
-/// Encodes the op index into the payload head (little-endian `u16`), leaving
-/// the rest zero-filled to `size` (minimum 2 bytes) — the tag latency
-/// measurements decode with [`decode_op_index`].
-pub fn payload_for(op: usize, size: usize) -> Vec<u8> {
+/// Writes the [`payload_for`] encoding into a reused buffer (the in-place
+/// variant the injection loops use with [`AbcastStream::abcast_build_at`]).
+pub fn write_payload(op: usize, size: usize, buf: &mut Vec<u8>) {
     // A hard assert (injection is cold): a wrapped tag would silently
     // attribute deliveries to the wrong injection time in release builds.
     assert!(
         op <= u16::MAX as usize,
         "op index {op} overflows the u16 payload tag"
     );
-    let mut payload = vec![0u8; size.max(2)];
-    payload[..2].copy_from_slice(&(op as u16).to_le_bytes());
+    buf.clear();
+    buf.resize(size.max(2), 0);
+    buf[..2].copy_from_slice(&(op as u16).to_le_bytes());
+}
+
+/// Encodes the op index into the payload head (little-endian `u16`), leaving
+/// the rest zero-filled to `size` (minimum 2 bytes) — the tag latency
+/// measurements decode with [`decode_op_index`].
+pub fn payload_for(op: usize, size: usize) -> Vec<u8> {
+    let mut payload = Vec::new();
+    write_payload(op, size, &mut payload);
     payload
 }
 
@@ -138,7 +155,9 @@ impl Workload for UniformWorkload {
                 Senders::RoundRobin => ProcessId::new(i % n as u32),
                 Senders::One(p) => p,
             };
-            target.abcast_at(t, sender, payload_for(i as usize, self.payload));
+            target.abcast_build_at(t, sender, &mut |buf| {
+                write_payload(i as usize, self.payload, buf)
+            });
             times.push(t);
         }
         times
@@ -199,11 +218,9 @@ impl Workload for SkewedWorkload {
             let t = self.base.start + self.base.interval.saturating_mul(i as u64);
             let u: f64 = rng.gen();
             let rank = cdf.iter().position(|&c| u < c).unwrap_or(n - 1);
-            target.abcast_at(
-                t,
-                ProcessId::new(rank as u32),
-                payload_for(i as usize, self.base.payload),
-            );
+            target.abcast_build_at(t, ProcessId::new(rank as u32), &mut |buf| {
+                write_payload(i as usize, self.base.payload, buf)
+            });
             times.push(t);
         }
         times
@@ -307,7 +324,14 @@ mod tests {
         ops: Vec<(Time, ProcessId, Vec<u8>)>,
     }
     impl AbcastStream for Recorder {
-        fn abcast_at(&mut self, t: Time, sender: ProcessId, payload: Vec<u8>) {
+        fn abcast_build_at(
+            &mut self,
+            t: Time,
+            sender: ProcessId,
+            fill: &mut dyn FnMut(&mut Vec<u8>),
+        ) {
+            let mut payload = Vec::new();
+            fill(&mut payload);
             self.ops.push((t, sender, payload));
         }
     }

@@ -1,0 +1,35 @@
+//! Alloc-regression guard: abcast steady-state allocations per adelivery
+//! must stay under a committed budget.
+//!
+//! This test binary installs the counting global allocator itself (a
+//! `#[global_allocator]` must live in the final crate, and integration
+//! tests are their own crates), so it holds exactly one test: concurrent
+//! tests in the same binary would pollute the process-global counters.
+
+use gcs_bench::alloccount::CountingAlloc;
+use gcs_bench::perf;
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// The committed budget. History of the tracked metric:
+///
+/// * pre-PR-3 baseline: **33.4** allocs/adelivery
+/// * PR 3 (arena-backed payload handles + scratch-buffer dispatch): **15.0**
+///
+/// The budget sits between the two with headroom for toolchain noise; a
+/// breach means a change re-introduced per-delivery allocations on the
+/// abcast hot path (per-call output `Vec`s, batch copies, payload clones).
+const BUDGET_ALLOCS_PER_ADELIVERY: f64 = 20.0;
+
+#[test]
+fn abcast_steady_state_allocs_per_adelivery_stay_under_budget() {
+    let m = perf::measure_allocs("abcast_steady/5", perf::abcast_steady_5_stats);
+    assert!(m.deliveries >= 100, "workload delivered: {m:?}");
+    let per_delivery = m.allocs_per_delivery();
+    assert!(
+        per_delivery <= BUDGET_ALLOCS_PER_ADELIVERY,
+        "abcast steady state allocates {per_delivery:.2} per adelivery \
+         (budget {BUDGET_ALLOCS_PER_ADELIVERY}); the zero-copy message plane regressed: {m:?}"
+    );
+}

@@ -168,25 +168,36 @@ impl<V: Value> CtConsensus<V> {
     /// first proposal takes effect, and proposing after the decision was
     /// already learned (by echo) is a no-op.
     pub fn propose(&mut self, v: V) -> Vec<CtOut<V>> {
+        let mut out = Vec::new();
+        self.propose_into(v, &mut out);
+        out
+    }
+
+    /// [`propose`](Self::propose), appending into a caller-owned buffer
+    /// (the hot-path entry point).
+    pub fn propose_into(&mut self, v: V, out: &mut Vec<CtOut<V>>) {
         if self.started || self.decided {
-            return Vec::new();
+            return;
         }
         self.started = true;
         self.estimate = Some(v);
         self.ts = 0;
-        let mut out = Vec::new();
-        self.enter_round(0, &mut out);
-        out
+        self.enter_round(0, out);
     }
 
     /// Updates the suspicion set with a new suspicion.
     pub fn suspect(&mut self, p: ProcessId) -> Vec<CtOut<V>> {
-        self.suspected.insert(p);
         let mut out = Vec::new();
-        if self.started && !self.decided {
-            self.try_answer_current_round(&mut out);
-        }
+        self.suspect_into(p, &mut out);
         out
+    }
+
+    /// [`suspect`](Self::suspect), appending into a caller-owned buffer.
+    pub fn suspect_into(&mut self, p: ProcessId, out: &mut Vec<CtOut<V>>) {
+        self.suspected.insert(p);
+        if self.started && !self.decided {
+            self.try_answer_current_round(out);
+        }
     }
 
     /// Removes a suspicion.
@@ -197,6 +208,13 @@ impl<V: Value> CtConsensus<V> {
     /// Handles a protocol message from `from`.
     pub fn on_msg(&mut self, from: ProcessId, msg: CtMsg<V>) -> Vec<CtOut<V>> {
         let mut out = Vec::new();
+        self.on_msg_into(from, msg, &mut out);
+        out
+    }
+
+    /// [`on_msg`](Self::on_msg), appending into a caller-owned buffer (the
+    /// hot-path entry point).
+    pub fn on_msg_into(&mut self, from: ProcessId, msg: CtMsg<V>, out: &mut Vec<CtOut<V>>) {
         if self.decided {
             // Help laggards: everything after a decision is answered with it.
             if !matches!(msg, CtMsg::Decide { .. }) {
@@ -207,7 +225,7 @@ impl<V: Value> CtConsensus<V> {
                     });
                 }
             }
-            return out;
+            return;
         }
         match msg {
             CtMsg::Estimate { round, est, ts } => {
@@ -217,13 +235,13 @@ impl<V: Value> CtConsensus<V> {
                         .or_default()
                         .entry(from)
                         .or_insert((est, ts));
-                    self.maybe_propose(round, &mut out);
+                    self.maybe_propose(round, out);
                 }
             }
             CtMsg::Propose { round, est } => {
                 self.proposals.entry(round).or_insert(est);
                 if self.started {
-                    self.try_answer_current_round(&mut out);
+                    self.try_answer_current_round(out);
                 }
             }
             CtMsg::Ack { round } => {
@@ -232,7 +250,7 @@ impl<V: Value> CtConsensus<V> {
                     acks.insert(from);
                     if acks.len() >= self.majority {
                         let est = self.proposed[&round].clone();
-                        self.decide(est, &mut out);
+                        self.decide(est, out);
                     }
                 }
             }
@@ -241,10 +259,9 @@ impl<V: Value> CtConsensus<V> {
                 // moves on through the normal round progression.
             }
             CtMsg::Decide { est } => {
-                self.decide(est, &mut out);
+                self.decide(est, out);
             }
         }
-        out
     }
 
     /// Enters `round` and keeps advancing while the phase-3 answer is

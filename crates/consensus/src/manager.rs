@@ -41,6 +41,9 @@ pub struct ConsensusManager<V> {
     instances: BTreeMap<InstanceId, CtConsensus<V>>,
     decisions: BTreeMap<InstanceId, V>,
     suspected: HashSet<ProcessId>,
+    /// Reused buffer for instance outputs: steady-state message handling
+    /// allocates no per-call `Vec`.
+    ct_scratch: Vec<CtOut<V>>,
 }
 
 impl<V: Value> ConsensusManager<V> {
@@ -51,6 +54,7 @@ impl<V: Value> ConsensusManager<V> {
             instances: BTreeMap::new(),
             decisions: BTreeMap::new(),
             suspected: HashSet::new(),
+            ct_scratch: Vec::new(),
         }
     }
 
@@ -66,29 +70,46 @@ impl<V: Value> ConsensusManager<V> {
 
     /// Proposes `value` for `instance` among `participants`.
     ///
-    /// Creates the instance if needed (idempotent otherwise) and seeds it
-    /// with the current suspicion set.
+    /// Creates the instance if needed (idempotent otherwise; the
+    /// participant slice is only copied on creation) and seeds it with the
+    /// current suspicion set.
     pub fn propose(
         &mut self,
         instance: InstanceId,
         value: V,
-        participants: Vec<ProcessId>,
+        participants: &[ProcessId],
     ) -> Vec<ManagerOut<V>> {
+        let mut out = Vec::new();
+        self.propose_into(instance, value, participants, &mut out);
+        out
+    }
+
+    /// [`propose`](Self::propose), appending into a caller-owned buffer
+    /// (the hot-path entry point).
+    pub fn propose_into(
+        &mut self,
+        instance: InstanceId,
+        value: V,
+        participants: &[ProcessId],
+        out: &mut Vec<ManagerOut<V>>,
+    ) {
         if self.decisions.contains_key(&instance) {
-            return Vec::new();
+            return;
         }
         let me = self.me;
         let mut suspected: Vec<ProcessId> = self.suspected.iter().copied().collect();
         suspected.sort_unstable(); // deterministic seeding order
         let inst = self.instances.entry(instance).or_insert_with(|| {
-            let mut c = CtConsensus::new(me, participants);
+            let mut c = CtConsensus::new(me, participants.to_vec());
             for &s in &suspected {
                 let _ = c.suspect(s);
             }
             c
         });
-        let outs = inst.propose(value);
-        self.collect(instance, outs)
+        let mut scratch = std::mem::take(&mut self.ct_scratch);
+        inst.propose_into(value, &mut scratch);
+        self.collect(instance, &mut scratch, out);
+        self.ct_scratch = scratch;
     }
 
     /// Handles an instance-tagged message.
@@ -97,44 +118,69 @@ impl<V: Value> ConsensusManager<V> {
     /// when available; otherwise they must be buffered by the caller until
     /// it proposes for that instance (the caller — atomic broadcast — knows
     /// the participant set, the manager does not). In that buffering case
-    /// the message is handed back as the second return value, so the caller
-    /// does not have to clone defensively up front.
+    /// the message is handed back, so the caller does not have to clone
+    /// defensively up front.
     pub fn on_msg(
         &mut self,
         instance: InstanceId,
         from: ProcessId,
         msg: CtMsg<V>,
     ) -> (Vec<ManagerOut<V>>, Option<CtMsg<V>>) {
+        let mut out = Vec::new();
+        let rejected = self.on_msg_into(instance, from, msg, &mut out);
+        (out, rejected)
+    }
+
+    /// [`on_msg`](Self::on_msg), appending into a caller-owned buffer (the
+    /// hot-path entry point). Returns the message back when it must be
+    /// buffered by the caller.
+    pub fn on_msg_into(
+        &mut self,
+        instance: InstanceId,
+        from: ProcessId,
+        msg: CtMsg<V>,
+        out: &mut Vec<ManagerOut<V>>,
+    ) -> Option<CtMsg<V>> {
         if let Some(v) = self.decisions.get(&instance) {
-            if matches!(msg, CtMsg::Decide { .. }) {
-                return (Vec::new(), None);
-            }
-            return (
-                vec![ManagerOut::Send {
+            if !matches!(msg, CtMsg::Decide { .. }) {
+                out.push(ManagerOut::Send {
                     to: from,
                     instance,
                     msg: CtMsg::Decide { est: v.clone() },
-                }],
-                None,
-            );
+                });
+            }
+            return None;
         }
         let Some(inst) = self.instances.get_mut(&instance) else {
-            return (Vec::new(), Some(msg));
+            return Some(msg);
         };
-        let outs = inst.on_msg(from, msg);
-        (self.collect(instance, outs), None)
+        let mut scratch = std::mem::take(&mut self.ct_scratch);
+        inst.on_msg_into(from, msg, &mut scratch);
+        self.collect(instance, &mut scratch, out);
+        self.ct_scratch = scratch;
+        None
     }
 
     /// Records a suspicion and forwards it to every running instance.
     pub fn suspect(&mut self, p: ProcessId) -> Vec<ManagerOut<V>> {
+        let mut out = Vec::new();
+        self.suspect_into(p, &mut out);
+        out
+    }
+
+    /// [`suspect`](Self::suspect), appending into a caller-owned buffer.
+    pub fn suspect_into(&mut self, p: ProcessId, out: &mut Vec<ManagerOut<V>>) {
         self.suspected.insert(p);
         let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
-        let mut all = Vec::new();
+        let mut scratch = std::mem::take(&mut self.ct_scratch);
         for id in ids {
-            let outs = self.instances.get_mut(&id).expect("listed").suspect(p);
-            all.extend(self.collect(id, outs));
+            self.instances
+                .get_mut(&id)
+                .expect("listed")
+                .suspect_into(p, &mut scratch);
+            self.collect(id, &mut scratch, out);
         }
-        all
+        self.ct_scratch = scratch;
     }
 
     /// Clears a suspicion (future instances start without it; running
@@ -153,9 +199,15 @@ impl<V: Value> ConsensusManager<V> {
         self.decisions = self.decisions.split_off(&floor);
     }
 
-    fn collect(&mut self, instance: InstanceId, outs: Vec<CtOut<V>>) -> Vec<ManagerOut<V>> {
-        let mut res = Vec::new();
-        for o in outs {
+    /// Drains instance outputs (leaving `outs` empty for reuse) into
+    /// manager outputs, caching decisions.
+    fn collect(
+        &mut self,
+        instance: InstanceId,
+        outs: &mut Vec<CtOut<V>>,
+        res: &mut Vec<ManagerOut<V>>,
+    ) {
+        for o in outs.drain(..) {
             match o {
                 CtOut::Send { to, msg } => res.push(ManagerOut::Send { to, instance, msg }),
                 CtOut::Decided(v) => {
@@ -165,7 +217,6 @@ impl<V: Value> ConsensusManager<V> {
                 }
             }
         }
-        res
     }
 }
 
@@ -185,7 +236,7 @@ mod tests {
         let ids: Vec<ProcessId> = (0..managers.len() as u32).map(pid).collect();
         for (i, m) in managers.iter_mut().enumerate() {
             for inst in 0..2 {
-                for o in m.propose(inst, (10 * (inst + 1)) as u32 + i as u32, ids.clone()) {
+                for o in m.propose(inst, (10 * (inst + 1)) as u32 + i as u32, &ids) {
                     match o {
                         ManagerOut::Send { to, instance, msg } => {
                             queue.push_back((pid(i as u32), to, instance, msg))
@@ -292,7 +343,7 @@ mod tests {
         // New instance: round 0's coordinator (p0) is pre-suspected, so the
         // propose immediately nacks round 0 and sends the round-1 estimate
         // to p1 (itself).
-        let outs = m.propose(0, 42, ids);
+        let outs = m.propose(0, 42, &ids);
         let sends_to_self_round1 = outs.iter().any(|o| {
             matches!(o, ManagerOut::Send { to, msg: CtMsg::Estimate { round: 1, .. }, .. } if *to == pid(1))
         });

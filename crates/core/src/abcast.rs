@@ -20,6 +20,7 @@
 //! construction the paper cites as its ref. 32).
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Arc;
 
 use gcs_consensus::InstanceId;
 use gcs_kernel::ProcessId;
@@ -43,8 +44,10 @@ pub enum AbOut {
         /// The proposed batch (may be empty when joining an instance started
         /// by another process).
         batch: Batch,
-        /// The members of the view current at this instance.
-        participants: Vec<ProcessId>,
+        /// The members of the view current at this instance (shared: the
+        /// same set is proposed for every instance of a view, so it is
+        /// cached per view change instead of cloned per proposal).
+        participants: Arc<[ProcessId]>,
     },
     /// Deliver an ordered application message (`adeliver`).
     App(Delivery),
@@ -58,6 +61,9 @@ pub enum AbOut {
 pub struct AbcastCore {
     me: ProcessId,
     view: View,
+    /// The current view's member list as a shared slice, refreshed on view
+    /// changes and handed out per proposal as a reference-count bump.
+    participants: Arc<[ProcessId]>,
     active: bool,
     rb: Rbcast,
     /// R-delivered messages not yet a-delivered (the proposal pool).
@@ -97,6 +103,7 @@ impl AbcastCore {
         };
         AbcastCore {
             me,
+            participants: view.members.as_slice().into(),
             view,
             active,
             rb,
@@ -132,12 +139,13 @@ impl AbcastCore {
         v
     }
 
-    /// Atomically broadcasts a message built from `class` and `body`.
-    pub fn abcast(&mut self, class: MessageClass, body: Body) -> Vec<AbOut> {
+    /// Atomically broadcasts a message built from `class` and `body`,
+    /// appending the resulting instructions to `out` (the hot-path entry
+    /// point: callers reuse one buffer across invocations).
+    pub fn abcast_into(&mut self, class: MessageClass, body: Body, out: &mut Vec<AbOut>) {
         let id = self.rb.next_id();
         let message = Message { id, class, body };
-        let mut out = Vec::new();
-        // Message clones are shallow (`Bytes` payloads are shared), so the
+        // Message clones are shallow (payloads are arena handles), so the
         // per-peer diffusion fan-out is cheap.
         for &to in self.rb.broadcast(&message) {
             out.push(AbOut::Wire(to, WireMsg::Ab(AbMsg::Data(message.clone()))));
@@ -145,13 +153,18 @@ impl AbcastCore {
         if !self.adelivered.contains(&id) {
             self.pending.insert(id, message);
         }
-        self.maybe_propose(&mut out);
+        self.maybe_propose(out);
+    }
+
+    /// [`abcast_into`](Self::abcast_into) returning a fresh buffer.
+    pub fn abcast(&mut self, class: MessageClass, body: Body) -> Vec<AbOut> {
+        let mut out = Vec::new();
+        self.abcast_into(class, body, &mut out);
         out
     }
 
     /// Handles a diffused message from the network.
-    pub fn on_data(&mut self, from: ProcessId, message: Message) -> Vec<AbOut> {
-        let mut out = Vec::new();
+    pub fn on_data_into(&mut self, from: ProcessId, message: Message, out: &mut Vec<AbOut>) {
         let receipt = self.rb.on_data(from, message);
         if let Some(message) = receipt.deliver {
             for to in receipt.relay_to {
@@ -160,36 +173,53 @@ impl AbcastCore {
             if !self.adelivered.contains(&message.id) && !self.committed.contains(&message.id) {
                 self.pending.insert(message.id, message);
             }
-            self.maybe_propose(&mut out);
+            self.maybe_propose(out);
         }
+    }
+
+    /// [`on_data_into`](Self::on_data_into) returning a fresh buffer.
+    pub fn on_data(&mut self, from: ProcessId, message: Message) -> Vec<AbOut> {
+        let mut out = Vec::new();
+        self.on_data_into(from, message, &mut out);
         out
     }
 
     /// Handles a consensus decision.
-    pub fn on_decide(&mut self, instance: InstanceId, batch: Batch) -> Vec<AbOut> {
-        let mut out = Vec::new();
+    pub fn on_decide_into(&mut self, instance: InstanceId, batch: Batch, out: &mut Vec<AbOut>) {
         if instance < self.cursor || self.batches.contains_key(&instance) {
-            return out; // duplicate decision report
+            return; // duplicate decision report
         }
         for m in batch.iter() {
             self.committed.insert(m.id);
             self.pending.remove(&m.id);
         }
         self.batches.insert(instance, batch);
-        self.flush(&mut out);
-        self.maybe_propose(&mut out);
+        self.flush(out);
+        self.maybe_propose(out);
+    }
+
+    /// [`on_decide_into`](Self::on_decide_into) returning a fresh buffer.
+    pub fn on_decide(&mut self, instance: InstanceId, batch: Batch) -> Vec<AbOut> {
+        let mut out = Vec::new();
+        self.on_decide_into(instance, batch, &mut out);
         out
     }
 
     /// The consensus component saw traffic for `instance` but has no local
     /// instance yet: participate (with an empty proposal if need be) once
     /// the cursor reaches it.
-    pub fn need_instance(&mut self, instance: InstanceId) -> Vec<AbOut> {
-        let mut out = Vec::new();
+    pub fn need_instance_into(&mut self, instance: InstanceId, out: &mut Vec<AbOut>) {
         if instance >= self.cursor {
             self.requested.insert(instance);
-            self.maybe_propose(&mut out);
+            self.maybe_propose(out);
         }
+    }
+
+    /// [`need_instance_into`](Self::need_instance_into) returning a fresh
+    /// buffer.
+    pub fn need_instance(&mut self, instance: InstanceId) -> Vec<AbOut> {
+        let mut out = Vec::new();
+        self.need_instance_into(instance, &mut out);
         out
     }
 
@@ -200,19 +230,27 @@ impl AbcastCore {
         if !view.contains(self.me) {
             self.active = false;
         }
+        self.participants = view.members.as_slice().into();
         self.view = view;
     }
 
     /// Activates a joining process from a state-transfer snapshot.
-    pub fn install_snapshot(&mut self, snap: &SnapshotData) -> Vec<AbOut> {
+    pub fn install_snapshot_into(&mut self, snap: &SnapshotData, out: &mut Vec<AbOut>) {
         self.view = snap.view.clone();
+        self.participants = snap.view.members.as_slice().into();
         self.rb.set_peers(&snap.view.members);
         self.active = true;
         self.cursor = snap.next_instance;
         self.adelivered = snap.adelivered.iter().copied().collect();
         self.pending.retain(|id, _| !snap.adelivered.contains(id));
+        self.maybe_propose(out);
+    }
+
+    /// [`install_snapshot_into`](Self::install_snapshot_into) returning a
+    /// fresh buffer.
+    pub fn install_snapshot(&mut self, snap: &SnapshotData) -> Vec<AbOut> {
         let mut out = Vec::new();
-        self.maybe_propose(&mut out);
+        self.install_snapshot_into(snap, &mut out);
         out
     }
 
@@ -233,37 +271,49 @@ impl AbcastCore {
         out.push(AbOut::Propose {
             instance: self.cursor,
             batch: unordered,
-            participants: self.view.members.clone(),
+            participants: self.participants.clone(),
         });
     }
 
     /// Delivers decided batches in instance order, messages in id order.
     fn flush(&mut self, out: &mut Vec<AbOut>) {
         while let Some(batch) = self.batches.remove(&self.cursor) {
-            // Shallow copy into a sortable buffer (`Message` clones are
-            // cheap); the shared batch may still be referenced by peers.
-            let mut batch: Vec<Message> = batch.to_vec();
-            batch.sort_by_key(|m| m.id);
-            for m in batch {
-                if !self.adelivered.insert(m.id) {
-                    continue;
+            // Proposals are assembled from an id-ordered map walk, so
+            // decided batches arrive sorted: deliver straight off the shared
+            // slice without the copy-and-sort detour. The unsorted fallback
+            // guards against foreign proposers with different assembly.
+            if batch.windows(2).all(|w| w[0].id <= w[1].id) {
+                for m in batch.iter() {
+                    self.deliver_one(m, out);
                 }
-                self.pending.remove(&m.id);
-                match &m.body {
-                    Body::App(payload) => out.push(AbOut::App(Delivery {
-                        kind: DeliveryKind::Atomic,
-                        id: m.id,
-                        class: m.class,
-                        payload: payload.clone(),
-                        view: self.view.id,
-                    })),
-                    Body::Join(_) | Body::Remove(_) | Body::GbEnd(_) => {
-                        out.push(AbOut::Ctrl(m.clone()))
-                    }
+            } else {
+                let mut sorted: Vec<&Message> = batch.iter().collect();
+                sorted.sort_by_key(|m| m.id);
+                for m in sorted {
+                    self.deliver_one(m, out);
                 }
             }
             self.cursor += 1;
             self.requested = self.requested.split_off(&self.cursor);
+        }
+    }
+
+    /// Delivers one decided message (exactly once): application payloads as
+    /// [`AbOut::App`], control bodies as [`AbOut::Ctrl`].
+    fn deliver_one(&mut self, m: &Message, out: &mut Vec<AbOut>) {
+        if !self.adelivered.insert(m.id) {
+            return;
+        }
+        self.pending.remove(&m.id);
+        match &m.body {
+            Body::App(payload) => out.push(AbOut::App(Delivery {
+                kind: DeliveryKind::Atomic,
+                id: m.id,
+                class: m.class,
+                payload: *payload,
+                view: self.view.id,
+            })),
+            Body::Join(_) | Body::Remove(_) | Body::GbEnd(_) => out.push(AbOut::Ctrl(m.clone())),
         }
     }
 }
@@ -272,6 +322,7 @@ impl AbcastCore {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use gcs_kernel::PayloadRef;
 
     fn pid(i: u32) -> ProcessId {
         ProcessId::new(i)
@@ -286,14 +337,14 @@ mod tests {
         Message {
             id,
             class: MessageClass::ABCAST,
-            body: Body::App(Bytes::from_static(b"m")),
+            body: Body::App(PayloadRef::EMPTY),
         }
     }
 
     #[test]
     fn abcast_diffuses_and_proposes() {
         let mut c = core(0, 3);
-        let out = c.abcast(MessageClass::ABCAST, Body::App(Bytes::from_static(b"m")));
+        let out = c.abcast(MessageClass::ABCAST, Body::App(PayloadRef::EMPTY));
         let wires = out.iter().filter(|o| matches!(o, AbOut::Wire(..))).count();
         assert_eq!(wires, 2, "diffusion to both peers");
         assert!(out
@@ -409,7 +460,7 @@ mod tests {
     fn joiner_is_inactive_until_snapshot() {
         let mut c = AbcastCore::new(pid(3), None);
         assert!(!c.is_active());
-        let out = c.abcast(MessageClass::ABCAST, Body::App(Bytes::from_static(b"x")));
+        let out = c.abcast(MessageClass::ABCAST, Body::App(PayloadRef::EMPTY));
         assert!(!out.iter().any(|o| matches!(o, AbOut::Propose { .. })));
         let snap = SnapshotData {
             view: View {

@@ -72,6 +72,8 @@ fn route_wire(wire: &WireMsg) -> &'static str {
 pub struct RcComponent {
     rc: ReliableChannel<WireMsg>,
     tick: TimeDelta,
+    /// Reused tick-output buffer (steady-state ticks allocate nothing).
+    scratch: Vec<RcOut<WireMsg>>,
 }
 
 impl RcComponent {
@@ -81,6 +83,7 @@ impl RcComponent {
         RcComponent {
             rc: ReliableChannel::new(me, config),
             tick,
+            scratch: Vec::new(),
         }
     }
 
@@ -128,8 +131,10 @@ impl Component<Ev> for RcComponent {
     }
 
     fn on_timer(&mut self, _timer: TimerId, ctx: &mut Context<'_, Ev>) {
-        let outs = self.rc.on_tick(ctx.now());
-        self.apply(outs, ctx);
+        let mut outs = std::mem::take(&mut self.scratch);
+        self.rc.on_tick_into(ctx.now(), &mut outs);
+        self.apply(outs.drain(..), ctx);
+        self.scratch = outs;
         ctx.set_timer(self.tick);
     }
 }
@@ -144,6 +149,11 @@ pub struct FdComponent {
     initial_peers: Vec<ProcessId>,
     consensus_timeout: TimeDelta,
     monitoring_timeout: TimeDelta,
+    /// Reused output buffer (heartbeat ticks are the most frequent event in
+    /// the whole system; they must not allocate).
+    scratch: Vec<FdOut>,
+    /// Reused heartbeat fan-out list.
+    heartbeat_to: Vec<ProcessId>,
 }
 
 impl FdComponent {
@@ -160,14 +170,17 @@ impl FdComponent {
             initial_peers,
             consensus_timeout,
             monitoring_timeout,
+            scratch: Vec::new(),
+            heartbeat_to: Vec::new(),
         }
     }
 
-    fn apply(&mut self, outs: Vec<FdOut>, ctx: &mut Context<'_, Ev>) {
+    fn apply(&mut self, outs: impl IntoIterator<Item = FdOut>, ctx: &mut Context<'_, Ev>) {
         // Heartbeats fan out to every peer each interval: batch them into a
         // single broadcast envelope instead of one send (and one per-peer
-        // event clone) each.
-        let mut heartbeat_to: Vec<ProcessId> = Vec::new();
+        // event clone) each. The fan-out list is a reused scratch buffer.
+        let mut heartbeat_to = std::mem::take(&mut self.heartbeat_to);
+        heartbeat_to.clear();
         for o in outs {
             match o {
                 FdOut::SendHeartbeat { to } => heartbeat_to.push(to),
@@ -190,8 +203,9 @@ impl FdComponent {
             }
         }
         if !heartbeat_to.is_empty() {
-            ctx.send_to_all(heartbeat_to, names::FD, Ev::Heartbeat);
+            ctx.send_to_all(heartbeat_to.iter().copied(), names::FD, Ev::Heartbeat);
         }
+        self.heartbeat_to = heartbeat_to;
     }
 }
 
@@ -218,14 +232,18 @@ impl Component<Ev> for FdComponent {
 
     fn on_message(&mut self, from: ProcessId, event: Ev, ctx: &mut Context<'_, Ev>) {
         if let Ev::Heartbeat = event {
-            let outs = self.fd.on_heartbeat(from, ctx.now());
-            self.apply(outs, ctx);
+            let mut outs = std::mem::take(&mut self.scratch);
+            self.fd.on_heartbeat_into(from, ctx.now(), &mut outs);
+            self.apply(outs.drain(..), ctx);
+            self.scratch = outs;
         }
     }
 
     fn on_timer(&mut self, _timer: TimerId, ctx: &mut Context<'_, Ev>) {
-        let outs = self.fd.on_tick(ctx.now());
-        self.apply(outs, ctx);
+        let mut outs = std::mem::take(&mut self.scratch);
+        self.fd.on_tick_into(ctx.now(), &mut outs);
+        self.apply(outs.drain(..), ctx);
+        self.scratch = outs;
         ctx.set_timer(self.fd.interval());
     }
 }
@@ -239,6 +257,8 @@ pub struct ConsensusComponent {
     mgr: ConsensusManager<Batch>,
     /// Messages for instances the atomic-broadcast layer has not started.
     buffered: BTreeMap<InstanceId, Vec<(ProcessId, CtMsg<Batch>)>>,
+    /// Reused manager-output buffer.
+    scratch: Vec<ManagerOut<Batch>>,
 }
 
 impl ConsensusComponent {
@@ -247,10 +267,15 @@ impl ConsensusComponent {
         ConsensusComponent {
             mgr: ConsensusManager::new(me),
             buffered: BTreeMap::new(),
+            scratch: Vec::new(),
         }
     }
 
-    fn apply(&mut self, outs: Vec<ManagerOut<Batch>>, ctx: &mut Context<'_, Ev>) {
+    fn apply(
+        &mut self,
+        outs: impl IntoIterator<Item = ManagerOut<Batch>>,
+        ctx: &mut Context<'_, Ev>,
+    ) {
         for o in outs {
             match o {
                 ManagerOut::Send { to, instance, msg } => {
@@ -270,32 +295,36 @@ impl Component<Ev> for ConsensusComponent {
     }
 
     fn on_event(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        let mut outs = std::mem::take(&mut self.scratch);
+        debug_assert!(outs.is_empty());
         match event {
             Ev::Propose(instance, batch, participants) => {
-                let outs = self.mgr.propose(instance, batch, participants);
-                self.apply(outs, ctx);
+                self.mgr
+                    .propose_into(instance, batch, &participants, &mut outs);
+                self.apply(outs.drain(..), ctx);
                 if let Some(buf) = self.buffered.remove(&instance) {
                     for (from, msg) in buf {
-                        let (outs, _) = self.mgr.on_msg(instance, from, msg);
-                        self.apply(outs, ctx);
+                        let _ = self.mgr.on_msg_into(instance, from, msg, &mut outs);
+                        self.apply(outs.drain(..), ctx);
                     }
                 }
             }
             Ev::Net(from, WireMsg::Ct { instance, msg }) => {
-                let (outs, rejected) = self.mgr.on_msg(instance, from, msg);
-                self.apply(outs, ctx);
+                let rejected = self.mgr.on_msg_into(instance, from, msg, &mut outs);
+                self.apply(outs.drain(..), ctx);
                 if let Some(msg) = rejected {
                     self.buffered.entry(instance).or_default().push((from, msg));
                     ctx.emit(names::ABCAST, Ev::NeedInstance(instance));
                 }
             }
             Ev::Suspect(MonitorClass::CONSENSUS, p) => {
-                let outs = self.mgr.suspect(p);
-                self.apply(outs, ctx);
+                self.mgr.suspect_into(p, &mut outs);
+                self.apply(outs.drain(..), ctx);
             }
             Ev::Restore(MonitorClass::CONSENSUS, p) => self.mgr.restore(p),
             _ => {}
         }
+        self.scratch = outs;
     }
 }
 
@@ -306,6 +335,8 @@ impl Component<Ev> for ConsensusComponent {
 /// Adapter around [`AbcastCore`] (Fig 9 "Atomic Broadcast").
 pub struct AbcastComponent {
     core: AbcastCore,
+    /// Reused core-output buffer.
+    scratch: Vec<AbOut>,
 }
 
 impl AbcastComponent {
@@ -313,10 +344,11 @@ impl AbcastComponent {
     pub fn new(me: ProcessId, initial_view: Option<View>) -> Self {
         AbcastComponent {
             core: AbcastCore::new(me, initial_view),
+            scratch: Vec::new(),
         }
     }
 
-    fn apply(&mut self, outs: Vec<AbOut>, ctx: &mut Context<'_, Ev>) {
+    fn apply(&mut self, outs: impl IntoIterator<Item = AbOut>, ctx: &mut Context<'_, Ev>) {
         for o in outs {
             match o {
                 AbOut::Wire(to, wire) => ctx.emit(names::RC, Ev::RcSend(to, wire)),
@@ -346,31 +378,28 @@ impl Component<Ev> for AbcastComponent {
     }
 
     fn on_event(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        let mut outs = std::mem::take(&mut self.scratch);
+        debug_assert!(outs.is_empty());
         match event {
             Ev::Abcast(payload) => {
-                let outs = self.core.abcast(MessageClass::ABCAST, Body::App(payload));
-                self.apply(outs, ctx);
+                self.core
+                    .abcast_into(MessageClass::ABCAST, Body::App(payload), &mut outs);
             }
             Ev::AbcastCtrl(class, body) => {
-                let outs = self.core.abcast(class, body);
-                self.apply(outs, ctx);
+                self.core.abcast_into(class, body, &mut outs);
             }
             Ev::Net(from, WireMsg::Ab(AbMsg::Data(m))) => {
-                let outs = self.core.on_data(from, m);
-                self.apply(outs, ctx);
+                self.core.on_data_into(from, m, &mut outs);
             }
             Ev::Decide(instance, batch) => {
-                let outs = self.core.on_decide(instance, batch);
-                self.apply(outs, ctx);
+                self.core.on_decide_into(instance, batch, &mut outs);
             }
             Ev::NeedInstance(instance) => {
-                let outs = self.core.need_instance(instance);
-                self.apply(outs, ctx);
+                self.core.need_instance_into(instance, &mut outs);
             }
             Ev::ViewChanged(v) => self.core.set_view(v),
             Ev::InstallSnapshot(snap) => {
-                let outs = self.core.install_snapshot(&snap);
-                self.apply(outs, ctx);
+                self.core.install_snapshot_into(&snap, &mut outs);
             }
             Ev::SnapFill { joiner, mut snap } => {
                 snap.next_instance = self.core.cursor();
@@ -379,6 +408,8 @@ impl Component<Ev> for AbcastComponent {
             }
             _ => {}
         }
+        self.apply(outs.drain(..), ctx);
+        self.scratch = outs;
     }
 }
 
@@ -392,6 +423,8 @@ pub struct GenericComponent {
     /// Snapshots awaiting an epoch boundary (assembly is deferred while the
     /// epoch is mid-closure so the joiner starts on a clean boundary).
     deferred: Vec<(ProcessId, Box<SnapshotData>)>,
+    /// Reused core-output buffer.
+    scratch: Vec<GbOut>,
 }
 
 impl GenericComponent {
@@ -400,10 +433,11 @@ impl GenericComponent {
         GenericComponent {
             core,
             deferred: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
-    fn apply(&mut self, outs: Vec<GbOut>, ctx: &mut Context<'_, Ev>) {
+    fn apply(&mut self, outs: impl IntoIterator<Item = GbOut>, ctx: &mut Context<'_, Ev>) {
         for o in outs {
             match o {
                 GbOut::Wire(to, wire) => ctx.emit(names::RC, Ev::RcSend(to, wire)),
@@ -433,32 +467,35 @@ impl Component<Ev> for GenericComponent {
     }
 
     fn on_event(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        let mut outs = std::mem::take(&mut self.scratch);
+        debug_assert!(outs.is_empty());
         match event {
             Ev::Gbcast(class, payload) => {
-                let outs = self.core.gbcast(class, Body::App(payload));
-                self.apply(outs, ctx);
+                self.core.gbcast_into(class, Body::App(payload), &mut outs);
+                self.apply(outs.drain(..), ctx);
             }
             Ev::Rbcast(payload) => {
-                let outs = self.core.gbcast(MessageClass::RBCAST, Body::App(payload));
-                self.apply(outs, ctx);
+                self.core
+                    .gbcast_into(MessageClass::RBCAST, Body::App(payload), &mut outs);
+                self.apply(outs.drain(..), ctx);
             }
             Ev::Net(from, WireMsg::Gb(msg)) => {
-                let outs = match msg {
-                    GbMsg::Data(m) => self.core.on_data(from, m),
-                    GbMsg::Ack { epoch, id } => self.core.on_ack(from, epoch, id),
+                match msg {
+                    GbMsg::Data(m) => self.core.on_data_into(from, m, &mut outs),
+                    GbMsg::Ack { epoch, id } => self.core.on_ack_into(from, epoch, id, &mut outs),
                 };
-                self.apply(outs, ctx);
+                self.apply(outs.drain(..), ctx);
             }
             Ev::CtrlDelivered(m) => {
                 if let Body::GbEnd(end) = m.body {
-                    let outs = self.core.on_end_delivered(m.id.sender, end);
-                    self.apply(outs, ctx);
+                    self.core.on_end_delivered_into(m.id.sender, end, &mut outs);
+                    self.apply(outs.drain(..), ctx);
                     self.flush_deferred(ctx);
                 }
             }
             Ev::ViewChanged(v) => {
-                let outs = self.core.on_view_change(v);
-                self.apply(outs, ctx);
+                let outs2 = self.core.on_view_change(v);
+                self.apply(outs2, ctx);
             }
             Ev::InstallSnapshot(snap) => {
                 self.core
@@ -470,6 +507,8 @@ impl Component<Ev> for GenericComponent {
             }
             _ => {}
         }
+        debug_assert!(outs.is_empty());
+        self.scratch = outs;
     }
 }
 

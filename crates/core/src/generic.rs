@@ -187,29 +187,41 @@ impl GenericCore {
         self.fast_quorum() + self.end_quorum() - self.n()
     }
 
-    /// Generically broadcasts a payload-bearing message of `class`.
-    pub fn gbcast(&mut self, class: MessageClass, body: Body) -> Vec<GbOut> {
+    /// Generically broadcasts a payload-bearing message of `class`,
+    /// appending instructions to `out` (hot-path entry point: callers reuse
+    /// one buffer across invocations).
+    pub fn gbcast_into(&mut self, class: MessageClass, body: Body, out: &mut Vec<GbOut>) {
         let id = self.rb.next_id();
         let message = Message { id, class, body };
-        let mut out = Vec::new();
-        // Shallow per-peer clones: payloads are shared `Bytes`.
+        // Shallow per-peer clones: payloads are arena handles.
         for &to in self.rb.broadcast(&message) {
             out.push(GbOut::Wire(to, WireMsg::Gb(GbMsg::Data(message.clone()))));
         }
-        self.admit(message, &mut out);
+        self.admit(message, out);
+    }
+
+    /// [`gbcast_into`](Self::gbcast_into) returning a fresh buffer.
+    pub fn gbcast(&mut self, class: MessageClass, body: Body) -> Vec<GbOut> {
+        let mut out = Vec::new();
+        self.gbcast_into(class, body, &mut out);
         out
     }
 
     /// Handles a diffused message from the network.
-    pub fn on_data(&mut self, from: ProcessId, message: Message) -> Vec<GbOut> {
-        let mut out = Vec::new();
+    pub fn on_data_into(&mut self, from: ProcessId, message: Message, out: &mut Vec<GbOut>) {
         let receipt = self.rb.on_data(from, message);
         if let Some(message) = receipt.deliver {
             for to in receipt.relay_to {
                 out.push(GbOut::Wire(to, WireMsg::Gb(GbMsg::Data(message.clone()))));
             }
-            self.admit(message, &mut out);
+            self.admit(message, out);
         }
+    }
+
+    /// [`on_data_into`](Self::on_data_into) returning a fresh buffer.
+    pub fn on_data(&mut self, from: ProcessId, message: Message) -> Vec<GbOut> {
+        let mut out = Vec::new();
+        self.on_data_into(from, message, &mut out);
         out
     }
 
@@ -275,17 +287,22 @@ impl GenericCore {
     }
 
     /// Handles an ack from `from`.
-    pub fn on_ack(&mut self, from: ProcessId, epoch: u64, id: MsgId) -> Vec<GbOut> {
-        let mut out = Vec::new();
+    pub fn on_ack_into(&mut self, from: ProcessId, epoch: u64, id: MsgId, out: &mut Vec<GbOut>) {
         if epoch > self.epoch {
             self.future_acks.entry(epoch).or_default().push((from, id));
-            return out;
+            return;
         }
         if epoch < self.epoch || self.gdelivered.contains(&id) {
-            return out; // stale
+            return; // stale
         }
         self.ack_senders.entry(id).or_default().insert(from);
-        self.try_fast_deliver(id, &mut out);
+        self.try_fast_deliver(id, out);
+    }
+
+    /// [`on_ack_into`](Self::on_ack_into) returning a fresh buffer.
+    pub fn on_ack(&mut self, from: ProcessId, epoch: u64, id: MsgId) -> Vec<GbOut> {
+        let mut out = Vec::new();
+        self.on_ack_into(from, epoch, id, &mut out);
         out
     }
 
@@ -339,7 +356,7 @@ impl GenericCore {
                 kind,
                 id: message.id,
                 class: message.class,
-                payload: payload.clone(),
+                payload: *payload,
                 view: self.view_id,
             }));
         }
@@ -347,24 +364,35 @@ impl GenericCore {
 
     /// Handles an a-delivered `End` control message (total order guarantees
     /// every member processes the same `End` sequence).
+    pub fn on_end_delivered_into(
+        &mut self,
+        end_sender: ProcessId,
+        end: std::sync::Arc<GbEndData>,
+        out: &mut Vec<GbOut>,
+    ) {
+        if !self.active || end.epoch != self.epoch {
+            return; // stale straggler (or pre-join traffic)
+        }
+        // The epoch is closing: contribute our own End if we have not yet.
+        self.escalate(out);
+        if self.ends.iter().any(|(s, _)| *s == end_sender) {
+            return;
+        }
+        self.ends.push((end_sender, end));
+        if self.ends.len() >= self.end_quorum() {
+            self.close_epoch(out);
+        }
+    }
+
+    /// [`on_end_delivered_into`](Self::on_end_delivered_into) returning a
+    /// fresh buffer.
     pub fn on_end_delivered(
         &mut self,
         end_sender: ProcessId,
         end: std::sync::Arc<GbEndData>,
     ) -> Vec<GbOut> {
         let mut out = Vec::new();
-        if !self.active || end.epoch != self.epoch {
-            return out; // stale straggler (or pre-join traffic)
-        }
-        // The epoch is closing: contribute our own End if we have not yet.
-        self.escalate(&mut out);
-        if self.ends.iter().any(|(s, _)| *s == end_sender) {
-            return out;
-        }
-        self.ends.push((end_sender, end));
-        if self.ends.len() >= self.end_quorum() {
-            self.close_epoch(&mut out);
-        }
+        self.on_end_delivered_into(end_sender, end, &mut out);
         out
     }
 
@@ -475,7 +503,7 @@ impl GenericCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use gcs_kernel::PayloadRef;
 
     fn pid(i: u32) -> ProcessId {
         ProcessId::new(i)
@@ -504,7 +532,7 @@ mod tests {
                 seq,
             },
             class: MessageClass(class),
-            body: Body::App(Bytes::from_static(b"x")),
+            body: Body::App(PayloadRef::EMPTY),
         }
     }
 
@@ -655,7 +683,7 @@ mod tests {
             members: vec![pid(0), pid(1)],
         };
         let _ = c.on_view_change(v1);
-        let out = c.gbcast(MessageClass(0), Body::App(Bytes::from_static(b"x")));
+        let out = c.gbcast(MessageClass(0), Body::App(PayloadRef::EMPTY));
         // Still diffuses (it is not a member, deliveries will not happen for
         // it), but never acks or delivers.
         assert!(out.iter().all(|o| !matches!(o, GbOut::Deliver(_))));

@@ -103,7 +103,6 @@ impl Rbcast {
 mod tests {
     use super::*;
     use crate::types::{Body, MessageClass};
-    use bytes::Bytes;
 
     fn pid(i: u32) -> ProcessId {
         ProcessId::new(i)
@@ -113,7 +112,7 @@ mod tests {
         Message {
             id,
             class: MessageClass::RBCAST,
-            body: Body::App(Bytes::from_static(b"x")),
+            body: Body::App(gcs_kernel::PayloadRef::EMPTY),
         }
     }
 

@@ -2,7 +2,7 @@
 //! harness for driving groups of them.
 
 use bytes::Bytes;
-use gcs_kernel::{Process, ProcessId, Time, TimeDelta};
+use gcs_kernel::{PayloadRef, Process, ProcessId, SharedArena, Time, TimeDelta};
 use gcs_net::RcConfig;
 use gcs_sim::{Metrics, Schedule, ScheduleAction, SimConfig, SimWorld, Trace};
 
@@ -113,6 +113,10 @@ pub fn build_process(
 /// ```
 pub struct GroupSim {
     world: SimWorld<Ev>,
+    /// The zero-copy message plane: payloads are interned here at injection
+    /// and every layer below moves [`PayloadRef`] handles; observers resolve
+    /// them back to bytes through [`resolve`](Self::resolve).
+    arena: SharedArena,
     n_members: usize,
     n_total: usize,
 }
@@ -147,6 +151,7 @@ impl GroupSim {
         }
         GroupSim {
             world,
+            arena: SharedArena::new(),
             n_members: n,
             n_total: n + joiners,
         }
@@ -177,12 +182,35 @@ impl GroupSim {
         &mut self.world
     }
 
+    /// The payload arena backing this group's message plane.
+    pub fn arena(&self) -> &SharedArena {
+        &self.arena
+    }
+
+    /// Resolves a delivered payload handle to its bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle not issued by this group's arena.
+    pub fn resolve(&self, payload: PayloadRef) -> Bytes {
+        self.arena.get(payload)
+    }
+
     // -- workload ----------------------------------------------------------
 
-    /// Schedules an atomic broadcast by `p` at time `t`.
+    /// Schedules an atomic broadcast by `p` at time `t`. The payload is
+    /// interned in the group's arena; everything below moves the handle.
     pub fn abcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
+        let payload = self.arena.intern(payload.into());
+        self.abcast_ref_at(t, p, payload);
+    }
+
+    /// Schedules an atomic broadcast of an already-interned payload handle
+    /// (the zero-copy injection path: workloads build payloads straight in
+    /// the arena's scratch pool and hand over the handle).
+    pub fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
         self.world
-            .inject_at(t, p, names::ABCAST, Ev::Abcast(payload.into()));
+            .inject_at(t, p, names::ABCAST, Ev::Abcast(payload));
     }
 
     /// Schedules a generic broadcast of `class` by `p` at time `t`.
@@ -193,15 +221,17 @@ impl GroupSim {
         class: MessageClass,
         payload: impl Into<Bytes>,
     ) {
+        let payload = self.arena.intern(payload.into());
         self.world
-            .inject_at(t, p, names::GENERIC, Ev::Gbcast(class, payload.into()));
+            .inject_at(t, p, names::GENERIC, Ev::Gbcast(class, payload));
     }
 
     /// Schedules a reliable broadcast (through generic broadcast, class
     /// [`MessageClass::RBCAST`]) by `p` at time `t`.
     pub fn rbcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
+        let payload = self.arena.intern(payload.into());
         self.world
-            .inject_at(t, p, names::GENERIC, Ev::Rbcast(payload.into()));
+            .inject_at(t, p, names::GENERIC, Ev::Rbcast(payload));
     }
 
     /// Schedules non-member `joiner` to request membership via `contact`.
@@ -270,11 +300,12 @@ impl GroupSim {
         })
     }
 
-    /// Per-process sequences of atomically delivered payloads.
+    /// Per-process sequences of atomically delivered payloads (resolved
+    /// through the arena).
     pub fn adelivered_payloads(&self) -> Vec<Vec<Vec<u8>>> {
         self.world.trace().per_proc(self.n_total, |e| match e {
             Ev::Deliver(d) if d.kind == crate::types::DeliveryKind::Atomic => {
-                Some(d.payload.to_vec())
+                Some(self.arena.get(d.payload).to_vec())
             }
             _ => None,
         })

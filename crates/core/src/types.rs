@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use gcs_consensus::{CtMsg, InstanceId};
-use gcs_kernel::{Event, ProcessId, Time};
+use gcs_kernel::{Event, PayloadRef, ProcessId, Time};
 use gcs_net::Packet;
 use std::fmt;
 use std::sync::Arc;
@@ -183,10 +183,16 @@ impl View {
 }
 
 /// The body of a broadcast message.
+///
+/// Application payloads are **arena handles** ([`PayloadRef`]), not owned
+/// byte containers: the bytes live once in the simulation's
+/// [`SharedArena`](gcs_kernel::SharedArena) and every layer the message
+/// crosses (batch assembly, consensus proposal, decision fan-out, wire
+/// packet, delivery) moves a 12-byte `Copy` handle.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Body {
-    /// Opaque application payload.
-    App(Bytes),
+    /// Opaque application payload (interned in the simulation's arena).
+    App(PayloadRef),
     /// Membership control: add `p` to the view.
     Join(ProcessId),
     /// Membership control: remove `p` from the view.
@@ -261,8 +267,9 @@ pub struct Delivery {
     pub id: MsgId,
     /// Conflict class.
     pub class: MessageClass,
-    /// Application payload.
-    pub payload: Bytes,
+    /// Application payload handle; resolve it against the simulation's
+    /// arena (e.g. [`GroupSim::resolve`](crate::GroupSim::resolve)).
+    pub payload: PayloadRef,
     /// The view id current at delivery (same view delivery, §4.4).
     pub view: u64,
 }
@@ -414,12 +421,12 @@ pub enum Ev {
     Heartbeat,
 
     // -- application operations (injected) --
-    /// `abcast` (Fig 9): atomically broadcast an application payload.
-    Abcast(Bytes),
+    /// `abcast` (Fig 9): atomically broadcast an interned payload.
+    Abcast(PayloadRef),
     /// `rbcast` through generic broadcast: class [`MessageClass::RBCAST`].
-    Rbcast(Bytes),
+    Rbcast(PayloadRef),
     /// Generic broadcast with an application conflict class.
-    Gbcast(MessageClass, Bytes),
+    Gbcast(MessageClass, PayloadRef),
     /// `join`: ask the membership to add this (non-member) process, via the
     /// given contact member.
     JoinVia(ProcessId),
@@ -439,8 +446,9 @@ pub enum Ev {
     Suspect(gcs_fd::MonitorClass, ProcessId),
     /// Failure detector → consensus/monitoring: suspicion withdrawn.
     Restore(gcs_fd::MonitorClass, ProcessId),
-    /// Atomic broadcast → consensus: `propose`/`run` for an instance.
-    Propose(InstanceId, Batch, Vec<ProcessId>),
+    /// Atomic broadcast → consensus: `propose`/`run` for an instance. The
+    /// participant set is shared (cached per view by the abcast core).
+    Propose(InstanceId, Batch, Arc<[ProcessId]>),
     /// Consensus → atomic broadcast: `decide` for an instance.
     Decide(InstanceId, Batch),
     /// Consensus → atomic broadcast: a message for an instance that does not

@@ -195,11 +195,19 @@ impl HeartbeatFd {
     /// Records a heartbeat from `from`; returns `Restore` transitions for
     /// every class that had suspected `from`.
     pub fn on_heartbeat(&mut self, from: ProcessId, now: Time) -> Vec<FdOut> {
+        let mut out = Vec::new();
+        self.on_heartbeat_into(from, now, &mut out);
+        out
+    }
+
+    /// [`on_heartbeat`](Self::on_heartbeat), appending into a caller-owned
+    /// buffer (the hot-path entry point: heartbeats arrive every interval
+    /// from every peer).
+    pub fn on_heartbeat_into(&mut self, from: ProcessId, now: Time, out: &mut Vec<FdOut>) {
         if !self.peers.contains(&from) {
-            return Vec::new();
+            return;
         }
         self.note_heard(from, now);
-        let mut out = Vec::new();
         // `suspected` is kept sorted by class, so restore transitions stay
         // deterministic.
         for (class, table) in &mut self.suspected {
@@ -213,16 +221,18 @@ impl HeartbeatFd {
                 }
             }
         }
-        out
     }
 
     /// Periodic driver: emits heartbeats and evaluates timeouts.
     pub fn on_tick(&mut self, now: Time) -> Vec<FdOut> {
-        let mut out: Vec<FdOut> = self
-            .peers
-            .iter()
-            .map(|&to| FdOut::SendHeartbeat { to })
-            .collect();
+        let mut out = Vec::new();
+        self.on_tick_into(now, &mut out);
+        out
+    }
+
+    /// [`on_tick`](Self::on_tick), appending into a caller-owned buffer.
+    pub fn on_tick_into(&mut self, now: Time, out: &mut Vec<FdOut>) {
+        out.extend(self.peers.iter().map(|&to| FdOut::SendHeartbeat { to }));
         let peers = std::mem::take(&mut self.peers);
         for &peer in &peers {
             let last = self.last_heard_of(peer);
@@ -240,7 +250,6 @@ impl HeartbeatFd {
             }
         }
         self.peers = peers;
-        out
     }
 
     /// Whether `peer` is currently suspected by `class`.

@@ -52,6 +52,7 @@
 mod component;
 mod event;
 mod ids;
+mod payload;
 mod process;
 mod smallvec;
 mod stack;
@@ -60,6 +61,7 @@ mod time;
 pub use component::{Action, Component, Context};
 pub use event::Event;
 pub use ids::{ProcessId, TimerId};
+pub use payload::{PayloadArena, PayloadRef, SharedArena};
 pub use process::{Effects, Envelope, Multicast, Process, ProcessBuilder, TimerRequest};
 pub use smallvec::SmallVec;
 pub use stack::{Direction, Layer, LayerContext, StackBuilder, StackComponent};

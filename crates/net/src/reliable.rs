@@ -341,6 +341,14 @@ impl<M: Clone> ReliableChannel<M> {
     /// detection, and delayed-ack flushing.
     pub fn on_tick(&mut self, now: Time) -> Vec<RcOut<M>> {
         let mut out = Vec::new();
+        self.on_tick_into(now, &mut out);
+        out
+    }
+
+    /// [`on_tick`](Self::on_tick), appending into a caller-owned buffer
+    /// (the hot-path entry point: ticks fire every
+    /// [`RcConfig::tick_interval`] on every process).
+    pub fn on_tick_into(&mut self, now: Time, out: &mut Vec<RcOut<M>>) {
         // Expired retransmissions, peers in id order (deterministic).
         let mut resends: Vec<(ProcessId, Vec<(u64, M)>)> = Vec::new();
         for (p, tx) in self.tx.iter_mut() {
@@ -392,7 +400,6 @@ impl<M: Clone> ReliableChannel<M> {
                 });
             }
         }
-        out
     }
 
     /// Discards all state for `peer` — both directions.

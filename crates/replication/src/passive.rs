@@ -118,7 +118,8 @@ impl PassiveGroup {
     pub fn outcomes(&self) -> Vec<PassiveOutcome> {
         let deliveries = self.group.trace().per_proc(self.n, |e| match e {
             Ev::Deliver(d) if d.kind != DeliveryKind::Atomic => {
-                Some((d.id.sender, d.class, d.payload.clone()))
+                // Resolve the arena handle at the observation edge.
+                Some((d.id.sender, d.class, self.group.resolve(d.payload)))
             }
             _ => None,
         });

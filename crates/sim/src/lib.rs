@@ -34,7 +34,7 @@ mod trace;
 mod wheel;
 mod world;
 
-pub use metrics::Metrics;
+pub use metrics::{LatencyHistogram, Metrics};
 pub use network::{LinkModel, NetworkModel};
 pub use schedule::{Schedule, ScheduleAction};
 pub use topology::{Assignment, Topology, TOPOLOGY_PRESETS};

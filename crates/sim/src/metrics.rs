@@ -1,6 +1,91 @@
-//! Message and byte accounting for experiments.
+//! Message and byte accounting for experiments, including per-region-pair
+//! link-latency histograms.
 
 use std::fmt;
+
+use gcs_kernel::TimeDelta;
+
+/// Number of log2 buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds, with the last bucket open-ended
+/// (`2^39` ns ≈ 9 minutes — far beyond any simulated link).
+const LAT_BUCKETS: usize = 40;
+
+/// A log2-bucketed latency histogram (nanosecond samples).
+///
+/// Recording is two increments and a store — cheap enough for the
+/// per-message network hot path. Quantiles are approximate: a quantile
+/// resolves to the upper edge of the bucket where the cumulative count
+/// crosses it (within 2× of the true value, which is what a log2 histogram
+/// buys).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; LAT_BUCKETS],
+    count: u64,
+    total_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LAT_BUCKETS],
+            count: 0,
+            total_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    #[inline]
+    pub(crate) fn record(&mut self, delta: TimeDelta) {
+        let ns = delta.as_nanos();
+        let bucket = (63 - (ns | 1).leading_zeros() as usize).min(LAT_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ns += ns;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate `q`-quantile (0.0 ..= 1.0) in nanoseconds: the upper
+    /// edge of the bucket where the cumulative count crosses `q`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Raw bucket counts (bucket `i` spans `[2^i, 2^(i+1))` ns).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    fn subtract(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for i in 0..LAT_BUCKETS {
+            out.buckets[i] = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.total_ns = self.total_ns.saturating_sub(earlier.total_ns);
+        out
+    }
+}
 
 /// Per-kind counters: a short linear table instead of a map. A run touches
 /// a dozen-odd distinct kinds, and consecutive sends overwhelmingly repeat
@@ -62,6 +147,12 @@ pub struct Metrics {
     dropped_loss: u64,
     dropped_partition: u64,
     dropped_crash: u64,
+    /// Region count of the topology (histograms are kept only for
+    /// multi-region topologies — a flat LAN pays nothing).
+    regions: usize,
+    /// Per-(src region, dst region) one-way link latency histograms,
+    /// row-major `from * regions + to`.
+    region_hist: Vec<LatencyHistogram>,
 }
 
 impl Metrics {
@@ -90,6 +181,44 @@ impl Metrics {
 
     pub(crate) fn record_drop_crash(&mut self) {
         self.dropped_crash += 1;
+    }
+
+    /// Sizes the region-pair histogram table (only multi-region topologies
+    /// record; called once when the world is built).
+    pub(crate) fn set_regions(&mut self, regions: usize) {
+        self.regions = regions;
+        if regions > 1 {
+            self.region_hist = vec![LatencyHistogram::default(); regions * regions];
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_link_latency(&mut self, from: usize, to: usize, delta: TimeDelta) {
+        if self.regions > 1 {
+            self.region_hist[from * self.regions + to].record(delta);
+        }
+    }
+
+    /// The one-way latency histogram of the directed region pair
+    /// `from -> to` (`None` on single-region topologies or out-of-range
+    /// regions).
+    pub fn region_latency(&self, from: usize, to: usize) -> Option<&LatencyHistogram> {
+        if self.regions > 1 && from < self.regions && to < self.regions {
+            Some(&self.region_hist[from * self.regions + to])
+        } else {
+            None
+        }
+    }
+
+    /// All region pairs with recorded traffic, as
+    /// `(src region, dst region, histogram)`, in row-major order.
+    pub fn region_pairs(&self) -> impl Iterator<Item = (usize, usize, &LatencyHistogram)> {
+        let regions = self.regions;
+        self.region_hist
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.count() > 0)
+            .map(move |(i, h)| (i / regions, i % regions, h))
     }
 
     /// Total messages handed to the network.
@@ -158,6 +287,17 @@ impl Metrics {
         d.dropped_loss = self.dropped_loss - earlier.dropped_loss;
         d.dropped_partition = self.dropped_partition - earlier.dropped_partition;
         d.dropped_crash = self.dropped_crash - earlier.dropped_crash;
+        d.regions = self.regions;
+        if self.regions > 1 && earlier.region_hist.len() == self.region_hist.len() {
+            d.region_hist = self
+                .region_hist
+                .iter()
+                .zip(&earlier.region_hist)
+                .map(|(a, b)| a.subtract(b))
+                .collect();
+        } else {
+            d.region_hist = self.region_hist.clone();
+        }
         d
     }
 }
@@ -217,6 +357,49 @@ mod tests {
         let s = format!("{m}");
         assert!(s.contains("xyz"));
         assert!(s.contains("sent=1"));
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(TimeDelta::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        // Mean: (9·1ms + 100ms)/10 = 10.9 ms.
+        assert_eq!(h.mean_ns(), 10_900_000);
+        // Median lands in the 1ms bucket (upper edge ≤ 2·2^20 ns ≈ 2.1 ms);
+        // p99 lands in the 100ms bucket (upper edge ≥ 100 ms).
+        assert!(h.quantile_ns(0.5) <= 2_097_152 * 2);
+        assert!(h.quantile_ns(0.99) >= 100_000_000);
+        assert_eq!(LatencyHistogram::default().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn region_histograms_only_exist_for_multi_region() {
+        let mut m = Metrics::new();
+        m.set_regions(1);
+        m.record_link_latency(0, 0, TimeDelta::from_millis(1));
+        assert!(m.region_latency(0, 0).is_none());
+        assert_eq!(m.region_pairs().count(), 0);
+
+        let mut m = Metrics::new();
+        m.set_regions(2);
+        m.record_link_latency(0, 1, TimeDelta::from_millis(20));
+        m.record_link_latency(0, 1, TimeDelta::from_millis(30));
+        m.record_link_latency(1, 0, TimeDelta::from_millis(40));
+        assert_eq!(m.region_latency(0, 1).unwrap().count(), 2);
+        assert_eq!(m.region_latency(1, 1).unwrap().count(), 0);
+        let pairs: Vec<(usize, usize, u64)> = m
+            .region_pairs()
+            .map(|(f, t, h)| (f, t, h.count()))
+            .collect();
+        assert_eq!(pairs, vec![(0, 1, 2), (1, 0, 1)]);
+        // Deltas subtract bucket-wise.
+        let snap = m.clone();
+        m.record_link_latency(0, 1, TimeDelta::from_millis(25));
+        let d = m.delta_since(&snap);
+        assert_eq!(d.region_latency(0, 1).unwrap().count(), 1);
     }
 
     #[test]

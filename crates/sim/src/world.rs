@@ -168,6 +168,8 @@ pub struct SimWorld<E: Event> {
 impl<E: Event> SimWorld<E> {
     /// Creates an empty world.
     pub fn new(config: SimConfig) -> Self {
+        let mut metrics = Metrics::new();
+        metrics.set_regions(config.topology.regions());
         SimWorld {
             now: Time::ZERO,
             seq: 0,
@@ -176,7 +178,7 @@ impl<E: Event> SimWorld<E> {
             nodes: Vec::new(),
             net: NetworkModel::with_topology(config.topology),
             rng: StdRng::seed_from_u64(config.seed),
-            metrics: Metrics::new(),
+            metrics,
             trace: Trace::with_mode(config.trace),
             loopback_delay: config.loopback_delay,
             spike_extra: TimeDelta::ZERO,
@@ -531,8 +533,15 @@ impl<E: Event> SimWorld<E> {
         };
         let serialization = link.serialization_delay(wire_size);
         let delay = link.sample_delay(&mut self.rng) + serialization + spike;
+        // Region-pair observability: every scheduled copy records its
+        // one-way latency under (src region, dst region). Single-region
+        // topologies skip this entirely (see Metrics::set_regions).
+        let topology = self.net.topology();
+        let (from_region, to_region) = (topology.region_of(from), topology.region_of(to));
         if link.dup_prob > 0.0 && self.rng.gen_bool(link.dup_prob) {
             let delay2 = link.sample_delay(&mut self.rng) + serialization + spike;
+            self.metrics
+                .record_link_latency(from_region, to_region, delay2);
             self.schedule(
                 self.now + delay2,
                 Pending::Net {
@@ -543,6 +552,8 @@ impl<E: Event> SimWorld<E> {
                 },
             );
         }
+        self.metrics
+            .record_link_latency(from_region, to_region, delay);
         self.schedule(
             self.now + delay,
             Pending::Net {

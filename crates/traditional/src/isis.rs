@@ -22,7 +22,10 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use bytes::Bytes;
-use gcs_kernel::{Component, Context, Event, Process, ProcessId, Time, TimeDelta, TimerId};
+use gcs_kernel::{
+    Component, Context, Event, PayloadRef, Process, ProcessId, SharedArena, Time, TimeDelta,
+    TimerId,
+};
 use gcs_sim::{Metrics, SimConfig, SimWorld, Trace};
 
 /// Message identity within the Isis stack.
@@ -63,8 +66,9 @@ pub enum IsisEvent {
     Data {
         /// Message identity.
         id: IsisMsgId,
-        /// Payload.
-        payload: Bytes,
+        /// Payload handle (interned in the simulation arena — flush
+        /// reports, re-orders and re-deliveries all share one allocation).
+        payload: PayloadRef,
     },
     /// Sequencer's ordering decision: `id` is the `seq`-th message of the
     /// view.
@@ -87,9 +91,9 @@ pub enum IsisEvent {
     FlushReport {
         /// The proposed view this report answers.
         vid: u64,
-        /// Messages not yet delivered at the reporter (id, payload, and the
-        /// sequencer position if one was assigned).
-        unstable: Vec<(IsisMsgId, Bytes, Option<u64>)>,
+        /// Messages not yet delivered at the reporter (id, payload handle,
+        /// and the sequencer position if one was assigned).
+        unstable: Vec<(IsisMsgId, PayloadRef, Option<u64>)>,
     },
     /// Coordinator commits the new view with the agreed flush deliveries.
     /// Boxed: this rare, fat variant (two vectors) must not widen the hot
@@ -106,7 +110,7 @@ pub enum IsisEvent {
     // -- application ops --
     /// Atomically broadcast `payload` (blocked while a flush is running —
     /// sending view delivery).
-    Abcast(Bytes),
+    Abcast(PayloadRef),
     /// Ask to join via the current coordinator.
     Join,
 
@@ -115,8 +119,8 @@ pub enum IsisEvent {
     Deliver {
         /// Message identity.
         id: IsisMsgId,
-        /// Payload.
-        payload: Bytes,
+        /// Payload handle (resolve via [`IsisSim::resolve`]).
+        payload: PayloadRef,
         /// View in which the delivery happened.
         vid: u64,
     },
@@ -152,7 +156,7 @@ pub struct NewViewData {
     /// The new membership (head = sequencer).
     pub members: Vec<ProcessId>,
     /// Messages to deliver before installing the view, in agreed order.
-    pub deliver_first: Vec<(IsisMsgId, Bytes)>,
+    pub deliver_first: Vec<(IsisMsgId, PayloadRef)>,
 }
 
 impl Event for IsisEvent {
@@ -229,16 +233,16 @@ pub struct IsisStack {
     next_order: u64,
     /// Receiver side: messages awaiting their order, and orders awaiting
     /// their message.
-    unordered: BTreeMap<IsisMsgId, Bytes>,
+    unordered: BTreeMap<IsisMsgId, PayloadRef>,
     orders: BTreeMap<u64, IsisMsgId>,
     next_deliver: u64,
     delivered: HashSet<IsisMsgId>,
     /// Abcasts issued while blocked (sending view delivery queues them).
-    send_queue: VecDeque<Bytes>,
+    send_queue: VecDeque<PayloadRef>,
     /// Coordinator flush state.
     flush_vid: u64,
     flush_members: Vec<ProcessId>,
-    flush_reports: BTreeMap<ProcessId, Vec<(IsisMsgId, Bytes, Option<u64>)>>,
+    flush_reports: BTreeMap<ProcessId, Vec<(IsisMsgId, PayloadRef, Option<u64>)>>,
     /// Joins waiting for the next view change (coordinator side).
     pending_joins: BTreeSet<ProcessId>,
     started_at: Time,
@@ -317,18 +321,20 @@ impl IsisStack {
         ctx.send_to_all(self.others(), "isis", ev);
     }
 
-    fn do_abcast(&mut self, payload: Bytes, ctx: &mut Context<'_, IsisEvent>) {
+    fn do_abcast(&mut self, payload: PayloadRef, ctx: &mut Context<'_, IsisEvent>) {
         let id = (self.me, self.next_msg);
         self.next_msg += 1;
-        let data = IsisEvent::Data {
-            id,
-            payload: payload.clone(),
-        };
+        let data = IsisEvent::Data { id, payload };
         self.broadcast(data, ctx);
         self.accept_data(id, payload, ctx);
     }
 
-    fn accept_data(&mut self, id: IsisMsgId, payload: Bytes, ctx: &mut Context<'_, IsisEvent>) {
+    fn accept_data(
+        &mut self,
+        id: IsisMsgId,
+        payload: PayloadRef,
+        ctx: &mut Context<'_, IsisEvent>,
+    ) {
         if self.delivered.contains(&id) || self.unordered.contains_key(&id) {
             return;
         }
@@ -410,11 +416,11 @@ impl IsisStack {
         self.maybe_commit_view(ctx);
     }
 
-    fn local_unstable(&self) -> Vec<(IsisMsgId, Bytes, Option<u64>)> {
+    fn local_unstable(&self) -> Vec<(IsisMsgId, PayloadRef, Option<u64>)> {
         let seq_of: HashMap<IsisMsgId, u64> = self.orders.iter().map(|(&s, &id)| (id, s)).collect();
         self.unordered
             .iter()
-            .map(|(&id, p)| (id, p.clone(), seq_of.get(&id).copied()))
+            .map(|(&id, &p)| (id, p, seq_of.get(&id).copied()))
             .collect()
     }
 
@@ -444,7 +450,7 @@ impl IsisStack {
         &mut self,
         from: ProcessId,
         vid: u64,
-        unstable: Vec<(IsisMsgId, Bytes, Option<u64>)>,
+        unstable: Vec<(IsisMsgId, PayloadRef, Option<u64>)>,
         ctx: &mut Context<'_, IsisEvent>,
     ) {
         if vid != self.flush_vid || self.mode != Mode::Flushing {
@@ -471,21 +477,21 @@ impl IsisStack {
         }
         // Agreed order for in-flight messages: sequencer positions first,
         // then unsequenced by id (view synchrony: same set, same order).
-        let mut sequenced: BTreeMap<u64, (IsisMsgId, Bytes)> = BTreeMap::new();
-        let mut unsequenced: BTreeMap<IsisMsgId, Bytes> = BTreeMap::new();
+        let mut sequenced: BTreeMap<u64, (IsisMsgId, PayloadRef)> = BTreeMap::new();
+        let mut unsequenced: BTreeMap<IsisMsgId, PayloadRef> = BTreeMap::new();
         for report in self.flush_reports.values() {
-            for (id, payload, seq) in report {
+            for &(id, payload, seq) in report {
                 match seq {
                     Some(s) => {
-                        sequenced.insert(*s, (*id, payload.clone()));
+                        sequenced.insert(s, (id, payload));
                     }
                     None => {
-                        unsequenced.insert(*id, payload.clone());
+                        unsequenced.insert(id, payload);
                     }
                 }
             }
         }
-        let mut deliver_first: Vec<(IsisMsgId, Bytes)> = sequenced.into_values().collect();
+        let mut deliver_first: Vec<(IsisMsgId, PayloadRef)> = sequenced.into_values().collect();
         for (id, p) in unsequenced {
             if !deliver_first.iter().any(|(i, _)| *i == id) {
                 deliver_first.push((id, p));
@@ -530,7 +536,7 @@ impl IsisStack {
         &mut self,
         vid: u64,
         members: Vec<ProcessId>,
-        deliver_first: Vec<(IsisMsgId, Bytes)>,
+        deliver_first: Vec<(IsisMsgId, PayloadRef)>,
         ctx: &mut Context<'_, IsisEvent>,
     ) {
         // Deliver the flush set (view synchrony), skipping what we delivered.
@@ -572,7 +578,7 @@ impl IsisStack {
         ctx.output(IsisEvent::ViewInstalled { vid, members });
         ctx.output(IsisEvent::Blocked(false));
         // Sending view delivery: queued sends go out in the new view.
-        let queued: Vec<Bytes> = self.send_queue.drain(..).collect();
+        let queued: Vec<PayloadRef> = self.send_queue.drain(..).collect();
         for payload in queued {
             self.do_abcast(payload, ctx);
         }
@@ -708,6 +714,8 @@ impl Component<IsisEvent> for IsisStack {
 /// `gcs_core::GroupSim` so experiments can swap architectures.
 pub struct IsisSim {
     world: SimWorld<IsisEvent>,
+    /// Payload arena: interned at injection, handles everywhere below.
+    arena: SharedArena,
     n: usize,
 }
 
@@ -734,14 +742,32 @@ impl IsisSim {
         }
         IsisSim {
             world,
+            arena: SharedArena::new(),
             n: n + joiners,
         }
     }
 
-    /// Schedules an atomic broadcast.
+    /// Schedules an atomic broadcast (the payload is interned in the sim's
+    /// arena; the stack moves handles).
     pub fn abcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
+        let payload = self.arena.intern(payload.into());
+        self.abcast_ref_at(t, p, payload);
+    }
+
+    /// Schedules an atomic broadcast of an already-interned payload handle.
+    pub fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
         self.world
-            .inject_at(t, p, "isis", IsisEvent::Abcast(payload.into()));
+            .inject_at(t, p, "isis", IsisEvent::Abcast(payload));
+    }
+
+    /// The payload arena backing this sim's message plane.
+    pub fn arena(&self) -> &SharedArena {
+        &self.arena
+    }
+
+    /// Resolves a delivered payload handle to its bytes.
+    pub fn resolve(&self, payload: PayloadRef) -> Bytes {
+        self.arena.get(payload)
     }
 
     /// Schedules a join request by an outsider (or killed process).
@@ -777,7 +803,7 @@ impl IsisSim {
     /// Per-process delivered payload sequences.
     pub fn delivered_payloads(&self) -> Vec<Vec<Vec<u8>>> {
         self.world.trace().per_proc(self.n, |e| match e {
-            IsisEvent::Deliver { payload, .. } => Some(payload.to_vec()),
+            IsisEvent::Deliver { payload, .. } => Some(self.arena.get(*payload).to_vec()),
             _ => None,
         })
     }

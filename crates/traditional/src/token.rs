@@ -20,7 +20,10 @@
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use bytes::Bytes;
-use gcs_kernel::{Component, Context, Event, Process, ProcessId, Time, TimeDelta, TimerId};
+use gcs_kernel::{
+    Component, Context, Event, PayloadRef, Process, ProcessId, SharedArena, Time, TimeDelta,
+    TimerId,
+};
 use gcs_sim::{Metrics, SimConfig, SimWorld, Trace};
 
 /// Configuration of a token-ring process.
@@ -62,8 +65,8 @@ pub enum TokenEvent {
         seq: u64,
         /// Originating process.
         origin: ProcessId,
-        /// Payload; `join` data carries the joiner instead.
-        payload: Bytes,
+        /// Payload handle; `join` data carries the joiner instead.
+        payload: PayloadRef,
         /// RMP fault-free membership: this message adds `joiner` to the ring.
         joiner: Option<ProcessId>,
     },
@@ -77,7 +80,7 @@ pub enum TokenEvent {
         /// Generation this report answers.
         vid: u64,
         /// Sequenced messages the reporter holds (delivered or not).
-        known: Vec<(u64, ProcessId, Bytes)>,
+        known: Vec<(u64, ProcessId, PayloadRef)>,
     },
     /// The reformer commits the new ring. Boxed: this rare, fat variant
     /// (two vectors) must not widen the hot event enum past the cache-line
@@ -97,7 +100,7 @@ pub enum TokenEvent {
 
     // -- ops --
     /// Broadcast `payload` in total order.
-    Abcast(Bytes),
+    Abcast(PayloadRef),
     /// Ask to join the ring via process 0.
     Join,
 
@@ -108,8 +111,8 @@ pub enum TokenEvent {
         seq: u64,
         /// Originating process.
         origin: ProcessId,
-        /// Payload.
-        payload: Bytes,
+        /// Payload handle (resolve via [`TokenSim::resolve`]).
+        payload: PayloadRef,
     },
     /// A ring (view) installation.
     RingInstalled {
@@ -135,7 +138,7 @@ pub struct NewRingData {
     /// The surviving ring, in token order.
     pub ring: Vec<ProcessId>,
     /// Recovery set: all known sequenced messages.
-    pub recovery: Vec<(u64, ProcessId, Bytes)>,
+    pub recovery: Vec<(u64, ProcessId, PayloadRef)>,
     /// Sequence numbering continues from here.
     pub next_seq: u64,
 }
@@ -187,14 +190,14 @@ pub struct TokenStack {
     ring: Vec<ProcessId>,
     member: bool,
     /// Outbound queue, stamped when we hold the token.
-    outbox: VecDeque<(Bytes, Option<ProcessId>)>,
+    outbox: VecDeque<(PayloadRef, Option<ProcessId>)>,
     /// Sequenced messages by seq (delivered or buffered).
-    known: BTreeMap<u64, (ProcessId, Bytes, Option<ProcessId>)>,
+    known: BTreeMap<u64, (ProcessId, PayloadRef, Option<ProcessId>)>,
     next_deliver: u64,
     last_token_seen: Time,
     /// Reformer state.
     reforming: Option<(u64, Time)>,
-    reports: BTreeMap<ProcessId, Vec<(u64, ProcessId, Bytes)>>,
+    reports: BTreeMap<ProcessId, Vec<(u64, ProcessId, PayloadRef)>>,
     /// Pending sponsor duties: joiners to announce.
     sponsor_queue: VecDeque<ProcessId>,
     holding_token: bool,
@@ -255,7 +258,7 @@ impl TokenStack {
             let data = TokenEvent::Data {
                 seq,
                 origin: self.me,
-                payload: payload.clone(),
+                payload,
                 joiner,
             };
             self.broadcast(data, ctx);
@@ -267,11 +270,11 @@ impl TokenStack {
             let data = TokenEvent::Data {
                 seq,
                 origin: self.me,
-                payload: Bytes::new(),
+                payload: PayloadRef::EMPTY,
                 joiner: Some(j),
             };
             self.broadcast(data, ctx);
-            self.accept_data(seq, self.me, Bytes::new(), Some(j), ctx);
+            self.accept_data(seq, self.me, PayloadRef::EMPTY, Some(j), ctx);
         }
         self.holding_token = false;
         if let Some(next) = self.successor() {
@@ -287,7 +290,7 @@ impl TokenStack {
         &mut self,
         seq: u64,
         origin: ProcessId,
-        payload: Bytes,
+        payload: PayloadRef,
         joiner: Option<ProcessId>,
         ctx: &mut Context<'_, TokenEvent>,
     ) {
@@ -299,7 +302,7 @@ impl TokenStack {
         if !self.member {
             return;
         }
-        while let Some((origin, payload, joiner)) = self.known.get(&self.next_deliver).cloned() {
+        while let Some(&(origin, payload, joiner)) = self.known.get(&self.next_deliver) {
             let seq = self.next_deliver;
             self.next_deliver += 1;
             if let Some(j) = joiner {
@@ -343,11 +346,11 @@ impl TokenStack {
         self.broadcast(TokenEvent::Reform { vid }, ctx);
     }
 
-    fn known_list(&self) -> Vec<(u64, ProcessId, Bytes)> {
+    fn known_list(&self) -> Vec<(u64, ProcessId, PayloadRef)> {
         self.known
             .iter()
             .filter(|(_, (_, _, j))| j.is_none())
-            .map(|(&s, (o, p, _))| (s, *o, p.clone()))
+            .map(|(&s, &(o, p, _))| (s, o, p))
             .collect()
     }
 
@@ -361,14 +364,14 @@ impl TokenStack {
             r
         };
         // Recovery: union of all known sequenced messages.
-        let mut recovery: BTreeMap<u64, (ProcessId, Bytes)> = BTreeMap::new();
+        let mut recovery: BTreeMap<u64, (ProcessId, PayloadRef)> = BTreeMap::new();
         for report in self.reports.values() {
-            for (s, o, p) in report {
-                recovery.entry(*s).or_insert((*o, p.clone()));
+            for &(s, o, p) in report {
+                recovery.entry(s).or_insert((o, p));
             }
         }
         let next_seq = recovery.keys().next_back().map_or(0, |s| s + 1);
-        let recovery: Vec<(u64, ProcessId, Bytes)> =
+        let recovery: Vec<(u64, ProcessId, PayloadRef)> =
             recovery.into_iter().map(|(s, (o, p))| (s, o, p)).collect();
         let ev = TokenEvent::NewRing(Box::new(NewRingData {
             vid,
@@ -384,7 +387,7 @@ impl TokenStack {
         &mut self,
         vid: u64,
         ring: Vec<ProcessId>,
-        recovery: Vec<(u64, ProcessId, Bytes)>,
+        recovery: Vec<(u64, ProcessId, PayloadRef)>,
         next_seq: u64,
         ctx: &mut Context<'_, TokenEvent>,
     ) {
@@ -544,6 +547,8 @@ impl Component<TokenEvent> for TokenStack {
 /// Simulation harness for token-ring groups.
 pub struct TokenSim {
     world: SimWorld<TokenEvent>,
+    /// Payload arena: interned at injection, handles everywhere below.
+    arena: SharedArena,
     n: usize,
 }
 
@@ -570,14 +575,32 @@ impl TokenSim {
         }
         TokenSim {
             world,
+            arena: SharedArena::new(),
             n: n + joiners,
         }
     }
 
-    /// Schedules an atomic broadcast.
+    /// Schedules an atomic broadcast (the payload is interned in the sim's
+    /// arena; the ring moves handles).
     pub fn abcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
+        let payload = self.arena.intern(payload.into());
+        self.abcast_ref_at(t, p, payload);
+    }
+
+    /// Schedules an atomic broadcast of an already-interned payload handle.
+    pub fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
         self.world
-            .inject_at(t, p, "token", TokenEvent::Abcast(payload.into()));
+            .inject_at(t, p, "token", TokenEvent::Abcast(payload));
+    }
+
+    /// The payload arena backing this sim's message plane.
+    pub fn arena(&self) -> &SharedArena {
+        &self.arena
+    }
+
+    /// Resolves a delivered payload handle to its bytes.
+    pub fn resolve(&self, payload: PayloadRef) -> Bytes {
+        self.arena.get(payload)
     }
 
     /// Schedules an RMP-style fault-free join.
@@ -613,7 +636,7 @@ impl TokenSim {
     /// Per-process delivered payload sequences.
     pub fn delivered_payloads(&self) -> Vec<Vec<Vec<u8>>> {
         self.world.trace().per_proc(self.n, |e| match e {
-            TokenEvent::Deliver { payload, .. } => Some(payload.to_vec()),
+            TokenEvent::Deliver { payload, .. } => Some(self.arena.get(*payload).to_vec()),
             _ => None,
         })
     }

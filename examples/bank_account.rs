@@ -37,9 +37,10 @@ fn main() {
 
     // Replay each replica's generic-delivery order through an account.
     let per_replica = group.trace().per_proc(4, |e| match e {
-        Ev::Deliver(d) if d.kind != DeliveryKind::Atomic => {
-            Some((d.kind, BankOp::decode(&d.payload[..]).expect("bank op")))
-        }
+        Ev::Deliver(d) if d.kind != DeliveryKind::Atomic => Some((
+            d.kind,
+            BankOp::decode(&group.resolve(d.payload)[..]).expect("bank op"),
+        )),
         _ => None,
     });
     for (i, seq) in per_replica.iter().enumerate() {

@@ -50,6 +50,12 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Copies `data` into a new shared allocation (the real `bytes` API for
+    /// building an owned `Bytes` from a borrowed slice).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Repr::Shared(Arc::from(data)))
+    }
+
     fn as_slice(&self) -> &[u8] {
         match &self.0 {
             Repr::Static(s) => s,
