@@ -1,0 +1,453 @@
+//! The [`Group`] façade and its [`GroupBuilder`]: one coherent entry point
+//! composing stack choice × topology × schedule × seed, replacing the three
+//! positional-constructor surfaces the stacks used to expose.
+
+use bytes::Bytes;
+use gcs_core::{GroupSim, MessageClass, StackConfig, View};
+use gcs_kernel::{PayloadRef, ProcessId, SharedArena, Time};
+use gcs_sim::{Metrics, Schedule, SimConfig, Topology, TraceMode};
+use gcs_traditional::{IsisConfig, IsisSim, TokenConfig, TokenSim};
+
+use crate::transport::{GroupTransport, StackKind, TransportDelivery};
+
+/// A simulated group running one of the three stacks behind the unified
+/// [`GroupTransport`] surface.
+///
+/// Build one with [`Group::builder`]:
+///
+/// ```
+/// use gcs_api::{Group, GroupTransport, StackKind};
+/// use gcs_kernel::{ProcessId, Time};
+///
+/// let mut group = Group::builder()
+///     .members(3)
+///     .stack(StackKind::NewArch)
+///     .seed(42)
+///     .build();
+/// group.abcast_at(Time::from_millis(1), ProcessId::new(0), b"m1".to_vec());
+/// group.run_until(Time::from_millis(500));
+/// let seqs = group.adelivered_payloads();
+/// assert_eq!(seqs[0], vec![b"m1".to_vec()]);
+/// assert_eq!(seqs[0], seqs[1]);
+/// ```
+///
+/// Stack-specific observation (Isis blocking windows, token rings, the raw
+/// typed trace) stays available through the [`as_new_arch`](Self::as_new_arch)
+/// / [`as_isis`](Self::as_isis) / [`as_token`](Self::as_token) accessors.
+pub enum Group {
+    /// The paper's new architecture (Fig 9).
+    NewArch(GroupSim),
+    /// The Isis-style GM-VS baseline.
+    Isis(IsisSim),
+    /// The token-ring baseline.
+    Token(TokenSim),
+}
+
+/// Composes one simulated group: member/joiner counts, stack choice,
+/// topology, scripted schedule, trace sink, per-stack configuration, seed.
+///
+/// Every knob has a sensible default (3 members, no joiners, the new
+/// architecture, a flat LAN, empty schedule, full trace, seed 0), so the
+/// minimal group is `Group::builder().build()`.
+#[derive(Clone, Debug)]
+pub struct GroupBuilder {
+    members: usize,
+    joiners: usize,
+    stack: StackKind,
+    topology: Topology,
+    schedule: Schedule,
+    seed: u64,
+    trace: TraceMode,
+    config: StackConfig,
+    isis: IsisConfig,
+    token: TokenConfig,
+}
+
+impl Default for GroupBuilder {
+    fn default() -> Self {
+        GroupBuilder {
+            members: 3,
+            joiners: 0,
+            stack: StackKind::NewArch,
+            topology: Topology::lan(),
+            schedule: Schedule::new(),
+            seed: 0,
+            trace: TraceMode::Full,
+            config: StackConfig::default(),
+            isis: IsisConfig::default(),
+            token: TokenConfig::default(),
+        }
+    }
+}
+
+impl GroupBuilder {
+    /// Number of founding members.
+    pub fn members(mut self, n: usize) -> Self {
+        self.members = n;
+        self
+    }
+
+    /// Number of processes started outside the group (activate them with
+    /// [`GroupTransport::join_at`] or a schedule `Join` step).
+    pub fn joiners(mut self, joiners: usize) -> Self {
+        self.joiners = joiners;
+        self
+    }
+
+    /// Which protocol stack to run (default: the new architecture).
+    pub fn stack(mut self, stack: StackKind) -> Self {
+        self.stack = stack;
+        self
+    }
+
+    /// The network topology (default: a flat loss-free LAN). Use the
+    /// [`Topology`] presets — `Topology::wan_3region()`,
+    /// `Topology::wan_2dc()`, `Topology::lossy()` — or a custom matrix.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// A scripted fault/membership [`Schedule`], applied at build time.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The simulation seed (two builds with equal parameters and equal seed
+    /// are bit-identical).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// How deliveries are recorded (default [`TraceMode::Full`]; long
+    /// throughput runs should use [`TraceMode::CountsOnly`]).
+    pub fn trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Per-process configuration of the new-architecture stack (ignored by
+    /// the baselines).
+    pub fn stack_config(mut self, config: StackConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Per-process configuration of the Isis baseline (ignored by the other
+    /// stacks).
+    pub fn isis_config(mut self, config: IsisConfig) -> Self {
+        self.isis = config;
+        self
+    }
+
+    /// Per-process configuration of the token baseline (ignored by the
+    /// other stacks).
+    pub fn token_config(mut self, config: TokenConfig) -> Self {
+        self.token = config;
+        self
+    }
+
+    /// Builds the group: constructs the simulation world for the selected
+    /// stack and applies the scripted schedule.
+    pub fn build(self) -> Group {
+        let sim = SimConfig::lan(self.seed)
+            .with_topology(self.topology)
+            .with_trace(self.trace);
+        let mut group = match self.stack {
+            StackKind::NewArch => Group::NewArch(GroupSim::with_sim(
+                self.members,
+                self.joiners,
+                self.config,
+                sim,
+            )),
+            StackKind::Isis => Group::Isis(IsisSim::with_sim(
+                self.members,
+                self.joiners,
+                self.isis,
+                sim,
+            )),
+            StackKind::Token => Group::Token(TokenSim::with_sim(
+                self.members,
+                self.joiners,
+                self.token,
+                sim,
+            )),
+        };
+        if !self.schedule.is_empty() {
+            group.apply_schedule(&self.schedule);
+        }
+        group
+    }
+}
+
+impl Group {
+    /// Starts composing a group (see [`GroupBuilder`]).
+    pub fn builder() -> GroupBuilder {
+        GroupBuilder::default()
+    }
+
+    /// The new-architecture harness, when this group runs it.
+    pub fn as_new_arch(&self) -> Option<&GroupSim> {
+        match self {
+            Group::NewArch(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the new-architecture harness.
+    pub fn as_new_arch_mut(&mut self) -> Option<&mut GroupSim> {
+        match self {
+            Group::NewArch(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The Isis harness, when this group runs it.
+    pub fn as_isis(&self) -> Option<&IsisSim> {
+        match self {
+            Group::Isis(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the Isis harness.
+    pub fn as_isis_mut(&mut self) -> Option<&mut IsisSim> {
+        match self {
+            Group::Isis(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The token-ring harness, when this group runs it.
+    pub fn as_token(&self) -> Option<&TokenSim> {
+        match self {
+            Group::Token(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the token-ring harness.
+    pub fn as_token_mut(&mut self) -> Option<&mut TokenSim> {
+        match self {
+            Group::Token(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// Delegates one `GroupTransport` call to whichever stack the group runs.
+macro_rules! delegate {
+    ($self:ident, $g:ident => $e:expr) => {
+        match $self {
+            Group::NewArch($g) => $e,
+            Group::Isis($g) => $e,
+            Group::Token($g) => $e,
+        }
+    };
+}
+
+impl GroupTransport for Group {
+    fn stack(&self) -> StackKind {
+        delegate!(self, g => g.stack())
+    }
+
+    fn process_count(&self) -> usize {
+        delegate!(self, g => g.process_count())
+    }
+
+    fn supports_gbcast(&self) -> bool {
+        delegate!(self, g => g.supports_gbcast())
+    }
+
+    fn supports_rbcast(&self) -> bool {
+        delegate!(self, g => g.supports_rbcast())
+    }
+
+    fn supports_removal(&self) -> bool {
+        delegate!(self, g => g.supports_removal())
+    }
+
+    fn abcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
+        delegate!(self, g => g.abcast_bytes_at(t, p, payload))
+    }
+
+    fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        delegate!(self, g => g.abcast_ref_at(t, p, payload))
+    }
+
+    fn gbcast_bytes_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: Bytes) {
+        delegate!(self, g => g.gbcast_bytes_at(t, p, class, payload))
+    }
+
+    fn gbcast_ref_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: PayloadRef) {
+        delegate!(self, g => g.gbcast_ref_at(t, p, class, payload))
+    }
+
+    fn rbcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
+        delegate!(self, g => g.rbcast_bytes_at(t, p, payload))
+    }
+
+    fn rbcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        delegate!(self, g => g.rbcast_ref_at(t, p, payload))
+    }
+
+    fn join_at(&mut self, t: Time, joiner: ProcessId, contact: ProcessId) {
+        delegate!(self, g => GroupTransport::join_at(g, t, joiner, contact))
+    }
+
+    fn remove_at(&mut self, t: Time, by: ProcessId, target: ProcessId) {
+        delegate!(self, g => g.remove_at(t, by, target))
+    }
+
+    fn crash_at(&mut self, t: Time, p: ProcessId) {
+        delegate!(self, g => g.crash_at(t, p))
+    }
+
+    fn partition_at(&mut self, t: Time, groups: Vec<Vec<ProcessId>>) {
+        delegate!(self, g => g.partition_at(t, groups))
+    }
+
+    fn heal_at(&mut self, t: Time) {
+        delegate!(self, g => g.heal_at(t))
+    }
+
+    fn apply_schedule(&mut self, schedule: &Schedule) {
+        delegate!(self, g => GroupTransport::apply_schedule(g, schedule))
+    }
+
+    fn run_until(&mut self, t: Time) {
+        delegate!(self, g => g.run_until(t))
+    }
+
+    fn run_to_quiescence(&mut self, limit: Time) -> bool {
+        delegate!(self, g => g.run_to_quiescence(limit))
+    }
+
+    fn arena(&self) -> &SharedArena {
+        delegate!(self, g => GroupTransport::arena(g))
+    }
+
+    fn metrics(&self) -> &Metrics {
+        delegate!(self, g => GroupTransport::metrics(g))
+    }
+
+    fn events_executed(&self) -> u64 {
+        delegate!(self, g => g.events_executed())
+    }
+
+    fn alive_flags(&self) -> Vec<bool> {
+        delegate!(self, g => g.alive_flags())
+    }
+
+    fn delivery_count(&self) -> u64 {
+        delegate!(self, g => g.delivery_count())
+    }
+
+    fn delivery_trace(&self) -> Vec<TransportDelivery> {
+        delegate!(self, g => g.delivery_trace())
+    }
+
+    fn views(&self) -> Vec<Vec<View>> {
+        delegate!(self, g => GroupTransport::views(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn builder_defaults_build_a_working_new_arch_group() {
+        let mut g = Group::builder().seed(1).build();
+        assert_eq!(g.stack(), StackKind::NewArch);
+        assert_eq!(g.process_count(), 3);
+        assert!(g.supports_gbcast() && g.supports_rbcast() && g.supports_removal());
+        g.abcast_at(Time::from_millis(1), p(0), b"a".to_vec());
+        g.run_until(Time::from_millis(500));
+        assert_eq!(g.adelivered_payloads(), vec![vec![b"a".to_vec()]; 3]);
+    }
+
+    #[test]
+    fn builder_matches_the_direct_constructors_bit_for_bit() {
+        // The façade must be a pure re-packaging: same seed, same events.
+        let mut direct = GroupSim::new(4, StackConfig::default(), 9);
+        let mut built = Group::builder().members(4).seed(9).build();
+        for i in 0..6u32 {
+            let t = Time::from_millis(1 + i as u64);
+            direct.abcast_at(t, p(i % 4), vec![i as u8]);
+            built.abcast_at(t, p(i % 4), vec![i as u8]);
+        }
+        direct.run_until(Time::from_secs(1));
+        built.run_until(Time::from_secs(1));
+        assert_eq!(direct.adelivered_payloads(), built.adelivered_payloads());
+        assert_eq!(direct.world().events_executed(), built.events_executed());
+        assert_eq!(direct.metrics().total_sent(), built.metrics().total_sent());
+    }
+
+    #[test]
+    fn all_three_stacks_order_the_same_stream() {
+        for kind in StackKind::ALL {
+            let mut g = Group::builder().members(3).stack(kind).seed(2).build();
+            assert_eq!(g.stack(), kind);
+            for i in 0..6u32 {
+                g.abcast_at(Time::from_millis(1 + i as u64), p(i % 3), vec![i as u8]);
+            }
+            g.run_until(Time::from_secs(2));
+            let seqs = g.adelivered_payloads();
+            for (i, s) in seqs.iter().enumerate() {
+                assert_eq!(s.len(), 6, "{}: p{i} delivered all", kind.name());
+            }
+            assert_eq!(seqs[0], seqs[1], "{}", kind.name());
+            assert_eq!(seqs[1], seqs[2], "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn schedule_is_applied_at_build_time() {
+        let schedule = Schedule::new()
+            .join(Time::from_millis(20), p(3), p(1))
+            .remove(Time::from_millis(200), p(0), p(2));
+        let mut g = Group::builder()
+            .members(3)
+            .joiners(1)
+            .schedule(schedule)
+            .seed(13)
+            .build();
+        g.run_until(Time::from_secs(2));
+        let views = GroupTransport::views(&g);
+        for i in [0usize, 1, 3] {
+            let last = views[i].last().unwrap_or_else(|| panic!("p{i} saw a view"));
+            assert!(last.contains(p(3)), "p{i}: joiner in final view");
+            assert!(!last.contains(p(2)), "p{i}: removed member gone");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "supports_gbcast")]
+    fn gbcast_on_a_baseline_panics_with_the_capability_hint() {
+        let mut g = Group::builder().stack(StackKind::Isis).build();
+        assert!(!g.supports_gbcast());
+        g.gbcast_at(Time::from_millis(1), p(0), MessageClass(0), b"x".to_vec());
+    }
+
+    #[test]
+    fn baseline_views_surface_through_the_neutral_type() {
+        let mut g = Group::builder()
+            .stack(StackKind::Token)
+            .members(3)
+            .seed(3)
+            .build();
+        g.crash_at(Time::from_millis(5), p(0));
+        g.run_until(Time::from_secs(1));
+        let views = GroupTransport::views(&g);
+        let last = views[1].last().expect("reformation ring");
+        assert_eq!(last.members, vec![p(1), p(2)]);
+        assert!(g.as_token().is_some() && g.as_isis().is_none());
+    }
+}

@@ -1,0 +1,355 @@
+//! [`GroupTransport`] implementations for the three concrete harnesses.
+//!
+//! These are thin projections: every method delegates to the inherent
+//! surface the stack already exposes (`gcs_core::GroupSim`,
+//! `gcs_traditional::{IsisSim, TokenSim}`), mapping stack-specific trace
+//! events into the neutral [`TransportDelivery`] / [`View`] vocabulary.
+
+use bytes::Bytes;
+use gcs_core::{Ev, GroupSim, MessageClass, View};
+use gcs_kernel::{PayloadRef, ProcessId, SharedArena, Time};
+use gcs_sim::{Metrics, Schedule, ScheduleAction};
+use gcs_traditional::{IsisEvent, IsisSim, TokenEvent, TokenSim};
+
+use crate::transport::{GroupTransport, StackKind, TransportDelivery};
+
+/// Routes the membership steps a world-level schedule application returns
+/// through the transport's own join/removal entry points — shared by the
+/// baseline impls so the dispatch cannot drift between them.
+fn route_membership<T: GroupTransport + ?Sized>(t: &mut T, actions: Vec<(Time, ScheduleAction)>) {
+    for (at, action) in actions {
+        match action {
+            ScheduleAction::Join { joiner, contact } => t.join_at(at, joiner, contact),
+            ScheduleAction::Remove { by, target } => t.remove_at(at, by, target),
+            _ => unreachable!("apply_schedule only returns membership actions"),
+        }
+    }
+}
+
+impl GroupTransport for GroupSim {
+    fn stack(&self) -> StackKind {
+        StackKind::NewArch
+    }
+
+    fn process_count(&self) -> usize {
+        self.len()
+    }
+
+    fn supports_gbcast(&self) -> bool {
+        true
+    }
+
+    fn supports_rbcast(&self) -> bool {
+        true
+    }
+
+    fn supports_removal(&self) -> bool {
+        true
+    }
+
+    fn abcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
+        GroupSim::abcast_at(self, t, p, payload);
+    }
+
+    fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        GroupSim::abcast_ref_at(self, t, p, payload);
+    }
+
+    fn gbcast_bytes_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: Bytes) {
+        GroupSim::gbcast_at(self, t, p, class, payload);
+    }
+
+    fn gbcast_ref_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: PayloadRef) {
+        GroupSim::gbcast_ref_at(self, t, p, class, payload);
+    }
+
+    fn rbcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
+        GroupSim::rbcast_at(self, t, p, payload);
+    }
+
+    fn rbcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        GroupSim::rbcast_ref_at(self, t, p, payload);
+    }
+
+    fn join_at(&mut self, t: Time, joiner: ProcessId, contact: ProcessId) {
+        GroupSim::join_at(self, t, joiner, contact);
+    }
+
+    fn remove_at(&mut self, t: Time, by: ProcessId, target: ProcessId) {
+        GroupSim::remove_at(self, t, by, target);
+    }
+
+    fn crash_at(&mut self, t: Time, p: ProcessId) {
+        GroupSim::crash_at(self, t, p);
+    }
+
+    fn partition_at(&mut self, t: Time, groups: Vec<Vec<ProcessId>>) {
+        self.world_mut().partition_at(t, groups);
+    }
+
+    fn heal_at(&mut self, t: Time) {
+        self.world_mut().heal_at(t);
+    }
+
+    fn apply_schedule(&mut self, schedule: &Schedule) {
+        GroupSim::apply_schedule(self, schedule);
+    }
+
+    fn run_until(&mut self, t: Time) {
+        GroupSim::run_until(self, t);
+    }
+
+    fn run_to_quiescence(&mut self, limit: Time) -> bool {
+        GroupSim::run_to_quiescence(self, limit)
+    }
+
+    fn arena(&self) -> &SharedArena {
+        GroupSim::arena(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        GroupSim::metrics(self)
+    }
+
+    fn events_executed(&self) -> u64 {
+        self.world().events_executed()
+    }
+
+    fn alive_flags(&self) -> Vec<bool> {
+        GroupSim::alive_flags(self)
+    }
+
+    fn delivery_count(&self) -> u64 {
+        self.trace().delivery_count()
+    }
+
+    fn delivery_trace(&self) -> Vec<TransportDelivery> {
+        self.trace()
+            .entries()
+            .iter()
+            .filter_map(|e| match &e.event {
+                Ev::Deliver(d) => Some(TransportDelivery {
+                    time: e.time,
+                    proc: e.proc,
+                    sender: d.id.sender,
+                    seq: d.id.seq,
+                    kind: d.kind,
+                    class: d.class,
+                    view: d.view,
+                    payload: d.payload,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn views(&self) -> Vec<Vec<View>> {
+        GroupSim::views(self)
+    }
+}
+
+impl GroupTransport for IsisSim {
+    fn stack(&self) -> StackKind {
+        StackKind::Isis
+    }
+
+    fn process_count(&self) -> usize {
+        self.len()
+    }
+
+    fn abcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
+        IsisSim::abcast_at(self, t, p, payload);
+    }
+
+    fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        IsisSim::abcast_ref_at(self, t, p, payload);
+    }
+
+    fn join_at(&mut self, t: Time, joiner: ProcessId, _contact: ProcessId) {
+        // Isis routes the request to its coordinator itself.
+        IsisSim::join_at(self, t, joiner);
+    }
+
+    fn crash_at(&mut self, t: Time, p: ProcessId) {
+        IsisSim::crash_at(self, t, p);
+    }
+
+    fn partition_at(&mut self, t: Time, groups: Vec<Vec<ProcessId>>) {
+        self.world_mut().partition_at(t, groups);
+    }
+
+    fn heal_at(&mut self, t: Time) {
+        self.world_mut().heal_at(t);
+    }
+
+    fn apply_schedule(&mut self, schedule: &Schedule) {
+        let actions = self.world_mut().apply_schedule(schedule);
+        route_membership(self, actions);
+    }
+
+    fn run_until(&mut self, t: Time) {
+        IsisSim::run_until(self, t);
+    }
+
+    fn run_to_quiescence(&mut self, limit: Time) -> bool {
+        IsisSim::run_to_quiescence(self, limit)
+    }
+
+    fn arena(&self) -> &SharedArena {
+        IsisSim::arena(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        IsisSim::metrics(self)
+    }
+
+    fn events_executed(&self) -> u64 {
+        self.world().events_executed()
+    }
+
+    fn alive_flags(&self) -> Vec<bool> {
+        IsisSim::alive_flags(self)
+    }
+
+    fn delivery_count(&self) -> u64 {
+        self.trace().delivery_count()
+    }
+
+    fn delivery_trace(&self) -> Vec<TransportDelivery> {
+        self.trace()
+            .entries()
+            .iter()
+            .filter_map(|e| match &e.event {
+                IsisEvent::Deliver { id, payload, vid } => Some(TransportDelivery {
+                    time: e.time,
+                    proc: e.proc,
+                    sender: id.0,
+                    seq: id.1,
+                    kind: gcs_core::DeliveryKind::Atomic,
+                    class: MessageClass::ABCAST,
+                    view: *vid,
+                    payload: *payload,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn views(&self) -> Vec<Vec<View>> {
+        IsisSim::views(self)
+            .into_iter()
+            .map(|vs| {
+                vs.into_iter()
+                    .map(|(vid, members)| View { id: vid, members })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl GroupTransport for TokenSim {
+    fn stack(&self) -> StackKind {
+        StackKind::Token
+    }
+
+    fn process_count(&self) -> usize {
+        self.len()
+    }
+
+    fn abcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
+        TokenSim::abcast_at(self, t, p, payload);
+    }
+
+    fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        TokenSim::abcast_ref_at(self, t, p, payload);
+    }
+
+    fn join_at(&mut self, t: Time, joiner: ProcessId, _contact: ProcessId) {
+        // RMP-style fault-free join: the ring sponsors the joiner itself.
+        TokenSim::join_at(self, t, joiner);
+    }
+
+    fn crash_at(&mut self, t: Time, p: ProcessId) {
+        TokenSim::crash_at(self, t, p);
+    }
+
+    fn partition_at(&mut self, t: Time, groups: Vec<Vec<ProcessId>>) {
+        self.world_mut().partition_at(t, groups);
+    }
+
+    fn heal_at(&mut self, t: Time) {
+        self.world_mut().heal_at(t);
+    }
+
+    fn apply_schedule(&mut self, schedule: &Schedule) {
+        let actions = self.world_mut().apply_schedule(schedule);
+        route_membership(self, actions);
+    }
+
+    fn run_until(&mut self, t: Time) {
+        TokenSim::run_until(self, t);
+    }
+
+    fn run_to_quiescence(&mut self, limit: Time) -> bool {
+        TokenSim::run_to_quiescence(self, limit)
+    }
+
+    fn arena(&self) -> &SharedArena {
+        TokenSim::arena(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        TokenSim::metrics(self)
+    }
+
+    fn events_executed(&self) -> u64 {
+        self.world().events_executed()
+    }
+
+    fn alive_flags(&self) -> Vec<bool> {
+        TokenSim::alive_flags(self)
+    }
+
+    fn delivery_count(&self) -> u64 {
+        self.trace().delivery_count()
+    }
+
+    fn delivery_trace(&self) -> Vec<TransportDelivery> {
+        self.trace()
+            .entries()
+            .iter()
+            .filter_map(|e| match &e.event {
+                TokenEvent::Deliver {
+                    seq,
+                    origin,
+                    payload,
+                } => Some(TransportDelivery {
+                    time: e.time,
+                    proc: e.proc,
+                    sender: *origin,
+                    seq: *seq,
+                    kind: gcs_core::DeliveryKind::Atomic,
+                    class: MessageClass::ABCAST,
+                    // Token deliveries are not tagged with a ring generation.
+                    view: 0,
+                    payload: *payload,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn views(&self) -> Vec<Vec<View>> {
+        self.rings()
+            .into_iter()
+            .map(|vs| {
+                vs.into_iter()
+                    .map(|(vid, ring)| View {
+                        id: vid,
+                        members: ring,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}

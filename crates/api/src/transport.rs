@@ -1,0 +1,347 @@
+//! The [`GroupTransport`] trait: the full common surface of the three
+//! protocol stacks, with capability markers for the services a stack does
+//! not provide.
+//!
+//! The paper's architectural claim is that group communication should be a
+//! set of composable *services* the application picks from, not a monolithic
+//! stack with one hard-wired entry point. This trait is that claim as an
+//! API: every stack exposes the same workload, membership, control and
+//! observation surface, and the services a stack genuinely lacks (generic
+//! broadcast on the GM-VS baselines, scripted removal on stacks whose
+//! membership cannot express it) are visible through `supports_*` markers
+//! rather than through three incompatible harness types.
+
+use bytes::Bytes;
+use gcs_core::{DeliveryKind, MessageClass, View};
+use gcs_kernel::{PayloadRef, ProcessId, SharedArena, Time};
+use gcs_sim::{Metrics, Schedule};
+
+/// Which protocol stack a transport runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StackKind {
+    /// The paper's new architecture (Fig 9): atomic broadcast over
+    /// consensus, thrifty generic broadcast, membership above abcast.
+    NewArch,
+    /// The Isis/Phoenix GM-VS baseline (Figs 1–2): membership + view
+    /// synchrony below a fixed-sequencer atomic broadcast.
+    Isis,
+    /// The RMP/Totem token-ring baseline (Figs 3–4).
+    Token,
+}
+
+impl StackKind {
+    /// Every stack, in catalog order — the iteration axis of cross-stack
+    /// comparisons and the conformance suite.
+    pub const ALL: [StackKind; 3] = [StackKind::NewArch, StackKind::Isis, StackKind::Token];
+
+    /// Stable lowercase name (used in scenario names and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            StackKind::NewArch => "new-arch",
+            StackKind::Isis => "isis",
+            StackKind::Token => "token",
+        }
+    }
+}
+
+/// One observed application delivery, in stack-neutral vocabulary.
+///
+/// The three stacks trace deliveries with their own event types; this record
+/// is the common projection the trait's observation methods return. Payloads
+/// stay arena handles — resolve them at the observation edge with
+/// [`GroupTransport::resolve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransportDelivery {
+    /// Virtual time of the delivery.
+    pub time: Time,
+    /// The delivering process.
+    pub proc: ProcessId,
+    /// The originating sender.
+    pub sender: ProcessId,
+    /// Sequence number disambiguating the message: per-sender on the new
+    /// architecture and Isis (`(sender, seq)` is the message identity),
+    /// global on the token ring. Within one stack, `(sender, seq)`
+    /// identifies a message uniquely across replicas.
+    pub seq: u64,
+    /// Which primitive delivered the message. The traditional baselines
+    /// only deliver atomically; on the new architecture generic deliveries
+    /// carry their fast-path/escalation kind.
+    pub kind: DeliveryKind,
+    /// Conflict class ([`MessageClass::ABCAST`] on stacks without generic
+    /// broadcast).
+    pub class: MessageClass,
+    /// View (ring generation) current at delivery; `0` on stacks that do
+    /// not tag deliveries with a view.
+    pub view: u64,
+    /// Application payload handle.
+    pub payload: PayloadRef,
+}
+
+/// The unified harness surface of a simulated group, implemented by all
+/// three stacks (`gcs_core::GroupSim`, `gcs_traditional::IsisSim`,
+/// `gcs_traditional::TokenSim`) and by the [`Group`](crate::Group) façade.
+///
+/// The trait is object-safe: workloads and scenario drivers take
+/// `&mut dyn GroupTransport`. The `impl Into<Bytes>` conveniences
+/// ([`abcast_at`](Self::abcast_at) and friends) are provided methods gated
+/// on `Self: Sized`; through a trait object, use the `*_bytes_at` forms or
+/// the zero-copy [`abcast_build_at`](Self::abcast_build_at).
+///
+/// # Capability markers
+///
+/// Entry points for services a stack does not provide (`supports_gbcast`,
+/// `supports_rbcast`, `supports_removal`) **panic** when invoked; the
+/// markers exist so generic drivers can select the services they need
+/// up front, in the paper's pick-your-services spirit.
+pub trait GroupTransport {
+    // -- identity & capabilities -------------------------------------------
+
+    /// Which protocol stack this transport runs.
+    fn stack(&self) -> StackKind;
+
+    /// Total number of simulated processes (founding members + joiners).
+    fn process_count(&self) -> usize;
+
+    /// Whether the stack provides generic broadcast (conflict-relation
+    /// ordering). Only the new architecture does.
+    fn supports_gbcast(&self) -> bool {
+        false
+    }
+
+    /// Whether the stack provides reliable (unordered) broadcast as a
+    /// first-class service.
+    fn supports_rbcast(&self) -> bool {
+        false
+    }
+
+    /// Whether the stack can remove a member by request (a scripted
+    /// [`Schedule`] `Remove` step). The baselines only exclude members via
+    /// their own failure suspicion, so they answer `false`.
+    fn supports_removal(&self) -> bool {
+        false
+    }
+
+    // -- workload ----------------------------------------------------------
+
+    /// Schedules an atomic broadcast by `p` at time `t`; the payload is
+    /// interned in the group's arena.
+    fn abcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes);
+
+    /// Schedules an atomic broadcast of an already-interned payload handle
+    /// (the zero-copy injection path).
+    fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef);
+
+    /// Schedules a generic broadcast of `class` by `p` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on stacks where [`supports_gbcast`](Self::supports_gbcast) is
+    /// `false`.
+    fn gbcast_bytes_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: Bytes) {
+        let _ = (t, p, class, payload);
+        panic!(
+            "the {} stack provides no generic broadcast (check supports_gbcast())",
+            self.stack().name()
+        );
+    }
+
+    /// Schedules a generic broadcast of an already-interned payload handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on stacks where [`supports_gbcast`](Self::supports_gbcast) is
+    /// `false`.
+    fn gbcast_ref_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: PayloadRef) {
+        let _ = (t, p, class, payload);
+        panic!(
+            "the {} stack provides no generic broadcast (check supports_gbcast())",
+            self.stack().name()
+        );
+    }
+
+    /// Schedules a reliable broadcast by `p` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on stacks where [`supports_rbcast`](Self::supports_rbcast) is
+    /// `false`.
+    fn rbcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
+        let _ = (t, p, payload);
+        panic!(
+            "the {} stack provides no reliable broadcast (check supports_rbcast())",
+            self.stack().name()
+        );
+    }
+
+    /// Schedules a reliable broadcast of an already-interned payload handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on stacks where [`supports_rbcast`](Self::supports_rbcast) is
+    /// `false`.
+    fn rbcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        let _ = (t, p, payload);
+        panic!(
+            "the {} stack provides no reliable broadcast (check supports_rbcast())",
+            self.stack().name()
+        );
+    }
+
+    // -- membership --------------------------------------------------------
+
+    /// Schedules non-member `joiner` to request membership. `contact` is the
+    /// member it joins through; stacks that route joins themselves (the
+    /// baselines contact their coordinator / sponsor) ignore it.
+    fn join_at(&mut self, t: Time, joiner: ProcessId, contact: ProcessId);
+
+    /// Schedules member `by` to ask for the removal of `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on stacks where [`supports_removal`](Self::supports_removal)
+    /// is `false`.
+    fn remove_at(&mut self, t: Time, by: ProcessId, target: ProcessId) {
+        let _ = (t, by, target);
+        panic!(
+            "the {} stack cannot remove members by request (check supports_removal())",
+            self.stack().name()
+        );
+    }
+
+    /// Crashes `p` at `t` (crash-stop).
+    fn crash_at(&mut self, t: Time, p: ProcessId);
+
+    /// Partitions the network into the given groups at `t` (processes in
+    /// different groups cannot communicate until [`heal_at`](Self::heal_at)).
+    fn partition_at(&mut self, t: Time, groups: Vec<Vec<ProcessId>>);
+
+    /// Heals any active partition at `t`.
+    fn heal_at(&mut self, t: Time);
+
+    /// Applies a scripted [`Schedule`]: simulator-level steps (crashes,
+    /// partitions, link changes, spikes, bursts) go to the world, and the
+    /// membership steps are routed through the stack's own join/removal
+    /// entry points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule contains a `Remove` step and the stack does
+    /// not [`support removal`](Self::supports_removal).
+    fn apply_schedule(&mut self, schedule: &Schedule);
+
+    // -- control -----------------------------------------------------------
+
+    /// Runs the simulation up to virtual time `t`.
+    fn run_until(&mut self, t: Time);
+
+    /// Runs until the event queue drains or virtual time would exceed
+    /// `limit`; returns `true` only if the system actually quiesced.
+    ///
+    /// A group with at least one live member never quiesces (heartbeat/token
+    /// timers re-arm forever): the call then behaves like
+    /// [`run_until`](Self::run_until)`(limit)` and returns `false`. `true`
+    /// is reachable once every process has crashed and the residual events
+    /// have drained.
+    fn run_to_quiescence(&mut self, limit: Time) -> bool;
+
+    // -- observation -------------------------------------------------------
+
+    /// The payload arena backing this group's message plane.
+    fn arena(&self) -> &SharedArena;
+
+    /// Simulation metrics (message/byte counts per protocol, latency
+    /// histograms).
+    fn metrics(&self) -> &Metrics;
+
+    /// Simulation events executed so far (the events/sec numerator).
+    fn events_executed(&self) -> u64;
+
+    /// Liveness flags per process.
+    fn alive_flags(&self) -> Vec<bool>;
+
+    /// Total application deliveries observed across all processes —
+    /// mode-independent (counted even under `TraceMode::CountsOnly`, unlike
+    /// [`delivery_trace`](Self::delivery_trace)).
+    fn delivery_count(&self) -> u64;
+
+    /// Every recorded application delivery, in global delivery order
+    /// (empty under the counting-only trace sinks).
+    fn delivery_trace(&self) -> Vec<TransportDelivery>;
+
+    /// Per-process sequences of installed views (ring generations on the
+    /// token stack), in installation order.
+    fn views(&self) -> Vec<Vec<View>>;
+
+    // -- provided conveniences ---------------------------------------------
+
+    /// Resolves a delivered payload handle to its bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle not issued by this group's arena.
+    fn resolve(&self, payload: PayloadRef) -> Bytes {
+        self.arena().get(payload)
+    }
+
+    /// Schedules an atomic broadcast, building the payload in place in the
+    /// arena's pooled scratch buffer: a streamed injection performs exactly
+    /// one allocation per message (the interned payload itself). This is
+    /// the entry point workload generators use — it is object-safe.
+    fn abcast_build_at(&mut self, t: Time, sender: ProcessId, fill: &mut dyn FnMut(&mut Vec<u8>)) {
+        let payload = self.arena().build(|buf| fill(buf));
+        self.abcast_ref_at(t, sender, payload);
+    }
+
+    /// Per-process delivery sequences (any kind), in delivery order.
+    fn delivered(&self) -> Vec<Vec<TransportDelivery>> {
+        let mut out = vec![Vec::new(); self.process_count()];
+        for d in self.delivery_trace() {
+            if let Some(seq) = out.get_mut(d.proc.index()) {
+                seq.push(d);
+            }
+        }
+        out
+    }
+
+    /// Per-process sequences of atomically delivered payloads, resolved
+    /// through the arena.
+    fn adelivered_payloads(&self) -> Vec<Vec<Vec<u8>>> {
+        let mut out = vec![Vec::new(); self.process_count()];
+        for d in self.delivery_trace() {
+            if d.kind != DeliveryKind::Atomic {
+                continue;
+            }
+            if let Some(seq) = out.get_mut(d.proc.index()) {
+                seq.push(self.resolve(d.payload).to_vec());
+            }
+        }
+        out
+    }
+
+    /// [`abcast_bytes_at`](Self::abcast_bytes_at) accepting anything
+    /// convertible to [`Bytes`]. Not available through a trait object.
+    fn abcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>)
+    where
+        Self: Sized,
+    {
+        self.abcast_bytes_at(t, p, payload.into());
+    }
+
+    /// [`gbcast_bytes_at`](Self::gbcast_bytes_at) accepting anything
+    /// convertible to [`Bytes`]. Not available through a trait object.
+    fn gbcast_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: impl Into<Bytes>)
+    where
+        Self: Sized,
+    {
+        self.gbcast_bytes_at(t, p, class, payload.into());
+    }
+
+    /// [`rbcast_bytes_at`](Self::rbcast_bytes_at) accepting anything
+    /// convertible to [`Bytes`]. Not available through a trait object.
+    fn rbcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>)
+    where
+        Self: Sized,
+    {
+        self.rbcast_bytes_at(t, p, payload.into());
+    }
+}

@@ -52,7 +52,7 @@ fn abcast_steady(c: &mut Criterion) {
 fn traditional_steady(c: &mut Criterion) {
     c.bench_function("isis_steady/5", |b| {
         b.iter(|| {
-            let mut sim = IsisSim::new(5, 0, IsisConfig::default(), 1);
+            let mut sim = IsisSim::new(5, IsisConfig::default(), 1);
             for i in 0..20u32 {
                 sim.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % 5), vec![i as u8]);
             }
@@ -62,7 +62,7 @@ fn traditional_steady(c: &mut Criterion) {
     });
     c.bench_function("token_steady/5", |b| {
         b.iter(|| {
-            let mut sim = TokenSim::new(5, 0, TokenConfig::default(), 1);
+            let mut sim = TokenSim::new(5, TokenConfig::default(), 1);
             for i in 0..20u32 {
                 sim.abcast_at(Time::from_millis(1 + i as u64 * 2), p(i % 5), vec![i as u8]);
             }
@@ -121,7 +121,7 @@ fn failover(c: &mut Criterion) {
     });
     c.bench_function("failover_isis", |b| {
         b.iter(|| {
-            let mut sim = IsisSim::new(3, 0, IsisConfig::default(), 3);
+            let mut sim = IsisSim::new(3, IsisConfig::default(), 3);
             sim.crash_at(Time::from_millis(100), p(0));
             sim.abcast_at(Time::from_millis(105), p(1), b"probe".to_vec());
             sim.run_until(Time::from_millis(600));

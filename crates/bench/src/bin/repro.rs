@@ -52,7 +52,9 @@ scenario engine:
   scenario <name> [seed]     run one scenario, print its report
   sweep [seeds] [base] [threads]
                              run the whole catalog x seeds across worker
-                             threads (default: 3 seeds from 7, all cores)
+                             threads (default: 3 seeds from 7, all cores);
+                             prints per-scenario mean/sigma aggregates
+                             across seeds plus a JSON aggregate object
 
 perf trajectories (use a --release build):
   bench-pr1 [reps]           PR-1 workloads, JSON to stdout
@@ -136,10 +138,47 @@ under the alloc_guard budget (pre-PR baseline: 33.4). Regenerate with: cargo run
     }
 }
 
+/// Renders an f64 as a JSON value: numbers stay numbers, non-finite
+/// figures (NaN latency when a run records no samples) become `null`
+/// rather than invalid JSON.
+fn json_f64(v: f64, precision: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.precision$}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the cross-seed aggregates as a JSON object (no external JSON
+/// dependency), keyed by scenario name.
+fn sweep_aggregates_json(aggregates: &[gcs_bench::scenario::SweepAggregate]) -> String {
+    let mut s = String::from("{\n");
+    for (i, a) in aggregates.iter().enumerate() {
+        s.push_str(&format!(
+            "  \"{}\": {{\"runs\": {}, \"mean_latency_ms\": {}, \"latency_stddev_ms\": {}, \
+\"mean_p99_ms\": {}, \"mean_events\": {:.1}, \"events_stddev\": {:.1}, \"mean_msgs\": {:.1}, \
+\"distinct_fingerprints\": {}}}{}\n",
+            a.name,
+            a.runs,
+            json_f64(a.mean_latency_ms, 4),
+            json_f64(a.latency_stddev_ms, 4),
+            json_f64(a.mean_p99_ms, 4),
+            a.mean_events,
+            a.events_stddev,
+            a.mean_msgs,
+            a.distinct_fingerprints,
+            if i + 1 == aggregates.len() { "" } else { "," }
+        ));
+    }
+    s.push('}');
+    s
+}
+
 /// `sweep [seeds] [base] [threads]`: run every cataloged scenario at
 /// `seeds` consecutive seeds starting from `base`, fanned out across
 /// worker threads (defaults to the machine's parallelism), and print one
-/// merged table in deterministic task order.
+/// merged table in deterministic task order, the per-scenario mean/σ
+/// aggregates across seeds, and the aggregate JSON object.
 fn sweep() {
     // At least one seed: `sweep 0` would otherwise underflow the header
     // range and run nothing.
@@ -180,6 +219,24 @@ fn sweep() {
             r.fingerprint
         );
     }
+    let aggregates = scenario::aggregate(&results);
+    println!("\n### cross-seed aggregates (mean ± σ over {seeds} seeds)\n");
+    println!("| scenario | runs | mean lat (ms) | σ lat (ms) | mean p99 (ms) | mean events | σ events | distinct fingerprints |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for a in &aggregates {
+        println!(
+            "| {} | {} | {:.2} | {:.2} | {:.2} | {:.0} | {:.1} | {} |",
+            a.name,
+            a.runs,
+            a.mean_latency_ms,
+            a.latency_stddev_ms,
+            a.mean_p99_ms,
+            a.mean_events,
+            a.events_stddev,
+            a.distinct_fingerprints
+        );
+    }
+    println!("\n```json\n{}\n```", sweep_aggregates_json(&aggregates));
     println!(
         "\n{} runs in {:.2}s wall-clock on {threads} threads",
         results.len(),
@@ -195,8 +252,9 @@ fn list() {
     println!("\nscenarios (workload × topology × schedule):");
     for s in scenario::catalog() {
         println!(
-            "  {:<22} n={}{} on {:<12} {}",
+            "  {:<22} [{}] n={}{} on {:<12} {}",
             s.name,
+            s.stack.name(),
             s.n,
             if s.joiners > 0 {
                 format!("+{}", s.joiners)

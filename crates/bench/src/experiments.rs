@@ -1,11 +1,12 @@
 //! The experiments of DESIGN.md §3: each function runs one experiment and
 //! prints a markdown table (virtual-time latencies, message counts).
 
-use gcs_core::{ConflictRelation, Ev, GroupSim, StackConfig};
+use gcs_api::{Group, GroupTransport, StackKind};
+use gcs_core::{ConflictRelation, StackConfig};
 use gcs_kernel::{Component, Context, Event, Process, ProcessId, Time, TimeDelta, TimerId};
 use gcs_replication::bank::{bank_conflicts, BankOp, CLASS_DEPOSIT, CLASS_WITHDRAW};
 use gcs_sim::{LinkModel, SimConfig, SimWorld};
-use gcs_traditional::{IsisConfig, IsisEvent, IsisSim, TokenConfig, TokenSim};
+use gcs_traditional::IsisConfig;
 
 use crate::workload::{Senders, UniformWorkload, Workload};
 
@@ -46,7 +47,11 @@ pub fn e1_ordering_complexity() {
     {
         let mut cfg = StackConfig::default();
         cfg.monitoring_timeout = TimeDelta::from_secs(3600); // isolate: no exclusion
-        let mut g = GroupSim::new(n, cfg, 1);
+        let mut g = Group::builder()
+            .members(n)
+            .stack_config(cfg)
+            .seed(1)
+            .build();
         stream.inject(n, &mut g);
         g.run_until(Time::from_millis(400));
         let steady = g.metrics().sent_matching(|k| !k.starts_with("fd/"));
@@ -65,7 +70,11 @@ pub fn e1_ordering_complexity() {
 
     // -- Isis --------------------------------------------------------------
     {
-        let mut sim = IsisSim::new(n, 0, IsisConfig::default(), 1);
+        let mut sim = Group::builder()
+            .members(n)
+            .stack(StackKind::Isis)
+            .seed(1)
+            .build();
         stream.inject(n, &mut sim);
         sim.run_until(Time::from_millis(400));
         let steady = sim.metrics().sent_matching(|k| !k.contains("heartbeat"));
@@ -82,7 +91,11 @@ pub fn e1_ordering_complexity() {
 
     // -- token ring ---------------------------------------------------------
     {
-        let mut sim = TokenSim::new(n, 0, TokenConfig::default(), 1);
+        let mut sim = Group::builder()
+            .members(n)
+            .stack(StackKind::Token)
+            .seed(1)
+            .build();
         stream.inject(n, &mut sim);
         sim.run_until(Time::from_millis(400));
         let steady = sim.metrics().sent_matching(|k| k != "token/token");
@@ -135,7 +148,11 @@ pub fn e2_generic_vs_atomic() {
                 1 => ConflictRelation::all(10),
                 _ => bank_conflicts(), // unused for abcast mode
             };
-            let mut g = GroupSim::new(n, cfg, 42 + withdraw_pct as u64);
+            let mut g = Group::builder()
+                .members(n)
+                .stack_config(cfg)
+                .seed(42 + withdraw_pct as u64)
+                .build();
             let mut inject_times = Vec::new();
             for (i, op) in ops.iter().enumerate() {
                 let t = Time::from_millis(5 + 3 * i as u64);
@@ -156,13 +173,9 @@ pub fn e2_generic_vs_atomic() {
             }
             g.run_until(Time::from_secs(5));
             let deliveries: Vec<(Time, usize)> = g
-                .trace()
-                .entries()
-                .iter()
-                .filter_map(|e| match &e.event {
-                    Ev::Deliver(d) => Some((e.time, g.resolve(d.payload)[0] as usize)),
-                    _ => None,
-                })
+                .delivery_trace()
+                .into_iter()
+                .map(|d| (d.time, g.resolve(d.payload)[0] as usize))
                 .collect();
             let (lat, cnt) = mean_latency(&inject_times, &deliveries);
             assert_eq!(cnt, ops_count as usize * n, "all ops delivered everywhere");
@@ -196,32 +209,35 @@ pub fn e3_failover_latency() {
             let mut cfg = StackConfig::default();
             cfg.consensus_timeout = TimeDelta::from_millis(timeout_ms);
             cfg.monitoring_timeout = TimeDelta::from_secs(3600);
-            let mut g = GroupSim::new(3, cfg, 3);
+            let mut g = Group::builder()
+                .members(3)
+                .stack_config(cfg)
+                .seed(3)
+                .build();
             g.crash_at(Time::from_millis(100), p(0));
             g.abcast_at(Time::from_millis(105), p(1), b"probe".to_vec());
             g.run_until(Time::from_millis(100 + timeout_ms * 4 + 2000));
-            g.trace()
-                .first_time(|e| match e {
-                    Ev::Deliver(d) if g.resolve(d.payload).as_ref() == b"probe" => Some(()),
-                    _ => None,
-                })
-                .map(|(t, _, _)| t.since(Time::from_millis(105)).as_millis_f64())
+            g.delivery_trace()
+                .iter()
+                .find(|d| g.resolve(d.payload).as_ref() == b"probe")
+                .map(|d| d.time.since(Time::from_millis(105)).as_millis_f64())
         };
         let isis_lat = {
             let mut cfg = IsisConfig::default();
             cfg.fd_timeout = TimeDelta::from_millis(timeout_ms);
-            let mut sim = IsisSim::new(3, 0, cfg, 3);
+            let mut sim = Group::builder()
+                .members(3)
+                .stack(StackKind::Isis)
+                .isis_config(cfg)
+                .seed(3)
+                .build();
             sim.crash_at(Time::from_millis(100), p(0));
             sim.abcast_at(Time::from_millis(105), p(1), b"probe".to_vec());
             sim.run_until(Time::from_millis(100 + timeout_ms * 4 + 2000));
-            sim.trace().entries().iter().find_map(|e| match &e.event {
-                IsisEvent::Deliver { payload, .. }
-                    if sim.resolve(*payload).as_ref() == b"probe" =>
-                {
-                    Some(e.time.since(Time::from_millis(105)).as_millis_f64())
-                }
-                _ => None,
-            })
+            sim.delivery_trace()
+                .iter()
+                .find(|d| sim.resolve(d.payload).as_ref() == b"probe")
+                .map(|d| d.time.since(Time::from_millis(105)).as_millis_f64())
         };
         println!(
             "| {timeout_ms} | {} | {} |",
@@ -250,7 +266,11 @@ pub fn e3_false_suspicion_cost() {
             cfg.consensus_timeout = TimeDelta::from_millis(100);
             cfg.monitoring_timeout = TimeDelta::from_millis(800);
             cfg.state_size = state_size;
-            let mut g = GroupSim::new(3, cfg, 9);
+            let mut g = Group::builder()
+                .members(3)
+                .stack_config(cfg)
+                .seed(9)
+                .build();
             let baseline = {
                 let mut b = g.metrics().clone();
                 b = b.delta_since(&b); // zero
@@ -258,19 +278,16 @@ pub fn e3_false_suspicion_cost() {
             };
             let _ = baseline;
             let before = g.metrics().clone();
-            g.world_mut()
-                .partition_at(Time::from_millis(50), vec![vec![p(0), p(1)], vec![p(2)]]);
-            g.world_mut().heal_at(Time::from_millis(350));
+            g.partition_at(Time::from_millis(50), vec![vec![p(0), p(1)], vec![p(2)]]);
+            g.heal_at(Time::from_millis(350));
             // p2 proves it is functional again by broadcasting after heal.
             g.abcast_at(Time::from_millis(360), p(2), b"back".to_vec());
             g.run_until(Time::from_secs(3));
             let back_at = g
-                .trace()
-                .first_time(|e| match e {
-                    Ev::Deliver(d) if g.resolve(d.payload).as_ref() == b"back" => Some(()),
-                    _ => None,
-                })
-                .map(|(t, _, _)| t);
+                .delivery_trace()
+                .iter()
+                .find(|d| g.resolve(d.payload).as_ref() == b"back")
+                .map(|d| d.time);
             let disrupted =
                 back_at.map_or(f64::NAN, |t| t.since(Time::from_millis(50)).as_millis_f64());
             let delta = g.metrics().delta_since(&before);
@@ -287,13 +304,20 @@ pub fn e3_false_suspicion_cost() {
             let mut cfg = IsisConfig::default();
             cfg.fd_timeout = TimeDelta::from_millis(100);
             cfg.state_size = state_size;
-            let mut sim = IsisSim::new(3, 0, cfg, 9);
+            let mut sim = Group::builder()
+                .members(3)
+                .stack(StackKind::Isis)
+                .isis_config(cfg)
+                .seed(9)
+                .build();
             let before = sim.metrics().clone();
-            sim.world_mut()
-                .partition_at(Time::from_millis(50), vec![vec![p(0), p(1)], vec![p(2)]]);
-            sim.world_mut().heal_at(Time::from_millis(350));
+            sim.partition_at(Time::from_millis(50), vec![vec![p(0), p(1)], vec![p(2)]]);
+            sim.heal_at(Time::from_millis(350));
             sim.run_until(Time::from_secs(3));
-            let (_killed, rejoined) = sim.kill_and_rejoin_times(p(2));
+            let (_killed, rejoined) = sim
+                .as_isis()
+                .expect("isis stack")
+                .kill_and_rejoin_times(p(2));
             let disrupted =
                 rejoined.map_or(f64::NAN, |t| t.since(Time::from_millis(50)).as_millis_f64());
             let delta = sim.metrics().delta_since(&before);
@@ -332,19 +356,16 @@ pub fn e4_view_change_blocking() {
 
     // -- new architecture ----------------------------------------------------
     {
-        let mut g = GroupSim::with_joiners(3, 1, StackConfig::default(), 4);
+        let mut g = Group::builder().members(3).joiners(1).seed(4).build();
         stream.inject(3, &mut g);
         let before = g.metrics().clone();
         g.join_at(Time::from_millis(100), p(3), p(1));
         g.run_until(Time::from_secs(3));
         let deliveries: Vec<Time> = g
-            .trace()
-            .entries()
+            .delivery_trace()
             .iter()
-            .filter(|e| {
-                e.proc == p(1) && matches!(&e.event, Ev::Deliver(d) if d.payload.len() == 2)
-            })
-            .map(|e| e.time)
+            .filter(|d| d.proc == p(1) && d.payload.len() == 2)
+            .map(|d| d.time)
             .collect();
         let max_gap = deliveries
             .windows(2)
@@ -360,25 +381,28 @@ pub fn e4_view_change_blocking() {
 
     // -- Isis -----------------------------------------------------------------
     {
-        let mut sim = IsisSim::new(3, 1, IsisConfig::default(), 4);
+        let mut sim = Group::builder()
+            .members(3)
+            .joiners(1)
+            .stack(StackKind::Isis)
+            .seed(4)
+            .build();
         stream.inject(3, &mut sim);
         let before = sim.metrics().clone();
-        sim.join_at(Time::from_millis(100), p(3));
+        sim.join_at(Time::from_millis(100), p(3), p(0));
         sim.run_until(Time::from_secs(3));
         let blocked: f64 = sim
+            .as_isis()
+            .expect("isis stack")
             .blocked_windows(p(0))
             .iter()
             .map(|(s, e)| e.since(*s).as_millis_f64())
             .sum();
         let deliveries: Vec<Time> = sim
-            .trace()
-            .entries()
+            .delivery_trace()
             .iter()
-            .filter(|e| {
-                e.proc == p(1)
-                    && matches!(&e.event, IsisEvent::Deliver { payload, .. } if payload.len() == 2)
-            })
-            .map(|e| e.time)
+            .filter(|d| d.proc == p(1) && d.payload.len() == 2)
+            .map(|d| d.time)
             .collect();
         let max_gap = deliveries
             .windows(2)

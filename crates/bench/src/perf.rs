@@ -7,10 +7,10 @@
 
 use std::time::Instant;
 
-use gcs_core::{GroupSim, StackConfig};
+use gcs_api::{Group, GroupTransport, StackKind};
+use gcs_core::StackConfig;
 use gcs_kernel::{Time, TimeDelta};
-use gcs_sim::{SimConfig, TraceMode};
-use gcs_traditional::{IsisConfig, IsisSim, TokenConfig, TokenSim};
+use gcs_sim::TraceMode;
 
 use crate::scenario;
 use crate::workload::{UniformWorkload, Workload};
@@ -51,13 +51,17 @@ pub fn abcast_steady_5() -> u64 {
 pub fn abcast_steady_5_stats() -> RunStats {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
-    let mut g = GroupSim::new(5, cfg, 1);
+    let mut g = Group::builder()
+        .members(5)
+        .stack_config(cfg)
+        .seed(1)
+        .build();
     UniformWorkload::steady(20, 2).inject(5, &mut g);
     g.run_until(Time::from_millis(300));
     let delivered = g.adelivered_payloads();
     assert_eq!(delivered[0].len(), 20);
     RunStats {
-        events: g.world().events_executed(),
+        events: g.events_executed(),
         deliveries: delivered.iter().map(|s| s.len() as u64).sum(),
     }
 }
@@ -70,14 +74,18 @@ pub fn isis_steady_5() -> u64 {
 
 /// [`isis_steady_5`] with the delivery total.
 pub fn isis_steady_5_stats() -> RunStats {
-    let mut sim = IsisSim::new(5, 0, IsisConfig::default(), 1);
+    let mut sim = Group::builder()
+        .members(5)
+        .stack(StackKind::Isis)
+        .seed(1)
+        .build();
     UniformWorkload::steady(20, 2).inject(5, &mut sim);
     sim.run_until(Time::from_millis(300));
-    let delivered = sim.delivered_payloads();
+    let delivered = sim.adelivered_payloads();
     assert_eq!(delivered[0].len(), 20);
     let deliveries = delivered.iter().map(|s| s.len() as u64).sum();
     RunStats {
-        events: sim.world_mut().events_executed(),
+        events: sim.events_executed(),
         deliveries,
     }
 }
@@ -89,14 +97,18 @@ pub fn token_steady_5() -> u64 {
 
 /// [`token_steady_5`] with the delivery total.
 pub fn token_steady_5_stats() -> RunStats {
-    let mut sim = TokenSim::new(5, 0, TokenConfig::default(), 1);
+    let mut sim = Group::builder()
+        .members(5)
+        .stack(StackKind::Token)
+        .seed(1)
+        .build();
     UniformWorkload::steady(20, 2).inject(5, &mut sim);
     sim.run_until(Time::from_millis(300));
-    let delivered = sim.delivered_payloads();
+    let delivered = sim.adelivered_payloads();
     assert_eq!(delivered[0].len(), 20);
     let deliveries = delivered.iter().map(|s| s.len() as u64).sum();
     RunStats {
-        events: sim.world_mut().events_executed(),
+        events: sim.events_executed(),
         deliveries,
     }
 }
@@ -107,11 +119,15 @@ pub fn token_steady_5_stats() -> RunStats {
 pub fn sim_throughput(n: usize) -> u64 {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
-    let mut g = GroupSim::new(n, cfg, 7);
+    let mut g = Group::builder()
+        .members(n)
+        .stack_config(cfg)
+        .seed(7)
+        .build();
     UniformWorkload::steady(50, 4).inject(n, &mut g);
     g.run_until(Time::from_secs(1));
     assert_eq!(g.adelivered_payloads()[0].len(), 50);
-    g.world().events_executed()
+    g.events_executed()
 }
 
 /// The criterion-group variant of [`sim_throughput`]: counts-only trace sink
@@ -121,15 +137,16 @@ pub fn sim_throughput(n: usize) -> u64 {
 pub fn sim_throughput_counts(n: usize, horizon_ms: u64) -> u64 {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
-    let sim = SimConfig::lan(7).with_trace(TraceMode::CountsOnly);
-    let mut g = GroupSim::with_sim(n, 0, cfg, sim);
+    let mut g = Group::builder()
+        .members(n)
+        .stack_config(cfg)
+        .trace(TraceMode::CountsOnly)
+        .seed(7)
+        .build();
     UniformWorkload::steady(50, 4).inject(n, &mut g);
     g.run_until(Time::from_millis(horizon_ms));
-    assert!(
-        g.world().trace().delivery_count() >= 50,
-        "deliveries happened"
-    );
-    g.world().events_executed()
+    assert!(g.delivery_count() >= 50, "deliveries happened");
+    g.events_executed()
 }
 
 /// Times `workload` (which returns its executed-event count) over `reps`

@@ -1,26 +1,29 @@
-//! Named scenarios: workload × topology × schedule, the full experiment
-//! matrix as first-class values.
+//! Named scenarios: stack × workload × topology × schedule, the full
+//! experiment matrix as first-class values.
 //!
-//! A [`Scenario`] bundles everything a run needs — group size, a
-//! [`Topology`], a [`Workload`] and a [`Schedule`] — so `repro`, the
-//! criterion benches and the determinism tests all execute the *same*
-//! definition. The built-in matrix lives in [`catalog`]; run one with
-//! [`Scenario::run`].
+//! A [`Scenario`] bundles everything a run needs — the [`StackKind`] to
+//! drive, group size, a [`Topology`], a [`Workload`] and a [`Schedule`] —
+//! so `repro`, the criterion benches and the determinism tests all execute
+//! the *same* definition, through the [`GroupTransport`] façade. The
+//! built-in matrix lives in [`catalog`]; run one with [`Scenario::run`].
 
-use gcs_core::{DeliveryKind, Ev, GroupSim, StackConfig};
+use gcs_api::{Group, GroupTransport, StackKind};
+use gcs_core::{DeliveryKind, StackConfig};
 use gcs_kernel::{ProcessId, Time, TimeDelta};
-use gcs_sim::{Schedule, SimConfig, Topology, TraceMode};
+use gcs_sim::{Schedule, Topology, TraceMode};
 
 use crate::workload::{
     decode_op_index, ChurnWorkload, LargePayloadWorkload, SkewedWorkload, UniformWorkload, Workload,
 };
 
-/// One named experiment scenario over the new-architecture stack.
+/// One named experiment scenario over one of the three stacks.
 pub struct Scenario {
     /// Stable name (CLI handle: `repro scenario <name>`).
     pub name: &'static str,
     /// One-line description for `repro list`.
     pub about: &'static str,
+    /// Which protocol stack the scenario drives.
+    pub stack: StackKind,
     /// Founding members.
     pub n: usize,
     /// Processes started outside the group (churn joiners).
@@ -103,13 +106,19 @@ impl Scenario {
         // Exclusions are driven by the schedule, not wall-clock monitoring:
         // an FD-triggered exclusion racing the scripted membership steps
         // would make scenario comparisons measure the monitor, not the
-        // scenario.
+        // scenario. (Only the new architecture reads this config; the
+        // baselines keep their stack defaults.)
         cfg.monitoring_timeout = TimeDelta::from_secs(3600);
-        let sim = SimConfig::lan(seed)
-            .with_topology(self.topology.clone())
-            .with_trace(trace);
-        let mut g = GroupSim::with_sim(self.n, self.joiners, cfg, sim);
-        g.apply_schedule(&self.full_schedule());
+        let mut g = Group::builder()
+            .members(self.n)
+            .joiners(self.joiners)
+            .stack(self.stack)
+            .topology(self.topology.clone())
+            .schedule(self.full_schedule())
+            .trace(trace)
+            .stack_config(cfg)
+            .seed(seed)
+            .build();
         let inject_times = self.workload.inject(self.n, &mut g);
         g.run_until(self.horizon);
 
@@ -120,29 +129,27 @@ impl Scenario {
             fingerprint ^= byte as u64;
             fingerprint = fingerprint.wrapping_mul(0x100000001b3);
         };
-        for e in g.trace().entries() {
-            if let Ev::Deliver(d) = &e.event {
-                if d.kind != DeliveryKind::Atomic {
-                    continue;
-                }
-                for b in e.time.as_nanos().to_le_bytes() {
-                    fnv(b);
-                }
-                for b in (e.proc.index() as u32).to_le_bytes() {
-                    fnv(b);
-                }
-                let payload = g.resolve(d.payload);
-                for &b in payload.as_ref() {
-                    fnv(b);
-                }
-                if let Some(op) = decode_op_index(&payload) {
-                    if op < inject_times.len() {
-                        latencies.push(e.time.since(inject_times[op]).as_millis_f64());
-                    }
+        for d in g.delivery_trace() {
+            if d.kind != DeliveryKind::Atomic {
+                continue;
+            }
+            for b in d.time.as_nanos().to_le_bytes() {
+                fnv(b);
+            }
+            for b in (d.proc.index() as u32).to_le_bytes() {
+                fnv(b);
+            }
+            let payload = g.resolve(d.payload);
+            for &b in payload.as_ref() {
+                fnv(b);
+            }
+            if let Some(op) = decode_op_index(&payload) {
+                if op < inject_times.len() {
+                    latencies.push(d.time.since(inject_times[op]).as_millis_f64());
                 }
             }
         }
-        for b in g.world().events_executed().to_le_bytes() {
+        for b in g.events_executed().to_le_bytes() {
             fnv(b);
         }
 
@@ -176,8 +183,8 @@ impl Scenario {
             name: self.name,
             seed,
             injected: inject_times.len(),
-            deliveries: g.trace().delivery_count(),
-            events: g.world().events_executed(),
+            deliveries: g.delivery_count(),
+            events: g.events_executed(),
             msgs: g.metrics().total_sent(),
             bytes: g.metrics().total_bytes(),
             mean_latency_ms: mean,
@@ -195,6 +202,7 @@ pub fn catalog() -> Vec<Scenario> {
         Scenario {
             name: "uniform-lan",
             about: "baseline: uniform round-robin stream on a flat LAN",
+            stack: StackKind::NewArch,
             n: 8,
             joiners: 0,
             topology: Topology::lan(),
@@ -205,6 +213,7 @@ pub fn catalog() -> Vec<Scenario> {
         Scenario {
             name: "skewed-lan",
             about: "zipf(1.2) senders: one hot publisher dominates",
+            stack: StackKind::NewArch,
             n: 8,
             joiners: 0,
             topology: Topology::lan(),
@@ -215,6 +224,7 @@ pub fn catalog() -> Vec<Scenario> {
         Scenario {
             name: "large-payload-lan",
             about: "64 KiB payloads on a 125 MB/s LAN: serialization delay",
+            stack: StackKind::NewArch,
             n: 8,
             joiners: 0,
             topology: Topology::uniform(
@@ -228,6 +238,7 @@ pub fn catalog() -> Vec<Scenario> {
         Scenario {
             name: "uniform-wan2dc",
             about: "two data centers, bandwidth-limited WAN link between",
+            stack: StackKind::NewArch,
             n: 8,
             joiners: 0,
             topology: Topology::wan_2dc(),
@@ -238,6 +249,7 @@ pub fn catalog() -> Vec<Scenario> {
         Scenario {
             name: "uniform-wan3",
             about: "three regions, asymmetric lossy long-haul links",
+            stack: StackKind::NewArch,
             n: 9,
             joiners: 0,
             topology: Topology::wan_3region(),
@@ -248,6 +260,7 @@ pub fn catalog() -> Vec<Scenario> {
         Scenario {
             name: "lossy-lan",
             about: "2% random loss: retransmission machinery under stress",
+            stack: StackKind::NewArch,
             n: 8,
             joiners: 0,
             topology: Topology::lossy(),
@@ -258,6 +271,7 @@ pub fn catalog() -> Vec<Scenario> {
         Scenario {
             name: "churn-lan",
             about: "join + removal mid-stream on a LAN (§4.4 under load)",
+            stack: StackKind::NewArch,
             n: 4,
             joiners: 1,
             topology: Topology::lan(),
@@ -268,6 +282,7 @@ pub fn catalog() -> Vec<Scenario> {
         Scenario {
             name: "churn-wan2dc",
             about: "membership churn while crossing a WAN link",
+            stack: StackKind::NewArch,
             n: 4,
             joiners: 1,
             topology: Topology::wan_2dc(),
@@ -278,6 +293,7 @@ pub fn catalog() -> Vec<Scenario> {
         Scenario {
             name: "flaky-churn",
             about: "2% lossy links × join/remove churn, plus a loss burst",
+            stack: StackKind::NewArch,
             n: 4,
             joiners: 1,
             topology: Topology::lossy(),
@@ -292,6 +308,7 @@ pub fn catalog() -> Vec<Scenario> {
         Scenario {
             name: "rolling-restart-wan3",
             about: "sequenced region outages (partition+heal) across all 3 regions",
+            stack: StackKind::NewArch,
             n: 9,
             joiners: 0,
             topology: Topology::wan_3region(),
@@ -322,6 +339,7 @@ pub fn catalog() -> Vec<Scenario> {
         Scenario {
             name: "partition-heal-wan3",
             about: "region partition at 200ms, heal at 600ms, stream on",
+            stack: StackKind::NewArch,
             n: 9,
             joiners: 0,
             topology: Topology::wan_3region(),
@@ -331,7 +349,106 @@ pub fn catalog() -> Vec<Scenario> {
                 .heal(Time::from_millis(600)),
             horizon: Time::from_secs(8),
         },
+        // Cross-stack comparison points: the same uniform stream on the
+        // traditional baselines (loss-free LAN — the substrate they assume),
+        // so sweeps diff all three architectures under one workload.
+        Scenario {
+            name: "uniform-lan-isis",
+            about: "the uniform-lan stream on the Isis GM-VS baseline",
+            stack: StackKind::Isis,
+            n: 8,
+            joiners: 0,
+            topology: Topology::lan(),
+            workload: Box::new(UniformWorkload::steady(200, 2)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(1),
+        },
+        Scenario {
+            name: "uniform-lan-token",
+            about: "the uniform-lan stream on the token-ring baseline",
+            stack: StackKind::Token,
+            n: 8,
+            joiners: 0,
+            topology: Topology::lan(),
+            workload: Box::new(UniformWorkload::steady(200, 2)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(1),
+        },
     ]
+}
+
+/// Per-scenario aggregate of a sweep: mean and population σ across the
+/// seeds each scenario ran with.
+#[derive(Clone, Debug)]
+pub struct SweepAggregate {
+    /// The scenario name.
+    pub name: &'static str,
+    /// Number of runs (seeds) aggregated.
+    pub runs: usize,
+    /// Mean over seeds of the per-run mean latency (virtual ms).
+    pub mean_latency_ms: f64,
+    /// Population σ of the per-run mean latency across seeds.
+    pub latency_stddev_ms: f64,
+    /// Mean over seeds of the per-run p99 latency (virtual ms).
+    pub mean_p99_ms: f64,
+    /// Mean executed-event count across seeds.
+    pub mean_events: f64,
+    /// Population σ of the executed-event count across seeds.
+    pub events_stddev: f64,
+    /// Mean message count across seeds.
+    pub mean_msgs: f64,
+    /// Distinct fingerprints across seeds (== runs unless two seeds
+    /// coincidentally collide — a sanity signal, not an error).
+    pub distinct_fingerprints: usize,
+}
+
+fn mean_stddev(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Aggregates sweep reports per scenario (first-appearance order): mean/σ
+/// across seeds of the latency and event figures — the cross-seed summary
+/// `repro sweep` prints and embeds in its JSON output.
+pub fn aggregate(reports: &[ScenarioReport]) -> Vec<SweepAggregate> {
+    let mut order: Vec<&'static str> = Vec::new();
+    for r in reports {
+        if !order.contains(&r.name) {
+            order.push(r.name);
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let runs: Vec<&ScenarioReport> = reports.iter().filter(|r| r.name == name).collect();
+            let lat: Vec<f64> = runs.iter().map(|r| r.mean_latency_ms).collect();
+            let p99: Vec<f64> = runs.iter().map(|r| r.p99_latency_ms).collect();
+            let events: Vec<f64> = runs.iter().map(|r| r.events as f64).collect();
+            let msgs: Vec<f64> = runs.iter().map(|r| r.msgs as f64).collect();
+            let mut fps: Vec<u64> = runs.iter().map(|r| r.fingerprint).collect();
+            fps.sort_unstable();
+            fps.dedup();
+            let (mean_latency_ms, latency_stddev_ms) = mean_stddev(&lat);
+            let (mean_p99_ms, _) = mean_stddev(&p99);
+            let (mean_events, events_stddev) = mean_stddev(&events);
+            let (mean_msgs, _) = mean_stddev(&msgs);
+            SweepAggregate {
+                name,
+                runs: runs.len(),
+                mean_latency_ms,
+                latency_stddev_ms,
+                mean_p99_ms,
+                mean_events,
+                events_stddev,
+                mean_msgs,
+                distinct_fingerprints: fps.len(),
+            }
+        })
+        .collect()
 }
 
 /// Runs `(name, seed)` tasks across `threads` worker threads, one fully
@@ -497,5 +614,45 @@ mod tests {
         let a = s.run(7, TraceMode::Full);
         let b = s.run(8, TraceMode::Full);
         assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn cross_stack_scenarios_deliver_the_full_stream() {
+        // The same uniform-lan workload definition drives all three stacks;
+        // every member of each architecture delivers the whole stream.
+        for name in ["uniform-lan", "uniform-lan-isis", "uniform-lan-token"] {
+            let s = by_name(name).unwrap();
+            let r = s.run(3, TraceMode::Full);
+            assert_eq!(r.injected, 200, "{name}");
+            assert!(
+                r.deliveries >= (r.injected * s.n) as u64,
+                "{name}: all members deliver everything: {r:?}"
+            );
+            assert!(r.mean_latency_ms.is_finite(), "{name}");
+        }
+    }
+
+    #[test]
+    fn aggregate_summarizes_across_seeds() {
+        let s = by_name("uniform-lan").unwrap();
+        let reports: Vec<ScenarioReport> =
+            (7..10).map(|seed| s.run(seed, TraceMode::Full)).collect();
+        let aggs = aggregate(&reports);
+        assert_eq!(aggs.len(), 1);
+        let a = &aggs[0];
+        assert_eq!(a.name, "uniform-lan");
+        assert_eq!(a.runs, 3);
+        // Mean of means sits inside the per-seed range; sigma is finite and
+        // small relative to the mean on this steady workload.
+        let lats: Vec<f64> = reports.iter().map(|r| r.mean_latency_ms).collect();
+        let lo = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = lats.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(a.mean_latency_ms >= lo && a.mean_latency_ms <= hi);
+        assert!(a.latency_stddev_ms.is_finite() && a.latency_stddev_ms >= 0.0);
+        assert!(a.latency_stddev_ms <= a.mean_latency_ms);
+        assert_eq!(a.distinct_fingerprints, 3, "three seeds, three orders");
+        // Same-seed repeats collapse to one fingerprint.
+        let twice = vec![reports[0].clone(), reports[0].clone()];
+        assert_eq!(aggregate(&twice)[0].distinct_fingerprints, 1);
     }
 }

@@ -3,54 +3,25 @@
 //! Every experiment used to carry its own copy of the injection loop
 //! (`for i in 0..msgs { sim.abcast_at(...) }`); the [`Workload`] trait makes
 //! the stream a value that scenarios compose with a
-//! [`Topology`](gcs_sim::Topology) and a [`Schedule`](gcs_sim::Schedule).
+//! [`Topology`](gcs_sim::Topology) and a [`gcs_sim::Schedule`].
+//! Workloads drive any [`GroupTransport`] — the new architecture and both
+//! traditional baselines — through the object-safe
+//! [`abcast_build_at`](GroupTransport::abcast_build_at) entry point:
+//! payloads are built in place in the target arena's pooled scratch buffer,
+//! so a streamed injection performs exactly one allocation per message (the
+//! interned payload itself), with no intermediate `Vec` per op.
+//!
 //! Implementations cover the scenario matrix: [`UniformWorkload`] (the old
 //! round-robin stream), [`SkewedWorkload`] (zipf-distributed senders),
 //! [`LargePayloadWorkload`] (bulk messages that pay serialization delay on
 //! bandwidth-limited links) and [`ChurnWorkload`] (a stream with membership
 //! churn riding on it).
 
-use gcs_core::GroupSim;
+use gcs_api::GroupTransport;
 use gcs_kernel::{ProcessId, Time, TimeDelta};
 use gcs_sim::Schedule;
-use gcs_traditional::{IsisSim, TokenSim};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-/// Anything that can accept a timed atomic-broadcast stream — implemented by
-/// the new-architecture [`GroupSim`] and both traditional baselines, so one
-/// workload definition drives every architecture in a comparison.
-///
-/// Payloads are *built in place*: `fill` writes into the target arena's
-/// pooled scratch buffer ([`SharedArena::build`](gcs_kernel::SharedArena)),
-/// so a streamed injection performs exactly one allocation per message —
-/// the interned payload itself — with no intermediate `Vec` per op.
-pub trait AbcastStream {
-    /// Schedules an atomic broadcast by `sender` at `t`; `fill` writes the
-    /// payload into a reused scratch buffer.
-    fn abcast_build_at(&mut self, t: Time, sender: ProcessId, fill: &mut dyn FnMut(&mut Vec<u8>));
-}
-
-impl AbcastStream for GroupSim {
-    fn abcast_build_at(&mut self, t: Time, sender: ProcessId, fill: &mut dyn FnMut(&mut Vec<u8>)) {
-        let payload = self.arena().build(|buf| fill(buf));
-        self.abcast_ref_at(t, sender, payload);
-    }
-}
-
-impl AbcastStream for IsisSim {
-    fn abcast_build_at(&mut self, t: Time, sender: ProcessId, fill: &mut dyn FnMut(&mut Vec<u8>)) {
-        let payload = self.arena().build(|buf| fill(buf));
-        self.abcast_ref_at(t, sender, payload);
-    }
-}
-
-impl AbcastStream for TokenSim {
-    fn abcast_build_at(&mut self, t: Time, sender: ProcessId, fill: &mut dyn FnMut(&mut Vec<u8>)) {
-        let payload = self.arena().build(|buf| fill(buf));
-        self.abcast_ref_at(t, sender, payload);
-    }
-}
 
 /// Which processes send the stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,7 +33,7 @@ pub enum Senders {
 }
 
 /// Writes the [`payload_for`] encoding into a reused buffer (the in-place
-/// variant the injection loops use with [`AbcastStream::abcast_build_at`]).
+/// variant the injection loops use with [`GroupTransport::abcast_build_at`]).
 pub fn write_payload(op: usize, size: usize, buf: &mut Vec<u8>) {
     // A hard assert (injection is cold): a wrapped tag would silently
     // attribute deliveries to the wrong injection time in release builds.
@@ -100,7 +71,7 @@ pub trait Workload {
     /// Schedules the whole stream into `target` (a group of `n` founding
     /// members); returns the injection time of each op, indexed by the op
     /// tag embedded in its payload (see [`payload_for`]).
-    fn inject(&self, n: usize, target: &mut dyn AbcastStream) -> Vec<Time>;
+    fn inject(&self, n: usize, target: &mut dyn GroupTransport) -> Vec<Time>;
 
     /// The membership/fault steps this workload carries (empty for pure
     /// streams; churn workloads schedule their join/remove here). `joiners`
@@ -147,7 +118,7 @@ impl Workload for UniformWorkload {
         "uniform"
     }
 
-    fn inject(&self, n: usize, target: &mut dyn AbcastStream) -> Vec<Time> {
+    fn inject(&self, n: usize, target: &mut dyn GroupTransport) -> Vec<Time> {
         let mut times = Vec::with_capacity(self.msgs as usize);
         for i in 0..self.msgs {
             let t = self.start + self.interval.saturating_mul(i as u64);
@@ -210,7 +181,7 @@ impl Workload for SkewedWorkload {
         "skewed"
     }
 
-    fn inject(&self, n: usize, target: &mut dyn AbcastStream) -> Vec<Time> {
+    fn inject(&self, n: usize, target: &mut dyn GroupTransport) -> Vec<Time> {
         let cdf = self.cdf(n);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut times = Vec::with_capacity(self.base.msgs as usize);
@@ -249,7 +220,7 @@ impl Workload for LargePayloadWorkload {
         "large-payload"
     }
 
-    fn inject(&self, n: usize, target: &mut dyn AbcastStream) -> Vec<Time> {
+    fn inject(&self, n: usize, target: &mut dyn GroupTransport) -> Vec<Time> {
         self.base.inject(n, target)
     }
 }
@@ -284,7 +255,7 @@ impl Workload for ChurnWorkload {
         "churn"
     }
 
-    fn inject(&self, n: usize, target: &mut dyn AbcastStream) -> Vec<Time> {
+    fn inject(&self, n: usize, target: &mut dyn GroupTransport) -> Vec<Time> {
         // The stream is the uniform one restricted to the survivors:
         // round-robin senders skip the removal victim (the last founding
         // member, see schedule()), and a fixed sender is honored as long as
@@ -319,20 +290,60 @@ impl Workload for ChurnWorkload {
 mod tests {
     use super::*;
 
+    use gcs_api::{StackKind, TransportDelivery};
+    use gcs_kernel::{PayloadRef, SharedArena};
+
+    /// A transport stub that records the abcast stream instead of running a
+    /// simulation — the only surface workloads touch is the injection path.
     #[derive(Default)]
     struct Recorder {
+        arena: SharedArena,
+        metrics: gcs_sim::Metrics,
         ops: Vec<(Time, ProcessId, Vec<u8>)>,
     }
-    impl AbcastStream for Recorder {
-        fn abcast_build_at(
-            &mut self,
-            t: Time,
-            sender: ProcessId,
-            fill: &mut dyn FnMut(&mut Vec<u8>),
-        ) {
-            let mut payload = Vec::new();
-            fill(&mut payload);
-            self.ops.push((t, sender, payload));
+    impl GroupTransport for Recorder {
+        fn stack(&self) -> StackKind {
+            StackKind::NewArch
+        }
+        fn process_count(&self) -> usize {
+            unimplemented!("Recorder stubs only the injection path")
+        }
+        fn abcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: bytes::Bytes) {
+            self.ops.push((t, p, payload.to_vec()));
+        }
+        fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+            let bytes = self.arena.get(payload).to_vec();
+            self.ops.push((t, p, bytes));
+        }
+        fn join_at(&mut self, _t: Time, _joiner: ProcessId, _contact: ProcessId) {}
+        fn crash_at(&mut self, _t: Time, _p: ProcessId) {}
+        fn partition_at(&mut self, _t: Time, _groups: Vec<Vec<ProcessId>>) {}
+        fn heal_at(&mut self, _t: Time) {}
+        fn apply_schedule(&mut self, _schedule: &gcs_sim::Schedule) {}
+        fn run_until(&mut self, _t: Time) {}
+        fn run_to_quiescence(&mut self, _limit: Time) -> bool {
+            true
+        }
+        fn arena(&self) -> &SharedArena {
+            &self.arena
+        }
+        fn metrics(&self) -> &gcs_sim::Metrics {
+            &self.metrics
+        }
+        fn events_executed(&self) -> u64 {
+            0
+        }
+        fn alive_flags(&self) -> Vec<bool> {
+            Vec::new()
+        }
+        fn delivery_count(&self) -> u64 {
+            0
+        }
+        fn delivery_trace(&self) -> Vec<TransportDelivery> {
+            Vec::new()
+        }
+        fn views(&self) -> Vec<Vec<gcs_core::View>> {
+            Vec::new()
         }
     }
 

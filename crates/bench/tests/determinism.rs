@@ -5,6 +5,7 @@
 //! (virtual time, process, full payload) plus the executed-event count, so
 //! equal fingerprints mean equal delivery orders, not just equal totals.
 
+use gcs_api::StackKind;
 use gcs_bench::scenario::{catalog, Scenario};
 use gcs_bench::workload::UniformWorkload;
 use gcs_kernel::{ProcessId, Time};
@@ -36,6 +37,7 @@ proptest! {
         let scenario = Scenario {
             name: "prop",
             about: "randomized determinism case",
+            stack: StackKind::NewArch,
             n: 4,
             joiners: 0,
             topology,
@@ -60,6 +62,7 @@ proptest! {
         let make = || Scenario {
             name: "prop-churn",
             about: "randomized churn determinism case",
+            stack: StackKind::NewArch,
             n: 4,
             joiners: 1,
             topology: Topology::lan(),

@@ -222,6 +222,17 @@ impl GroupSim {
         payload: impl Into<Bytes>,
     ) {
         let payload = self.arena.intern(payload.into());
+        self.gbcast_ref_at(t, p, class, payload);
+    }
+
+    /// Schedules a generic broadcast of an already-interned payload handle.
+    pub fn gbcast_ref_at(
+        &mut self,
+        t: Time,
+        p: ProcessId,
+        class: MessageClass,
+        payload: PayloadRef,
+    ) {
         self.world
             .inject_at(t, p, names::GENERIC, Ev::Gbcast(class, payload));
     }
@@ -230,6 +241,11 @@ impl GroupSim {
     /// [`MessageClass::RBCAST`]) by `p` at time `t`.
     pub fn rbcast_at(&mut self, t: Time, p: ProcessId, payload: impl Into<Bytes>) {
         let payload = self.arena.intern(payload.into());
+        self.rbcast_ref_at(t, p, payload);
+    }
+
+    /// Schedules a reliable broadcast of an already-interned payload handle.
+    pub fn rbcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
         self.world
             .inject_at(t, p, names::GENERIC, Ev::Rbcast(payload));
     }
@@ -274,7 +290,16 @@ impl GroupSim {
         self.world.run_until(t);
     }
 
-    /// Runs until quiescence or `limit`; returns true if quiesced.
+    /// Runs until the event queue drains or virtual time would exceed
+    /// `limit`; returns `true` only if the system actually quiesced (no
+    /// event remained scheduled at or before `limit`).
+    ///
+    /// A group with at least one live member **never** quiesces: heartbeat
+    /// timers re-arm forever, so the return value is `false` and the call is
+    /// equivalent to [`run_until`](Self::run_until)`(limit)`. `true` is only
+    /// reachable once every process has crashed or halted and the already
+    /// scheduled events have drained — callers asserting on the flag should
+    /// assert the outcome they expect, not ignore it.
     pub fn run_to_quiescence(&mut self, limit: Time) -> bool {
         self.world.run_to_quiescence(limit)
     }

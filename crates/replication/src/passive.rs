@@ -20,7 +20,8 @@
 //! a primary's updates are applied in issue order at every backup.
 
 use bytes::Bytes;
-use gcs_core::{ConflictRelation, DeliveryKind, Ev, GroupSim, MessageClass, StackConfig};
+use gcs_api::{Group, GroupTransport};
+use gcs_core::{ConflictRelation, DeliveryKind, MessageClass, StackConfig};
 use gcs_kernel::{ProcessId, Time};
 
 /// Conflict class of state updates (commute with each other).
@@ -49,10 +50,15 @@ pub struct PassiveOutcome {
     pub changes: usize,
 }
 
-/// A passively replicated group: a [`GroupSim`] configured with the §3.2.3
-/// conflict relation plus the replay logic of the replicas.
+/// A passively replicated group: a new-architecture [`Group`] configured
+/// with the §3.2.3 conflict relation plus the replay logic of the replicas.
+///
+/// Passive replication *requires* generic broadcast (the conflict relation
+/// between updates and primary changes is the whole protocol), so the
+/// builder pins the stack to the new architecture and the constructor
+/// asserts the capability marker.
 pub struct PassiveGroup {
-    group: GroupSim,
+    group: Group,
     n: usize,
 }
 
@@ -67,10 +73,16 @@ impl PassiveGroup {
     pub fn with_config(n: usize, mut config: StackConfig, seed: u64) -> Self {
         config.conflict = passive_conflicts();
         config.fifo_generic = true; // footnote 9: FIFO generic broadcast
-        PassiveGroup {
-            group: GroupSim::new(n, config, seed),
-            n,
-        }
+        let group = Group::builder()
+            .members(n)
+            .stack_config(config)
+            .seed(seed)
+            .build();
+        assert!(
+            group.supports_gbcast(),
+            "passive replication needs generic broadcast"
+        );
+        PassiveGroup { group, n }
     }
 
     /// The primary processes a client request and broadcasts the resulting
@@ -104,25 +116,30 @@ impl PassiveGroup {
     }
 
     /// Access to the underlying group.
-    pub fn group(&self) -> &GroupSim {
+    pub fn group(&self) -> &Group {
         &self.group
     }
 
     /// Mutable access to the underlying group.
-    pub fn group_mut(&mut self) -> &mut GroupSim {
+    pub fn group_mut(&mut self) -> &mut Group {
         &mut self.group
     }
 
     /// Replays every replica's g-delivery sequence through the passive
     /// replication logic.
     pub fn outcomes(&self) -> Vec<PassiveOutcome> {
-        let deliveries = self.group.trace().per_proc(self.n, |e| match e {
-            Ev::Deliver(d) if d.kind != DeliveryKind::Atomic => {
-                // Resolve the arena handle at the observation edge.
-                Some((d.id.sender, d.class, self.group.resolve(d.payload)))
-            }
-            _ => None,
-        });
+        let deliveries: Vec<Vec<(ProcessId, MessageClass, Bytes)>> = self
+            .group
+            .delivered()
+            .into_iter()
+            .map(|seq| {
+                seq.into_iter()
+                    .filter(|d| d.kind != DeliveryKind::Atomic)
+                    // Resolve the arena handle at the observation edge.
+                    .map(|d| (d.sender, d.class, self.group.resolve(d.payload)))
+                    .collect()
+            })
+            .collect();
         deliveries
             .into_iter()
             .map(|seq| {

@@ -720,11 +720,24 @@ pub struct IsisSim {
 }
 
 impl IsisSim {
-    /// Creates `n` founding members (plus `joiners` outsiders) on a
-    /// loss-free LAN (the substrate Isis assumed).
-    pub fn new(n: usize, joiners: usize, config: IsisConfig, seed: u64) -> Self {
+    /// Creates a group of `n` founding members on a loss-free LAN (the
+    /// substrate Isis assumed), mirroring `gcs_core::GroupSim::new`.
+    pub fn new(n: usize, config: IsisConfig, seed: u64) -> Self {
+        Self::with_sim(n, 0, config, SimConfig::lan(seed))
+    }
+
+    /// Creates `n` founding members plus `joiners` processes that start
+    /// outside the group (activate them with [`join_at`](Self::join_at)).
+    pub fn with_joiners(n: usize, joiners: usize, config: IsisConfig, seed: u64) -> Self {
+        Self::with_sim(n, joiners, config, SimConfig::lan(seed))
+    }
+
+    /// Full control over the simulation configuration (link model, trace
+    /// sink, seed). Note the stack assumes reliable FIFO links; lossy
+    /// topologies model conditions the original systems did not run on.
+    pub fn with_sim(n: usize, joiners: usize, config: IsisConfig, sim: SimConfig) -> Self {
         let members: Vec<ProcessId> = (0..n as u32).map(ProcessId::new).collect();
-        let mut world = SimWorld::new(SimConfig::lan(seed));
+        let mut world = SimWorld::new(sim);
         for _ in 0..n {
             let m = members.clone();
             world.add_node(|id| {
@@ -745,6 +758,16 @@ impl IsisSim {
             arena: SharedArena::new(),
             n: n + joiners,
         }
+    }
+
+    /// Number of processes (members + joiners).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the group has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
     }
 
     /// Schedules an atomic broadcast (the payload is interned in the sim's
@@ -785,9 +808,26 @@ impl IsisSim {
         self.world.run_until(t);
     }
 
+    /// Runs until the event queue drains or `limit`; returns `true` only if
+    /// the system quiesced. A live Isis group re-arms its heartbeat timer
+    /// forever, so this returns `false` unless every process has crashed.
+    pub fn run_to_quiescence(&mut self, limit: Time) -> bool {
+        self.world.run_to_quiescence(limit)
+    }
+
+    /// Direct access to the underlying simulation world.
+    pub fn world(&self) -> &SimWorld<IsisEvent> {
+        &self.world
+    }
+
     /// Underlying world (fault injection, metrics).
     pub fn world_mut(&mut self) -> &mut SimWorld<IsisEvent> {
         &mut self.world
+    }
+
+    /// Liveness flags per process.
+    pub fn alive_flags(&self) -> Vec<bool> {
+        self.world.alive_flags()
     }
 
     /// The delivery trace.
@@ -860,7 +900,7 @@ mod tests {
 
     #[test]
     fn failure_free_total_order() {
-        let mut sim = IsisSim::new(3, 0, IsisConfig::default(), 1);
+        let mut sim = IsisSim::new(3, IsisConfig::default(), 1);
         for i in 0..10u32 {
             sim.abcast_at(Time::from_millis(1 + i as u64), p(i % 3), vec![i as u8]);
         }
@@ -875,7 +915,7 @@ mod tests {
 
     #[test]
     fn sequencer_crash_triggers_exclusion_view_change() {
-        let mut sim = IsisSim::new(3, 0, IsisConfig::default(), 2);
+        let mut sim = IsisSim::new(3, IsisConfig::default(), 2);
         sim.abcast_at(Time::from_millis(1), p(1), b"before".to_vec());
         sim.crash_at(Time::from_millis(20), p(0)); // p0 is the sequencer
         sim.abcast_at(Time::from_millis(300), p(1), b"after".to_vec());
@@ -894,7 +934,7 @@ mod tests {
 
     #[test]
     fn flush_blocks_senders_sending_view_delivery() {
-        let mut sim = IsisSim::new(3, 1, IsisConfig::default(), 3);
+        let mut sim = IsisSim::with_joiners(3, 1, IsisConfig::default(), 3);
         sim.join_at(Time::from_millis(10), p(3));
         sim.run_until(Time::from_secs(1));
         // The coordinator (p0) blocked during the flush.
@@ -911,7 +951,7 @@ mod tests {
 
     #[test]
     fn abcast_during_flush_is_queued_not_lost() {
-        let mut sim = IsisSim::new(3, 1, IsisConfig::default(), 4);
+        let mut sim = IsisSim::with_joiners(3, 1, IsisConfig::default(), 4);
         sim.join_at(Time::from_millis(10), p(3));
         // Send while the flush is (likely) in progress.
         sim.abcast_at(Time::from_millis(12), p(1), b"queued".to_vec());
@@ -929,7 +969,7 @@ mod tests {
     fn wrong_suspicion_kills_and_rejoins_with_state_transfer() {
         let mut config = IsisConfig::default();
         config.state_size = 64 * 1024;
-        let mut sim = IsisSim::new(3, 0, config, 5);
+        let mut sim = IsisSim::new(3, config, 5);
         // p2 is unreachable for a while — alive, but suspected: the
         // traditional architecture excludes it (perfect-FD emulation), it is
         // killed, and must re-join with a full state transfer (§4.3).
@@ -950,7 +990,7 @@ mod tests {
 
     #[test]
     fn minority_partition_does_not_split_the_brain() {
-        let mut sim = IsisSim::new(3, 0, IsisConfig::default(), 8);
+        let mut sim = IsisSim::new(3, IsisConfig::default(), 8);
         // Everyone is isolated from everyone: no majority exists, so no new
         // view may form (primary-partition rule).
         sim.world_mut().partition_at(
@@ -969,7 +1009,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let mut sim = IsisSim::new(3, 0, IsisConfig::default(), seed);
+            let mut sim = IsisSim::new(3, IsisConfig::default(), seed);
             for i in 0..5u32 {
                 sim.abcast_at(Time::from_millis(1 + i as u64), p(i % 3), vec![i as u8]);
             }

@@ -553,11 +553,23 @@ pub struct TokenSim {
 }
 
 impl TokenSim {
-    /// Creates `n` ring members (plus `joiners` outsiders) on a loss-free
-    /// LAN.
-    pub fn new(n: usize, joiners: usize, config: TokenConfig, seed: u64) -> Self {
+    /// Creates a ring of `n` members on a loss-free LAN, mirroring
+    /// `gcs_core::GroupSim::new`.
+    pub fn new(n: usize, config: TokenConfig, seed: u64) -> Self {
+        Self::with_sim(n, 0, config, SimConfig::lan(seed))
+    }
+
+    /// Creates `n` ring members plus `joiners` processes that start outside
+    /// the ring (activate them with [`join_at`](Self::join_at)).
+    pub fn with_joiners(n: usize, joiners: usize, config: TokenConfig, seed: u64) -> Self {
+        Self::with_sim(n, joiners, config, SimConfig::lan(seed))
+    }
+
+    /// Full control over the simulation configuration (link model, trace
+    /// sink, seed).
+    pub fn with_sim(n: usize, joiners: usize, config: TokenConfig, sim: SimConfig) -> Self {
         let ring: Vec<ProcessId> = (0..n as u32).map(ProcessId::new).collect();
-        let mut world = SimWorld::new(SimConfig::lan(seed));
+        let mut world = SimWorld::new(sim);
         for _ in 0..n {
             let r = ring.clone();
             world.add_node(|id| {
@@ -578,6 +590,16 @@ impl TokenSim {
             arena: SharedArena::new(),
             n: n + joiners,
         }
+    }
+
+    /// Number of processes (ring members + joiners).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the group has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
     }
 
     /// Schedules an atomic broadcast (the payload is interned in the sim's
@@ -618,9 +640,26 @@ impl TokenSim {
         self.world.run_until(t);
     }
 
+    /// Runs until the event queue drains or `limit`; returns `true` only if
+    /// the system quiesced. A live ring re-arms its hold timer forever, so
+    /// this returns `false` unless every process has crashed.
+    pub fn run_to_quiescence(&mut self, limit: Time) -> bool {
+        self.world.run_to_quiescence(limit)
+    }
+
+    /// Direct access to the underlying simulation world.
+    pub fn world(&self) -> &SimWorld<TokenEvent> {
+        &self.world
+    }
+
     /// Underlying world.
     pub fn world_mut(&mut self) -> &mut SimWorld<TokenEvent> {
         &mut self.world
+    }
+
+    /// Liveness flags per process.
+    pub fn alive_flags(&self) -> Vec<bool> {
+        self.world.alive_flags()
     }
 
     /// The delivery trace.
@@ -661,7 +700,7 @@ mod tests {
 
     #[test]
     fn token_orders_messages_from_all_senders() {
-        let mut sim = TokenSim::new(3, 0, TokenConfig::default(), 1);
+        let mut sim = TokenSim::new(3, TokenConfig::default(), 1);
         for i in 0..12u32 {
             sim.abcast_at(
                 Time::from_millis(1 + (i / 3) as u64),
@@ -680,7 +719,7 @@ mod tests {
 
     #[test]
     fn token_loss_triggers_reformation_and_recovery() {
-        let mut sim = TokenSim::new(3, 0, TokenConfig::default(), 2);
+        let mut sim = TokenSim::new(3, TokenConfig::default(), 2);
         sim.abcast_at(Time::from_millis(1), p(1), b"pre".to_vec());
         sim.crash_at(Time::from_millis(5), p(0));
         sim.abcast_at(Time::from_millis(200), p(2), b"post".to_vec());
@@ -700,7 +739,7 @@ mod tests {
 
     #[test]
     fn rmp_join_rides_the_total_order() {
-        let mut sim = TokenSim::new(3, 1, TokenConfig::default(), 3);
+        let mut sim = TokenSim::with_joiners(3, 1, TokenConfig::default(), 3);
         sim.join_at(Time::from_millis(5), p(3));
         sim.abcast_at(Time::from_millis(100), p(1), b"hello".to_vec());
         sim.run_until(Time::from_secs(1));
@@ -717,7 +756,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let mut sim = TokenSim::new(3, 0, TokenConfig::default(), seed);
+            let mut sim = TokenSim::new(3, TokenConfig::default(), seed);
             for i in 0..6u32 {
                 sim.abcast_at(Time::from_millis(1), p(i % 3), vec![i as u8]);
             }

@@ -5,15 +5,24 @@
 //! cargo run --example bank_account
 //! ```
 
-use gcs::core::{DeliveryKind, Ev, GroupSim, StackConfig};
+use gcs::core::DeliveryKind;
 use gcs::kernel::{ProcessId, Time};
 use gcs::replication::bank::{bank_conflicts, BankAccount, BankOp};
+use gcs::{Group, GroupTransport};
 
 fn main() {
     let p = ProcessId::new;
-    let mut cfg = StackConfig::default();
+    let mut cfg = gcs::core::StackConfig::default();
     cfg.conflict = bank_conflicts();
-    let mut group = GroupSim::new(4, cfg, 11);
+    let mut group = Group::builder()
+        .members(4)
+        .stack_config(cfg)
+        .seed(11)
+        .build();
+    assert!(
+        group.supports_gbcast(),
+        "the bank needs generic broadcast — pick a stack that provides it"
+    );
 
     // A burst of commutative deposits from all replicas…
     let ops = [
@@ -36,28 +45,25 @@ fn main() {
     group.run_until(Time::from_secs(3));
 
     // Replay each replica's generic-delivery order through an account.
-    let per_replica = group.trace().per_proc(4, |e| match e {
-        Ev::Deliver(d) if d.kind != DeliveryKind::Atomic => Some((
-            d.kind,
-            BankOp::decode(&group.resolve(d.payload)[..]).expect("bank op"),
-        )),
-        _ => None,
-    });
-    for (i, seq) in per_replica.iter().enumerate() {
+    for (i, seq) in group.delivered().iter().enumerate() {
         let mut account = BankAccount::default();
         let mut fast = 0;
-        for (kind, op) in seq {
-            account.apply(*op);
-            if *kind == DeliveryKind::GenericFast {
+        let mut total = 0;
+        for d in seq {
+            if d.kind == DeliveryKind::Atomic {
+                continue;
+            }
+            let op = BankOp::decode(&group.resolve(d.payload)[..]).expect("bank op");
+            account.apply(op);
+            total += 1;
+            if d.kind == DeliveryKind::GenericFast {
                 fast += 1;
             }
         }
         println!(
-            "replica {i}: balance={} rejected={} ({} of {} ops on the conflict-free fast path)",
+            "replica {i}: balance={} rejected={} ({fast} of {total} ops on the conflict-free fast path)",
             account.balance(),
             account.rejected(),
-            fast,
-            seq.len()
         );
     }
     println!(

@@ -6,15 +6,20 @@
 //! cargo run --example membership_dynamics
 //! ```
 
-use gcs::core::{GroupSim, StackConfig};
 use gcs::kernel::{ProcessId, Time, TimeDelta};
+use gcs::{Group, GroupTransport};
 
 fn main() {
     let p = ProcessId::new;
-    let mut cfg = StackConfig::default();
+    let mut cfg = gcs::core::StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_millis(300); // exclusion timeout
     cfg.state_size = 4096; // joiners receive 4 KiB of application state
-    let mut group = GroupSim::with_joiners(3, 1, cfg, 21);
+    let mut group = Group::builder()
+        .members(3)
+        .joiners(1)
+        .stack_config(cfg)
+        .seed(21)
+        .build();
 
     // p3 joins through p0 at t=20ms.
     group.join_at(Time::from_millis(20), p(3), p(0));

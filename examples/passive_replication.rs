@@ -9,6 +9,7 @@
 
 use gcs::kernel::{ProcessId, Time};
 use gcs::replication::passive::PassiveGroup;
+use gcs::GroupTransport;
 
 fn main() {
     let p = ProcessId::new;
@@ -17,6 +18,9 @@ fn main() {
 
     for seed in 0..20u64 {
         let mut group = PassiveGroup::new(3, seed);
+        // Passive replication is a generic-broadcast protocol: the builder
+        // pinned a stack that provides it (the capability marker proves it).
+        assert!(group.group().supports_gbcast());
         // s1 (p0) processes a client request and broadcasts the update…
         group.update_at(Time::from_millis(10), p(0), 1, b"state-update");
         // …while s2 (p1) suspects s1 and broadcasts primary-change(s1),

@@ -10,6 +10,10 @@
 //!
 //! The workspace crates, re-exported here:
 //!
+//! * [`api`] — **the public façade**: the [`GroupTransport`] trait (one
+//!   surface over all three stacks, with `supports_*` capability markers)
+//!   and the [`Group`]/[`GroupBuilder`] entry point composing stack choice
+//!   × topology × schedule × seed. Start here.
 //! * [`kernel`] — the protocol-composition framework (Appia/Cactus
 //!   counterpart): components, events, timers, linear stacks.
 //! * [`sim`] — deterministic discrete-event simulator: virtual time,
@@ -20,20 +24,25 @@
 //! * [`consensus`] — Chandra-Toueg ◇S consensus (+ Paxos ablation).
 //! * [`core`] — the new architecture itself: atomic broadcast over
 //!   consensus, thrifty generic broadcast, membership above abcast,
-//!   monitoring-driven exclusion. Start with [`core::GroupSim`].
+//!   monitoring-driven exclusion.
 //! * [`traditional`] — the baselines the paper compares against.
 //! * [`replication`] — active (state machine) and passive (primary-backup)
-//!   replication, including the paper's Fig 8 scenario and the §4.2 bank
-//!   account.
+//!   replication, generic over [`GroupTransport`] so the same service runs
+//!   on any stack.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use gcs::core::{GroupSim, StackConfig};
+//! use gcs::{Group, GroupTransport, StackKind};
 //! use gcs::kernel::{ProcessId, Time};
 //!
-//! // Three replicas on a simulated LAN.
-//! let mut group = GroupSim::new(3, StackConfig::default(), 42);
+//! // Three replicas of the new architecture on a simulated LAN; swap
+//! // `StackKind::Isis` or `StackKind::Token` in to compare baselines.
+//! let mut group = Group::builder()
+//!     .members(3)
+//!     .stack(StackKind::NewArch)
+//!     .seed(42)
+//!     .build();
 //! group.abcast_at(Time::from_millis(1), ProcessId::new(0), b"m1".to_vec());
 //! group.abcast_at(Time::from_millis(1), ProcessId::new(2), b"m2".to_vec());
 //! group.run_until(Time::from_millis(500));
@@ -42,11 +51,16 @@
 //! let delivered = group.adelivered_payloads();
 //! assert_eq!(delivered[0], delivered[1]);
 //! assert_eq!(delivered[1], delivered[2]);
+//!
+//! // A live group never quiesces (heartbeats re-arm forever), so
+//! // `run_to_quiescence` reports `false` — see its docs.
+//! assert!(!group.run_to_quiescence(Time::from_secs(1)));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use gcs_api as api;
 pub use gcs_consensus as consensus;
 pub use gcs_core as core;
 pub use gcs_fd as fd;
@@ -55,3 +69,5 @@ pub use gcs_net as net;
 pub use gcs_replication as replication;
 pub use gcs_sim as sim;
 pub use gcs_traditional as traditional;
+
+pub use gcs_api::{Group, GroupBuilder, GroupTransport, StackKind, TransportDelivery};

@@ -2,9 +2,10 @@
 //! channel must mask loss and duplication, and consensus must absorb the
 //! resulting delays, without any ordering violation.
 
-use gcs::core::{GroupSim, StackConfig};
+use gcs::core::StackConfig;
 use gcs::kernel::{ProcessId, Time, TimeDelta};
-use gcs::sim::{check_no_duplicates, check_prefix_consistency, LinkModel, SimConfig};
+use gcs::sim::{check_no_duplicates, check_prefix_consistency, LinkModel, Topology};
+use gcs::{Group, GroupTransport};
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
@@ -16,12 +17,19 @@ fn total_order_over_lossy_duplicating_links() {
         let mut cfg = StackConfig::default();
         cfg.monitoring_timeout = TimeDelta::from_secs(3600);
         // 10% loss + 5% duplication on every link.
-        let sim = SimConfig::lan(seed).with_link(LinkModel {
-            drop_prob: 0.10,
-            dup_prob: 0.05,
-            ..LinkModel::lan()
-        });
-        let mut g = GroupSim::with_sim(3, 0, cfg, sim);
+        let mut g = Group::builder()
+            .members(3)
+            .topology(Topology::uniform(
+                "uniform",
+                LinkModel {
+                    drop_prob: 0.10,
+                    dup_prob: 0.05,
+                    ..LinkModel::lan()
+                },
+            ))
+            .stack_config(cfg)
+            .seed(seed)
+            .build();
         for i in 0..12u32 {
             g.abcast_at(Time::from_millis(1 + 4 * i as u64), p(i % 3), vec![i as u8]);
         }
@@ -43,8 +51,12 @@ fn total_order_on_wan_latencies() {
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
     cfg.heartbeat_interval = TimeDelta::from_millis(50);
     cfg.rc.retransmit_after = TimeDelta::from_millis(200);
-    let sim = SimConfig::lan(3).with_link(LinkModel::wan());
-    let mut g = GroupSim::with_sim(3, 0, cfg, sim);
+    let mut g = Group::builder()
+        .members(3)
+        .topology(Topology::uniform("uniform", LinkModel::wan()))
+        .stack_config(cfg)
+        .seed(3)
+        .build();
     for i in 0..6u32 {
         g.abcast_at(
             Time::from_millis(1 + 30 * i as u64),
@@ -64,10 +76,13 @@ fn total_order_on_wan_latencies() {
 fn transient_partition_heals_without_membership_change() {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
-    let mut g = GroupSim::new(3, cfg, 11);
-    g.world_mut()
-        .partition_at(Time::from_millis(20), vec![vec![p(0), p(1)], vec![p(2)]]);
-    g.world_mut().heal_at(Time::from_millis(300));
+    let mut g = Group::builder()
+        .members(3)
+        .stack_config(cfg)
+        .seed(11)
+        .build();
+    g.partition_at(Time::from_millis(20), vec![vec![p(0), p(1)], vec![p(2)]]);
+    g.heal_at(Time::from_millis(300));
     for i in 0..10u32 {
         g.abcast_at(
             Time::from_millis(25 + 10 * i as u64),

@@ -4,10 +4,11 @@
 //! the paper uses to motivate it, and checks the properties the figure is
 //! supposed to provide.
 
-use gcs::core::{ConflictRelation, GroupSim, MessageClass, StackConfig};
+use gcs::core::{ConflictRelation, MessageClass, StackConfig};
 use gcs::kernel::{ProcessId, Time, TimeDelta};
 use gcs::sim::{check_no_duplicates, check_prefix_consistency, check_total_order};
-use gcs::traditional::{IsisConfig, IsisSim, TokenConfig, TokenSim};
+use gcs::traditional::IsisConfig;
+use gcs::{Group, GroupTransport, StackKind};
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
@@ -18,7 +19,11 @@ fn p(i: u32) -> ProcessId {
 /// new sequencer.
 #[test]
 fn isis_stack_fig1() {
-    let mut sim = IsisSim::new(4, 0, IsisConfig::default(), 101);
+    let mut sim = Group::builder()
+        .members(4)
+        .stack(StackKind::Isis)
+        .seed(101)
+        .build();
     for i in 0..8u32 {
         sim.abcast_at(Time::from_millis(1 + i as u64), p(i % 4), vec![i as u8]);
     }
@@ -26,15 +31,15 @@ fn isis_stack_fig1() {
     sim.abcast_at(Time::from_millis(400), p(2), b"post".to_vec());
     sim.run_until(Time::from_secs(2));
 
-    let seqs = sim.delivered_payloads();
+    let seqs = sim.adelivered_payloads();
     check_prefix_consistency(&seqs[1..]).expect("survivors agree on the order");
     check_no_duplicates(&seqs).expect("no duplicates");
     // The crash forced a membership change (the traditional coupling).
-    let (_, members) = sim.views()[1]
+    let last = sim.views()[1]
         .last()
         .expect("exclusion view change")
         .clone();
-    assert_eq!(members, vec![p(1), p(2), p(3)]);
+    assert_eq!(last.members, vec![p(1), p(2), p(3)]);
     assert!(seqs[1].contains(&b"post".to_vec()));
 }
 
@@ -45,16 +50,23 @@ fn isis_stack_fig1() {
 fn phoenix_stack_fig2() {
     let mut cfg = IsisConfig::default();
     cfg.auto_rejoin = true;
-    let mut sim = IsisSim::new(3, 0, cfg, 102);
-    sim.world_mut()
-        .partition_at(Time::from_millis(40), vec![vec![p(0), p(1)], vec![p(2)]]);
-    sim.world_mut().heal_at(Time::from_millis(400));
+    let mut sim = Group::builder()
+        .members(3)
+        .stack(StackKind::Isis)
+        .isis_config(cfg)
+        .seed(102)
+        .build();
+    sim.partition_at(Time::from_millis(40), vec![vec![p(0), p(1)], vec![p(2)]]);
+    sim.heal_at(Time::from_millis(400));
     sim.run_until(Time::from_secs(3));
-    let (killed, rejoined) = sim.kill_and_rejoin_times(p(2));
+    let (killed, rejoined) = sim
+        .as_isis()
+        .expect("isis stack")
+        .kill_and_rejoin_times(p(2));
     assert!(killed.is_some(), "p2 was excluded while unreachable");
     assert!(rejoined.is_some(), "process-level recovery: p2 re-admitted");
-    let (_, members) = sim.views()[0].last().expect("views").clone();
-    assert_eq!(members.len(), 3, "full membership restored");
+    let last = sim.views()[0].last().expect("views").clone();
+    assert_eq!(last.members.len(), 3, "full membership restored");
 }
 
 /// F3 — Fig 3 (RMP): fault-free membership rides the *total order* (a join
@@ -62,20 +74,25 @@ fn phoenix_stack_fig2() {
 /// fault-tolerant reformation protocol.
 #[test]
 fn rmp_stack_fig3() {
-    let mut sim = TokenSim::new(3, 1, TokenConfig::default(), 103);
+    let mut sim = Group::builder()
+        .members(3)
+        .joiners(1)
+        .stack(StackKind::Token)
+        .seed(103)
+        .build();
     // Fault-free join: ordered like any other message.
-    sim.join_at(Time::from_millis(5), p(3));
+    sim.join_at(Time::from_millis(5), p(3), p(0));
     sim.abcast_at(Time::from_millis(80), p(0), b"hello".to_vec());
     sim.run_until(Time::from_millis(500));
     for i in 0..4 {
-        let (_, ring) = sim.rings()[i].last().expect("ring").clone();
-        assert!(ring.contains(&p(3)), "p{i}: join ordered through abcast");
+        let ring = sim.views()[i].last().expect("ring").clone();
+        assert!(ring.contains(p(3)), "p{i}: join ordered through abcast");
     }
     // Fault path: reformation.
     sim.crash_at(Time::from_millis(500), p(0));
     sim.abcast_at(Time::from_millis(800), p(1), b"post-crash".to_vec());
     sim.run_until(Time::from_secs(2));
-    let seqs = sim.delivered_payloads();
+    let seqs = sim.adelivered_payloads();
     assert!(seqs[1].contains(&b"post-crash".to_vec()));
     assert_eq!(seqs[1], seqs[2]);
 }
@@ -84,7 +101,11 @@ fn rmp_stack_fig3() {
 /// + recovery of messages lost with the broken ring.
 #[test]
 fn totem_stack_fig4() {
-    let mut sim = TokenSim::new(5, 0, TokenConfig::default(), 104);
+    let mut sim = Group::builder()
+        .members(5)
+        .stack(StackKind::Token)
+        .seed(104)
+        .build();
     for i in 0..15u32 {
         sim.abcast_at(
             Time::from_millis(1 + (i / 5) as u64 * 3),
@@ -94,7 +115,7 @@ fn totem_stack_fig4() {
     }
     sim.crash_at(Time::from_millis(30), p(2));
     sim.run_until(Time::from_secs(2));
-    let seqs = sim.delivered_payloads();
+    let seqs = sim.adelivered_payloads();
     let survivors: Vec<Vec<Vec<u8>>> = (0..5)
         .filter(|&i| i != 2)
         .map(|i| seqs[i].clone())
@@ -102,8 +123,8 @@ fn totem_stack_fig4() {
     check_prefix_consistency(&survivors).expect("recovered order agrees");
     // Reformation excluded the crashed member.
     for i in [0usize, 1, 3, 4] {
-        let (_, ring) = sim.rings()[i].last().expect("reformed").clone();
-        assert!(!ring.contains(&p(2)), "p{i} excluded the crashed member");
+        let ring = sim.views()[i].last().expect("reformed").clone();
+        assert!(!ring.contains(p(2)), "p{i} excluded the crashed member");
     }
 }
 
@@ -189,7 +210,11 @@ fn ensemble_stack_fig5() {
 fn new_stack_fig6() {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
-    let mut g = GroupSim::new(5, cfg, 106);
+    let mut g = Group::builder()
+        .members(5)
+        .stack_config(cfg)
+        .seed(106)
+        .build();
     g.crash_at(Time::from_millis(30), p(0));
     g.crash_at(Time::from_millis(35), p(4));
     for i in 0..10u32 {
@@ -219,7 +244,11 @@ fn new_stack_fig7() {
     let mut rel = ConflictRelation::none(4);
     rel.set_conflict(MessageClass(1), MessageClass(1));
     cfg.conflict = rel;
-    let mut g = GroupSim::new(4, cfg, 107);
+    let mut g = Group::builder()
+        .members(4)
+        .stack_config(cfg)
+        .seed(107)
+        .build();
     // Class 0 messages commute; class 1 conflict with each other only.
     for i in 0..12u32 {
         let class = MessageClass((i % 2) as u16);
@@ -231,7 +260,7 @@ fn new_stack_fig7() {
         );
     }
     g.run_until(Time::from_secs(3));
-    let ids = g.gdelivered_ids();
+    let ids = g.as_new_arch().expect("new arch").gdelivered_ids();
     for s in &ids {
         assert_eq!(s.len(), 12);
     }

@@ -3,9 +3,10 @@
 //! scenario-engine counterpart of the paper's §4.4 claim that membership
 //! changes never block the ordinary message flow.
 
-use gcs::core::{GroupSim, StackConfig};
+use gcs::core::StackConfig;
 use gcs::kernel::{ProcessId, Time, TimeDelta};
 use gcs::sim::{check_agreement, check_no_duplicates, check_total_order, Schedule};
+use gcs::{Group, GroupTransport};
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
@@ -18,11 +19,17 @@ fn abcast_stream_stays_live_through_join_and_removal() {
     for seed in [1u64, 5, 9] {
         let mut cfg = StackConfig::default();
         cfg.monitoring_timeout = TimeDelta::from_secs(3600); // churn is scripted
-        let mut g = GroupSim::with_joiners(4, 1, cfg, seed);
-        let schedule = Schedule::new()
-            .join(Time::from_millis(100), p(4), p(1))
-            .remove(Time::from_millis(200), p(0), p(3));
-        g.apply_schedule(&schedule);
+        let mut g = Group::builder()
+            .members(4)
+            .joiners(1)
+            .stack_config(cfg)
+            .schedule(
+                Schedule::new()
+                    .join(Time::from_millis(100), p(4), p(1))
+                    .remove(Time::from_millis(200), p(0), p(3)),
+            )
+            .seed(seed)
+            .build();
         let msgs = 60u32;
         for i in 0..msgs {
             // Senders p0..p2 only: the removal victim must not be relied on.
@@ -89,20 +96,25 @@ fn abcast_stream_stays_live_through_join_and_removal() {
 /// `ChurnWorkload` keeps its liveness guarantee on a WAN topology.
 #[test]
 fn churn_on_wan_topology_stays_live() {
-    use gcs::sim::{SimConfig, Topology};
+    use gcs::sim::Topology;
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_secs(3600);
     // WAN delays need wider timeouts (as in the adverse-network tests).
     cfg.consensus_timeout = TimeDelta::from_millis(500);
     cfg.heartbeat_interval = TimeDelta::from_millis(50);
     cfg.rc.retransmit_after = TimeDelta::from_millis(200);
-    let sim = SimConfig::lan(21).with_topology(Topology::wan_2dc());
-    let mut g = GroupSim::with_sim(4, 1, cfg, sim);
-    g.apply_schedule(
-        &Schedule::new()
-            .join(Time::from_millis(150), p(4), p(1))
-            .remove(Time::from_millis(400), p(0), p(3)),
-    );
+    let mut g = Group::builder()
+        .members(4)
+        .joiners(1)
+        .topology(Topology::wan_2dc())
+        .stack_config(cfg)
+        .schedule(
+            Schedule::new()
+                .join(Time::from_millis(150), p(4), p(1))
+                .remove(Time::from_millis(400), p(0), p(3)),
+        )
+        .seed(21)
+        .build();
     for i in 0..30u32 {
         g.abcast_at(
             Time::from_millis(2 + 20 * i as u64),

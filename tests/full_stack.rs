@@ -2,9 +2,10 @@
 //! exclusion through the monitoring component, output-triggered suspicion,
 //! and group communication properties across many seeds.
 
-use gcs::core::{DeliveryKind, Ev, GroupSim, MonitoringPolicy, StackConfig};
+use gcs::core::{DeliveryKind, Ev, MonitoringPolicy, StackConfig};
 use gcs::kernel::{ProcessId, Time, TimeDelta};
 use gcs::sim::{check_agreement, check_no_duplicates, check_prefix_consistency};
+use gcs::{Group, GroupTransport};
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
@@ -17,7 +18,12 @@ fn join_crash_exclude_lifecycle() {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_millis(250);
     cfg.state_size = 1024;
-    let mut g = GroupSim::with_joiners(3, 1, cfg, 900);
+    let mut g = Group::builder()
+        .members(3)
+        .joiners(1)
+        .stack_config(cfg)
+        .seed(900)
+        .build();
 
     for i in 0..30u64 {
         g.abcast_at(
@@ -65,7 +71,11 @@ fn properties_across_seeds() {
     for seed in 0..12u64 {
         let mut cfg = StackConfig::default();
         cfg.monitoring_timeout = TimeDelta::from_secs(3600);
-        let mut g = GroupSim::new(5, cfg, seed);
+        let mut g = Group::builder()
+            .members(5)
+            .stack_config(cfg)
+            .seed(seed)
+            .build();
         let crash_victim = p((seed % 5) as u32);
         g.crash_at(Time::from_millis(20 + (seed % 7) * 13), crash_victim);
         for i in 0..15u32 {
@@ -109,7 +119,11 @@ fn output_triggered_exclusion() {
     };
     cfg.monitoring_timeout = TimeDelta::from_secs(3600); // FD class never fires
     cfg.rc.stuck_after = TimeDelta::from_millis(200);
-    let mut g = GroupSim::new(3, cfg, 901);
+    let mut g = Group::builder()
+        .members(3)
+        .stack_config(cfg)
+        .seed(901)
+        .build();
     g.crash_at(Time::from_millis(30), p(2));
     // Keep sending so the reliable channel accumulates unacked messages.
     for i in 0..40u64 {
@@ -134,7 +148,11 @@ fn fifo_generic_broadcast_per_sender_order() {
         // Nothing conflicts: without FIFO, ack races can invert a sender's
         // messages; with FIFO they cannot.
         cfg.conflict = gcs::core::ConflictRelation::none(4);
-        let mut g = GroupSim::new(4, cfg, seed);
+        let mut g = Group::builder()
+            .members(4)
+            .stack_config(cfg)
+            .seed(seed)
+            .build();
         for i in 0..10u32 {
             // Two rapid-fire messages per sender per round.
             g.gbcast_at(
@@ -145,7 +163,7 @@ fn fifo_generic_broadcast_per_sender_order() {
             );
         }
         g.run_until(Time::from_secs(3));
-        let ids = g.gdelivered_ids();
+        let ids = g.as_new_arch().expect("new arch").gdelivered_ids();
         for (i, seq) in ids.iter().enumerate() {
             assert_eq!(seq.len(), 10, "seed {seed}: p{i} delivered all");
             // Per-sender sequence numbers must be increasing.
@@ -165,7 +183,11 @@ fn fifo_generic_broadcast_per_sender_order() {
 fn same_view_delivery_tagging() {
     let mut cfg = StackConfig::default();
     cfg.monitoring_timeout = TimeDelta::from_millis(250);
-    let mut g = GroupSim::new(3, cfg, 902);
+    let mut g = Group::builder()
+        .members(3)
+        .stack_config(cfg)
+        .seed(902)
+        .build();
     g.crash_at(Time::from_millis(100), p(2));
     for i in 0..30u64 {
         g.abcast_at(Time::from_millis(5 + 12 * i), p(0), vec![i as u8]);
@@ -173,7 +195,7 @@ fn same_view_delivery_tagging() {
     g.run_until(Time::from_secs(3));
     // At p0: reconstruct (view at delivery time) and check tags.
     let mut current_view = 0u64;
-    for e in g.trace().of_proc(p(0)) {
+    for e in g.as_new_arch().expect("new arch").trace().of_proc(p(0)) {
         match &e.event {
             Ev::ViewInstalled(v) => current_view = v.id,
             Ev::Deliver(d) if d.kind == DeliveryKind::Atomic => {

@@ -3,20 +3,24 @@
 //! schedules, conflicting messages are delivered in a consistent order at
 //! all correct members, with no duplication and no loss.
 
-use gcs::core::{ConflictRelation, GroupSim, MessageClass, StackConfig};
+use gcs::core::{ConflictRelation, MessageClass, StackConfig};
 use gcs::kernel::{ProcessId, Time, TimeDelta};
 use gcs::sim::check_no_duplicates;
+use gcs::{Group, GroupTransport};
 use proptest::prelude::*;
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
 }
 
+/// Message identity in the neutral transport vocabulary: `(sender, seq)`.
+type Id = (ProcessId, u64);
+
 /// Checks pairwise order consistency **restricted to conflicting pairs**
 /// (non-conflicting messages may legally be delivered in different orders —
 /// that is the whole point of generic broadcast).
 fn check_conflict_order(
-    seqs: &[Vec<(gcs::core::MsgId, MessageClass)>],
+    seqs: &[Vec<(Id, MessageClass)>],
     relation: &ConflictRelation,
 ) -> Result<(), String> {
     for a in 0..seqs.len() {
@@ -61,7 +65,7 @@ proptest! {
         }
         let mut cfg = StackConfig::default();
         cfg.conflict = relation.clone();
-        let mut g = GroupSim::new(4, cfg, seed);
+        let mut g = Group::builder().members(4).stack_config(cfg).seed(seed).build();
         for (sender, class, at_ms) in &ops {
             g.gbcast_at(
                 Time::from_millis(1 + at_ms),
@@ -72,23 +76,17 @@ proptest! {
         }
         g.run_until(Time::from_secs(8));
 
-        let seqs: Vec<Vec<(gcs::core::MsgId, MessageClass)>> = (0..4)
-            .map(|i| {
-                g.trace()
-                    .of_proc(p(i))
-                    .filter_map(|e| match &e.event {
-                        gcs::core::Ev::Deliver(d) => Some((d.id, d.class)),
-                        _ => None,
-                    })
-                    .collect()
-            })
+        let seqs: Vec<Vec<(Id, MessageClass)>> = g
+            .delivered()
+            .iter()
+            .map(|seq| seq.iter().map(|d| ((d.sender, d.seq), d.class)).collect())
             .collect();
 
         // Validity/termination: every member delivered every message.
         for (i, s) in seqs.iter().enumerate() {
             prop_assert_eq!(s.len(), ops.len(), "p{} delivered {} of {}", i, s.len(), ops.len());
         }
-        let ids: Vec<Vec<gcs::core::MsgId>> =
+        let ids: Vec<Vec<Id>> =
             seqs.iter().map(|s| s.iter().map(|(m, _)| *m).collect()).collect();
         prop_assert!(check_no_duplicates(&ids).is_ok());
         if let Err(e) = check_conflict_order(&seqs, &relation) {
@@ -110,7 +108,7 @@ proptest! {
         let mut cfg = StackConfig::default();
         cfg.conflict = relation.clone();
         cfg.monitoring_timeout = TimeDelta::from_secs(3600);
-        let mut g = GroupSim::new(4, cfg, seed);
+        let mut g = Group::builder().members(4).stack_config(cfg).seed(seed).build();
         g.crash_at(Time::from_millis(15), p(victim));
         let mut expected = 0usize;
         for (sender, class, at_ms) in &ops {
@@ -127,15 +125,13 @@ proptest! {
             );
         }
         g.run_until(Time::from_secs(8));
-        let seqs: Vec<Vec<(gcs::core::MsgId, MessageClass)>> = (0..4)
+        let delivered = g.delivered();
+        let seqs: Vec<Vec<(Id, MessageClass)>> = (0..4)
             .filter(|&i| i != victim)
             .map(|i| {
-                g.trace()
-                    .of_proc(p(i))
-                    .filter_map(|e| match &e.event {
-                        gcs::core::Ev::Deliver(d) => Some((d.id, d.class)),
-                        _ => None,
-                    })
+                delivered[i as usize]
+                    .iter()
+                    .map(|d| ((d.sender, d.seq), d.class))
                     .collect()
             })
             .collect();
