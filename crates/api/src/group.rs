@@ -59,8 +59,10 @@ pub struct GroupBuilder {
     seed: u64,
     trace: TraceMode,
     config: StackConfig,
-    isis: IsisConfig,
-    token: TokenConfig,
+    /// `None` = derive a timeout profile from the topology at build time.
+    isis: Option<IsisConfig>,
+    /// `None` = derive a timeout profile from the topology at build time.
+    token: Option<TokenConfig>,
 }
 
 impl Default for GroupBuilder {
@@ -74,8 +76,8 @@ impl Default for GroupBuilder {
             seed: 0,
             trace: TraceMode::Full,
             config: StackConfig::default(),
-            isis: IsisConfig::default(),
-            token: TokenConfig::default(),
+            isis: None,
+            token: None,
         }
     }
 }
@@ -136,22 +138,35 @@ impl GroupBuilder {
     }
 
     /// Per-process configuration of the Isis baseline (ignored by the other
-    /// stacks).
+    /// stacks). When not set, the builder derives a timeout profile from the
+    /// topology's RTT bound ([`IsisConfig::for_topology`]) — on a LAN that
+    /// profile equals [`IsisConfig::default`], on WAN presets the
+    /// failure-detection timeout stretches so distance is not mistaken for
+    /// death.
     pub fn isis_config(mut self, config: IsisConfig) -> Self {
-        self.isis = config;
+        self.isis = Some(config);
         self
     }
 
     /// Per-process configuration of the token baseline (ignored by the
-    /// other stacks).
+    /// other stacks). When not set, the builder derives a timeout profile
+    /// from the topology's RTT bound and the ring size
+    /// ([`TokenConfig::for_topology`]).
     pub fn token_config(mut self, config: TokenConfig) -> Self {
-        self.token = config;
+        self.token = Some(config);
         self
     }
 
     /// Builds the group: constructs the simulation world for the selected
-    /// stack and applies the scripted schedule.
+    /// stack (deriving baseline timeout profiles from the topology where not
+    /// explicitly configured) and applies the scripted schedule.
     pub fn build(self) -> Group {
+        let isis = self
+            .isis
+            .unwrap_or_else(|| IsisConfig::for_topology(&self.topology));
+        let token = self.token.unwrap_or_else(|| {
+            TokenConfig::for_topology(&self.topology, self.members + self.joiners)
+        });
         let sim = SimConfig::lan(self.seed)
             .with_topology(self.topology)
             .with_trace(self.trace);
@@ -162,18 +177,12 @@ impl GroupBuilder {
                 self.config,
                 sim,
             )),
-            StackKind::Isis => Group::Isis(IsisSim::with_sim(
-                self.members,
-                self.joiners,
-                self.isis,
-                sim,
-            )),
-            StackKind::Token => Group::Token(TokenSim::with_sim(
-                self.members,
-                self.joiners,
-                self.token,
-                sim,
-            )),
+            StackKind::Isis => {
+                Group::Isis(IsisSim::with_sim(self.members, self.joiners, isis, sim))
+            }
+            StackKind::Token => {
+                Group::Token(TokenSim::with_sim(self.members, self.joiners, token, sim))
+            }
         };
         if !self.schedule.is_empty() {
             group.apply_schedule(&self.schedule);
@@ -352,6 +361,10 @@ impl GroupTransport for Group {
     fn views(&self) -> Vec<Vec<View>> {
         delegate!(self, g => GroupTransport::views(g))
     }
+
+    fn resets(&self) -> Vec<Vec<Time>> {
+        delegate!(self, g => GroupTransport::resets(g))
+    }
 }
 
 #[cfg(test)]
@@ -434,6 +447,45 @@ mod tests {
         let mut g = Group::builder().stack(StackKind::Isis).build();
         assert!(!g.supports_gbcast());
         g.gbcast_at(Time::from_millis(1), p(0), MessageClass(0), b"x".to_vec());
+    }
+
+    #[test]
+    fn wan_profiles_keep_baselines_stable() {
+        use gcs_sim::Topology;
+        // With default LAN timeouts both baselines mistake WAN latency for
+        // failure and thrash through view changes; the derived profiles keep
+        // the full membership intact through a steady WAN stream.
+        for kind in [StackKind::Isis, StackKind::Token] {
+            let mut g = Group::builder()
+                .members(6)
+                .stack(kind)
+                .topology(Topology::wan_3region())
+                .seed(5)
+                .build();
+            for i in 0..6u32 {
+                g.abcast_at(
+                    Time::from_millis(1 + 20 * i as u64),
+                    p(i % 6),
+                    vec![i as u8],
+                );
+            }
+            g.run_until(Time::from_secs(8));
+            let seqs = g.adelivered_payloads();
+            for (i, s) in seqs.iter().enumerate() {
+                assert_eq!(
+                    s.len(),
+                    6,
+                    "{}: p{i} delivered all of {seqs:?}",
+                    kind.name()
+                );
+            }
+            // Nobody was expelled: any installed view still has 6 members.
+            for (i, vs) in GroupTransport::views(&g).iter().enumerate() {
+                if let Some(last) = vs.last() {
+                    assert_eq!(last.len(), 6, "{}: p{i} kept the full view", kind.name());
+                }
+            }
+        }
     }
 
     #[test]

@@ -39,8 +39,10 @@
 #![warn(missing_docs)]
 
 mod group;
+mod oracle;
 mod sims;
 mod transport;
 
 pub use group::{Group, GroupBuilder};
+pub use oracle::{InvariantChecker, InvariantKind, OracleReport, Violation, MAX_VIOLATIONS};
 pub use transport::{GroupTransport, StackKind, TransportDelivery};

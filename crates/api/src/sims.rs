@@ -157,6 +157,10 @@ impl GroupTransport for IsisSim {
         self.len()
     }
 
+    fn supports_removal(&self) -> bool {
+        true
+    }
+
     fn abcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
         IsisSim::abcast_at(self, t, p, payload);
     }
@@ -168,6 +172,10 @@ impl GroupTransport for IsisSim {
     fn join_at(&mut self, t: Time, joiner: ProcessId, _contact: ProcessId) {
         // Isis routes the request to its coordinator itself.
         IsisSim::join_at(self, t, joiner);
+    }
+
+    fn remove_at(&mut self, t: Time, by: ProcessId, target: ProcessId) {
+        IsisSim::remove_at(self, t, by, target);
     }
 
     fn crash_at(&mut self, t: Time, p: ProcessId) {
@@ -245,6 +253,21 @@ impl GroupTransport for IsisSim {
             })
             .collect()
     }
+
+    fn resets(&self) -> Vec<Vec<Time>> {
+        // A killed process that re-joins comes back as a logically fresh
+        // member (its delivery state was wiped with it, §4.3): the kill time
+        // is the incarnation boundary.
+        let mut out = vec![Vec::new(); self.len()];
+        for e in self.trace().entries() {
+            if matches!(e.event, IsisEvent::Killed) {
+                if let Some(r) = out.get_mut(e.proc.index()) {
+                    r.push(e.time);
+                }
+            }
+        }
+        out
+    }
 }
 
 impl GroupTransport for TokenSim {
@@ -254,6 +277,10 @@ impl GroupTransport for TokenSim {
 
     fn process_count(&self) -> usize {
         self.len()
+    }
+
+    fn supports_removal(&self) -> bool {
+        true
     }
 
     fn abcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
@@ -267,6 +294,10 @@ impl GroupTransport for TokenSim {
     fn join_at(&mut self, t: Time, joiner: ProcessId, _contact: ProcessId) {
         // RMP-style fault-free join: the ring sponsors the joiner itself.
         TokenSim::join_at(self, t, joiner);
+    }
+
+    fn remove_at(&mut self, t: Time, by: ProcessId, target: ProcessId) {
+        TokenSim::remove_at(self, t, by, target);
     }
 
     fn crash_at(&mut self, t: Time, p: ProcessId) {
@@ -323,6 +354,7 @@ impl GroupTransport for TokenSim {
                     seq,
                     origin,
                     payload,
+                    vid,
                 } => Some(TransportDelivery {
                     time: e.time,
                     proc: e.proc,
@@ -330,8 +362,7 @@ impl GroupTransport for TokenSim {
                     seq: *seq,
                     kind: gcs_core::DeliveryKind::Atomic,
                     class: MessageClass::ABCAST,
-                    // Token deliveries are not tagged with a ring generation.
-                    view: 0,
+                    view: *vid,
                     payload: *payload,
                 }),
                 _ => None,
@@ -351,5 +382,20 @@ impl GroupTransport for TokenSim {
                     .collect()
             })
             .collect()
+    }
+
+    fn resets(&self) -> Vec<Vec<Time>> {
+        // A member excluded by a reformation it missed stops delivering and
+        // re-enters later through the fault-free join: its stream resets at
+        // the exclusion.
+        let mut out = vec![Vec::new(); self.len()];
+        for e in self.trace().entries() {
+            if matches!(e.event, TokenEvent::Excluded) {
+                if let Some(r) = out.get_mut(e.proc.index()) {
+                    r.push(e.time);
+                }
+            }
+        }
+        out
     }
 }

@@ -272,6 +272,17 @@ pub trait GroupTransport {
     /// token stack), in installation order.
     fn views(&self) -> Vec<Vec<View>>;
 
+    /// Per-process times at which the process's delivery stream *reset* —
+    /// it was killed/excluded and later re-admitted as a logically fresh
+    /// member (Isis kills wrongly suspected processes, §4.3; the token ring
+    /// excludes members that miss a reformation). Deliveries after a reset
+    /// belong to a new incarnation: invariant checking compares incarnations,
+    /// not raw process indices, across such boundaries. Stacks whose members
+    /// never resurrect return an empty list per process (the default).
+    fn resets(&self) -> Vec<Vec<Time>> {
+        vec![Vec::new(); self.process_count()]
+    }
+
     // -- provided conveniences ---------------------------------------------
 
     /// Resolves a delivered payload handle to its bytes.

@@ -203,11 +203,11 @@ fn sweep() {
         names.len(),
         base + seeds - 1
     );
-    println!("| scenario | seed | injected | deliveries | mean lat (ms) | p99 (ms) | msgs | events | fingerprint |");
-    println!("|---|---|---|---|---|---|---|---|---|");
+    println!("| scenario | seed | injected | deliveries | mean lat (ms) | p99 (ms) | msgs | events | viol | fingerprint |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
     for r in &results {
         println!(
-            "| {} | {} | {} | {} | {:.2} | {:.2} | {} | {} | {:016x} |",
+            "| {} | {} | {} | {} | {:.2} | {:.2} | {} | {} | {} | {:016x} |",
             r.name,
             r.seed,
             r.injected,
@@ -216,8 +216,18 @@ fn sweep() {
             r.p99_latency_ms,
             r.msgs,
             r.events,
+            r.violations.len(),
             r.fingerprint
         );
+    }
+    let total_violations: usize = results.iter().map(|r| r.violations.len()).sum();
+    if total_violations > 0 {
+        println!("\n**{total_violations} invariant violations found:**\n");
+        for r in results.iter().filter(|r| !r.violations.is_empty()) {
+            for v in &r.violations {
+                println!("- {}@{}: {v}", r.name, r.seed);
+            }
+        }
     }
     let aggregates = scenario::aggregate(&results);
     println!("\n### cross-seed aggregates (mean ± σ over {seeds} seeds)\n");
@@ -299,6 +309,25 @@ fn run_scenario() {
     println!("| wire bytes | {} |", r.bytes);
     println!("| sim events executed | {} |", r.events);
     println!("| run fingerprint | {:016x} |", r.fingerprint);
+    println!(
+        "| payload arena live / high-water | {} / {} |",
+        r.arena_live, r.arena_high_water
+    );
+    println!(
+        "| invariant violations | {}{} |",
+        r.violations.len(),
+        if r.oracle_ran {
+            ""
+        } else {
+            " (oracle skipped)"
+        }
+    );
+    if !r.violations.is_empty() {
+        println!("\n### invariant violations\n");
+        for v in &r.violations {
+            println!("- {v}");
+        }
+    }
     if !r.region_latency.is_empty() {
         println!("\n### one-way link latency by region pair (log2 histograms)\n");
         println!("| src region | dst region | msgs | mean (ms) | ~p50 (ms) | ~p99 (ms) |");

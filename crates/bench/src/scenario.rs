@@ -6,8 +6,14 @@
 //! so `repro`, the criterion benches and the determinism tests all execute
 //! the *same* definition, through the [`GroupTransport`] façade. The
 //! built-in matrix lives in [`catalog`]; run one with [`Scenario::run`].
+//!
+//! Every full-trace run passes through the
+//! [`InvariantChecker`]: the report carries the
+//! number (and rendering) of protocol-invariant violations, so the catalog
+//! is a *checked* matrix — fingerprints say a run changed, the oracle says
+//! whether it was correct.
 
-use gcs_api::{Group, GroupTransport, StackKind};
+use gcs_api::{Group, GroupTransport, InvariantChecker, StackKind};
 use gcs_core::{DeliveryKind, StackConfig};
 use gcs_kernel::{ProcessId, Time, TimeDelta};
 use gcs_sim::{Schedule, Topology, TraceMode};
@@ -69,6 +75,20 @@ pub struct ScenarioReport {
     /// topologies): the log2-histogram summaries of every pair that saw
     /// traffic.
     pub region_latency: Vec<RegionPairLatency>,
+    /// Protocol-invariant violations found by the
+    /// [`InvariantChecker`], rendered. Empty on a
+    /// correct run — and empty vacuously under counting-only trace modes,
+    /// where there is no delivery trace to check (see
+    /// [`oracle_ran`](Self::oracle_ran)).
+    pub violations: Vec<String>,
+    /// Whether the invariant oracle actually ran (it needs
+    /// [`TraceMode::Full`]).
+    pub oracle_ran: bool,
+    /// Payloads live in the group's arena at the end of the run.
+    pub arena_live: usize,
+    /// Arena slot high-water mark (the slab grows with the run until
+    /// reclamation lands; this metric is the groundwork for it).
+    pub arena_high_water: usize,
 }
 
 /// Summary of one directed region pair's link-latency histogram.
@@ -179,6 +199,20 @@ impl Scenario {
             })
             .collect();
 
+        // The invariant oracle: machine-check agreement, total order, view
+        // synchrony, FIFO, gap-freedom and no-duplication on the run's full
+        // delivery trace (counting-only modes have nothing to check).
+        let oracle_ran = trace == TraceMode::Full;
+        let violations = if oracle_ran {
+            InvariantChecker::check(&g, self.n)
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         ScenarioReport {
             name: self.name,
             seed,
@@ -191,6 +225,10 @@ impl Scenario {
             p99_latency_ms: p99,
             fingerprint,
             region_latency,
+            violations,
+            oracle_ran,
+            arena_live: g.arena().live(),
+            arena_high_water: g.arena().capacity(),
         }
     }
 }
@@ -373,6 +411,84 @@ pub fn catalog() -> Vec<Scenario> {
             workload: Box::new(UniformWorkload::steady(200, 2)),
             schedule: Schedule::new(),
             horizon: Time::from_secs(1),
+        },
+        // Scripted churn on the baselines: both traditional stacks now
+        // execute schedule `remove` steps (Isis through the exclusion flush,
+        // the ring through a sequenced leave), so the §4.4 churn point runs
+        // on every architecture.
+        Scenario {
+            name: "churn-lan-isis",
+            about: "join + removal mid-stream on the Isis baseline",
+            stack: StackKind::Isis,
+            n: 4,
+            joiners: 1,
+            topology: Topology::lan(),
+            workload: Box::new(ChurnWorkload::steady(150, 2, 100, 200)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(2),
+        },
+        Scenario {
+            name: "churn-lan-token",
+            about: "join + removal mid-stream on the token-ring baseline",
+            stack: StackKind::Token,
+            n: 4,
+            joiners: 1,
+            topology: Topology::lan(),
+            workload: Box::new(ChurnWorkload::steady(150, 2, 100, 200)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(2),
+        },
+        // WAN baselines: the topology-derived timeout profiles keep the
+        // perfect-FD emulation (Isis) and token-loss detection (ring) from
+        // mistaking long-haul latency for death, and the loss-repair paths
+        // stand in for the reliable links the original systems assumed.
+        Scenario {
+            name: "uniform-wan3-isis",
+            about: "the uniform-wan3 stream on the Isis baseline (tuned timeouts)",
+            stack: StackKind::Isis,
+            n: 9,
+            joiners: 0,
+            topology: Topology::wan_3region(),
+            workload: Box::new(UniformWorkload::steady(150, 4)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(5),
+        },
+        Scenario {
+            name: "uniform-wan3-token",
+            about: "the uniform-wan3 stream on the token-ring baseline (tuned timeouts)",
+            stack: StackKind::Token,
+            n: 9,
+            joiners: 0,
+            topology: Topology::wan_3region(),
+            workload: Box::new(UniformWorkload::steady(150, 4)),
+            schedule: Schedule::new(),
+            horizon: Time::from_secs(8),
+        },
+        Scenario {
+            name: "partition-heal-wan3-isis",
+            about: "region 2 partitioned off at 200ms, healed at 2.5s, on Isis",
+            stack: StackKind::Isis,
+            n: 9,
+            joiners: 0,
+            topology: Topology::wan_3region(),
+            workload: Box::new(UniformWorkload::steady(90, 6)),
+            // Region 2 ({2,5,8} under round-robin assignment) drops off the
+            // WAN for longer than the tuned exclusion timeout: the majority
+            // expels it (perfect-FD emulation), the minority blocks
+            // (primary-partition rule), and after the heal the killed
+            // members re-join with a state transfer — §4.3 at scenario
+            // scale, machine-checked by the oracle across incarnations.
+            schedule: {
+                let isolated: Vec<ProcessId> = [2u32, 5, 8].map(ProcessId::new).to_vec();
+                let rest: Vec<ProcessId> = (0..9)
+                    .map(ProcessId::new)
+                    .filter(|p| !isolated.contains(p))
+                    .collect();
+                Schedule::new()
+                    .partition(Time::from_millis(200), vec![isolated, rest])
+                    .heal(Time::from_millis(2_500))
+            },
+            horizon: Time::from_secs(10),
         },
     ]
 }
@@ -629,6 +745,87 @@ mod tests {
                 "{name}: all members deliver everything: {r:?}"
             );
             assert!(r.mean_latency_ms.is_finite(), "{name}");
+        }
+    }
+
+    #[test]
+    fn entire_catalog_runs_clean_under_the_oracle() {
+        // The acceptance bar of the invariant oracle: every cataloged
+        // scenario — all stacks, all topologies, churn, partitions, loss —
+        // satisfies the paper's properties on every run.
+        for s in catalog() {
+            let r = s.run(7, TraceMode::Full);
+            assert!(r.oracle_ran, "{}", s.name);
+            assert!(
+                r.violations.is_empty(),
+                "{}: invariant violations: {:#?}",
+                s.name,
+                r.violations
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_churn_scenarios_stay_live() {
+        for name in ["churn-lan-isis", "churn-lan-token"] {
+            let s = by_name(name).unwrap();
+            let r = s.run(3, TraceMode::Full);
+            // The three surviving founding members deliver the whole stream
+            // through the join and the removal.
+            assert!(
+                r.deliveries >= (r.injected * 3) as u64,
+                "{name}: stream live through churn: {r:?}"
+            );
+            assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
+        }
+    }
+
+    #[test]
+    fn wan_baselines_converge_with_tuned_profiles() {
+        for name in ["uniform-wan3-isis", "uniform-wan3-token"] {
+            let s = by_name(name).unwrap();
+            let r = s.run(7, TraceMode::Full);
+            assert_eq!(r.injected, 150, "{name}");
+            // Every member delivers the whole stream: the tuned timeout
+            // profiles prevent spurious exclusions and the repair paths
+            // cover WAN loss.
+            assert!(
+                r.deliveries >= (r.injected * s.n) as u64,
+                "{name}: WAN convergence: {r:?}"
+            );
+            assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
+        }
+    }
+
+    #[test]
+    fn partition_heal_isis_recovers_through_kill_and_rejoin() {
+        let s = by_name("partition-heal-wan3-isis").unwrap();
+        let r = s.run(7, TraceMode::Full);
+        // The majority (6 of 9) stays live through the outage; the expelled
+        // region catches up after healing. Some messages injected by the
+        // isolated minority during the outage may be lost with their
+        // killed senders — agreement is about delivered messages.
+        assert!(
+            r.deliveries >= (r.injected * 4) as u64,
+            "majority stream live: {r:?}"
+        );
+        assert!(r.violations.is_empty(), "{:#?}", r.violations);
+    }
+
+    #[test]
+    fn arena_occupancy_is_reported_and_pinned() {
+        // Groundwork for payload reclamation (ROADMAP): every injected
+        // payload is interned exactly once and stays live to the end of the
+        // run — the slab's high-water mark equals its live count. When
+        // reclamation lands, `arena_live` drops below `arena_high_water`
+        // and this pin moves.
+        for name in ["uniform-lan", "uniform-lan-isis", "uniform-lan-token"] {
+            let r = by_name(name).unwrap().run(2, TraceMode::Full);
+            assert_eq!(r.arena_live, r.injected, "{name}: one slot per op");
+            assert_eq!(
+                r.arena_high_water, r.arena_live,
+                "{name}: no reclamation yet — slab grows with the run"
+            );
         }
     }
 

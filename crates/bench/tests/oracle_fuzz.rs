@@ -1,0 +1,86 @@
+//! Property-based cross-stack fault fuzzing: random scripted timelines
+//! (crash / partition+heal / join / remove, within safe bounds) run against
+//! **all three** stacks, with the invariant oracle asserting zero violations
+//! for every seed.
+//!
+//! "Safe bounds" means the timeline windows are chosen so that a majority
+//! always exists (or is restored by a heal well before the horizon) and
+//! membership changes do not deliberately overlap reformation windows —
+//! overlapping those exercises the full Totem membership-merge protocol,
+//! which the baselines intentionally do not implement. Within these bounds
+//! the paper's properties must hold on every architecture, every time.
+
+use gcs_api::StackKind;
+use gcs_bench::scenario::Scenario;
+use gcs_bench::workload::UniformWorkload;
+use gcs_kernel::{ProcessId, Time};
+use gcs_sim::{Schedule, Topology, TraceMode};
+use proptest::prelude::*;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Arbitrary (seed, join?, remove?, crash?, partition?) timelines are
+    /// invariant-clean on every stack.
+    #[test]
+    fn random_fault_timelines_are_invariant_clean(
+        seed in any::<u64>(),
+        join_ms in proptest::option::of(20u64..60),
+        remove_ms in proptest::option::of(80u64..120),
+        crash_ms in proptest::option::of(150u64..200),
+        partition in proptest::option::of((250u64..350, 150u64..300)),
+    ) {
+        let mut schedule = Schedule::new();
+        if let Some(t) = join_ms {
+            // The joiner (p4) starts outside the group and joins via p1.
+            schedule = schedule.join(Time::from_millis(t), p(4), p(1));
+        }
+        if let Some(t) = remove_ms {
+            // p0 requests the removal of p3 (never the coordinator).
+            schedule = schedule.remove(Time::from_millis(t), p(0), p(3));
+        }
+        if let Some(t) = crash_ms {
+            schedule = schedule.crash(Time::from_millis(t), p(2));
+        }
+        if let Some((start, dur)) = partition {
+            // {0,1} plus the joiner on one side: whichever memberships the
+            // earlier steps produced, one side holds (or regains) a
+            // majority, and the heal lands long before the horizon.
+            schedule = schedule
+                .partition(
+                    Time::from_millis(start),
+                    vec![vec![p(0), p(1), p(4)], vec![p(2), p(3)]],
+                )
+                .heal(Time::from_millis(start + dur));
+        }
+
+        for stack in StackKind::ALL {
+            let scenario = Scenario {
+                name: "oracle-fuzz",
+                about: "randomized fault timeline",
+                stack,
+                n: 4,
+                joiners: 1,
+                topology: Topology::lan(),
+                workload: Box::new(UniformWorkload::steady(40, 5)),
+                schedule: schedule.clone(),
+                horizon: Time::from_secs(3),
+            };
+            let r = scenario.run(seed, TraceMode::Full);
+            prop_assert!(r.oracle_ran);
+            prop_assert!(
+                r.violations.is_empty(),
+                "{}@{seed}: {:#?} (schedule {:?})",
+                stack.name(),
+                r.violations,
+                schedule,
+            );
+            // Liveness floor: the group made progress in every timeline.
+            prop_assert!(r.deliveries > 0, "{}@{seed}: no deliveries", stack.name());
+        }
+    }
+}

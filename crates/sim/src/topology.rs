@@ -173,6 +173,19 @@ impl Topology {
         self.set_region_link(b, a, link);
     }
 
+    /// The largest one-way propagation delay any link of this topology can
+    /// sample (the maximum `delay_max` over the region matrix) — the RTT
+    /// bound protocol timeout profiles derive from: a failure-detection or
+    /// token-loss timeout below `2 ×` this value suspects peers that are
+    /// merely far away.
+    pub fn max_one_way_delay(&self) -> TimeDelta {
+        self.links
+            .iter()
+            .map(|l| l.delay_max)
+            .max()
+            .unwrap_or(TimeDelta::ZERO)
+    }
+
     /// The first `n` processes grouped by region — the partition groups of a
     /// region-boundary split (see
     /// [`ScheduleAction::PartitionRegions`](crate::ScheduleAction)).

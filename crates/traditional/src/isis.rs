@@ -26,7 +26,7 @@ use gcs_kernel::{
     Component, Context, Event, PayloadRef, Process, ProcessId, SharedArena, Time, TimeDelta,
     TimerId,
 };
-use gcs_sim::{Metrics, SimConfig, SimWorld, Trace};
+use gcs_sim::{Metrics, SimConfig, SimWorld, Topology, Trace};
 
 /// Message identity within the Isis stack.
 pub type IsisMsgId = (ProcessId, u64);
@@ -43,6 +43,11 @@ pub struct IsisConfig {
     pub state_size: usize,
     /// Whether a killed (wrongly excluded) process automatically re-joins.
     pub auto_rejoin: bool,
+    /// Throttle for the loss-repair paths (re-pushing own unsequenced data
+    /// to the sequencer, asking it to backfill missed orders). The original
+    /// Isis assumed reliable FIFO links; on lossy/partitioned topologies the
+    /// repair traffic stands in for that substrate.
+    pub retrans_interval: TimeDelta,
 }
 
 impl Default for IsisConfig {
@@ -52,6 +57,30 @@ impl Default for IsisConfig {
             fd_timeout: TimeDelta::from_millis(100),
             state_size: 0,
             auto_rejoin: true,
+            retrans_interval: TimeDelta::from_millis(10),
+        }
+    }
+}
+
+impl IsisConfig {
+    /// A timeout profile derived from the topology's RTT bound: on a LAN the
+    /// defaults are returned unchanged (every derived value floors at its
+    /// default), while on WAN topologies the heartbeat stretches with the
+    /// propagation delay and the exclusion timeout clears several round
+    /// trips — below that, the perfect-failure-detector emulation suspects
+    /// (and kills) peers that are merely far away, and the stack thrashes
+    /// through view changes instead of converging.
+    pub fn for_topology(topology: &Topology) -> Self {
+        let d = topology.max_one_way_delay();
+        let defaults = Self::default();
+        IsisConfig {
+            heartbeat_interval: defaults.heartbeat_interval.max(d.div(4)),
+            // 4 one-way delays (two round trips) plus heartbeat slack: a
+            // heartbeat must be able to lose one race with the jitter
+            // without its sender being expelled.
+            fd_timeout: defaults.fd_timeout.max(d.saturating_mul(4) + d),
+            retrans_interval: defaults.retrans_interval.max(d.saturating_mul(3)),
+            ..defaults
         }
     }
 }
@@ -101,10 +130,26 @@ pub enum IsisEvent {
     NewView(Box<NewViewData>),
     /// A process (re-)requests membership.
     JoinRequest,
+    /// A member asks the coordinator to expel `target` (scripted removal —
+    /// in Isis, removal *is* exclusion, driven through the same flush).
+    RemoveRequest {
+        /// The member to expel.
+        target: ProcessId,
+    },
     /// State transfer to a (re-)joining process.
     StateTransfer {
         /// Size stands in for real state (§4.3's costly transfer).
         state: Bytes,
+    },
+    /// Loss repair: ask the sequencer to re-send its ordering decisions (and
+    /// the data they refer to) from position `from` of view `vid` on. The
+    /// original stack assumed reliable FIFO links; this stands in for their
+    /// retransmission on lossy topologies.
+    Repair {
+        /// View whose order stream stalled.
+        vid: u64,
+        /// First order position the requester is missing.
+        from: u64,
     },
 
     // -- application ops --
@@ -113,6 +158,8 @@ pub enum IsisEvent {
     Abcast(PayloadRef),
     /// Ask to join via the current coordinator.
     Join,
+    /// Ask the coordinator to remove a member.
+    Remove(ProcessId),
 
     // -- outputs --
     /// An ordered delivery.
@@ -137,6 +184,9 @@ pub enum IsisEvent {
     /// This process discovered it was excluded: Isis semantics — it is
     /// killed (and will re-join if configured).
     Killed,
+    /// This process was removed *by request* (scripted removal): killed like
+    /// any excluded process, but it stays out — no auto re-join.
+    Removed,
     /// Re-join completed (state transfer received).
     Rejoined,
 }
@@ -157,6 +207,9 @@ pub struct NewViewData {
     pub members: Vec<ProcessId>,
     /// Messages to deliver before installing the view, in agreed order.
     pub deliver_first: Vec<(IsisMsgId, PayloadRef)>,
+    /// Members expelled *by request* in this view change: they learn their
+    /// exclusion is administrative and must not auto re-join.
+    pub removed: Vec<ProcessId>,
 }
 
 impl Event for IsisEvent {
@@ -169,13 +222,17 @@ impl Event for IsisEvent {
             IsisEvent::FlushReport { .. } => "isis/flush-report",
             IsisEvent::NewView { .. } => "isis/new-view",
             IsisEvent::JoinRequest => "isis/join-request",
+            IsisEvent::RemoveRequest { .. } => "isis/remove-request",
             IsisEvent::StateTransfer { .. } => "isis/state-transfer",
+            IsisEvent::Repair { .. } => "isis/repair",
             IsisEvent::Abcast(_) => "op/abcast",
             IsisEvent::Join => "op/join",
+            IsisEvent::Remove(_) => "op/remove",
             IsisEvent::Deliver { .. } => "out/deliver",
             IsisEvent::ViewInstalled { .. } => "out/view",
             IsisEvent::Blocked(_) => "out/blocked",
             IsisEvent::Killed => "out/killed",
+            IsisEvent::Removed => "out/removed",
             IsisEvent::Rejoined => "out/rejoined",
         }
     }
@@ -197,7 +254,9 @@ impl Event for IsisEvent {
                         .sum::<usize>()
             }
             IsisEvent::JoinRequest => 16,
+            IsisEvent::RemoveRequest { .. } => 20,
             IsisEvent::StateTransfer { state } => 16 + state.len(),
+            IsisEvent::Repair { .. } => 32,
             _ => 64,
         }
     }
@@ -237,14 +296,45 @@ pub struct IsisStack {
     orders: BTreeMap<u64, IsisMsgId>,
     next_deliver: u64,
     delivered: HashSet<IsisMsgId>,
+    /// Payloads of delivered messages, kept to serve [`IsisEvent::Repair`]
+    /// backfills (handles are 12 bytes; the bytes live once in the arena).
+    archive: HashMap<IsisMsgId, PayloadRef>,
+    /// Every ordering decision of the current view, by position — unlike
+    /// [`orders`](Self::orders) this log is not drained on delivery, so the
+    /// sequencer can re-serve decisions a lossy link swallowed.
+    order_log: BTreeMap<u64, IsisMsgId>,
+    /// Scan timestamp of the loss-repair paths.
+    last_repair: Time,
+    /// Own unsequenced messages as of the previous repair scan.
+    repair_own: Vec<IsisMsgId>,
+    /// Delivery cursor as of the previous repair scan.
+    repair_cursor: u64,
+    /// Whether the order stream was past the cursor at the previous scan.
+    repair_stalled: bool,
     /// Abcasts issued while blocked (sending view delivery queues them).
     send_queue: VecDeque<PayloadRef>,
     /// Coordinator flush state.
     flush_vid: u64,
     flush_members: Vec<ProcessId>,
     flush_reports: BTreeMap<ProcessId, Vec<(IsisMsgId, PayloadRef, Option<u64>)>>,
+    /// Members the in-flight flush expels by request.
+    flush_removed: Vec<ProcessId>,
+    /// The proposal this process is answering as a flush *participant*
+    /// (`(vid, coordinator)`), so a lost report can be re-sent.
+    flush_answering: Option<(u64, ProcessId)>,
+    /// Throttle timestamp of the flush/rejoin nudges (lost-message
+    /// retransmission for the view-change protocol itself).
+    last_nudge: Time,
+    /// Where a killed process sent its re-join request (re-sent on loss).
+    rejoin_target: Option<ProcessId>,
+    /// The last committed view (with its flush deliveries), kept so a
+    /// member can teach it to a process whose commit message was lost.
+    last_commit: Option<NewViewData>,
     /// Joins waiting for the next view change (coordinator side).
     pending_joins: BTreeSet<ProcessId>,
+    /// Scripted removals waiting for the next view change (coordinator
+    /// side).
+    pending_removals: BTreeSet<ProcessId>,
     started_at: Time,
 }
 
@@ -273,11 +363,23 @@ impl IsisStack {
             orders: BTreeMap::new(),
             next_deliver: 0,
             delivered: HashSet::new(),
+            archive: HashMap::new(),
+            order_log: BTreeMap::new(),
+            last_repair: Time::ZERO,
+            repair_own: Vec::new(),
+            repair_cursor: 0,
+            repair_stalled: false,
             send_queue: VecDeque::new(),
             flush_vid: 0,
             flush_members: Vec::new(),
             flush_reports: BTreeMap::new(),
+            flush_removed: Vec::new(),
+            flush_answering: None,
+            last_nudge: Time::ZERO,
+            rejoin_target: None,
+            last_commit: None,
             pending_joins: BTreeSet::new(),
+            pending_removals: BTreeSet::new(),
             started_at: Time::ZERO,
         }
     }
@@ -359,6 +461,7 @@ impl IsisStack {
             return; // stale view: the flush re-orders in-flight messages
         }
         self.orders.insert(seq, id);
+        self.order_log.insert(seq, id);
         self.try_deliver(ctx);
     }
 
@@ -373,11 +476,94 @@ impl IsisStack {
             self.orders.remove(&self.next_deliver);
             self.next_deliver += 1;
             self.delivered.insert(id);
+            self.archive.insert(id, payload);
             ctx.output(IsisEvent::Deliver {
                 id,
                 payload,
                 vid: self.vid,
             });
+        }
+    }
+
+    /// Loss repair (piggybacked on the heartbeat timer, scanned every
+    /// `retrans_interval`): re-push own data the sequencer has not ordered
+    /// yet, and ask the sequencer to backfill ordering decisions our cursor
+    /// is stuck behind. A message must look stuck across **two** consecutive
+    /// scans before anything is sent, so on loss-free links (where ordering
+    /// completes within one scan period) neither path ever fires and the
+    /// steady-state event stream is untouched.
+    fn repair_tick(&mut self, now: Time, ctx: &mut Context<'_, IsisEvent>) {
+        if self.mode != Mode::Steady || now.since(self.last_repair) <= self.config.retrans_interval
+        {
+            return;
+        }
+        self.last_repair = now;
+        let own_now: Vec<IsisMsgId> = self
+            .unordered
+            .keys()
+            .copied()
+            .filter(|id| id.0 == self.me)
+            .collect();
+        // Stall evidence: either the order stream visibly moved past our
+        // cursor, or we hold *any* undelivered data at an unmoving cursor —
+        // the latter covers a lost Order for the tail of the stream, where
+        // no later order exists to prove the gap (and where a Data re-push
+        // alone is silently deduplicated by the sequencer).
+        let stalled_now = self
+            .order_log
+            .keys()
+            .next_back()
+            .is_some_and(|&last| last >= self.next_deliver)
+            || !self.unordered.is_empty();
+        if let Some(seq) = self.sequencer().filter(|&s| s != self.me) {
+            // Own messages unsequenced since the previous scan: the Data may
+            // never have reached the sequencer — push it again (receivers
+            // dedup on message id).
+            for &id in own_now.iter().filter(|id| self.repair_own.contains(id)) {
+                if let Some(&payload) = self.unordered.get(&id) {
+                    ctx.send(seq, "isis", IsisEvent::Data { id, payload });
+                }
+            }
+            // Stuck across two consecutive scans: an Order (or its Data)
+            // was lost — ask for a backfill.
+            if stalled_now && self.repair_stalled && self.repair_cursor == self.next_deliver {
+                ctx.send(
+                    seq,
+                    "isis",
+                    IsisEvent::Repair {
+                        vid: self.vid,
+                        from: self.next_deliver,
+                    },
+                );
+            }
+        }
+        self.repair_own = own_now;
+        self.repair_cursor = self.next_deliver;
+        self.repair_stalled = stalled_now;
+    }
+
+    /// Sequencer side of [`IsisEvent::Repair`]: re-send order decisions from
+    /// `from` on (and the data they refer to, where still known).
+    fn serve_repair(
+        &mut self,
+        from: ProcessId,
+        vid: u64,
+        pos: u64,
+        ctx: &mut Context<'_, IsisEvent>,
+    ) {
+        if vid != self.vid || !self.member || self.mode != Mode::Steady {
+            return;
+        }
+        for (&seq, &id) in self.order_log.range(pos..).take(64) {
+            ctx.send(from, "isis", IsisEvent::Order { vid, seq, id });
+            let payload = self
+                .archive
+                .get(&id)
+                .or_else(|| self.unordered.get(&id))
+                .copied();
+            if let Some(payload) = payload {
+                ctx.send(from, "isis", IsisEvent::Data { id, payload });
+            }
         }
     }
 
@@ -402,6 +588,12 @@ impl IsisStack {
         self.mode = Mode::Flushing;
         ctx.output(IsisEvent::Blocked(true));
         self.flush_vid = self.vid + 1;
+        self.flush_removed = self
+            .members
+            .iter()
+            .copied()
+            .filter(|p| self.pending_removals.contains(p) && !new_members.contains(p))
+            .collect();
         self.flush_members = new_members.clone();
         self.flush_reports.clear();
         let proposal = IsisEvent::ViewProposal {
@@ -417,7 +609,12 @@ impl IsisStack {
     }
 
     fn local_unstable(&self) -> Vec<(IsisMsgId, PayloadRef, Option<u64>)> {
-        let seq_of: HashMap<IsisMsgId, u64> = self.orders.iter().map(|(&s, &id)| (id, s)).collect();
+        // Positions come from the *undrained* order log: a reporter that
+        // already saw the sequencer's decision for an undelivered message
+        // must carry it into the flush, or the agreed order could
+        // contradict deliveries other members already made from it.
+        let seq_of: HashMap<IsisMsgId, u64> =
+            self.order_log.iter().map(|(&s, &id)| (id, s)).collect();
         self.unordered
             .iter()
             .map(|(&id, &p)| (id, p, seq_of.get(&id).copied()))
@@ -439,6 +636,7 @@ impl IsisStack {
             ctx.output(IsisEvent::Blocked(true));
         }
         let _ = members;
+        self.flush_answering = Some((vid, from));
         let report = IsisEvent::FlushReport {
             vid,
             unstable: self.local_unstable(),
@@ -454,6 +652,14 @@ impl IsisStack {
         ctx: &mut Context<'_, IsisEvent>,
     ) {
         if vid != self.flush_vid || self.mode != Mode::Flushing {
+            // A report for a flush that already committed: the reporter
+            // never saw the commit (lost on a lossy link) and is blocked —
+            // teach it the committed view, flush deliveries included.
+            if self.mode == Mode::Steady && vid <= self.vid {
+                if let Some(nv) = self.last_commit.clone() {
+                    ctx.send(from, "isis", IsisEvent::NewView(Box::new(nv)));
+                }
+            }
             return;
         }
         self.flush_reports.insert(from, unstable);
@@ -477,11 +683,18 @@ impl IsisStack {
         }
         // Agreed order for in-flight messages: sequencer positions first,
         // then unsequenced by id (view synchrony: same set, same order).
+        // A reporter may hold a message without its ordering decision (the
+        // Order was lost or partitioned away) while *this* process saw it —
+        // consult our own order log before treating anything as
+        // unsequenced, or the flush would re-order messages that members
+        // already delivered at their sequenced positions.
+        let own_seq: HashMap<IsisMsgId, u64> =
+            self.order_log.iter().map(|(&s, &id)| (id, s)).collect();
         let mut sequenced: BTreeMap<u64, (IsisMsgId, PayloadRef)> = BTreeMap::new();
         let mut unsequenced: BTreeMap<IsisMsgId, PayloadRef> = BTreeMap::new();
         for report in self.flush_reports.values() {
             for &(id, payload, seq) in report {
-                match seq {
+                match seq.or_else(|| own_seq.get(&id).copied()) {
                     Some(s) => {
                         sequenced.insert(s, (id, payload));
                     }
@@ -501,6 +714,7 @@ impl IsisStack {
             vid: self.flush_vid,
             members: self.flush_members.clone(),
             deliver_first: deliver_first.clone(),
+            removed: self.flush_removed.clone(),
         }));
         // Tell survivors and joiners alike.
         let mut targets: BTreeSet<ProcessId> = self
@@ -524,12 +738,38 @@ impl IsisStack {
             }
         }
         self.pending_joins.clear();
+        // Removals carried out by this flush are done; the rest stay pending.
+        let applied = self.flush_members.clone();
+        self.pending_removals.retain(|t| applied.contains(t));
         self.install_view(
             self.flush_vid,
             self.flush_members.clone(),
             deliver_first,
+            self.flush_removed.clone(),
             ctx,
         );
+    }
+
+    /// Coordinator: register a scripted removal and, when in steady state,
+    /// start the view change that expels the target (plus any suspects and
+    /// pending joiners, exactly as the failure-driven path would).
+    fn note_removal(&mut self, target: ProcessId, ctx: &mut Context<'_, IsisEvent>) {
+        self.pending_joins.remove(&target);
+        self.pending_removals.insert(target);
+        if self.member && self.mode == Mode::Steady {
+            let mut next: Vec<ProcessId> = self
+                .members
+                .iter()
+                .copied()
+                .filter(|p| !self.pending_removals.contains(p))
+                .collect();
+            for &j in &self.pending_joins {
+                if !next.contains(&j) {
+                    next.push(j);
+                }
+            }
+            self.start_view_change(next, ctx);
+        }
     }
 
     fn install_view(
@@ -537,12 +777,14 @@ impl IsisStack {
         vid: u64,
         members: Vec<ProcessId>,
         deliver_first: Vec<(IsisMsgId, PayloadRef)>,
+        removed: Vec<ProcessId>,
         ctx: &mut Context<'_, IsisEvent>,
     ) {
         // Deliver the flush set (view synchrony), skipping what we delivered.
-        for (id, payload) in deliver_first {
+        for &(id, payload) in &deliver_first {
             if self.delivered.insert(id) {
                 self.unordered.remove(&id);
+                self.archive.insert(id, payload);
                 ctx.output(IsisEvent::Deliver {
                     id,
                     payload,
@@ -550,14 +792,27 @@ impl IsisStack {
                 });
             }
         }
+        self.flush_answering = None;
+        // Any install supersedes an in-flight flush this process was
+        // coordinating: stale coordinator state must not make a later
+        // *participant* nudge re-commit an old view.
+        self.flush_members.clear();
+        self.flush_reports.clear();
+        self.flush_removed.clear();
         if !members.contains(&self.me) {
-            // Wrongly excluded (or removed): Isis kills the process (§4.3).
+            // Excluded: Isis kills the process (§4.3). A scripted removal is
+            // the same exclusion, minus the re-join.
             self.mode = Mode::Dead;
             self.member = false;
-            ctx.output(IsisEvent::Killed);
-            if self.config.auto_rejoin {
-                if let Some(&coord) = members.first() {
-                    ctx.send(coord, "isis", IsisEvent::JoinRequest);
+            if removed.contains(&self.me) {
+                ctx.output(IsisEvent::Removed);
+            } else {
+                ctx.output(IsisEvent::Killed);
+                if self.config.auto_rejoin {
+                    if let Some(&coord) = members.first() {
+                        self.rejoin_target = Some(coord);
+                        ctx.send(coord, "isis", IsisEvent::JoinRequest);
+                    }
                 }
             }
             return;
@@ -566,8 +821,20 @@ impl IsisStack {
         self.members = members.clone();
         self.member = true;
         self.mode = Mode::Steady;
+        self.rejoin_target = None;
+        self.last_commit = Some(NewViewData {
+            vid,
+            members: members.clone(),
+            deliver_first,
+            removed,
+        });
         self.unordered.clear();
         self.orders.clear();
+        self.order_log.clear();
+        // The repair archive only serves the current view's order log:
+        // entries from earlier views can never be looked up again, so drop
+        // them with it (bounds the map per view instead of per run).
+        self.archive.clear();
         self.next_order = 0;
         self.next_deliver = 0;
         // Fresh FD horizon for the new view.
@@ -613,6 +880,16 @@ impl Component<IsisEvent> for IsisStack {
                     ctx.send(ProcessId::new(0), "isis", IsisEvent::JoinRequest);
                 }
             }
+            IsisEvent::Remove(target) => {
+                if !self.member || self.mode == Mode::Dead {
+                    return;
+                }
+                if self.coordinator(ctx.now()) == Some(self.me) {
+                    self.note_removal(target, ctx);
+                } else if let Some(coord) = self.coordinator(ctx.now()) {
+                    ctx.send(coord, "isis", IsisEvent::RemoveRequest { target });
+                }
+            }
             _ => {}
         }
     }
@@ -623,7 +900,7 @@ impl Component<IsisEvent> for IsisStack {
             match event {
                 IsisEvent::NewView(nv) if nv.members.contains(&self.me) => {
                     self.delivered.clear();
-                    self.install_view(nv.vid, nv.members, nv.deliver_first, ctx);
+                    self.install_view(nv.vid, nv.members, nv.deliver_first, nv.removed, ctx);
                 }
                 IsisEvent::StateTransfer { .. } => {
                     ctx.output(IsisEvent::Rejoined);
@@ -650,6 +927,7 @@ impl Component<IsisEvent> for IsisStack {
                             vid: self.vid,
                             members: self.members.clone(),
                             deliver_first: Vec::new(),
+                            removed: Vec::new(),
                         })),
                     );
                 }
@@ -663,18 +941,34 @@ impl Component<IsisEvent> for IsisStack {
                 self.on_flush_report(from, vid, unstable, ctx)
             }
             IsisEvent::NewView(nv) if nv.vid > self.vid => {
-                self.install_view(nv.vid, nv.members, nv.deliver_first, ctx);
+                self.install_view(nv.vid, nv.members, nv.deliver_first, nv.removed, ctx);
             }
             IsisEvent::JoinRequest => {
+                // A fresh join overrides a stale pending removal of the same
+                // process (otherwise a rejoiner would be expelled on sight).
+                self.pending_removals.remove(&from);
                 self.pending_joins.insert(from);
                 if self.member && self.coordinator(ctx.now()) == Some(self.me) {
-                    let mut m = self.members.clone();
+                    let mut m: Vec<ProcessId> = self
+                        .members
+                        .iter()
+                        .copied()
+                        .filter(|p| !self.pending_removals.contains(p))
+                        .collect();
                     if !m.contains(&from) {
                         m.push(from);
                     }
                     self.start_view_change(m, ctx);
                 }
             }
+            IsisEvent::RemoveRequest { target } => {
+                if self.member && self.coordinator(ctx.now()) == Some(self.me) {
+                    self.note_removal(target, ctx);
+                } else {
+                    self.pending_removals.insert(target);
+                }
+            }
+            IsisEvent::Repair { vid, from: pos } => self.serve_repair(from, vid, pos, ctx),
             IsisEvent::StateTransfer { .. } => ctx.output(IsisEvent::Rejoined),
             _ => {}
         }
@@ -682,20 +976,115 @@ impl Component<IsisEvent> for IsisStack {
 
     fn on_timer(&mut self, _timer: TimerId, ctx: &mut Context<'_, IsisEvent>) {
         ctx.set_timer(self.config.heartbeat_interval);
-        if !self.member || self.mode == Mode::Dead {
+        let now = ctx.now();
+        if self.mode == Mode::Dead {
+            // A killed process whose re-join request was lost would stay
+            // dead forever: re-send it until re-admitted.
+            if let Some(coord) = self.rejoin_target {
+                if now.since(self.last_nudge) > self.config.retrans_interval {
+                    self.last_nudge = now;
+                    ctx.send(coord, "isis", IsisEvent::JoinRequest);
+                }
+            }
             return;
         }
-        let now = ctx.now();
+        if !self.member {
+            return;
+        }
+        if self.mode == Mode::Flushing && now.since(self.last_nudge) > self.config.retrans_interval
+        {
+            // The flush protocol itself assumed reliable links: re-send the
+            // proposal to members whose report is missing (coordinator) or
+            // our report to the coordinator (participant) so one lost
+            // message cannot block the view change forever.
+            self.last_nudge = now;
+            if !self.flush_members.is_empty() {
+                // A participant suspected *mid-flush* will never report:
+                // restart the view change without it (it is excluded like
+                // any other suspect; it re-joins through kill + state
+                // transfer rather than being retained with a hole in its
+                // delivery stream).
+                let suspected: Vec<ProcessId> = self
+                    .flush_members
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        p != self.me
+                            && !self.flush_reports.contains_key(&p)
+                            && self.suspects(p, now)
+                    })
+                    .collect();
+                if !suspected.is_empty() {
+                    let next: Vec<ProcessId> = self
+                        .flush_members
+                        .iter()
+                        .copied()
+                        .filter(|p| !suspected.contains(p))
+                        .collect();
+                    let survivors = next.iter().filter(|p| self.members.contains(p)).count();
+                    if survivors > self.members.len() / 2 {
+                        self.flush_members = next;
+                        self.maybe_commit_view(ctx);
+                    }
+                }
+                if self.mode == Mode::Flushing {
+                    let waiting: Vec<ProcessId> = self
+                        .flush_members
+                        .iter()
+                        .copied()
+                        .filter(|p| self.members.contains(p) && !self.flush_reports.contains_key(p))
+                        .collect();
+                    for p in waiting {
+                        ctx.send(
+                            p,
+                            "isis",
+                            IsisEvent::ViewProposal {
+                                vid: self.flush_vid,
+                                members: self.flush_members.clone(),
+                            },
+                        );
+                    }
+                }
+            } else if let Some((vid, coord)) = self.flush_answering {
+                if self.suspects(coord, now) {
+                    // The flush coordinator died mid-flush: abandon the
+                    // flush and return to steady state, so the ordinary
+                    // suspicion path can elect a successor and run a fresh
+                    // view change (otherwise the group nudges a corpse
+                    // forever, blocked). If the coordinator was merely slow,
+                    // its commit still reaches us as a NewView.
+                    self.flush_answering = None;
+                    self.mode = Mode::Steady;
+                    ctx.output(IsisEvent::Blocked(false));
+                    let queued: Vec<PayloadRef> = self.send_queue.drain(..).collect();
+                    for payload in queued {
+                        self.do_abcast(payload, ctx);
+                    }
+                } else {
+                    ctx.send(
+                        coord,
+                        "isis",
+                        IsisEvent::FlushReport {
+                            vid,
+                            unstable: self.local_unstable(),
+                        },
+                    );
+                }
+            }
+        }
         ctx.send_to_all(self.others(), "isis", IsisEvent::Heartbeat);
+        self.repair_tick(now, ctx);
         // The traditional coupling: suspicion IS exclusion. The coordinator
-        // (lowest unsuspected member) reacts to any suspicion by starting a
-        // view change that expels the suspects.
+        // (lowest unsuspected member) reacts to any suspicion — or a pending
+        // scripted removal — by starting a view change that expels them.
         if self.mode == Mode::Steady && self.coordinator(now) == Some(self.me) {
             let survivors: Vec<ProcessId> = self
                 .members
                 .iter()
                 .copied()
-                .filter(|&p| p == self.me || !self.suspects(p, now))
+                .filter(|&p| {
+                    (p == self.me || !self.suspects(p, now)) && !self.pending_removals.contains(&p)
+                })
                 .collect();
             if survivors.len() != self.members.len() || !self.pending_joins.is_empty() {
                 let mut next = survivors;
@@ -796,6 +1185,21 @@ impl IsisSim {
     /// Schedules a join request by an outsider (or killed process).
     pub fn join_at(&mut self, t: Time, p: ProcessId) {
         self.world.inject_at(t, p, "isis", IsisEvent::Join);
+    }
+
+    /// Schedules member `by` to request the removal of `target`: the request
+    /// is routed to the coordinator, which expels the target through the
+    /// ordinary exclusion flush. The target is killed Isis-style but —
+    /// unlike a wrong suspicion — does not auto re-join.
+    ///
+    /// A removal that would shrink the view below a majority of its current
+    /// size (e.g. removing one of two members) is *deferred*, not executed:
+    /// the primary-partition rule guards every view change, administrative
+    /// ones included, so the request stays pending until the membership can
+    /// absorb it.
+    pub fn remove_at(&mut self, t: Time, by: ProcessId, target: ProcessId) {
+        self.world
+            .inject_at(t, by, "isis", IsisEvent::Remove(target));
     }
 
     /// Crashes `p` at `t`.
@@ -986,6 +1390,53 @@ mod tests {
         // And the final view contains all three processes again.
         let (_, members) = sim.views()[0].last().expect("views installed").clone();
         assert_eq!(members.len(), 3);
+    }
+
+    #[test]
+    fn scripted_removal_expels_without_rejoin() {
+        let mut sim = IsisSim::new(4, IsisConfig::default(), 6);
+        sim.abcast_at(Time::from_millis(1), p(3), b"pre".to_vec());
+        // p1 (not the coordinator) requests the removal: the request must be
+        // routed to p0 and applied through the flush.
+        sim.remove_at(Time::from_millis(50), p(1), p(3));
+        sim.abcast_at(Time::from_millis(300), p(1), b"post".to_vec());
+        sim.run_until(Time::from_secs(2));
+        for i in 0..3 {
+            let (vid, members) = sim.views()[i].last().expect("view change").clone();
+            assert!(vid >= 1);
+            assert_eq!(members, vec![p(0), p(1), p(2)], "p{i} sees p3 expelled");
+        }
+        // The target was killed as Removed and stayed out (no auto re-join,
+        // unlike a wrong suspicion).
+        let trace = sim.trace();
+        assert!(trace
+            .of_proc(p(3))
+            .any(|e| matches!(e.event, IsisEvent::Removed)));
+        assert!(!trace
+            .of_proc(p(3))
+            .any(|e| matches!(e.event, IsisEvent::Rejoined)));
+        // The stream survives the removal at all three survivors.
+        let seqs = sim.delivered_payloads();
+        for i in 0..3 {
+            assert!(seqs[i].contains(&b"pre".to_vec()), "p{i}");
+            assert!(seqs[i].contains(&b"post".to_vec()), "p{i}");
+        }
+        assert_eq!(seqs[0], seqs[1]);
+        assert_eq!(seqs[1], seqs[2]);
+    }
+
+    #[test]
+    fn wan_profile_floors_to_defaults_on_lan() {
+        use gcs_sim::Topology;
+        let lan = IsisConfig::for_topology(&Topology::lan());
+        let d = IsisConfig::default();
+        assert_eq!(lan.heartbeat_interval, d.heartbeat_interval);
+        assert_eq!(lan.fd_timeout, d.fd_timeout);
+        assert_eq!(lan.retrans_interval, d.retrans_interval);
+        // On the 3-region WAN the exclusion timeout clears several RTTs.
+        let wan = IsisConfig::for_topology(&Topology::wan_3region());
+        assert!(wan.fd_timeout >= TimeDelta::from_millis(500));
+        assert!(wan.heartbeat_interval > d.heartbeat_interval);
     }
 
     #[test]

@@ -70,4 +70,7 @@ pub use gcs_replication as replication;
 pub use gcs_sim as sim;
 pub use gcs_traditional as traditional;
 
-pub use gcs_api::{Group, GroupBuilder, GroupTransport, StackKind, TransportDelivery};
+pub use gcs_api::{
+    Group, GroupBuilder, GroupTransport, InvariantChecker, InvariantKind, OracleReport, StackKind,
+    TransportDelivery, Violation,
+};

@@ -10,7 +10,7 @@
 
 use gcs::kernel::{ProcessId, Time};
 use gcs::sim::{check_no_duplicates, check_prefix_consistency};
-use gcs::{Group, GroupTransport, StackKind};
+use gcs::{Group, GroupTransport, InvariantChecker, StackKind};
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
@@ -167,8 +167,10 @@ fn quiescence_flag_is_meaningful_on_every_stack() {
 }
 
 /// Capability markers reflect the paper's pick-your-services modularity:
-/// only the new architecture offers generic/reliable broadcast and scripted
-/// removal; the markers and the entry points agree.
+/// only the new architecture offers generic/reliable broadcast, while every
+/// stack now executes scripted removal (Isis through its exclusion flush,
+/// the ring through a sequenced leave); the markers and the entry points
+/// agree.
 #[test]
 fn capability_markers_match_the_stacks() {
     for kind in StackKind::ALL {
@@ -176,7 +178,7 @@ fn capability_markers_match_the_stacks() {
         let expect = kind == StackKind::NewArch;
         assert_eq!(g.supports_gbcast(), expect, "{}", kind.name());
         assert_eq!(g.supports_rbcast(), expect, "{}", kind.name());
-        assert_eq!(g.supports_removal(), expect, "{}", kind.name());
+        assert!(g.supports_removal(), "{}", kind.name());
     }
     // The supported path actually works end to end.
     let mut g = build(StackKind::NewArch, 3, 0, 36);
@@ -190,10 +192,125 @@ fn capability_markers_match_the_stacks() {
 
 /// The unsupported entry points fail loudly, pointing at the marker.
 #[test]
-#[should_panic(expected = "supports_removal")]
-fn removal_on_the_token_stack_panics_with_the_capability_hint() {
+#[should_panic(expected = "supports_gbcast")]
+fn gbcast_on_the_token_stack_panics_with_the_capability_hint() {
+    use gcs::core::MessageClass;
     let mut g = build(StackKind::Token, 3, 0, 37);
-    g.remove_at(Time::from_millis(1), p(0), p(2));
+    g.gbcast_at(Time::from_millis(1), p(0), MessageClass(0), b"x".to_vec());
+}
+
+/// Scripted removal mid-stream on every stack (honestly gated on the
+/// capability marker): the survivors keep the stream alive and totally
+/// ordered, the target's own last view excludes it, and the whole run is
+/// invariant-clean.
+#[test]
+fn removal_mid_stream_on_every_stack() {
+    for kind in StackKind::ALL {
+        let mut g = build(kind, 4, 0, 41);
+        if !g.supports_removal() {
+            continue; // honest skip: the stack cannot express removal
+        }
+        for i in 0..6u32 {
+            g.abcast_at(Time::from_millis(1 + 2 * i as u64), p(i % 4), vec![i as u8]);
+        }
+        g.remove_at(Time::from_millis(60), p(1), p(3));
+        for i in 6..12u32 {
+            g.abcast_at(
+                Time::from_millis(400 + 2 * i as u64),
+                p(i % 3),
+                vec![i as u8],
+            );
+        }
+        g.run_until(Time::from_secs(3));
+
+        let seqs = g.adelivered_payloads();
+        for i in 0..3 {
+            assert_eq!(
+                seqs[i].len(),
+                12,
+                "{}: survivor p{i} delivered the whole stream",
+                kind.name()
+            );
+        }
+        check_prefix_consistency(&seqs[..3])
+            .unwrap_or_else(|e| panic!("{}: order violation {e:?}", kind.name()));
+        // The removed member knows it is out: its last installed view (if
+        // it saw the change) excludes it, and it misses the post-removal
+        // suffix.
+        assert!(
+            seqs[3].len() < 12,
+            "{}: removed member does not see the full stream",
+            kind.name()
+        );
+        if let Some(last) = g.views()[3].last() {
+            assert!(
+                !last.contains(p(3)),
+                "{}: removed member's last view excludes it",
+                kind.name()
+            );
+        }
+        let report = InvariantChecker::check(&g, 4);
+        assert!(
+            report.is_clean(),
+            "{}: {:#?}",
+            kind.name(),
+            report.violations
+        );
+    }
+}
+
+/// Partition + heal on every stack: the majority side keeps (or recovers)
+/// the stream, nothing splits the sequence space, and the run is
+/// invariant-clean — the traditional stacks resolve the healed minority
+/// through kill/exclusion + re-join, which the oracle absorbs as an
+/// incarnation reset.
+#[test]
+fn partition_heal_on_every_stack() {
+    for kind in StackKind::ALL {
+        let mut g = build(kind, 5, 0, 42);
+        for i in 0..5u32 {
+            g.abcast_at(Time::from_millis(1 + 2 * i as u64), p(i), vec![i as u8]);
+        }
+        g.partition_at(
+            Time::from_millis(40),
+            vec![vec![p(0), p(1), p(2)], vec![p(3), p(4)]],
+        );
+        // Majority-side traffic during the split…
+        for i in 5..9u32 {
+            g.abcast_at(
+                Time::from_millis(300 + 2 * i as u64),
+                p(i % 3),
+                vec![i as u8],
+            );
+        }
+        g.heal_at(Time::from_millis(700));
+        // …and traffic after the heal.
+        for i in 9..12u32 {
+            g.abcast_at(Time::from_secs(3), p(i % 3), vec![i as u8]);
+        }
+        g.run_until(Time::from_secs(6));
+
+        let seqs = g.adelivered_payloads();
+        for i in 0..3 {
+            assert_eq!(
+                seqs[i].len(),
+                12,
+                "{}: majority member p{i} delivered everything: {:?}",
+                kind.name(),
+                seqs.iter().map(|s| s.len()).collect::<Vec<_>>()
+            );
+        }
+        check_prefix_consistency(&seqs[..3])
+            .unwrap_or_else(|e| panic!("{}: order violation {e:?}", kind.name()));
+        check_no_duplicates(&seqs).unwrap_or_else(|e| panic!("{}: duplicate {e:?}", kind.name()));
+        let report = InvariantChecker::check(&g, 5);
+        assert!(
+            report.is_clean(),
+            "{}: {:#?}",
+            kind.name(),
+            report.violations
+        );
+    }
 }
 
 /// One workload definition drives all three stacks identically — the
