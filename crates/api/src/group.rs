@@ -137,6 +137,30 @@ impl GroupBuilder {
         self
     }
 
+    /// Failure-detection mode of the new-architecture stack (ignored by the
+    /// baselines): [`FdMode::AllPairs`](gcs_core::FdMode::AllPairs) for exact
+    /// small-group monitoring, [`FdMode::Gossip`](gcs_core::FdMode::Gossip)
+    /// for O(n·k) ring-segment probing at scale (`fanout: 0` = auto,
+    /// ≈ log₂ n). When not set, the builder picks all-pairs up to
+    /// [`SCALE_THRESHOLD`](gcs_core::SCALE_THRESHOLD) members and gossip
+    /// above it.
+    pub fn fd_mode(mut self, mode: gcs_core::FdMode) -> Self {
+        self.config.fd_mode = Some(mode);
+        self
+    }
+
+    /// Reliable-broadcast relay policy of the new-architecture stack
+    /// (ignored by the baselines): [`RelayFanout::All`](gcs_core::RelayFanout)
+    /// re-sends every first copy to the whole view,
+    /// [`RelayFanout::Bounded`](gcs_core::RelayFanout) to `k` ring
+    /// successors. When not set, the builder picks all-relay up to
+    /// [`SCALE_THRESHOLD`](gcs_core::SCALE_THRESHOLD) members and a bounded
+    /// ≈ log₂ n fan-out above it.
+    pub fn relay_fanout(mut self, relay: gcs_core::RelayFanout) -> Self {
+        self.config.relay_fanout = Some(relay);
+        self
+    }
+
     /// Per-process configuration of the Isis baseline (ignored by the other
     /// stacks). When not set, the builder derives a timeout profile from the
     /// topology's RTT bound ([`IsisConfig::for_topology`]) — on a LAN that
@@ -360,6 +384,13 @@ impl GroupTransport for Group {
 
     fn views(&self) -> Vec<Vec<View>> {
         delegate!(self, g => GroupTransport::views(g))
+    }
+
+    fn suspicion_trace(&self) -> Vec<(Time, ProcessId, ProcessId)> {
+        match self {
+            Group::NewArch(g) => g.suspicion_trace(),
+            _ => Vec::new(),
+        }
     }
 
     fn resets(&self) -> Vec<Vec<Time>> {

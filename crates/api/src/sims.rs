@@ -146,6 +146,10 @@ impl GroupTransport for GroupSim {
     fn views(&self) -> Vec<Vec<View>> {
         GroupSim::views(self)
     }
+
+    fn suspicion_trace(&self) -> Vec<(Time, ProcessId, ProcessId)> {
+        GroupSim::suspicion_trace(self)
+    }
 }
 
 impl GroupTransport for IsisSim {

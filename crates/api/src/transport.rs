@@ -272,6 +272,15 @@ pub trait GroupTransport {
     /// token stack), in installation order.
     fn views(&self) -> Vec<Vec<View>>;
 
+    /// Consensus-class suspicion transitions recorded in the trace, as
+    /// `(time, observer, suspect)` triples in trace order. Only the new
+    /// architecture with `StackConfig::trace_suspicions` set records these
+    /// (crash-detection-latency measurement); every other stack returns the
+    /// default empty list.
+    fn suspicion_trace(&self) -> Vec<(Time, ProcessId, ProcessId)> {
+        Vec::new()
+    }
+
     /// Per-process times at which the process's delivery stream *reset* —
     /// it was killed/excluded and later re-admitted as a logically fresh
     /// member (Isis kills wrongly suspected processes, §4.3; the token ring

@@ -13,7 +13,9 @@
 //! * `failover_new/isis`     — E3's crash-recovery scenario.
 //! * `consensus_instance/n`  — A1's single-decision cost (CT, in-memory).
 //! * `sim_throughput/n`      — raw simulator speed (events/sec) at n=16, 64,
-//!   256, with the counts-only trace sink (the long-run configuration).
+//!   256 and 1024, with the counts-only trace sink (the long-run
+//!   configuration); the two large points run gossip monitoring and
+//!   bounded relay (`SCALE_THRESHOLD`).
 //! * `scenario/<name>`       — scenario-engine variants (WAN topology,
 //!   skewed senders, churn) from the `gcs_bench::scenario` catalog.
 
@@ -178,13 +180,22 @@ fn sim_throughput(c: &mut Criterion) {
 }
 
 fn sim_throughput_large(c: &mut Criterion) {
-    // The 256-process point: the O(n²) heartbeat fan-out makes even a short
-    // horizon expensive (~seconds per iteration), so it lives in its own
-    // group with a minimal sampling budget — see the `big` group config.
+    // The at-scale points, gossip monitoring and bounded relay: one full
+    // simulated second at n = 256 (~0.7 s/iteration) and a shorter horizon
+    // at n = 1024 (~1 s/iteration) — both live in their own group with a
+    // minimal sampling budget (see the `big` group config), keeping the
+    // whole group in CI-friendly minutes.
     let mut group = c.benchmark_group("sim_throughput");
     group.bench_with_input(BenchmarkId::from_parameter(256usize), &256usize, |b, &n| {
-        b.iter(|| gcs_bench::perf::sim_throughput_counts(n, 10));
+        b.iter(|| gcs_bench::perf::sim_throughput_counts(n, 1000));
     });
+    group.bench_with_input(
+        BenchmarkId::from_parameter(1024usize),
+        &1024usize,
+        |b, &n| {
+            b.iter(|| gcs_bench::perf::sim_throughput_counts(n, 200));
+        },
+    );
     group.finish();
 }
 

@@ -238,6 +238,50 @@ pub fn run_pr3(reps: usize) -> Vec<Measurement> {
     out
 }
 
+/// The scenario names tracked by the PR-7 trajectory: the PR-3 five (so
+/// `BENCH_PR7.json` diffs directly against `BENCH_PR3.json`) plus the new
+/// 256-member scale point with gossip failure detection and bounded relay.
+/// The 1024-member point is tracked as a `sim_throughput` figure, not a
+/// scenario: a full-trace 1024 run is oracle material, not bench material.
+pub const PR7_SCENARIOS: &[&str] = &[
+    "uniform-lan",
+    "skewed-lan",
+    "large-payload-lan",
+    "uniform-wan3",
+    "churn-lan",
+    "uniform-lan-256",
+];
+
+/// Runs the PR-7 measurement set: the tracked scenario matrix plus the
+/// three `sim_throughput` scale points, every one over the **full simulated
+/// second** — feasible at n = 256 and n = 1024 for the first time, which is
+/// the point of the PR. `sim_throughput/64` is the wall-clock regression
+/// guard against `BENCH_PR3.json`: above `SCALE_THRESHOLD` the stack now
+/// runs gossip monitoring and bounded relay, so the 64-member *event
+/// stream shrinks* several-fold and events/sec would conflate that
+/// event-count reduction with per-event cost — wall time for the same
+/// simulated second is the comparable number, and it must not regress.
+pub fn run_pr7(reps: usize) -> Vec<Measurement> {
+    let mut out: Vec<Measurement> = PR7_SCENARIOS
+        .iter()
+        .map(|&name| {
+            let s = scenario::by_name(name).expect("tracked scenario exists");
+            let r = if s.n > 64 { 1 } else { reps.min(7) };
+            measure(name, r, || s.run(7, TraceMode::CountsOnly).events)
+        })
+        .collect();
+    out.push(measure("sim_throughput/64", reps.clamp(1, 3), || {
+        sim_throughput(64)
+    }));
+    out.push(measure("sim_throughput/256", reps.clamp(1, 3), || {
+        sim_throughput_counts(256, 1000)
+    }));
+    out.push(measure("sim_throughput/1024", 1, || {
+        sim_throughput_counts(1024, 1000)
+    }));
+    out
+}
+
 /// One steady-state allocation measurement (meaningful only in binaries
 /// that install [`CountingAlloc`](crate::alloccount::CountingAlloc) as the
 /// global allocator — elsewhere every counter reads zero).

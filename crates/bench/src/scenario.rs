@@ -40,6 +40,9 @@ pub struct Scenario {
     pub workload: Box<dyn Workload>,
     /// Scenario-level fault steps (merged with the workload's own schedule).
     pub schedule: Schedule,
+    /// Record consensus-class suspicion transitions in the trace (the
+    /// crash-detection-latency scenarios turn this on).
+    pub trace_suspicions: bool,
     /// Virtual-time horizon the run executes to.
     pub horizon: Time,
 }
@@ -84,6 +87,12 @@ pub struct ScenarioReport {
     /// Whether the invariant oracle actually ran (it needs
     /// [`TraceMode::Full`]).
     pub oracle_ran: bool,
+    /// Crash-detection latency in virtual milliseconds: time from the first
+    /// scripted `Crash` step to the moment *every* correct process has a
+    /// consensus-class suspicion of the crashed peer recorded in the trace.
+    /// `None` when the scenario crashes nobody, suspicions are not traced,
+    /// or some correct process never suspected within the horizon.
+    pub crash_detect_ms: Option<f64>,
     /// Payloads live in the group's arena at the end of the run.
     pub arena_live: usize,
     /// Arena slot high-water mark (the slab grows with the run until
@@ -129,6 +138,7 @@ impl Scenario {
         // scenario. (Only the new architecture reads this config; the
         // baselines keep their stack defaults.)
         cfg.monitoring_timeout = TimeDelta::from_secs(3600);
+        cfg.trace_suspicions = self.trace_suspicions;
         let mut g = Group::builder()
             .members(self.n)
             .joiners(self.joiners)
@@ -213,6 +223,8 @@ impl Scenario {
             Vec::new()
         };
 
+        let crash_detect_ms = self.crash_detect_ms(&g);
+
         ScenarioReport {
             name: self.name,
             seed,
@@ -227,9 +239,45 @@ impl Scenario {
             region_latency,
             violations,
             oracle_ran,
+            crash_detect_ms,
             arena_live: g.arena().live(),
             arena_high_water: g.arena().capacity(),
         }
+    }
+
+    /// Crash-detection latency of the first scripted crash (see
+    /// [`ScenarioReport::crash_detect_ms`]): the time until the *last*
+    /// correct process's first suspicion of the crashed peer, measured via
+    /// [`GroupTransport::suspicion_trace`].
+    fn crash_detect_ms(&self, g: &Group) -> Option<f64> {
+        let (crash_at, victim) =
+            self.full_schedule()
+                .steps()
+                .iter()
+                .find_map(|(t, a)| match a {
+                    gcs_sim::ScheduleAction::Crash(p) => Some((*t, *p)),
+                    _ => None,
+                })?;
+        let suspicions = g.suspicion_trace();
+        if suspicions.is_empty() {
+            return None;
+        }
+        // Every process alive at the end of the run (except the victim)
+        // must have suspected the victim after the crash instant.
+        let alive = g.alive_flags();
+        let mut worst = Time::ZERO;
+        for (i, &is_alive) in alive.iter().enumerate() {
+            let observer = ProcessId::new(i as u32);
+            if !is_alive || observer == victim {
+                continue;
+            }
+            let first = suspicions
+                .iter()
+                .find(|&&(t, o, s)| o == observer && s == victim && t >= crash_at)
+                .map(|&(t, _, _)| t)?;
+            worst = worst.max(first);
+        }
+        Some(worst.since(crash_at).as_millis_f64())
     }
 }
 
@@ -246,6 +294,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::lan(),
             workload: Box::new(UniformWorkload::steady(200, 2)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(1),
         },
         Scenario {
@@ -257,6 +306,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::lan(),
             workload: Box::new(SkewedWorkload::steady(200, 2)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(1),
         },
         Scenario {
@@ -271,6 +321,7 @@ pub fn catalog() -> Vec<Scenario> {
             ),
             workload: Box::new(LargePayloadWorkload::steady(60, 5, 64 * 1024)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(2),
         },
         Scenario {
@@ -282,6 +333,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::wan_2dc(),
             workload: Box::new(UniformWorkload::steady(150, 4)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(3),
         },
         Scenario {
@@ -293,6 +345,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::wan_3region(),
             workload: Box::new(UniformWorkload::steady(150, 4)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(5),
         },
         Scenario {
@@ -304,6 +357,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::lossy(),
             workload: Box::new(UniformWorkload::steady(150, 3)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(3),
         },
         Scenario {
@@ -315,6 +369,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::lan(),
             workload: Box::new(ChurnWorkload::steady(150, 2, 100, 200)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(2),
         },
         Scenario {
@@ -326,6 +381,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::wan_2dc(),
             workload: Box::new(ChurnWorkload::steady(100, 5, 150, 300)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(4),
         },
         Scenario {
@@ -341,6 +397,7 @@ pub fn catalog() -> Vec<Scenario> {
                 TimeDelta::from_millis(150),
                 0.25,
             ),
+            trace_suspicions: false,
             horizon: Time::from_secs(4),
         },
         Scenario {
@@ -372,6 +429,7 @@ pub fn catalog() -> Vec<Scenario> {
                 }
                 s
             },
+            trace_suspicions: false,
             horizon: Time::from_secs(10),
         },
         Scenario {
@@ -385,6 +443,7 @@ pub fn catalog() -> Vec<Scenario> {
             schedule: Schedule::new()
                 .partition_regions(Time::from_millis(200))
                 .heal(Time::from_millis(600)),
+            trace_suspicions: false,
             horizon: Time::from_secs(8),
         },
         // Cross-stack comparison points: the same uniform stream on the
@@ -399,6 +458,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::lan(),
             workload: Box::new(UniformWorkload::steady(200, 2)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(1),
         },
         Scenario {
@@ -410,6 +470,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::lan(),
             workload: Box::new(UniformWorkload::steady(200, 2)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(1),
         },
         // Scripted churn on the baselines: both traditional stacks now
@@ -425,6 +486,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::lan(),
             workload: Box::new(ChurnWorkload::steady(150, 2, 100, 200)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(2),
         },
         Scenario {
@@ -436,6 +498,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::lan(),
             workload: Box::new(ChurnWorkload::steady(150, 2, 100, 200)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(2),
         },
         // WAN baselines: the topology-derived timeout profiles keep the
@@ -451,6 +514,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::wan_3region(),
             workload: Box::new(UniformWorkload::steady(150, 4)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(5),
         },
         Scenario {
@@ -462,6 +526,7 @@ pub fn catalog() -> Vec<Scenario> {
             topology: Topology::wan_3region(),
             workload: Box::new(UniformWorkload::steady(150, 4)),
             schedule: Schedule::new(),
+            trace_suspicions: false,
             horizon: Time::from_secs(8),
         },
         Scenario {
@@ -488,7 +553,36 @@ pub fn catalog() -> Vec<Scenario> {
                     .partition(Time::from_millis(200), vec![isolated, rest])
                     .heal(Time::from_millis(2_500))
             },
+            trace_suspicions: false,
             horizon: Time::from_secs(10),
+        },
+        Scenario {
+            name: "uniform-lan-256",
+            about: "scale point: 256 members, gossip FD, bounded relay, one crash",
+            stack: StackKind::NewArch,
+            n: 256,
+            joiners: 0,
+            topology: Topology::lan(),
+            workload: Box::new(UniformWorkload::steady(50, 4)),
+            // A non-sender crashes mid-stream; trace_suspicions records the
+            // consensus-class suspicion wavefront, and the report's
+            // crash_detect_ms must come in under the gossip-mode suspicion
+            // bound (timeout + rotation cycle + interval + LAN delay).
+            schedule: Schedule::new().crash(Time::from_millis(150), ProcessId::new(200)),
+            trace_suspicions: true,
+            horizon: Time::from_secs(1),
+        },
+        Scenario {
+            name: "uniform-lan-1024",
+            about: "scale point: 1024 members crossing the all-pairs wall",
+            stack: StackKind::NewArch,
+            n: 1024,
+            joiners: 0,
+            topology: Topology::lan(),
+            workload: Box::new(UniformWorkload::steady(50, 4)),
+            schedule: Schedule::new().crash(Time::from_millis(150), ProcessId::new(800)),
+            trace_suspicions: true,
+            horizon: Time::from_secs(1),
         },
     ]
 }
@@ -752,8 +846,15 @@ mod tests {
     fn entire_catalog_runs_clean_under_the_oracle() {
         // The acceptance bar of the invariant oracle: every cataloged
         // scenario — all stacks, all topologies, churn, partitions, loss —
-        // satisfies the paper's properties on every run.
+        // satisfies the paper's properties on every run. The at-scale
+        // points (n > 64) are excluded from this debug-mode loop: CI's
+        // release smoke runs `repro scenario uniform-lan-256` (which exits
+        // nonzero on violations), and the 1024 point runs behind bench-pr7.
         for s in catalog() {
+            if s.n > 64 {
+                eprintln!("skipping {} (n={}) in the debug oracle loop", s.name, s.n);
+                continue;
+            }
             let r = s.run(7, TraceMode::Full);
             assert!(r.oracle_ran, "{}", s.name);
             assert!(

@@ -43,6 +43,7 @@ proptest! {
             topology,
             workload: Box::new(UniformWorkload::steady(30, 3)),
             schedule,
+            trace_suspicions: false,
             horizon: Time::from_secs(2),
         };
         let a = scenario.run(seed, TraceMode::Full);
@@ -70,6 +71,7 @@ proptest! {
             schedule: Schedule::new()
                 .join(Time::from_millis(30), ProcessId::new(4), ProcessId::new(1))
                 .remove(Time::from_millis(60), ProcessId::new(0), ProcessId::new(3)),
+            trace_suspicions: false,
             horizon: Time::from_secs(2),
         };
         let a = make().run(seed, TraceMode::Full);
@@ -86,6 +88,12 @@ proptest! {
 #[test]
 fn catalog_scenarios_reproduce_at_fixed_seed() {
     for s in catalog() {
+        // The at-scale points (n > 64) cost seconds per run even with the
+        // counting sink; their reproducibility is pinned by the recorded
+        // fingerprints (release smoke + bench-pr7), not this debug loop.
+        if s.n > 64 {
+            continue;
+        }
         let a = s.run(11, TraceMode::CountsOnly);
         let b = s.run(11, TraceMode::CountsOnly);
         assert_eq!(a.events, b.events, "{}: event counts differ", s.name);

@@ -68,6 +68,7 @@ proptest! {
                 topology: Topology::lan(),
                 workload: Box::new(UniformWorkload::steady(40, 5)),
                 schedule: schedule.clone(),
+                trace_suspicions: false,
                 horizon: Time::from_secs(3),
             };
             let r = scenario.run(seed, TraceMode::Full);

@@ -17,7 +17,9 @@
 //! detector; termination needs ◇S and `f < n/2`. Messages must travel on
 //! reliable FIFO links.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
+
+use gcs_kernel::{FxHashMap, FxHashSet};
 
 use gcs_kernel::ProcessId;
 
@@ -102,18 +104,28 @@ pub struct CtConsensus<V> {
     decided: bool,
 
     /// Rounds for which this process already sent its phase-3 reply.
-    answered: HashSet<u64>,
+    answered: FxHashSet<u64>,
     /// Buffered proposals by round (may arrive before we enter the round).
-    proposals: HashMap<u64, V>,
+    proposals: FxHashMap<u64, V>,
     /// Coordinator side: estimates gathered per round (ordered by sender for
     /// deterministic tie-breaking).
-    estimates: HashMap<u64, BTreeMap<ProcessId, (V, u64)>>,
+    estimates: FxHashMap<u64, BTreeMap<ProcessId, (V, u64)>>,
     /// Coordinator side: value proposed per round.
-    proposed: HashMap<u64, V>,
+    proposed: FxHashMap<u64, V>,
     /// Coordinator side: ack senders per round.
-    acks: HashMap<u64, HashSet<ProcessId>>,
+    acks: FxHashMap<u64, FxHashSet<ProcessId>>,
     /// Current failure-detector suspicion set.
-    suspected: HashSet<ProcessId>,
+    suspected: FxHashSet<ProcessId>,
+    /// Decide-echo policy: `None` echoes a received decision to every
+    /// participant (classic diffusion, O(n²) messages per instance);
+    /// `Some(k)` echoes to only the `k` ring successors in participant
+    /// order. The *deciding coordinator* always sends to everyone, so
+    /// bounded echo keeps the two-hop spread of diffusion at O(n·k) cost;
+    /// coverage survives coordinator crash by contiguous segment extension
+    /// (as in bounded reliable-broadcast relay), and any process the echo
+    /// chain misses still learns the decision through the round protocol's
+    /// decided-instance catch-up replies.
+    echo_fanout: Option<usize>,
 }
 
 impl<V: Value> CtConsensus<V> {
@@ -122,7 +134,21 @@ impl<V: Value> CtConsensus<V> {
     /// # Panics
     ///
     /// Panics if `participants` does not contain `me` or is empty.
-    pub fn new(me: ProcessId, mut participants: Vec<ProcessId>) -> Self {
+    pub fn new(me: ProcessId, participants: Vec<ProcessId>) -> Self {
+        Self::with_echo_fanout(me, participants, None)
+    }
+
+    /// Creates an instance with an explicit decide-echo fan-out (see the
+    /// `echo_fanout` field).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` does not contain `me` or is empty.
+    pub fn with_echo_fanout(
+        me: ProcessId,
+        mut participants: Vec<ProcessId>,
+        echo_fanout: Option<usize>,
+    ) -> Self {
         participants.sort_unstable();
         participants.dedup();
         assert!(participants.contains(&me), "{me:?} not among participants");
@@ -136,12 +162,13 @@ impl<V: Value> CtConsensus<V> {
             ts: 0,
             round: 0,
             decided: false,
-            answered: HashSet::new(),
-            proposals: HashMap::new(),
-            estimates: HashMap::new(),
-            proposed: HashMap::new(),
-            acks: HashMap::new(),
-            suspected: HashSet::new(),
+            answered: FxHashSet::default(),
+            proposals: FxHashMap::default(),
+            estimates: FxHashMap::default(),
+            proposed: FxHashMap::default(),
+            acks: FxHashMap::default(),
+            suspected: FxHashSet::default(),
+            echo_fanout,
         }
     }
 
@@ -250,7 +277,7 @@ impl<V: Value> CtConsensus<V> {
                     acks.insert(from);
                     if acks.len() >= self.majority {
                         let est = self.proposed[&round].clone();
-                        self.decide(est, out);
+                        self.decide(est, true, out);
                     }
                 }
             }
@@ -259,7 +286,7 @@ impl<V: Value> CtConsensus<V> {
                 // moves on through the normal round progression.
             }
             CtMsg::Decide { est } => {
-                self.decide(est, out);
+                self.decide(est, false, out);
             }
         }
     }
@@ -370,7 +397,7 @@ impl<V: Value> CtConsensus<V> {
         }
     }
 
-    fn decide(&mut self, est: V, out: &mut Vec<CtOut<V>>) {
+    fn decide(&mut self, est: V, origin: bool, out: &mut Vec<CtOut<V>>) {
         if self.decided {
             return;
         }
@@ -378,12 +405,32 @@ impl<V: Value> CtConsensus<V> {
         self.estimate = Some(est.clone());
         // Echo the decision so it reaches every correct participant even if
         // we crash right after deciding (reliable broadcast by diffusion).
-        for &p in &self.participants {
-            if p != self.me {
-                out.push(CtOut::Send {
-                    to: p,
-                    msg: CtMsg::Decide { est: est.clone() },
-                });
+        // The deciding coordinator (`origin`) always addresses everyone;
+        // echoers follow the configured fan-out (participants are sorted,
+        // so they double as the echo ring).
+        match self.echo_fanout {
+            Some(k) if !origin => {
+                let m = self.participants.len();
+                // `me` is a participant, so its partition point is its own
+                // index; successors start one past it.
+                let start = self.participants.partition_point(|&p| p < self.me);
+                for j in 1..=k.min(m.saturating_sub(1)) {
+                    let p = self.participants[(start + j) % m];
+                    out.push(CtOut::Send {
+                        to: p,
+                        msg: CtMsg::Decide { est: est.clone() },
+                    });
+                }
+            }
+            _ => {
+                for &p in &self.participants {
+                    if p != self.me {
+                        out.push(CtOut::Send {
+                            to: p,
+                            msg: CtMsg::Decide { est: est.clone() },
+                        });
+                    }
+                }
             }
         }
         out.push(CtOut::Decided(est));
@@ -393,6 +440,7 @@ impl<V: Value> CtConsensus<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::{HashMap, HashSet};
 
     fn pid(i: u32) -> ProcessId {
         ProcessId::new(i)
@@ -595,6 +643,7 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::{HashMap, HashSet};
 
     fn pid(i: u32) -> ProcessId {
         ProcessId::new(i)

@@ -1,8 +1,8 @@
 //! Repeated consensus: the service atomic broadcast is built on.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
-use gcs_kernel::ProcessId;
+use gcs_kernel::{FxHashSet, ProcessId};
 
 use crate::chandra_toueg::{CtConsensus, CtMsg, CtOut};
 use crate::Value;
@@ -40,21 +40,31 @@ pub struct ConsensusManager<V> {
     me: ProcessId,
     instances: BTreeMap<InstanceId, CtConsensus<V>>,
     decisions: BTreeMap<InstanceId, V>,
-    suspected: HashSet<ProcessId>,
+    suspected: FxHashSet<ProcessId>,
     /// Reused buffer for instance outputs: steady-state message handling
     /// allocates no per-call `Vec`.
     ct_scratch: Vec<CtOut<V>>,
+    /// Decide-echo fan-out handed to every created instance (see
+    /// [`CtConsensus::with_echo_fanout`]).
+    echo_fanout: Option<usize>,
 }
 
 impl<V: Value> ConsensusManager<V> {
     /// Creates a manager for process `me`.
     pub fn new(me: ProcessId) -> Self {
+        Self::with_echo_fanout(me, None)
+    }
+
+    /// Creates a manager whose instances echo decisions with the given
+    /// bounded fan-out (`None` = echo to every participant).
+    pub fn with_echo_fanout(me: ProcessId, echo_fanout: Option<usize>) -> Self {
         ConsensusManager {
             me,
             instances: BTreeMap::new(),
             decisions: BTreeMap::new(),
-            suspected: HashSet::new(),
+            suspected: FxHashSet::default(),
             ct_scratch: Vec::new(),
+            echo_fanout,
         }
     }
 
@@ -99,8 +109,9 @@ impl<V: Value> ConsensusManager<V> {
         let me = self.me;
         let mut suspected: Vec<ProcessId> = self.suspected.iter().copied().collect();
         suspected.sort_unstable(); // deterministic seeding order
+        let echo_fanout = self.echo_fanout;
         let inst = self.instances.entry(instance).or_insert_with(|| {
-            let mut c = CtConsensus::new(me, participants.to_vec());
+            let mut c = CtConsensus::with_echo_fanout(me, participants.to_vec(), echo_fanout);
             for &s in &suspected {
                 let _ = c.suspect(s);
             }
@@ -278,7 +289,7 @@ mod tests {
         // Every process decided both instances.
         assert_eq!(decided.len(), 6);
         for inst in 0..2u64 {
-            let vals: HashSet<u32> = (0..3)
+            let vals: std::collections::HashSet<u32> = (0..3)
                 .map(|p| *decided.get(&(p, inst)).expect("decided"))
                 .collect();
             assert_eq!(vals.len(), 1, "instance {inst} disagreement");

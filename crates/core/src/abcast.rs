@@ -19,13 +19,13 @@
 //! same participant set for every instance (the Dynamic Group Communication
 //! construction the paper cites as its ref. 32).
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use gcs_consensus::InstanceId;
-use gcs_kernel::ProcessId;
+use gcs_kernel::{FxHashSet, ProcessId};
 
-use crate::rbcast::Rbcast;
+use crate::rbcast::{Rbcast, RelayFanout};
 use crate::types::{
     AbMsg, Batch, Body, Delivery, DeliveryKind, Message, MessageClass, MsgId, SnapshotData, View,
     WireMsg,
@@ -69,9 +69,9 @@ pub struct AbcastCore {
     /// R-delivered messages not yet a-delivered (the proposal pool).
     pending: BTreeMap<MsgId, Message>,
     /// Ids in decided batches (never re-proposed).
-    committed: HashSet<MsgId>,
+    committed: FxHashSet<MsgId>,
     /// Ids already a-delivered (never re-delivered).
-    adelivered: HashSet<MsgId>,
+    adelivered: FxHashSet<MsgId>,
     /// Decided, not yet flushed batches.
     batches: BTreeMap<InstanceId, Batch>,
     /// Next batch/instance to flush — and the only instance we propose for.
@@ -87,7 +87,14 @@ impl AbcastCore {
     /// `None` for processes that will join later (inactive until
     /// [`install_snapshot`](Self::install_snapshot)).
     pub fn new(me: ProcessId, initial_view: Option<View>) -> Self {
-        let mut rb = Rbcast::new(me);
+        Self::with_relay(me, initial_view, RelayFanout::All)
+    }
+
+    /// Creates the core with an explicit reliable-broadcast relay policy.
+    /// Bounded relay turns diffusion's O(n²) per-broadcast message cost into
+    /// O(n·k) at large n (see [`RelayFanout`]).
+    pub fn with_relay(me: ProcessId, initial_view: Option<View>, relay: RelayFanout) -> Self {
+        let mut rb = Rbcast::with_relay(me, relay);
         let (view, active) = match initial_view {
             Some(v) => {
                 rb.set_peers(&v.members);
@@ -108,8 +115,8 @@ impl AbcastCore {
             active,
             rb,
             pending: BTreeMap::new(),
-            committed: HashSet::new(),
-            adelivered: HashSet::new(),
+            committed: FxHashSet::default(),
+            adelivered: FxHashSet::default(),
             batches: BTreeMap::new(),
             cursor: 0,
             requested: BTreeSet::new(),

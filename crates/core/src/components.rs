@@ -23,15 +23,17 @@
 //! ```
 
 use gcs_consensus::{ConsensusManager, CtMsg, InstanceId, ManagerOut};
-use gcs_fd::{FdOut, HeartbeatFd, MonitorClass};
-use gcs_kernel::{Component, Context, ProcessId, TimeDelta, TimerId};
+use gcs_fd::{FdMode, FdOut, HeartbeatFd, MonitorClass};
+use gcs_kernel::{Component, Context, ProcessId, Time, TimeDelta, TimerId};
 use gcs_net::{RcConfig, RcOut, ReliableChannel};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::abcast::{AbOut, AbcastCore};
 use crate::generic::{GbOut, GenericCore};
 use crate::membership::{MbOut, MembershipCore};
 use crate::monitoring::{MonOut, MonitoringCore, MonitoringPolicy};
+use crate::rbcast::RelayFanout;
 use crate::types::{
     AbMsg, Batch, Body, Ev, GbMsg, MbMsg, MessageClass, MonMsg, SnapshotData, View, WireMsg,
 };
@@ -149,6 +151,9 @@ pub struct FdComponent {
     initial_peers: Vec<ProcessId>,
     consensus_timeout: TimeDelta,
     monitoring_timeout: TimeDelta,
+    /// Emit `Ev::Suspect`/`Ev::Restore` of the consensus class as trace
+    /// outputs too (crash-detection latency measurement in scenarios).
+    trace_suspicions: bool,
     /// Reused output buffer (heartbeat ticks are the most frequent event in
     /// the whole system; they must not allocate).
     scratch: Vec<FdOut>,
@@ -165,11 +170,34 @@ impl FdComponent {
         consensus_timeout: TimeDelta,
         monitoring_timeout: TimeDelta,
     ) -> Self {
+        Self::with_mode(
+            me,
+            initial_peers,
+            heartbeat_interval,
+            consensus_timeout,
+            monitoring_timeout,
+            FdMode::AllPairs,
+            false,
+        )
+    }
+
+    /// [`FdComponent::new`] with an explicit monitoring mode and suspicion
+    /// tracing.
+    pub fn with_mode(
+        me: ProcessId,
+        initial_peers: Vec<ProcessId>,
+        heartbeat_interval: TimeDelta,
+        consensus_timeout: TimeDelta,
+        monitoring_timeout: TimeDelta,
+        mode: FdMode,
+        trace_suspicions: bool,
+    ) -> Self {
         FdComponent {
-            fd: HeartbeatFd::new(me, heartbeat_interval),
+            fd: HeartbeatFd::with_mode(me, heartbeat_interval, mode),
             initial_peers,
             consensus_timeout,
             monitoring_timeout,
+            trace_suspicions,
             scratch: Vec::new(),
             heartbeat_to: Vec::new(),
         }
@@ -191,6 +219,9 @@ impl FdComponent {
                         names::MONITORING
                     };
                     ctx.emit(target, Ev::Suspect(class, peer));
+                    if self.trace_suspicions && class == MonitorClass::CONSENSUS {
+                        ctx.output(Ev::Suspect(class, peer));
+                    }
                 }
                 FdOut::Restore { class, peer } => {
                     let target = if class == MonitorClass::CONSENSUS {
@@ -199,11 +230,28 @@ impl FdComponent {
                         names::MONITORING
                     };
                     ctx.emit(target, Ev::Restore(class, peer));
+                    if self.trace_suspicions && class == MonitorClass::CONSENSUS {
+                        ctx.output(Ev::Restore(class, peer));
+                    }
                 }
             }
         }
         if !heartbeat_to.is_empty() {
-            ctx.send_to_all(heartbeat_to.iter().copied(), names::FD, Ev::Heartbeat);
+            match self.fd.mode() {
+                FdMode::AllPairs => {
+                    ctx.send_to_all(heartbeat_to.iter().copied(), names::FD, Ev::Heartbeat);
+                }
+                FdMode::Gossip { .. } => {
+                    // One shared digest per tick: the fan-out clones an Arc,
+                    // not the digest itself.
+                    let digest: Arc<[(ProcessId, Time)]> = self.fd.digest().into();
+                    ctx.send_to_all(
+                        heartbeat_to.iter().copied(),
+                        names::FD,
+                        Ev::FdGossip(digest),
+                    );
+                }
+            }
         }
         self.heartbeat_to = heartbeat_to;
     }
@@ -231,11 +279,20 @@ impl Component<Ev> for FdComponent {
     }
 
     fn on_message(&mut self, from: ProcessId, event: Ev, ctx: &mut Context<'_, Ev>) {
-        if let Ev::Heartbeat = event {
-            let mut outs = std::mem::take(&mut self.scratch);
-            self.fd.on_heartbeat_into(from, ctx.now(), &mut outs);
-            self.apply(outs.drain(..), ctx);
-            self.scratch = outs;
+        match event {
+            Ev::Heartbeat => {
+                let mut outs = std::mem::take(&mut self.scratch);
+                self.fd.on_heartbeat_into(from, ctx.now(), &mut outs);
+                self.apply(outs.drain(..), ctx);
+                self.scratch = outs;
+            }
+            Ev::FdGossip(digest) => {
+                let mut outs = std::mem::take(&mut self.scratch);
+                self.fd.on_gossip_into(from, &digest, ctx.now(), &mut outs);
+                self.apply(outs.drain(..), ctx);
+                self.scratch = outs;
+            }
+            _ => {}
         }
     }
 
@@ -264,8 +321,14 @@ pub struct ConsensusComponent {
 impl ConsensusComponent {
     /// Creates the consensus component for `me`.
     pub fn new(me: ProcessId) -> Self {
+        Self::with_echo_fanout(me, None)
+    }
+
+    /// Creates the component with a bounded decide-echo fan-out (`None` =
+    /// echo decisions to every participant).
+    pub fn with_echo_fanout(me: ProcessId, echo_fanout: Option<usize>) -> Self {
         ConsensusComponent {
-            mgr: ConsensusManager::new(me),
+            mgr: ConsensusManager::with_echo_fanout(me, echo_fanout),
             buffered: BTreeMap::new(),
             scratch: Vec::new(),
         }
@@ -342,8 +405,14 @@ pub struct AbcastComponent {
 impl AbcastComponent {
     /// Creates the atomic-broadcast component.
     pub fn new(me: ProcessId, initial_view: Option<View>) -> Self {
+        Self::with_relay(me, initial_view, RelayFanout::All)
+    }
+
+    /// Creates the component with an explicit reliable-broadcast relay
+    /// policy (see [`RelayFanout`]).
+    pub fn with_relay(me: ProcessId, initial_view: Option<View>, relay: RelayFanout) -> Self {
         AbcastComponent {
-            core: AbcastCore::new(me, initial_view),
+            core: AbcastCore::with_relay(me, initial_view, relay),
             scratch: Vec::new(),
         }
     }

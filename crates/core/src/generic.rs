@@ -36,11 +36,11 @@
 //! `f < n/2` from atomic broadcast. Correctness is exercised by the
 //! property tests in `tests/generic_broadcast.rs`.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
-use gcs_kernel::ProcessId;
+use gcs_kernel::{FxHashSet, ProcessId};
 
-use crate::rbcast::Rbcast;
+use crate::rbcast::{Rbcast, RelayFanout};
 use crate::types::{
     Body, ConflictRelation, Delivery, DeliveryKind, GbEndData, GbMsg, Message, MessageClass, MsgId,
     View, WireMsg,
@@ -83,7 +83,7 @@ pub struct GenericCore {
     /// Acks that arrived for a future epoch (the sender closed earlier).
     future_acks: BTreeMap<u64, Vec<(ProcessId, MsgId)>>,
     /// G-delivered ids (never delivered twice).
-    gdelivered: HashSet<MsgId>,
+    gdelivered: FxHashSet<MsgId>,
     /// Frozen: stop acking / fast-delivering until the epoch closes.
     frozen: bool,
     /// `End` bodies collected for the current epoch, in a-delivery order
@@ -104,7 +104,18 @@ impl GenericCore {
     /// Creates the core for `me` with the given conflict relation.
     /// `initial_view` is `None` for processes that join later.
     pub fn new(me: ProcessId, relation: ConflictRelation, initial_view: Option<View>) -> Self {
-        let mut rb = Rbcast::new(me);
+        Self::with_relay(me, relation, initial_view, RelayFanout::All)
+    }
+
+    /// Creates the core with an explicit reliable-broadcast relay policy
+    /// (see [`RelayFanout`]).
+    pub fn with_relay(
+        me: ProcessId,
+        relation: ConflictRelation,
+        initial_view: Option<View>,
+        relay: RelayFanout,
+    ) -> Self {
+        let mut rb = Rbcast::with_relay(me, relay);
         let (members, view_id, active) = match initial_view {
             Some(v) => {
                 rb.set_peers(&v.members);
@@ -124,7 +135,7 @@ impl GenericCore {
             acked: BTreeMap::new(),
             ack_senders: BTreeMap::new(),
             future_acks: BTreeMap::new(),
-            gdelivered: HashSet::new(),
+            gdelivered: FxHashSet::default(),
             frozen: false,
             ends: Vec::new(),
             pending_view: None,

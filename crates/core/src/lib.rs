@@ -49,9 +49,10 @@ mod rbcast;
 mod stack;
 mod types;
 
+pub use gcs_fd::FdMode;
 pub use monitoring::MonitoringPolicy;
-pub use rbcast::{RbReceipt, Rbcast};
-pub use stack::{build_process, GroupSim, StackConfig};
+pub use rbcast::{RbReceipt, Rbcast, RelayFanout};
+pub use stack::{auto_fanout, build_process, GroupSim, StackConfig, SCALE_THRESHOLD};
 pub use types::{
     AbMsg, Batch, Body, ConflictRelation, Delivery, DeliveryKind, Ev, GbMsg, MbMsg, Message,
     MessageClass, MonMsg, MsgId, SnapshotData, View, WireMsg,

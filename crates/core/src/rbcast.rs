@@ -8,11 +8,29 @@
 //! delivers `m`, because the delivering process's relay or the original send
 //! reaches some correct process which relays in turn.
 
-use std::collections::HashSet;
-
-use gcs_kernel::ProcessId;
+use gcs_kernel::{FxHashSet, ProcessId};
 
 use crate::types::{Message, MsgId};
+
+/// How a first-copy receiver re-forwards a diffused message.
+///
+/// Classic diffusion relays to *every* peer: n−1 receivers each re-sending
+/// n−2 copies makes one broadcast cost O(n²) messages — the redundancy that
+/// tolerates an origin crashing mid-send, bought at a price that collapses
+/// large groups. Bounded relay keeps the origin's full fan-out but has each
+/// first-copy receiver re-forward to only its `k` *ring successors* (in
+/// sorted process order, wrapping). Coverage survives origin crash: the
+/// partial direct fan-out seeds contiguous ring segments, and first-copy
+/// relays extend each segment by `k` until the ring closes — any crash
+/// pattern short of `k` consecutive failed processes still reaches everyone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelayFanout {
+    /// Relay to all peers (classic diffusion, O(n²) messages per
+    /// broadcast).
+    All,
+    /// Relay to this many ring successors (O(n·k) messages per broadcast).
+    Bounded(usize),
+}
 
 /// Outcome of feeding one received message to [`Rbcast::on_data`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,17 +46,34 @@ pub struct RbReceipt {
 pub struct Rbcast {
     me: ProcessId,
     peers: Vec<ProcessId>,
-    seen: HashSet<MsgId>,
+    relay: RelayFanout,
+    /// The peers in sorted order — the ring bounded relay walks. (View
+    /// member order is the agreed primary order, not id order, so the ring
+    /// is materialized separately at `set_peers`.)
+    ring: Vec<ProcessId>,
+    /// Index into `ring` of `me`'s first ring successor (the insertion
+    /// point of `me`) — precomputed for the bounded-relay hot path.
+    ring_start: usize,
+    seen: FxHashSet<MsgId>,
     next_seq: u64,
 }
 
 impl Rbcast {
-    /// Creates a broadcast module for `me`; peers come from the view.
+    /// Creates a broadcast module for `me` with relay-to-all diffusion;
+    /// peers come from the view.
     pub fn new(me: ProcessId) -> Self {
+        Self::with_relay(me, RelayFanout::All)
+    }
+
+    /// Creates a broadcast module with an explicit relay policy.
+    pub fn with_relay(me: ProcessId, relay: RelayFanout) -> Self {
         Rbcast {
             me,
             peers: Vec::new(),
-            seen: HashSet::new(),
+            relay,
+            ring: Vec::new(),
+            ring_start: 0,
+            seen: FxHashSet::default(),
             next_seq: 0,
         }
     }
@@ -47,6 +82,9 @@ impl Rbcast {
     /// out of the peer list; local delivery is immediate at broadcast time.
     pub fn set_peers(&mut self, members: &[ProcessId]) {
         self.peers = members.iter().copied().filter(|&p| p != self.me).collect();
+        self.ring = self.peers.clone();
+        self.ring.sort_unstable();
+        self.ring_start = self.ring.partition_point(|&p| p < self.me);
     }
 
     /// The current relay/broadcast peer set.
@@ -73,7 +111,9 @@ impl Rbcast {
     }
 
     /// Handles a received copy of `message`: first copies are delivered and
-    /// relayed to every peer except the transport-level sender.
+    /// relayed per the configured [`RelayFanout`], always excluding the
+    /// transport-level sender and the origin (both already have the
+    /// message).
     pub fn on_data(&mut self, from: ProcessId, message: Message) -> RbReceipt {
         if !self.seen.insert(message.id) {
             return RbReceipt {
@@ -81,12 +121,21 @@ impl Rbcast {
                 relay_to: Vec::new(),
             };
         }
-        let relay_to: Vec<ProcessId> = self
-            .peers
-            .iter()
-            .copied()
-            .filter(|&p| p != from && p != message.id.sender)
-            .collect();
+        let relay_to: Vec<ProcessId> = match self.relay {
+            RelayFanout::All => self
+                .peers
+                .iter()
+                .copied()
+                .filter(|&p| p != from && p != message.id.sender)
+                .collect(),
+            RelayFanout::Bounded(k) => {
+                let m = self.ring.len();
+                (0..k.min(m))
+                    .map(|j| self.ring[(self.ring_start + j) % m])
+                    .filter(|&p| p != from && p != message.id.sender)
+                    .collect()
+            }
+        };
         RbReceipt {
             deliver: Some(message),
             relay_to,

@@ -13,6 +13,7 @@ use crate::components::{
 use crate::generic::GenericCore;
 use crate::membership::MembershipCore;
 use crate::monitoring::MonitoringPolicy;
+use crate::rbcast::RelayFanout;
 use crate::types::{ConflictRelation, Delivery, Ev, MessageClass, View};
 
 /// Configuration of one new-architecture process stack.
@@ -38,6 +39,54 @@ pub struct StackConfig {
     /// FIFO generic broadcast (paper footnote 9): per-sender delivery order
     /// follows the broadcast order.
     pub fifo_generic: bool,
+    /// Failure-detector monitoring mode. `None` derives from the group
+    /// size: all-pairs heartbeats for founding groups of at most
+    /// [`SCALE_THRESHOLD`] members (keeping small-group runs bit-identical
+    /// to the pre-gossip stack), gossip with an auto fanout (≈ log₂ n)
+    /// above it.
+    pub fd_mode: Option<gcs_fd::FdMode>,
+    /// Reliable-broadcast relay fan-out: how many ring successors each
+    /// first-copy receiver re-forwards a diffused message to. `None`
+    /// derives from the group size: relay-to-all below
+    /// [`SCALE_THRESHOLD`], ≈ log₂ n above (bounding diffusion cost at
+    /// O(n·k) messages instead of O(n²)).
+    pub relay_fanout: Option<RelayFanout>,
+    /// Emit consensus-class `Suspect`/`Restore` transitions as trace
+    /// outputs (crash-detection latency measurement; off by default so
+    /// existing run fingerprints and delivery counts are untouched).
+    pub trace_suspicions: bool,
+}
+
+/// Largest founding-group size that keeps the scale-neutral defaults:
+/// all-pairs failure detection and relay-to-all diffusion. Groups larger
+/// than this derive gossip monitoring and bounded relay unless the config
+/// pins a mode explicitly.
+pub const SCALE_THRESHOLD: usize = 16;
+
+/// The auto-derived gossip/relay fanout for a group of `n`: ⌈log₂(n+1)⌉,
+/// at least 2.
+pub fn auto_fanout(n: usize) -> usize {
+    ((usize::BITS - n.leading_zeros()) as usize).clamp(2, n.max(2))
+}
+
+impl StackConfig {
+    /// The concrete failure-detector mode for a founding group of `n`.
+    pub fn resolved_fd_mode(&self, n: usize) -> gcs_fd::FdMode {
+        match self.fd_mode {
+            Some(mode) => mode,
+            None if n <= SCALE_THRESHOLD => gcs_fd::FdMode::AllPairs,
+            None => gcs_fd::FdMode::Gossip { fanout: 0 },
+        }
+    }
+
+    /// The concrete relay fan-out for a founding group of `n`.
+    pub fn resolved_relay(&self, n: usize) -> RelayFanout {
+        match self.relay_fanout {
+            Some(relay) => relay,
+            None if n <= SCALE_THRESHOLD => RelayFanout::All,
+            None => RelayFanout::Bounded(auto_fanout(n)),
+        }
+    }
 }
 
 impl Default for StackConfig {
@@ -51,6 +100,9 @@ impl Default for StackConfig {
             monitoring: MonitoringPolicy::default(),
             state_size: 0,
             fifo_generic: false,
+            fd_mode: None,
+            relay_fanout: None,
+            trace_suspicions: false,
         }
     }
 }
@@ -58,11 +110,15 @@ impl Default for StackConfig {
 /// Builds the full Fig 9 component graph for one process.
 ///
 /// `initial_view` is `Some` for founding members, `None` for processes that
-/// will join later via [`GroupSim::join_at`].
+/// will join later via [`GroupSim::join_at`]. `scale_n` is the founding
+/// group size the scale-dependent defaults (failure-detection mode, relay
+/// fan-out) resolve against — joiners pass it too, so every process of one
+/// group runs the same policies.
 pub fn build_process(
     id: ProcessId,
     config: &StackConfig,
     initial_view: Option<View>,
+    scale_n: usize,
 ) -> Process<Ev> {
     let fd_peers = initial_view
         .as_ref()
@@ -70,17 +126,34 @@ pub fn build_process(
         .unwrap_or_default();
     Process::builder(id)
         .with(RcComponent::new(id, config.rc))
-        .with(FdComponent::new(
+        .with(FdComponent::with_mode(
             id,
             fd_peers.clone(),
             config.heartbeat_interval,
             config.consensus_timeout,
             config.monitoring_timeout,
+            config.resolved_fd_mode(scale_n),
+            config.trace_suspicions,
         ))
-        .with(ConsensusComponent::new(id))
-        .with(AbcastComponent::new(id, initial_view.clone()))
+        .with(ConsensusComponent::with_echo_fanout(
+            id,
+            match config.resolved_relay(scale_n) {
+                RelayFanout::All => None,
+                RelayFanout::Bounded(k) => Some(k),
+            },
+        ))
+        .with(AbcastComponent::with_relay(
+            id,
+            initial_view.clone(),
+            config.resolved_relay(scale_n),
+        ))
         .with(GenericComponent::new({
-            let core = GenericCore::new(id, config.conflict.clone(), initial_view.clone());
+            let core = GenericCore::with_relay(
+                id,
+                config.conflict.clone(),
+                initial_view.clone(),
+                config.resolved_relay(scale_n),
+            );
             if config.fifo_generic {
                 core.with_fifo()
             } else {
@@ -143,11 +216,11 @@ impl GroupSim {
         for _ in 0..n {
             let v = view.clone();
             let c = &config;
-            world.add_node(|id| build_process(id, c, Some(v)));
+            world.add_node(|id| build_process(id, c, Some(v), n));
         }
         for _ in 0..joiners {
             let c = &config;
-            world.add_node(|id| build_process(id, c, None));
+            world.add_node(|id| build_process(id, c, None, n));
         }
         GroupSim {
             world,
@@ -355,6 +428,23 @@ impl GroupSim {
     /// Liveness flags per process.
     pub fn alive_flags(&self) -> Vec<bool> {
         self.world.alive_flags()
+    }
+
+    /// Consensus-class suspicion transitions recorded in the trace, as
+    /// `(time, observer, suspect)` — requires
+    /// [`StackConfig::trace_suspicions`] and a recording trace mode. The raw
+    /// material for crash-detection-latency measurements: a crash at `t` is
+    /// detected once every correct process has an entry for the crashed
+    /// peer at some `t' > t`.
+    pub fn suspicion_trace(&self) -> Vec<(Time, ProcessId, ProcessId)> {
+        self.world
+            .trace()
+            .project(|e| match e {
+                Ev::Suspect(class, p) if *class == gcs_fd::MonitorClass::CONSENSUS => Some(*p),
+                _ => None,
+            })
+            .into_iter()
+            .collect()
     }
 }
 

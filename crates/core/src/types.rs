@@ -419,6 +419,10 @@ pub enum Ev {
     /// Failure-detector heartbeat on the *unreliable* transport
     /// (`u-send`/`u-receive`).
     Heartbeat,
+    /// Gossip-mode failure-detector heartbeat: carries the sender's alive
+    /// digest (last-heard times of the ring segment it is probing). Shared
+    /// across the per-tick fan-out — cloning is a reference-count bump.
+    FdGossip(Arc<[(ProcessId, Time)]>),
 
     // -- application operations (injected) --
     /// `abcast` (Fig 9): atomically broadcast an interned payload.
@@ -510,6 +514,7 @@ impl Event for Ev {
             Ev::Packet(Packet::Batch { .. }) => "rc/batch",
             Ev::Packet(Packet::Ack { .. }) => "rc/ack",
             Ev::Heartbeat => "fd/heartbeat",
+            Ev::FdGossip(_) => "fd/gossip",
             Ev::Abcast(_) => "op/abcast",
             Ev::Rbcast(_) => "op/rbcast",
             Ev::Gbcast(..) => "op/gbcast",
@@ -547,6 +552,8 @@ impl Event for Ev {
             }
             Ev::Packet(Packet::Ack { .. }) => 24,
             Ev::Heartbeat => 16,
+            // Heartbeat header plus 12 bytes per digest entry (id + time).
+            Ev::FdGossip(digest) => 16 + 12 * digest.len(),
             _ => 64,
         }
     }

@@ -26,6 +26,55 @@
 
 use gcs_kernel::{ProcessId, Time, TimeDelta};
 
+/// How the detector spreads aliveness information across the group.
+///
+/// All-pairs monitoring sends one heartbeat to every peer each interval —
+/// n·(n−1) messages per period, which is what collapses simulation
+/// throughput beyond a few dozen processes. Gossip monitoring sends to a
+/// k-sized rotating ring segment instead (k ≈ log₂ n), piggybacking a small
+/// digest of freshest last-heard times, so monitoring traffic is O(n·k) per
+/// period. The price is detection latency: a peer is directly probed once
+/// per rotation cycle, so class timeouts are extended by one cycle (see
+/// [`HeartbeatFd::suspicion_bound`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FdMode {
+    /// Heartbeat every peer each interval (classic ◇S heartbeat detector).
+    #[default]
+    AllPairs,
+    /// Heartbeat a rotating ring segment of `fanout` peers each interval,
+    /// carrying an alive digest. `fanout == 0` means "derive from the group
+    /// size": ⌈log₂(n+1)⌉, at least 2.
+    Gossip {
+        /// Peers probed per interval (0 = auto, ≈ log₂ n).
+        fanout: usize,
+    },
+}
+
+impl FdMode {
+    /// The concrete per-tick fanout for a group with `peers` monitored
+    /// peers. All-pairs probes everyone; gossip resolves `fanout == 0` to
+    /// ⌈log₂(peers+1)⌉ clamped to at least 2.
+    pub fn fanout_for(&self, peers: usize) -> usize {
+        match *self {
+            FdMode::AllPairs => peers,
+            FdMode::Gossip { fanout: 0 } => {
+                let k = (usize::BITS - peers.leading_zeros()) as usize; // ⌈log2(peers+1)⌉
+                k.clamp(2, peers.max(2))
+            }
+            FdMode::Gossip { fanout } => fanout.clamp(1, peers.max(1)),
+        }
+    }
+
+    /// Ticks to cover every peer once: ⌈peers / fanout⌉ (1 for all-pairs).
+    pub fn cycle_ticks(&self, peers: usize) -> u64 {
+        if peers == 0 {
+            return 1;
+        }
+        let k = self.fanout_for(peers);
+        peers.div_ceil(k.max(1)) as u64
+    }
+}
+
 /// Identifies one registered suspicion client (timeout class).
 ///
 /// The paper's architecture uses at least two: a small-timeout class for
@@ -43,7 +92,9 @@ impl MonitorClass {
 /// An instruction produced by the failure detector for its owner.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FdOut {
-    /// Send a heartbeat to `to` over the unreliable transport.
+    /// Send a heartbeat to `to` over the unreliable transport. In gossip
+    /// mode the owner should attach the current [`HeartbeatFd::digest`] to
+    /// the heartbeats of one tick.
     SendHeartbeat {
         /// Destination peer.
         to: ProcessId,
@@ -78,6 +129,7 @@ struct ClassState {
 pub struct HeartbeatFd {
     me: ProcessId,
     interval: TimeDelta,
+    mode: FdMode,
     peers: Vec<ProcessId>,
     /// Registered classes, sorted by class id.
     classes: Vec<(MonitorClass, ClassState)>,
@@ -87,20 +139,43 @@ pub struct HeartbeatFd {
     /// indexed by raw process id — O(1) per (class, peer) on the tick and
     /// heartbeat paths.
     suspected: Vec<(MonitorClass, Vec<bool>)>,
+    /// Number of currently set suspicion flags (all classes). While zero,
+    /// ticks skip the per-(peer, class) timeout sweep until `next_scan`.
+    suspect_count: usize,
+    /// Earliest time any (peer, class) pair could newly time out, as of the
+    /// last sweep. `None` = unknown, sweep on the next tick. Heartbeats only
+    /// push deadlines later, so a stale value is merely conservative (an
+    /// early sweep that finds nothing), never late.
+    next_scan: Option<Time>,
+    /// Gossip tick counter driving ring-segment rotation.
+    round: u64,
+    /// Ring offset of the segment probed on the most recent tick — the
+    /// digest window [`Self::digest`] reports.
+    last_base: usize,
     started_at: Time,
 }
 
 impl HeartbeatFd {
-    /// Creates a detector for process `me` that emits heartbeats every
-    /// `interval`.
+    /// Creates an all-pairs detector for process `me` that emits heartbeats
+    /// every `interval`.
     pub fn new(me: ProcessId, interval: TimeDelta) -> Self {
+        Self::with_mode(me, interval, FdMode::AllPairs)
+    }
+
+    /// Creates a detector with an explicit monitoring [`FdMode`].
+    pub fn with_mode(me: ProcessId, interval: TimeDelta, mode: FdMode) -> Self {
         HeartbeatFd {
             me,
             interval,
+            mode,
             peers: Vec::new(),
             classes: Vec::new(),
             last_heard: Vec::new(),
             suspected: Vec::new(),
+            suspect_count: 0,
+            next_scan: None,
+            round: 0,
+            last_base: 0,
             started_at: Time::ZERO,
         }
     }
@@ -108,6 +183,41 @@ impl HeartbeatFd {
     /// The heartbeat emission interval (owner's tick period).
     pub fn interval(&self) -> TimeDelta {
         self.interval
+    }
+
+    /// The monitoring mode this detector runs in.
+    pub fn mode(&self) -> FdMode {
+        self.mode
+    }
+
+    /// The extra last-heard staleness budget gossip rotation introduces:
+    /// one full rotation cycle (every correct peer heartbeats us once per
+    /// cycle). Zero in all-pairs mode, where every interval probes everyone.
+    fn rotation_slack(&self) -> TimeDelta {
+        match self.mode {
+            FdMode::AllPairs => TimeDelta::ZERO,
+            FdMode::Gossip { .. } => self
+                .interval
+                .saturating_mul(self.mode.cycle_ticks(self.peers.len())),
+        }
+    }
+
+    /// The effective timeout of `class` under the current mode and group
+    /// size: the registered timeout plus the rotation slack.
+    fn effective_timeout(&self, state: ClassState) -> TimeDelta {
+        state.timeout + self.rotation_slack()
+    }
+
+    /// Upper bound on crash-to-suspicion latency for `class`, assuming
+    /// stable membership since the crash: the effective timeout plus one
+    /// interval of tick granularity. Network delay between the crashed
+    /// peer's last heartbeat and its receipt is not included — callers add
+    /// their topology's delay bound.
+    pub fn suspicion_bound(&self, class: MonitorClass) -> Option<TimeDelta> {
+        self.classes
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|&(_, state)| self.effective_timeout(state) + self.interval)
     }
 
     /// Registers (or re-times) a suspicion class. (`start_monitor` in Fig 9.)
@@ -120,12 +230,24 @@ impl HeartbeatFd {
             self.suspected.push((class, Vec::new()));
             self.suspected.sort_unstable_by_key(|&(c, _)| c);
         }
+        self.next_scan = None;
     }
 
     /// Removes a suspicion class. (`stop_monitor` in Fig 9.)
     pub fn unregister_class(&mut self, class: MonitorClass) {
         self.classes.retain(|&(c, _)| c != class);
         self.suspected.retain(|(c, _)| *c != class);
+        self.recount_suspected();
+        self.next_scan = None;
+    }
+
+    /// Recomputes `suspect_count` from the flag tables (rare paths only).
+    fn recount_suspected(&mut self) {
+        self.suspect_count = self
+            .suspected
+            .iter()
+            .map(|(_, t)| t.iter().filter(|&&f| f).count())
+            .sum();
     }
 
     fn suspicion_flag(&mut self, class_idx: usize, peer: ProcessId) -> &mut bool {
@@ -185,6 +307,8 @@ impl HeartbeatFd {
         }
         self.peers = peers;
         self.started_at = self.started_at.max(now);
+        self.recount_suspected();
+        self.next_scan = None;
     }
 
     /// The currently monitored peers.
@@ -204,7 +328,9 @@ impl HeartbeatFd {
     /// buffer (the hot-path entry point: heartbeats arrive every interval
     /// from every peer).
     pub fn on_heartbeat_into(&mut self, from: ProcessId, now: Time, out: &mut Vec<FdOut>) {
-        if !self.peers.contains(&from) {
+        // `peers` is kept sorted by `set_peers`: membership is a binary
+        // search, not a linear scan — this runs once per received heartbeat.
+        if self.peers.binary_search(&from).is_err() {
             return;
         }
         self.note_heard(from, now);
@@ -214,10 +340,80 @@ impl HeartbeatFd {
             if let Some(flag) = table.get_mut(from.index()) {
                 if *flag {
                     *flag = false;
+                    self.suspect_count -= 1;
                     out.push(FdOut::Restore {
                         class: *class,
                         peer: from,
                     });
+                }
+            }
+        }
+    }
+
+    /// The alive digest to piggyback on this tick's gossip heartbeats: the
+    /// last-heard times of the ring segment currently being probed (the
+    /// rotation covers every peer once per cycle). Entries are `(peer,
+    /// last-heard)`; receivers merge them with [`Self::on_gossip`].
+    pub fn digest(&self) -> Vec<(ProcessId, Time)> {
+        let m = self.peers.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        let k = self.mode.fanout_for(m).min(m);
+        (0..k)
+            .map(|j| {
+                let p = self.peers[(self.last_base + j) % m];
+                (p, self.last_heard_of(p))
+            })
+            .collect()
+    }
+
+    /// Records a gossip heartbeat from `from` carrying an alive `digest`:
+    /// `from` itself is marked heard now, and each digest entry can only
+    /// *advance* a peer's last-heard time (a crashed peer's entries never
+    /// postdate its crash, so digests cannot mask a real failure). Restores
+    /// fire for any class whose suspicion the merged times clear.
+    pub fn on_gossip(
+        &mut self,
+        from: ProcessId,
+        digest: &[(ProcessId, Time)],
+        now: Time,
+    ) -> Vec<FdOut> {
+        let mut out = Vec::new();
+        self.on_gossip_into(from, digest, now, &mut out);
+        out
+    }
+
+    /// [`on_gossip`](Self::on_gossip), appending into a caller-owned buffer.
+    pub fn on_gossip_into(
+        &mut self,
+        from: ProcessId,
+        digest: &[(ProcessId, Time)],
+        now: Time,
+        out: &mut Vec<FdOut>,
+    ) {
+        self.on_heartbeat_into(from, now, out);
+        for &(p, t) in digest {
+            if p == self.me || self.peers.binary_search(&p).is_err() {
+                continue;
+            }
+            if t <= self.last_heard_of(p) {
+                continue;
+            }
+            self.note_heard(p, t);
+            if self.suspect_count == 0 {
+                continue;
+            }
+            for i in 0..self.classes.len() {
+                let (class, state) = self.classes[i];
+                if now.since(t) > self.effective_timeout(state) {
+                    continue; // still stale enough to stay suspected
+                }
+                let flag = self.suspicion_flag(i, p);
+                if *flag {
+                    *flag = false;
+                    self.suspect_count -= 1;
+                    out.push(FdOut::Restore { class, peer: p });
                 }
             }
         }
@@ -232,24 +428,63 @@ impl HeartbeatFd {
 
     /// [`on_tick`](Self::on_tick), appending into a caller-owned buffer.
     pub fn on_tick_into(&mut self, now: Time, out: &mut Vec<FdOut>) {
-        out.extend(self.peers.iter().map(|&to| FdOut::SendHeartbeat { to }));
+        let m = self.peers.len();
+        match self.mode {
+            FdMode::AllPairs => {
+                out.extend(self.peers.iter().map(|&to| FdOut::SendHeartbeat { to }));
+            }
+            FdMode::Gossip { .. } if m > 0 => {
+                // Probe the next ring segment: k consecutive peers at an
+                // offset advancing by k each tick, so every peer is probed
+                // exactly once per ⌈m/k⌉-tick cycle.
+                let k = self.mode.fanout_for(m).min(m);
+                self.last_base = ((self.round * k as u64) % m as u64) as usize;
+                self.round += 1;
+                out.extend((0..k).map(|j| FdOut::SendHeartbeat {
+                    to: self.peers[(self.last_base + j) % m],
+                }));
+            }
+            FdMode::Gossip { .. } => {}
+        }
+        // The timeout sweep is O(peers · classes); while nothing is
+        // suspected it only needs to run once a (peer, class) deadline can
+        // actually have passed. Heartbeats move deadlines later, so the
+        // recorded horizon is conservative: sweeping early finds nothing,
+        // and every genuine crossing happens at or after its pair's horizon.
+        if self.suspect_count == 0 {
+            if let Some(at) = self.next_scan {
+                if now < at {
+                    return;
+                }
+            }
+        }
+        let mut horizon = Time::MAX;
+        // Rotation slack depends on the peer count; compute it before the
+        // borrow-splitting take below empties `self.peers`.
+        let slack = self.rotation_slack();
         let peers = std::mem::take(&mut self.peers);
         for &peer in &peers {
             let last = self.last_heard_of(peer);
             for i in 0..self.classes.len() {
                 let (class, state) = self.classes[i];
-                let suspected_now = now.since(last) > state.timeout;
+                let timeout = state.timeout + slack;
+                let suspected_now = now.since(last) > timeout;
                 let flag = self.suspicion_flag(i, peer);
                 if suspected_now && !*flag {
                     *flag = true;
+                    self.suspect_count += 1;
                     out.push(FdOut::Suspect { class, peer });
                 } else if !suspected_now && *flag {
                     *flag = false;
+                    self.suspect_count -= 1;
                     out.push(FdOut::Restore { class, peer });
+                } else if !suspected_now {
+                    horizon = horizon.min(last + timeout);
                 }
             }
         }
         self.peers = peers;
+        self.next_scan = Some(horizon);
     }
 
     /// Whether `peer` is currently suspected by `class`.
@@ -407,5 +642,116 @@ mod tests {
         fd.register_class(MonitorClass::CONSENSUS, TimeDelta::from_millis(50));
         fd.set_peers([ME, P1], Time::ZERO);
         assert_eq!(fd.peers(), &[P1]);
+    }
+
+    /// A gossip detector over `peers` peers with a consensus class.
+    fn gossip_fd(peers: u32, fanout: usize) -> HeartbeatFd {
+        let mut fd =
+            HeartbeatFd::with_mode(ME, TimeDelta::from_millis(10), FdMode::Gossip { fanout });
+        fd.register_class(MonitorClass::CONSENSUS, TimeDelta::from_millis(50));
+        fd.set_peers((1..=peers).map(ProcessId::new), Time::ZERO);
+        fd
+    }
+
+    #[test]
+    fn auto_fanout_is_logarithmic() {
+        assert_eq!(FdMode::Gossip { fanout: 0 }.fanout_for(15), 4);
+        assert_eq!(FdMode::Gossip { fanout: 0 }.fanout_for(255), 8);
+        assert_eq!(FdMode::Gossip { fanout: 0 }.fanout_for(1023), 10);
+        // Tiny groups still probe at least two peers per tick.
+        assert_eq!(FdMode::Gossip { fanout: 0 }.fanout_for(2), 2);
+        assert_eq!(FdMode::AllPairs.fanout_for(9), 9);
+    }
+
+    #[test]
+    fn gossip_probes_a_rotating_segment_covering_every_peer() {
+        let mut fd = gossip_fd(9, 3);
+        let mut probed = std::collections::BTreeSet::new();
+        for tick in 0..3u64 {
+            let out = fd.on_tick(Time::from_millis(10 * tick));
+            let hbs: Vec<ProcessId> = out
+                .iter()
+                .filter_map(|o| match o {
+                    FdOut::SendHeartbeat { to } => Some(*to),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(hbs.len(), 3, "fanout-sized segment each tick");
+            probed.extend(hbs);
+        }
+        // One cycle (⌈9/3⌉ = 3 ticks) probes every peer exactly once.
+        assert_eq!(probed.len(), 9);
+        assert_eq!(FdMode::Gossip { fanout: 3 }.cycle_ticks(9), 3);
+    }
+
+    #[test]
+    fn gossip_timeout_is_extended_by_the_rotation_cycle() {
+        let mut fd = gossip_fd(9, 3);
+        for p in 1..=9 {
+            fd.on_heartbeat(ProcessId::new(p), Time::ZERO);
+        }
+        // The all-pairs deadline (50 ms) passes without suspicion: the
+        // effective gossip timeout is 50 + 3·10 (cycle) = 80 ms.
+        let out = fd.on_tick(Time::from_millis(70));
+        assert!(
+            !out.iter().any(|o| matches!(o, FdOut::Suspect { .. })),
+            "{out:?}"
+        );
+        let out = fd.on_tick(Time::from_millis(90));
+        assert!(out.contains(&FdOut::Suspect {
+            class: MonitorClass::CONSENSUS,
+            peer: P1
+        }));
+        assert_eq!(
+            fd.suspicion_bound(MonitorClass::CONSENSUS),
+            Some(TimeDelta::from_millis(50 + 30 + 10))
+        );
+    }
+
+    #[test]
+    fn digest_entries_restore_an_indirectly_heard_peer() {
+        let mut fd = gossip_fd(9, 3);
+        for p in 1..=9 {
+            fd.on_heartbeat(ProcessId::new(p), Time::ZERO);
+        }
+        fd.on_tick(Time::from_millis(90));
+        assert!(fd.is_suspected(MonitorClass::CONSENSUS, P1));
+        // P2's gossip vouches it heard P1 recently — the suspicion lifts
+        // without a direct heartbeat from P1.
+        let out = fd.on_gossip(P2, &[(P1, Time::from_millis(85))], Time::from_millis(91));
+        assert!(out.contains(&FdOut::Restore {
+            class: MonitorClass::CONSENSUS,
+            peer: P1
+        }));
+        assert!(!fd.is_suspected(MonitorClass::CONSENSUS, P1));
+    }
+
+    #[test]
+    fn stale_digest_entries_cannot_mask_a_crash() {
+        let mut fd = gossip_fd(9, 3);
+        for p in 1..=9 {
+            fd.on_heartbeat(ProcessId::new(p), Time::from_millis(100));
+        }
+        fd.on_tick(Time::from_millis(200));
+        assert!(fd.is_suspected(MonitorClass::CONSENSUS, P1));
+        // A digest whose last-heard for P1 predates what we already know
+        // is ignored: last-heard times only move forward, and a crashed
+        // peer's entries never postdate its crash.
+        let out = fd.on_gossip(P2, &[(P1, Time::from_millis(40))], Time::from_millis(201));
+        assert!(!out
+            .iter()
+            .any(|o| matches!(o, FdOut::Restore { peer, .. } if *peer == P1)));
+        assert!(fd.is_suspected(MonitorClass::CONSENSUS, P1));
+    }
+
+    #[test]
+    fn digest_covers_the_probed_segment() {
+        let mut fd = gossip_fd(9, 3);
+        fd.on_tick(Time::ZERO);
+        let digest = fd.digest();
+        assert_eq!(digest.len(), 3, "digest mirrors the probed segment");
+        for (p, _) in digest {
+            assert!(fd.peers().contains(&p));
+        }
     }
 }

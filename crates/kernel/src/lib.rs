@@ -51,6 +51,7 @@
 
 mod component;
 mod event;
+mod hash;
 mod ids;
 mod payload;
 mod process;
@@ -60,6 +61,7 @@ mod time;
 
 pub use component::{Action, Component, Context};
 pub use event::Event;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ProcessId, TimerId};
 pub use payload::{PayloadArena, PayloadRef, SharedArena};
 pub use process::{Effects, Envelope, Multicast, Process, ProcessBuilder, TimerRequest};

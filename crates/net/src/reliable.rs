@@ -8,7 +8,7 @@
 //! packet. Relative to the classic ack-per-data scheme this roughly halves
 //! the packet count of a steady bidirectional exchange.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use gcs_kernel::{ProcessId, SmallVec, Time, TimeDelta};
 
@@ -43,14 +43,6 @@ impl<T> PeerTable<T> {
         if let Some(slot) = self.0.get_mut(p.index()) {
             *slot = None;
         }
-    }
-
-    /// Occupied entries in process-id order (deterministic).
-    fn iter_mut(&mut self) -> impl Iterator<Item = (ProcessId, &mut T)> {
-        self.0
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_mut().map(|t| (ProcessId::new(i as u32), t)))
     }
 }
 
@@ -213,6 +205,14 @@ pub struct ReliableChannel<M> {
     config: RcConfig,
     tx: PeerTable<PeerTx<M>>,
     rx: PeerTable<PeerRx<M>>,
+    /// Peers with unacknowledged in-flight data — the only tx slots a tick
+    /// must visit. Kept exact (insert on send, remove when the inflight
+    /// deque drains), so an idle channel ticks in O(1) instead of O(peers).
+    /// Ascending-id iteration keeps retransmission emission order identical
+    /// to a full table scan.
+    active_tx: BTreeSet<ProcessId>,
+    /// Peers owed a standalone ack — the only rx slots a tick must visit.
+    owed_acks: BTreeSet<ProcessId>,
 }
 
 impl<M: Clone> ReliableChannel<M> {
@@ -223,6 +223,8 @@ impl<M: Clone> ReliableChannel<M> {
             config,
             tx: PeerTable::new(),
             rx: PeerTable::new(),
+            active_tx: BTreeSet::new(),
+            owed_acks: BTreeSet::new(),
         }
     }
 
@@ -236,7 +238,10 @@ impl<M: Clone> ReliableChannel<M> {
     fn piggyback_for(&mut self, to: ProcessId) -> u64 {
         match self.rx.get_mut(to) {
             Some(rx) => {
-                rx.owe_ack = false;
+                if rx.owe_ack {
+                    rx.owe_ack = false;
+                    self.owed_acks.remove(&to);
+                }
                 rx.next_deliver
             }
             None => 0,
@@ -255,6 +260,7 @@ impl<M: Clone> ReliableChannel<M> {
         let seq = peer.next_seq;
         peer.next_seq += 1;
         peer.inflight.push_back((seq, msg.clone(), now, now));
+        self.active_tx.insert(to);
         let ack = self.piggyback_for(to);
         out.push(RcOut::Transmit {
             to,
@@ -269,9 +275,12 @@ impl<M: Clone> ReliableChannel<M> {
             while tx.inflight.front().is_some_and(|&(seq, ..)| seq < upto) {
                 tx.inflight.pop_front();
             }
-            if tx.stuck_reported && tx.inflight.is_empty() {
-                tx.stuck_reported = false;
-                out.push(RcOut::Unstuck { peer: from });
+            if tx.inflight.is_empty() {
+                if tx.stuck_reported {
+                    tx.stuck_reported = false;
+                    out.push(RcOut::Unstuck { peer: from });
+                }
+                self.active_tx.remove(&from);
             }
         }
     }
@@ -294,13 +303,19 @@ impl<M: Clone> ReliableChannel<M> {
         }
         // An ack is now owed — for fresh data and for pure duplicates alike
         // (the sender may have lost our previous ack).
-        rx.owe_ack = true;
+        if !rx.owe_ack {
+            rx.owe_ack = true;
+            self.owed_acks.insert(from);
+        }
     }
 
     /// Emits the owed standalone ack to `from` immediately (classic mode).
     fn emit_ack_now(&mut self, from: ProcessId, out: &mut RcOuts<M>) {
         let rx = self.rx.entry(from, PeerRx::new);
-        rx.owe_ack = false;
+        if rx.owe_ack {
+            rx.owe_ack = false;
+            self.owed_acks.remove(&from);
+        }
         out.push(RcOut::Transmit {
             to: from,
             packet: Packet::Ack {
@@ -349,9 +364,14 @@ impl<M: Clone> ReliableChannel<M> {
     /// (the hot-path entry point: ticks fire every
     /// [`RcConfig::tick_interval`] on every process).
     pub fn on_tick_into(&mut self, now: Time, out: &mut Vec<RcOut<M>>) {
-        // Expired retransmissions, peers in id order (deterministic).
+        // Expired retransmissions — only peers with in-flight data, in id
+        // order (deterministic; `active_tx` is exact, so this visits the
+        // same slots a full table scan would emit from).
         let mut resends: Vec<(ProcessId, Vec<(u64, M)>)> = Vec::new();
-        for (p, tx) in self.tx.iter_mut() {
+        for &p in &self.active_tx {
+            let Some(tx) = self.tx.get_mut(p) else {
+                continue;
+            };
             let mut resend: Vec<(u64, M)> = Vec::new();
             for &mut (seq, ref msg, first, ref mut last) in tx.inflight.iter_mut() {
                 if now.since(*last) >= self.config.retransmit_after {
@@ -388,16 +408,20 @@ impl<M: Clone> ReliableChannel<M> {
                 });
             }
         }
-        // Flush owed acks that found no data packet to ride, in id order.
-        for (p, rx) in self.rx.iter_mut() {
-            if rx.owe_ack {
-                rx.owe_ack = false;
-                out.push(RcOut::Transmit {
-                    to: p,
-                    packet: Packet::Ack {
-                        upto: rx.next_deliver,
-                    },
-                });
+        // Flush owed acks that found no data packet to ride, in id order
+        // (entries already cleared by a piggyback above drop silently).
+        let owed = std::mem::take(&mut self.owed_acks);
+        for &p in &owed {
+            if let Some(rx) = self.rx.get_mut(p) {
+                if rx.owe_ack {
+                    rx.owe_ack = false;
+                    out.push(RcOut::Transmit {
+                        to: p,
+                        packet: Packet::Ack {
+                            upto: rx.next_deliver,
+                        },
+                    });
+                }
             }
         }
     }
@@ -410,6 +434,8 @@ impl<M: Clone> ReliableChannel<M> {
     pub fn forget_peer(&mut self, peer: ProcessId) {
         self.tx.remove(peer);
         self.rx.remove(peer);
+        self.active_tx.remove(&peer);
+        self.owed_acks.remove(&peer);
     }
 
     /// Number of unacknowledged messages queued for `peer`.

@@ -13,7 +13,10 @@
 //!   whose slot is at or before the cursor; pops come from its back, so the
 //!   exact `(time, seq)` total order of the old `BinaryHeap` scheduler is
 //!   preserved bit-for-bit (the reference-equivalence property test pins
-//!   this).
+//!   this). Items pushed *into* the already-drained current slot go to a
+//!   small side min-heap instead of a sorted insert — a large fan-out burst
+//!   whose arrivals land within the current slot would otherwise pay an
+//!   O(len) memmove per insert, which is quadratic in the burst size.
 //! * **wheel** — `SLOTS` buckets of `1 << SLOT_SHIFT` nanoseconds each,
 //!   covering the near future; unsorted `Vec`s, swapped into `current` and
 //!   sorted once when the cursor reaches them.
@@ -60,6 +63,11 @@ pub struct TimingWheel<T: WheelItem> {
     cur_slot: u64,
     /// Items with slot ≤ cursor, sorted descending (minimum at the back).
     current: Vec<T>,
+    /// Items pushed with slot ≤ cursor *after* the slot was drained — the
+    /// fan-out-burst tier. A min-heap: O(log n) insert instead of the O(n)
+    /// sorted insert into `current`, which collapses quadratically when a
+    /// broadcast burst lands thousands of arrivals in the current slot.
+    late: BinaryHeap<Reverse<T>>,
     slots: Vec<Vec<T>>,
     wheel_len: usize,
     overflow: BinaryHeap<Reverse<T>>,
@@ -78,6 +86,7 @@ impl<T: WheelItem> TimingWheel<T> {
         TimingWheel {
             cur_slot: 0,
             current: Vec::new(),
+            late: BinaryHeap::new(),
             slots: (0..SLOTS).map(|_| Vec::new()).collect(),
             wheel_len: 0,
             overflow: BinaryHeap::new(),
@@ -99,18 +108,12 @@ impl<T: WheelItem> TimingWheel<T> {
         at >> SLOT_SHIFT
     }
 
-    /// Inserts into the descending-sorted current tier.
-    fn push_current(&mut self, item: T) {
-        let idx = self.current.partition_point(|x| *x > item);
-        self.current.insert(idx, item);
-    }
-
     /// Schedules an item.
     pub fn push(&mut self, item: T) {
         let s = Self::slot_of(item.at_nanos());
         self.len += 1;
         if s <= self.cur_slot {
-            self.push_current(item);
+            self.late.push(Reverse(item));
         } else if s < self.cur_slot + SLOTS as u64 {
             self.wheel_len += 1;
             self.slots[(s % SLOTS as u64) as usize].push(item);
@@ -119,17 +122,58 @@ impl<T: WheelItem> TimingWheel<T> {
         }
     }
 
+    /// True when the next pop should come from the `late` heap rather than
+    /// the sorted `current` tier (strict `Ord`: `(time, seq)` keys are
+    /// unique, so ties cannot occur).
+    fn late_is_next(&self) -> bool {
+        match (self.current.last(), self.late.peek()) {
+            (Some(c), Some(Reverse(l))) => l < c,
+            (None, Some(_)) => true,
+            _ => false,
+        }
+    }
+
     /// Removes and returns the earliest item.
     pub fn pop(&mut self) -> Option<T> {
-        if self.current.is_empty() {
+        if self.current.is_empty() && self.late.is_empty() {
             if self.len == 0 {
                 return None;
             }
             self.advance();
         }
-        let item = self.current.pop().expect("advance fills current");
+        let item = if self.late_is_next() {
+            self.late.pop().expect("peeked").0
+        } else {
+            self.current.pop().expect("advance fills a tier")
+        };
         self.len -= 1;
         Some(item)
+    }
+
+    /// Removes and returns the earliest item if `pred` accepts it — one
+    /// tier traversal instead of a `peek` followed by a `pop` (the
+    /// simulator's run-loop pattern). Returns `None` when the wheel is
+    /// empty or the head is rejected.
+    pub fn pop_if(&mut self, pred: impl FnOnce(&T) -> bool) -> Option<T> {
+        if self.current.is_empty() && self.late.is_empty() {
+            if self.len == 0 {
+                return None;
+            }
+            self.advance();
+        }
+        if self.late_is_next() {
+            if !pred(&self.late.peek().expect("checked non-empty").0) {
+                return None;
+            }
+            self.len -= 1;
+            Some(self.late.pop().expect("peeked").0)
+        } else {
+            if !pred(self.current.last().expect("advance fills a tier")) {
+                return None;
+            }
+            self.len -= 1;
+            self.current.pop()
+        }
     }
 
     /// The earliest pending item, without removing it.
@@ -137,19 +181,23 @@ impl<T: WheelItem> TimingWheel<T> {
     /// Takes `&mut self` because peeking may advance the cursor to the next
     /// occupied slot.
     pub fn peek(&mut self) -> Option<&T> {
-        if self.current.is_empty() {
+        if self.current.is_empty() && self.late.is_empty() {
             if self.len == 0 {
                 return None;
             }
             self.advance();
         }
-        self.current.last()
+        if self.late_is_next() {
+            self.late.peek().map(|Reverse(item)| item)
+        } else {
+            self.current.last()
+        }
     }
 
     /// Moves the cursor forward to the next occupied slot and drains it into
-    /// `current`. Precondition: `current` is empty and `len > 0`.
+    /// `current`. Precondition: `current` and `late` are empty and `len > 0`.
     fn advance(&mut self) {
-        debug_assert!(self.current.is_empty() && self.len > 0);
+        debug_assert!(self.current.is_empty() && self.late.is_empty() && self.len > 0);
         loop {
             if self.wheel_len == 0 {
                 // Everything pending lives in the overflow tier: jump the
@@ -162,7 +210,8 @@ impl<T: WheelItem> TimingWheel<T> {
                 self.cur_slot = head_slot - 1;
             }
             self.cur_slot += 1;
-            // Pull overflow items that fit the advanced wheel window.
+            // Pull overflow items that fit the advanced wheel window; ones
+            // landing at or before the new cursor join the late heap.
             let window_end = self.cur_slot + SLOTS as u64;
             while let Some(Reverse(head)) = self.overflow.peek() {
                 let s = Self::slot_of(head.at_nanos());
@@ -171,7 +220,7 @@ impl<T: WheelItem> TimingWheel<T> {
                 }
                 let Reverse(item) = self.overflow.pop().expect("peeked");
                 if s <= self.cur_slot {
-                    self.push_current(item);
+                    self.late.push(Reverse(item));
                 } else {
                     self.wheel_len += 1;
                     self.slots[(s % SLOTS as u64) as usize].push(item);
@@ -180,20 +229,13 @@ impl<T: WheelItem> TimingWheel<T> {
             let idx = (self.cur_slot % SLOTS as u64) as usize;
             if !self.slots[idx].is_empty() {
                 self.wheel_len -= self.slots[idx].len();
-                if self.current.is_empty() {
-                    // Swap buffers: the drained slot inherits the empty
-                    // current's capacity, and vice versa — no copying, no
-                    // allocation.
-                    std::mem::swap(&mut self.current, &mut self.slots[idx]);
-                    self.current.sort_unstable_by(|a, b| b.cmp(a));
-                } else {
-                    // Overflow refill landed items in `current` first: merge.
-                    while let Some(item) = self.slots[idx].pop() {
-                        self.push_current(item);
-                    }
-                }
+                // Swap buffers: the drained slot inherits the empty
+                // current's capacity, and vice versa — no copying, no
+                // allocation.
+                std::mem::swap(&mut self.current, &mut self.slots[idx]);
+                self.current.sort_unstable_by(|a, b| b.cmp(a));
             }
-            if !self.current.is_empty() {
+            if !self.current.is_empty() || !self.late.is_empty() {
                 return;
             }
         }

@@ -376,6 +376,12 @@ impl<E: Event> SimWorld<E> {
         let Some(next) = self.queue.pop() else {
             return false;
         };
+        self.execute(next);
+        true
+    }
+
+    /// Executes one already-popped scheduled entry.
+    fn execute(&mut self, next: Scheduled<E>) {
         debug_assert!(next.at >= self.now, "time went backwards");
         self.now = next.at;
         self.executed += 1;
@@ -442,18 +448,14 @@ impl<E: Event> SimWorld<E> {
             }
             Pending::SetLink { from, to, link } => self.net.set_link(from, to, link),
         }
-        true
     }
 
     /// Runs until virtual time `t` (inclusive of events at `t`); afterwards
     /// `now() == t` even if the queue drained earlier.
     pub fn run_until(&mut self, t: Time) {
         self.ensure_started();
-        while let Some(head) = self.queue.peek() {
-            if head.at > t {
-                break;
-            }
-            self.step();
+        while let Some(next) = self.queue.pop_if(|head| head.at <= t) {
+            self.execute(next);
         }
         self.now = self.now.max(t);
     }
@@ -463,12 +465,12 @@ impl<E: Event> SimWorld<E> {
     pub fn run_to_quiescence(&mut self, limit: Time) -> bool {
         self.ensure_started();
         loop {
-            match self.queue.peek() {
-                None => return true,
-                Some(head) if head.at > limit => return false,
-                Some(_) => {
-                    self.step();
-                }
+            if self.queue.is_empty() {
+                return true;
+            }
+            match self.queue.pop_if(|head| head.at <= limit) {
+                Some(next) => self.execute(next),
+                None => return false,
             }
         }
     }

@@ -98,6 +98,56 @@ fn crash_mid_stream_keeps_survivors_consistent() {
     }
 }
 
+/// The steady-state and crash-mid-stream batteries hold under **both**
+/// failure-detection modes of the new architecture: all-pairs heartbeats
+/// and gossip ring-segment probing (the at-scale default above
+/// `SCALE_THRESHOLD`) deliver the same streams in the same order and both
+/// keep survivors consistent through a crash. Run at a size where gossip
+/// genuinely rotates (n = 20 → fanout ≈ 5, a 4-tick cycle).
+#[test]
+fn both_fd_modes_pass_the_conformance_battery() {
+    use gcs::core::{FdMode, StackConfig};
+    use gcs::kernel::TimeDelta;
+    for mode in [FdMode::AllPairs, FdMode::Gossip { fanout: 0 }] {
+        let mut cfg = StackConfig::default();
+        cfg.monitoring_timeout = TimeDelta::from_secs(3600);
+        let mut g = Group::builder()
+            .members(20)
+            .stack_config(cfg)
+            .fd_mode(mode)
+            .seed(33)
+            .build();
+        for i in 0..8u32 {
+            g.abcast_at(
+                Time::from_millis(1 + 2 * i as u64),
+                p(i % 20),
+                vec![i as u8],
+            );
+        }
+        g.crash_at(Time::from_millis(40), p(19));
+        for i in 8..16u32 {
+            g.abcast_at(
+                Time::from_millis(300 + 2 * i as u64),
+                p(i % 19),
+                vec![i as u8],
+            );
+        }
+        g.run_until(Time::from_secs(3));
+        let alive = g.alive_flags();
+        assert!(!alive[19], "{mode:?}: crashed process reported dead");
+        assert!(alive[..19].iter().all(|&a| a), "{mode:?}");
+        let seqs = g.adelivered_payloads();
+        for (i, s) in seqs[..19].iter().enumerate() {
+            assert_eq!(s.len(), 16, "{mode:?}: survivor p{i} delivered all");
+        }
+        check_prefix_consistency(&seqs[..19])
+            .unwrap_or_else(|e| panic!("{mode:?}: order violation {e:?}"));
+        check_no_duplicates(&seqs).unwrap_or_else(|e| panic!("{mode:?}: duplicate {e:?}"));
+        let report = InvariantChecker::check(&g, 20);
+        assert!(report.is_clean(), "{mode:?}: {:#?}", report.violations);
+    }
+}
+
 /// A joiner started outside the group enters through the unified `join_at`
 /// and participates in post-join traffic on every stack.
 #[test]
