@@ -34,6 +34,48 @@
 //! `supports_*` capability markers — the paper's pick-your-services
 //! modularity reflected in the API instead of three incompatible harness
 //! types.
+//!
+//! ## Saturation: pipelining, batching, backpressure
+//!
+//! Three knobs control behavior under load. On the new architecture,
+//! [`GroupBuilder::pipeline_depth`] keeps several consensus instances in
+//! flight at once (depth 1, the default, is the paper's sequential abcast,
+//! bit for bit) and [`GroupBuilder::batch_policy`] closes proposal batches
+//! on a message count, a byte budget, or a deadline. On any stack,
+//! [`GroupBuilder::abcast_capacity`] bounds each sender's pending queue so
+//! the `try_abcast_*` entry points refuse with [`Backpressure`] instead of
+//! queueing without limit:
+//!
+//! ```
+//! use gcs_api::{BatchPolicy, Group, GroupTransport};
+//! use gcs_kernel::{ProcessId, Time, TimeDelta};
+//!
+//! let mut group = Group::builder()
+//!     .members(3)
+//!     .pipeline_depth(4)
+//!     .batch_policy(BatchPolicy {
+//!         max_msgs: 16,
+//!         max_bytes: 4096,
+//!         max_delay: TimeDelta::from_millis(2),
+//!     })
+//!     .abcast_capacity(64)
+//!     .seed(7)
+//!     .build();
+//! let mut accepted = 0u32;
+//! for i in 0..80u32 {
+//!     // An open-loop producer sheds load the group refuses.
+//!     if group
+//!         .try_abcast_at(Time::from_millis(1), ProcessId::new(0), vec![i as u8])
+//!         .is_ok()
+//!     {
+//!         accepted += 1;
+//!     }
+//! }
+//! assert_eq!(accepted, 64); // the rest hit the queue bound
+//! assert!(group.queue_high_water() <= 64);
+//! group.run_until(Time::from_secs(2));
+//! assert_eq!(group.adelivered_payloads()[0].len(), 64);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +85,7 @@ mod oracle;
 mod sims;
 mod transport;
 
+pub use gcs_core::BatchPolicy;
 pub use group::{Group, GroupBuilder};
 pub use oracle::{InvariantChecker, InvariantKind, OracleReport, Violation, MAX_VIOLATIONS};
-pub use transport::{GroupTransport, StackKind, TransportDelivery};
+pub use transport::{Backpressure, GroupTransport, StackKind, TransportDelivery};

@@ -55,6 +55,22 @@ impl GroupTransport for GroupSim {
         GroupSim::abcast_ref_at(self, t, p, payload);
     }
 
+    fn set_abcast_capacity(&mut self, cap: Option<usize>) {
+        GroupSim::set_queue_capacity(self, cap);
+    }
+
+    fn abcast_capacity(&self) -> Option<usize> {
+        GroupSim::queue_capacity(self)
+    }
+
+    fn queue_depth(&self, p: ProcessId) -> usize {
+        GroupSim::queue_depth(self, p)
+    }
+
+    fn queue_high_water(&self) -> usize {
+        GroupSim::queue_high_water(self)
+    }
+
     fn gbcast_bytes_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: Bytes) {
         GroupSim::gbcast_at(self, t, p, class, payload);
     }
@@ -171,6 +187,22 @@ impl GroupTransport for IsisSim {
 
     fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
         IsisSim::abcast_ref_at(self, t, p, payload);
+    }
+
+    fn set_abcast_capacity(&mut self, cap: Option<usize>) {
+        IsisSim::set_queue_capacity(self, cap);
+    }
+
+    fn abcast_capacity(&self) -> Option<usize> {
+        IsisSim::queue_capacity(self)
+    }
+
+    fn queue_depth(&self, p: ProcessId) -> usize {
+        IsisSim::queue_depth(self, p)
+    }
+
+    fn queue_high_water(&self) -> usize {
+        IsisSim::queue_high_water(self)
     }
 
     fn join_at(&mut self, t: Time, joiner: ProcessId, _contact: ProcessId) {
@@ -293,6 +325,22 @@ impl GroupTransport for TokenSim {
 
     fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
         TokenSim::abcast_ref_at(self, t, p, payload);
+    }
+
+    fn set_abcast_capacity(&mut self, cap: Option<usize>) {
+        TokenSim::set_queue_capacity(self, cap);
+    }
+
+    fn abcast_capacity(&self) -> Option<usize> {
+        TokenSim::queue_capacity(self)
+    }
+
+    fn queue_depth(&self, p: ProcessId) -> usize {
+        TokenSim::queue_depth(self, p)
+    }
+
+    fn queue_high_water(&self) -> usize {
+        TokenSim::queue_high_water(self)
     }
 
     fn join_at(&mut self, t: Time, joiner: ProcessId, _contact: ProcessId) {

@@ -11,6 +11,8 @@
 //! membership cannot express it) are visible through `supports_*` markers
 //! rather than through three incompatible harness types.
 
+use std::fmt;
+
 use bytes::Bytes;
 use gcs_core::{DeliveryKind, MessageClass, View};
 use gcs_kernel::{PayloadRef, ProcessId, SharedArena, Time};
@@ -77,6 +79,37 @@ pub struct TransportDelivery {
     pub payload: PayloadRef,
 }
 
+/// An atomic broadcast refused because the sender's pending queue is at
+/// capacity.
+///
+/// Returned by [`GroupTransport::try_abcast_ref_at`] and friends when a
+/// queue bound is configured
+/// ([`set_abcast_capacity`](GroupTransport::set_abcast_capacity)) and the
+/// sender's backlog has reached it. The caller owns the retry policy: an
+/// open-loop driver typically drops the operation (counting it as shed
+/// load), a closed-loop driver waits and re-offers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backpressure {
+    /// The sender whose queue is full.
+    pub proc: ProcessId,
+    /// The backlog observed at refusal time.
+    pub depth: usize,
+    /// The configured capacity the backlog reached.
+    pub limit: usize,
+}
+
+impl fmt::Display for Backpressure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "abcast refused at {:?}: queue depth {} >= capacity {}",
+            self.proc, self.depth, self.limit
+        )
+    }
+}
+
+impl std::error::Error for Backpressure {}
+
 /// The unified harness surface of a simulated group, implemented by all
 /// three stacks (`gcs_core::GroupSim`, `gcs_traditional::IsisSim`,
 /// `gcs_traditional::TokenSim`) and by the [`Group`](crate::Group) façade.
@@ -130,6 +163,68 @@ pub trait GroupTransport {
     /// Schedules an atomic broadcast of an already-interned payload handle
     /// (the zero-copy injection path).
     fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef);
+
+    /// Bounds the per-sender pending queue the `try_abcast_*` entry points
+    /// check against; `None` (the default) removes the bound. Stacks that do
+    /// not track a backlog ignore the setting, in which case `try_abcast_*`
+    /// never refuses.
+    fn set_abcast_capacity(&mut self, cap: Option<usize>) {
+        let _ = cap;
+    }
+
+    /// The configured pending-queue bound, if any.
+    fn abcast_capacity(&self) -> Option<usize> {
+        None
+    }
+
+    /// Schedules an atomic broadcast of an already-interned payload handle,
+    /// refusing with [`Backpressure`] if a queue bound is configured and
+    /// `p`'s backlog has reached it.
+    ///
+    /// On refusal the payload handle is simply unused (arena handles are
+    /// plain indices; an unreferenced one costs nothing).
+    fn try_abcast_ref_at(
+        &mut self,
+        t: Time,
+        p: ProcessId,
+        payload: PayloadRef,
+    ) -> Result<(), Backpressure> {
+        if let Some(limit) = self.abcast_capacity() {
+            let depth = self.queue_depth(p);
+            if depth >= limit {
+                return Err(Backpressure {
+                    proc: p,
+                    depth,
+                    limit,
+                });
+            }
+        }
+        self.abcast_ref_at(t, p, payload);
+        Ok(())
+    }
+
+    /// [`abcast_build_at`](Self::abcast_build_at) with backpressure: the
+    /// capacity check runs *before* the payload is built, so a refused
+    /// operation costs no allocation at all.
+    fn try_abcast_build_at(
+        &mut self,
+        t: Time,
+        sender: ProcessId,
+        fill: &mut dyn FnMut(&mut Vec<u8>),
+    ) -> Result<(), Backpressure> {
+        if let Some(limit) = self.abcast_capacity() {
+            let depth = self.queue_depth(sender);
+            if depth >= limit {
+                return Err(Backpressure {
+                    proc: sender,
+                    depth,
+                    limit,
+                });
+            }
+        }
+        self.abcast_build_at(t, sender, fill);
+        Ok(())
+    }
 
     /// Schedules a generic broadcast of `class` by `p` at time `t`.
     ///
@@ -268,6 +363,25 @@ pub trait GroupTransport {
     /// (empty under the counting-only trace sinks).
     fn delivery_trace(&self) -> Vec<TransportDelivery>;
 
+    /// The sender-side abcast backlog at `p`: operations offered through
+    /// this harness minus trace outputs observed at `p`. The measure is
+    /// approximate — a process's trace stream occasionally contains
+    /// view-installation outputs alongside deliveries — and it is computed
+    /// at call time, so it is meaningful for drivers that interleave
+    /// injection with [`run_until`](Self::run_until). Stacks that do not
+    /// track a backlog answer `0` (the default).
+    fn queue_depth(&self, p: ProcessId) -> usize {
+        let _ = p;
+        0
+    }
+
+    /// The highest [`queue_depth`](Self::queue_depth) observed at the
+    /// moment an injection was accepted, over the run so far. `0` on stacks
+    /// that do not track a backlog (the default).
+    fn queue_high_water(&self) -> usize {
+        0
+    }
+
     /// Per-process sequences of installed views (ring generations on the
     /// token stack), in installation order.
     fn views(&self) -> Vec<Vec<View>>;
@@ -345,6 +459,26 @@ pub trait GroupTransport {
         Self: Sized,
     {
         self.abcast_bytes_at(t, p, payload.into());
+    }
+
+    /// [`try_abcast_ref_at`](Self::try_abcast_ref_at) accepting anything
+    /// convertible to [`Bytes`]. Not available through a trait object.
+    ///
+    /// Note the payload is interned before the capacity check (the `impl
+    /// Into<Bytes>` must be consumed); drivers that shed load at high rates
+    /// should prefer [`try_abcast_build_at`](Self::try_abcast_build_at),
+    /// which checks first.
+    fn try_abcast_at(
+        &mut self,
+        t: Time,
+        p: ProcessId,
+        payload: impl Into<Bytes>,
+    ) -> Result<(), Backpressure>
+    where
+        Self: Sized,
+    {
+        let payload = self.arena().intern(payload.into());
+        self.try_abcast_ref_at(t, p, payload)
     }
 
     /// [`gbcast_bytes_at`](Self::gbcast_bytes_at) accepting anything

@@ -9,6 +9,7 @@
 //! repro bench-pr2 [reps]               PR-2 scenario trajectory → BENCH_PR2.json
 //! repro bench-pr3 [reps]               PR-3 trajectory + alloc metric → BENCH_PR3.json
 //! repro bench-pr7 [reps]               PR-7 scale ladder (64/256/1024) → BENCH_PR7.json
+//! repro saturate [--quick]             offered-load sweep per stack → BENCH_PR8.json
 //! repro throughput [n] [horizon_ms]    one timed steady-state run (profiling probe)
 //! ```
 //!
@@ -21,7 +22,7 @@
 use std::time::Instant;
 
 use gcs_bench::alloccount::CountingAlloc;
-use gcs_bench::{experiments, perf, scenario};
+use gcs_bench::{experiments, perf, saturate, scenario};
 use gcs_sim::TraceMode;
 
 // The instrumented allocator behind `bench-pr3`'s allocations-per-adelivery
@@ -67,6 +68,13 @@ perf trajectories (use a --release build):
                              sim_throughput 64/256/1024 scale ladder over one
                              full simulated second + alloc profile, guarded
                              against BENCH_PR3.json, writes BENCH_PR7.json
+  saturate [--quick]         open-loop offered-load sweep per stack: goodput
+                             vs offered load, latency vs throughput, knee
+                             detection, plus a bounded-queue backpressure
+                             run; all figures are virtual-time-deterministic.
+                             Writes BENCH_PR8.json and enforces its guards;
+                             --quick runs a 2-rate smoke with loose guards
+                             and writes nothing
 ",
     );
     s
@@ -236,6 +244,214 @@ shrank several-fold, so events/sec is not comparable); sim_throughput/256 must r
     }
     if !failures.is_empty() {
         for f in &failures {
+            eprintln!("repro: GUARD FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Renders one variant's saturation curve as a JSON object.
+fn curve_json(curve: &[saturate::Point]) -> String {
+    let mut s = String::from("{\n      \"knee_rate\": ");
+    match saturate::knee(curve) {
+        Some(k) => s.push_str(&k.to_string()),
+        None => s.push_str("null"),
+    }
+    s.push_str(&format!(
+        ",\n      \"sustained_goodput\": {:.1},\n      \"points\": [\n",
+        saturate::sustained_goodput(curve)
+    ));
+    for (i, p) in curve.iter().enumerate() {
+        s.push_str(&format!(
+            "        {{\"rate\": {}, \"offered\": {}, \"accepted\": {}, \"goodput\": {:.1}, \
+\"mean_ms\": {}, \"p99_ms\": {}}}{}\n",
+            p.rate,
+            p.offered,
+            p.accepted,
+            p.goodput,
+            json_f64(p.mean_ms, 2),
+            json_f64(p.p99_ms, 2),
+            if i + 1 == curve.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("      ]\n    }");
+    s
+}
+
+/// `saturate [--quick]`: the PR-8 offered-load sweep. Every figure is
+/// virtual-time-deterministic (seed 7), so the emitted BENCH_PR8.json is
+/// reproducible bit for bit and the guards are exact, not noise-tolerant.
+fn saturate_cmd() {
+    let quick = std::env::args().nth(2).as_deref() == Some("--quick");
+    let (rates, window_ms, drain_ms): (&[u64], u64, u64) = if quick {
+        (&[4_000, 16_000], 200, 1500)
+    } else {
+        (
+            &[1_000, 2_000, 4_000, 6_000, 8_000, 10_000, 12_000, 16_000],
+            1_000,
+            2_000,
+        )
+    };
+    const SEED: u64 = 7;
+    const CAPACITY: usize = 64;
+    let bp_rate = *rates.last().unwrap();
+
+    let t0 = Instant::now();
+    let vs = saturate::variants();
+    let curves: Vec<(&'static str, Vec<saturate::Point>)> = vs
+        .iter()
+        .map(|v| (v.name, saturate::sweep(v, rates, window_ms, drain_ms, SEED)))
+        .collect();
+    // The backpressure run bounds the *sequential* stack — the variant that
+    // saturates hardest — at the top of the sweep.
+    let bp = saturate::run_backpressure(&vs[0], bp_rate, window_ms, drain_ms, CAPACITY, SEED);
+
+    println!(
+        "## saturation sweep (n={}, window {window_ms} ms, drain {drain_ms} ms, seed {SEED})\n",
+        saturate::GROUP
+    );
+    for (name, curve) in &curves {
+        println!("### {name}\n");
+        println!("| offered (msg/s) | goodput (msg/s) | mean lat (ms) | p99 (ms) |");
+        println!("|---|---|---|---|");
+        for p in curve {
+            println!(
+                "| {} | {:.0} | {:.2} | {:.2} |",
+                p.rate, p.goodput, p.mean_ms, p.p99_ms
+            );
+        }
+        match saturate::knee(curve) {
+            Some(k) => println!(
+                "\nknee: {k} msg/s sustained (goodput plateau {:.0} msg/s)\n",
+                saturate::sustained_goodput(curve)
+            ),
+            None => println!("\nknee: not reached within the sweep\n"),
+        }
+    }
+    println!(
+        "### backpressure ({} at {bp_rate} msg/s, queue bound {CAPACITY})\n",
+        vs[0].name
+    );
+    println!(
+        "offered {} accepted {} shed {} | queue high-water {} | goodput {:.0} msg/s | p99 {:.2} ms\n",
+        bp.point.offered,
+        bp.point.accepted,
+        bp.shed,
+        bp.point.high_water,
+        bp.point.goodput,
+        bp.point.p99_ms
+    );
+
+    // Guards. The sweep is deterministic, so these are exact protocol
+    // properties, not machine-noise tolerances.
+    let mut failures = Vec::new();
+    let seq = &curves[0].1;
+    let pipe = &curves[1].1;
+    let seq_sustained = saturate::sustained_goodput(seq);
+    let bp_ok = bp.point.high_water <= CAPACITY;
+    if !bp_ok {
+        failures.push(format!(
+            "backpressure queue high-water {} exceeds the bound {CAPACITY}",
+            bp.point.high_water
+        ));
+    }
+    if bp.shed == 0 {
+        failures.push(format!(
+            "backpressure run at {bp_rate} msg/s shed nothing — the bound never engaged"
+        ));
+    }
+    if quick {
+        // Smoke guards: pipelining must still beat sequential at the
+        // overloaded top rate.
+        let (s_top, p_top) = (seq.last().unwrap(), pipe.last().unwrap());
+        if p_top.goodput < 1.2 * s_top.goodput {
+            failures.push(format!(
+                "pipelined goodput {:.0} is not >= 1.2x sequential {:.0} at {bp_rate} msg/s",
+                p_top.goodput, s_top.goodput
+            ));
+        }
+    } else {
+        let Some(seq_knee) = saturate::knee(seq) else {
+            failures.push("the sequential stack never saturated within the sweep".into());
+            report_saturate_failures(&failures);
+            return;
+        };
+        // The acceptance figure: at twice the sequential knee, the
+        // pipelined stack must carry >= 1.5x the sequential plateau.
+        let target_rate = 2 * seq_knee;
+        let at_2x = pipe
+            .iter()
+            .min_by_key(|p| p.rate.abs_diff(target_rate))
+            .unwrap();
+        if at_2x.goodput < 1.5 * seq_sustained {
+            failures.push(format!(
+                "pipelined goodput {:.0} at {} msg/s (2x seq knee) is not >= 1.5x the \
+sequential plateau {:.0}",
+                at_2x.goodput, at_2x.rate, seq_sustained
+            ));
+        }
+        if at_2x.p99_ms >= 50.0 {
+            failures.push(format!(
+                "pipelined p99 {:.2} ms at {} msg/s is not bounded under 50 ms",
+                at_2x.p99_ms, at_2x.rate
+            ));
+        }
+
+        let mut s = String::from(
+            "{\n  \"description\": \"PR 8 saturation: open-loop offered-load sweep per stack \
+(n=5, flat LAN, seed 7, 1 s injection window + 2 s drain). goodput = ops delivered at every \
+process inside the window; latencies are arrival -> delivered-everywhere, virtual time. The \
+new-arch knee is a protocol cap (16-msg batches x consensus instance latency); depth-8 \
+pipelining overlaps instances and lifts it past the sweep; the token knee is its per-hold \
+byte budget (16 B) x rotation; Isis has no virtual-time cap (its sequencer stamps on \
+arrival), so its knee honestly reports not reached. All figures are deterministic -- the \
+guards are exact. Guards: pipelined goodput at 2x the sequential knee >= 1.5x the sequential \
+plateau with p99 < 50 ms; the bounded-queue run keeps its high-water <= the 64-op bound and \
+sheds the excess. Regenerate with: cargo run --release -p gcs-bench --bin repro -- \
+saturate.\",\n  \"config\": {",
+        );
+        s.push_str(&format!(
+            "\"group\": {}, \"window_ms\": {window_ms}, \"drain_ms\": {drain_ms}, \
+\"seed\": {SEED}, \"sustain_fraction\": {}, \"rates\": {rates:?}}},\n  \"curves\": {{\n",
+            saturate::GROUP,
+            saturate::SUSTAIN_FRACTION
+        ));
+        for (i, (name, curve)) in curves.iter().enumerate() {
+            s.push_str(&format!("    \"{name}\": {}", curve_json(curve)));
+            s.push_str(if i + 1 == curves.len() { "\n" } else { ",\n" });
+        }
+        s.push_str(&format!(
+            "  }},\n  \"backpressure\": {{\"variant\": \"{}\", \"rate\": {bp_rate}, \
+\"capacity\": {CAPACITY}, \"offered\": {}, \"accepted\": {}, \"shed\": {}, \
+\"high_water\": {}, \"goodput\": {:.1}, \"p99_ms\": {}}}\n}}",
+            vs[0].name,
+            bp.point.offered,
+            bp.point.accepted,
+            bp.shed,
+            bp.point.high_water,
+            bp.point.goodput,
+            json_f64(bp.point.p99_ms, 2)
+        ));
+        println!("```json\n{s}\n```");
+        match std::fs::write("BENCH_PR8.json", format!("{s}\n")) {
+            Ok(()) => eprintln!("wrote BENCH_PR8.json"),
+            Err(e) => {
+                eprintln!("repro: cannot write BENCH_PR8.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!(
+        "saturate{} finished in {:.2}s wall-clock",
+        if quick { " --quick" } else { "" },
+        t0.elapsed().as_secs_f64()
+    );
+    report_saturate_failures(&failures);
+}
+
+fn report_saturate_failures(failures: &[String]) {
+    if !failures.is_empty() {
+        for f in failures {
             eprintln!("repro: GUARD FAILED: {f}");
         }
         std::process::exit(1);
@@ -500,6 +716,7 @@ fn main() {
         "bench-pr2" => bench_pr2(),
         "bench-pr3" => bench_pr3(),
         "bench-pr7" => bench_pr7(),
+        "saturate" => saturate_cmd(),
         "throughput" => throughput(),
         "help" | "--help" | "-h" => println!("{}", usage()),
         other => usage_error(&format!("unknown command {other:?}")),

@@ -21,5 +21,6 @@
 pub mod alloccount;
 pub mod experiments;
 pub mod perf;
+pub mod saturate;
 pub mod scenario;
 pub mod workload;

@@ -1,0 +1,359 @@
+//! Saturation sweeps: offered load vs goodput, per stack.
+//!
+//! The PR-8 measurement: drive each stack with an *open-loop* stream
+//! ([`OpenLoopWorkload`]) whose offered rate does not wait for the group,
+//! sweep the rate past the protocol's capacity, and record
+//! goodput-vs-offered-load and latency-vs-throughput curves. The knee —
+//! the largest offered rate the protocol still sustains — is a protocol
+//! property in virtual time, not a machine property: the sequential
+//! new-architecture pipeline caps at one batch (`max_msgs`) per consensus
+//! instance latency, the token ring at one hold budget (`max_hold_bytes`)
+//! per rotation, and pipelining multiplies the consensus cap by the window
+//! depth. Every figure here is deterministic given the seed.
+//!
+//! The Isis baseline has no virtual-time capacity cap (its sequencer
+//! stamps on arrival, and the simulator's links delay but never queue),
+//! so its curve tracks the offered load across the whole sweep and its
+//! knee reports as not reached — recorded honestly rather than forced.
+
+use gcs_api::{BatchPolicy, Group, GroupTransport, StackKind};
+use gcs_core::{DeliveryKind, StackConfig};
+use gcs_kernel::{Time, TimeDelta};
+use gcs_sim::TraceMode;
+use gcs_traditional::TokenConfig;
+
+use crate::workload::{decode_op_index, write_payload, OpenLoopWorkload};
+
+/// Group size of every saturation run.
+pub const GROUP: usize = 5;
+
+/// Fraction of the offered rate a point must deliver to count as
+/// sustained (the knee is the largest sustained rate).
+pub const SUSTAIN_FRACTION: f64 = 0.95;
+
+/// One configured stack variant the sweep drives.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    /// Stable name (JSON key in `BENCH_PR8.json`).
+    pub name: &'static str,
+    /// The stack to run.
+    pub stack: StackKind,
+    /// Consensus pipeline depth (new architecture only).
+    pub pipeline_depth: usize,
+    /// Batch-closing policy (new architecture only).
+    pub batch: BatchPolicy,
+    /// Per-hold payload byte budget (token ring only).
+    pub max_hold_bytes: usize,
+}
+
+/// The PR-8 variant set: the sequential new architecture (the pre-PR
+/// behavior, reproduced by depth 1), the pipelined new architecture at
+/// depth 8 over the same batch caps, and the two baselines — the token
+/// ring with a per-hold byte budget so a saturated sender cannot stall
+/// the rotation, Isis unmodified.
+pub fn variants() -> Vec<Variant> {
+    // One consensus instance carries at most 16 messages: the knee of the
+    // sequential pipeline is ~16 / instance-latency, low enough to sit
+    // inside a sweep whose op count must fit the u16 payload tag.
+    let batch = BatchPolicy {
+        max_msgs: 16,
+        max_bytes: 4096,
+        max_delay: TimeDelta::from_micros(500),
+    };
+    vec![
+        Variant {
+            name: "new-arch-seq",
+            stack: StackKind::NewArch,
+            pipeline_depth: 1,
+            batch,
+            max_hold_bytes: usize::MAX,
+        },
+        Variant {
+            name: "new-arch-pipelined",
+            stack: StackKind::NewArch,
+            pipeline_depth: 8,
+            batch,
+            max_hold_bytes: usize::MAX,
+        },
+        Variant {
+            name: "isis",
+            stack: StackKind::Isis,
+            pipeline_depth: 1,
+            batch: BatchPolicy::default(),
+            max_hold_bytes: usize::MAX,
+        },
+        Variant {
+            name: "token",
+            stack: StackKind::Token,
+            pipeline_depth: 1,
+            batch: BatchPolicy::default(),
+            // 16 payload bytes = 8 two-byte messages per hold.
+            max_hold_bytes: 16,
+        },
+    ]
+}
+
+/// One measured point of a variant's curve.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Offered load, messages per second.
+    pub rate: u64,
+    /// Ops the arrival clock offered inside the window.
+    pub offered: usize,
+    /// Ops accepted (equal to `offered` without a queue bound).
+    pub accepted: usize,
+    /// Ops delivered at *every* process before the injection window
+    /// closed, per second of window — the saturation metric.
+    pub goodput: f64,
+    /// Mean arrival → delivered-everywhere latency over completed ops, in
+    /// virtual milliseconds (including the post-window drain).
+    pub mean_ms: f64,
+    /// 99th-percentile arrival → delivered-everywhere latency, virtual ms.
+    pub p99_ms: f64,
+    /// Highest sender backlog observed at an accepted injection.
+    pub high_water: usize,
+}
+
+/// What a backpressure run adds on top of a [`Point`].
+#[derive(Clone, Debug)]
+pub struct BackpressureReport {
+    /// The queue bound the run enforced.
+    pub capacity: usize,
+    /// The measured point (its `accepted` < `offered` when load was shed).
+    pub point: Point,
+    /// Ops refused by the bound.
+    pub shed: usize,
+}
+
+fn build_group(v: &Variant, seed: u64, capacity: Option<usize>) -> Group {
+    let mut builder = Group::builder()
+        .members(GROUP)
+        .stack(v.stack)
+        .seed(seed)
+        .trace(TraceMode::Full);
+    match v.stack {
+        StackKind::NewArch => {
+            let mut cfg = StackConfig::default();
+            // As in the scenario engine: exclusions come from the script
+            // (here: nobody), not from wall-clock monitoring racing the
+            // measurement.
+            cfg.monitoring_timeout = TimeDelta::from_secs(3600);
+            cfg.pipeline_depth = Some(v.pipeline_depth);
+            cfg.batch = Some(v.batch);
+            builder = builder.stack_config(cfg);
+        }
+        StackKind::Token => {
+            builder = builder.token_config(TokenConfig {
+                max_hold_bytes: v.max_hold_bytes,
+                ..TokenConfig::default()
+            });
+        }
+        StackKind::Isis => {}
+    }
+    if let Some(cap) = capacity {
+        builder = builder.abcast_capacity(cap);
+    }
+    builder.build()
+}
+
+/// Measures the run: per-op completion (delivered at all [`GROUP`]
+/// processes), goodput inside the window, latency over completed ops.
+fn measure(
+    g: &Group,
+    arrivals: &[(Time, gcs_kernel::ProcessId)],
+    window_end: Time,
+    window: TimeDelta,
+) -> (f64, f64, f64) {
+    // completion[op] = (processes seen, latest delivery time).
+    let mut completion: Vec<(usize, Time)> = vec![(0, Time::ZERO); arrivals.len()];
+    for d in g.delivery_trace() {
+        if d.kind != DeliveryKind::Atomic {
+            continue;
+        }
+        let payload = g.resolve(d.payload);
+        let Some(op) = decode_op_index(&payload) else {
+            continue;
+        };
+        if let Some(c) = completion.get_mut(op) {
+            c.0 += 1;
+            c.1 = c.1.max(d.time);
+        }
+    }
+    let mut in_window = 0usize;
+    let mut latencies: Vec<f64> = Vec::new();
+    for (op, &(procs, done)) in completion.iter().enumerate() {
+        if procs < GROUP {
+            continue;
+        }
+        if done <= window_end {
+            in_window += 1;
+        }
+        latencies.push(done.since(arrivals[op].0).as_millis_f64());
+    }
+    let goodput = in_window as f64 / (window.as_nanos() as f64 / 1e9);
+    let (mean, p99) = if latencies.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        let mut sorted = latencies;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (mean, sorted[(sorted.len() - 1) * 99 / 100])
+    };
+    (goodput, mean, p99)
+}
+
+/// Runs one closed-schedule point: the whole open-loop stream is scheduled
+/// up front (nothing is shed), then the run drains past the window.
+pub fn run_point(v: &Variant, rate: u64, window_ms: u64, drain_ms: u64, seed: u64) -> Point {
+    let w = OpenLoopWorkload::per_second(rate, window_ms);
+    let arrivals = w.arrivals(GROUP);
+    let mut g = build_group(v, seed, None);
+    for (i, &(t, sender)) in arrivals.iter().enumerate() {
+        g.abcast_build_at(t, sender, &mut |buf| write_payload(i, w.payload, buf));
+    }
+    let window_end = w.start + w.duration;
+    g.run_until(window_end.saturating_add(TimeDelta::from_millis(drain_ms)));
+    let (goodput, mean_ms, p99_ms) = measure(&g, &arrivals, window_end, w.duration);
+    Point {
+        rate,
+        offered: arrivals.len(),
+        accepted: arrivals.len(),
+        goodput,
+        mean_ms,
+        p99_ms,
+        high_water: g.queue_high_water(),
+    }
+}
+
+/// Runs one bounded point: the arrival clock is walked in lockstep with
+/// the simulation and every op is offered through the backpressure gate —
+/// refusals are shed, and the queue high-water must stay at the bound.
+pub fn run_backpressure(
+    v: &Variant,
+    rate: u64,
+    window_ms: u64,
+    drain_ms: u64,
+    capacity: usize,
+    seed: u64,
+) -> BackpressureReport {
+    let w = OpenLoopWorkload::per_second(rate, window_ms);
+    let arrivals = w.arrivals(GROUP);
+    let mut g = build_group(v, seed, Some(capacity));
+    let mut accepted_ops: Vec<usize> = Vec::new();
+    let mut shed = 0usize;
+    for (i, &(t, sender)) in arrivals.iter().enumerate() {
+        g.run_until(t);
+        let ok = g
+            .try_abcast_build_at(t, sender, &mut |buf| write_payload(i, w.payload, buf))
+            .is_ok();
+        if ok {
+            accepted_ops.push(i);
+        } else {
+            shed += 1;
+        }
+    }
+    let window_end = w.start + w.duration;
+    g.run_until(window_end.saturating_add(TimeDelta::from_millis(drain_ms)));
+    let (goodput, mean_ms, p99_ms) = measure(&g, &arrivals, window_end, w.duration);
+    BackpressureReport {
+        capacity,
+        shed,
+        point: Point {
+            rate,
+            offered: arrivals.len(),
+            accepted: accepted_ops.len(),
+            goodput,
+            mean_ms,
+            p99_ms,
+            high_water: g.queue_high_water(),
+        },
+    }
+}
+
+/// Sweeps one variant over the offered rates.
+pub fn sweep(v: &Variant, rates: &[u64], window_ms: u64, drain_ms: u64, seed: u64) -> Vec<Point> {
+    rates
+        .iter()
+        .map(|&rate| run_point(v, rate, window_ms, drain_ms, seed))
+        .collect()
+}
+
+/// The knee of a curve: the largest offered rate whose goodput still
+/// reaches [`SUSTAIN_FRACTION`] of it. `None` when even the top of the
+/// sweep is sustained (the knee lies beyond the sweep).
+pub fn knee(curve: &[Point]) -> Option<u64> {
+    let sustained: Vec<&Point> = curve
+        .iter()
+        .filter(|p| p.goodput >= SUSTAIN_FRACTION * p.rate as f64)
+        .collect();
+    let best = sustained.iter().map(|p| p.rate).max()?;
+    if best == curve.iter().map(|p| p.rate).max()? {
+        None
+    } else {
+        Some(best)
+    }
+}
+
+/// The best goodput any point of the curve achieved.
+pub fn sustained_goodput(curve: &[Point]) -> f64 {
+    curve.iter().map(|p| p.goodput).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_new_arch_saturates_and_pipelining_lifts_the_cap() {
+        // A short window keeps the test fast; the rates straddle the
+        // sequential knee (~16 msgs per ~1.5 ms LAN instance ≈ 10 k/s).
+        let vs = variants();
+        let seq = &vs[0];
+        let pipe = &vs[1];
+        let over = 24_000; // well past the sequential cap
+        let s = run_point(seq, over, 250, 1500, 7);
+        let p = run_point(pipe, over, 250, 1500, 7);
+        assert!(
+            s.goodput < 0.9 * over as f64,
+            "sequential must saturate below the offered {over}/s: {s:?}"
+        );
+        assert!(
+            p.goodput > 1.3 * s.goodput,
+            "depth-8 pipelining must lift goodput: {} vs {}",
+            p.goodput,
+            s.goodput
+        );
+    }
+
+    #[test]
+    fn backpressure_bounds_the_queue_and_sheds_overload() {
+        let vs = variants();
+        let r = run_backpressure(&vs[0], 24_000, 250, 1500, 64, 7);
+        assert!(r.shed > 0, "overload at a 64-deep bound must shed: {r:?}");
+        assert!(
+            r.point.high_water <= 64,
+            "high water {} exceeds the bound",
+            r.point.high_water
+        );
+        assert_eq!(r.point.accepted + r.shed, r.point.offered);
+    }
+
+    #[test]
+    fn knee_detection_reads_the_curve() {
+        let mk = |rate: u64, goodput: f64| Point {
+            rate,
+            offered: 0,
+            accepted: 0,
+            goodput,
+            mean_ms: 0.0,
+            p99_ms: 0.0,
+            high_water: 0,
+        };
+        let curve = [mk(1000, 1000.0), mk(2000, 1990.0), mk(4000, 2100.0)];
+        assert_eq!(knee(&curve), Some(2000));
+        assert_eq!(sustained_goodput(&curve), 2100.0);
+        // Everything sustained: the knee lies beyond the sweep.
+        let flat = [mk(1000, 1000.0), mk(2000, 2000.0)];
+        assert_eq!(knee(&flat), None);
+    }
+}

@@ -102,6 +102,10 @@ impl UniformWorkload {
     /// The steady-state stream used across the E1-style experiments:
     /// `msgs` broadcasts every `interval_ms` ms starting at 1 ms, 2-byte
     /// payloads, round-robin senders.
+    ///
+    /// `interval_ms = 0` is a legitimate burst: every broadcast is injected
+    /// at the same instant (1 ms), and the simulator's deterministic
+    /// event-queue tie-break orders the simultaneous arrivals.
     pub fn steady(msgs: u32, interval_ms: u64) -> Self {
         UniformWorkload {
             msgs,
@@ -129,6 +133,85 @@ impl Workload for UniformWorkload {
             target.abcast_build_at(t, sender, &mut |buf| {
                 write_payload(i as usize, self.payload, buf)
             });
+            times.push(t);
+        }
+        times
+    }
+}
+
+/// An open-loop stream: a fixed *offered load* in messages per second,
+/// injected on a rigid arrival clock that does not wait for the group —
+/// the saturation-measurement shape, where offered load can exceed what the
+/// protocol sustains. Arrivals are evenly spaced (arrival `i` lands at
+/// `start + i/rate`), so a run is deterministic and independent of the
+/// group's progress.
+///
+/// [`inject`](Workload::inject) schedules the whole stream up front like
+/// every other workload. Saturation drivers that need to *shed* load
+/// through `try_abcast_*` instead iterate [`arrivals`](Self::arrivals) and
+/// interleave injection with `run_until` — same clock, caller-owned refusal
+/// handling.
+#[derive(Clone, Debug)]
+pub struct OpenLoopWorkload {
+    /// Offered load in messages per second (> 0).
+    pub rate: u64,
+    /// Injection time of the first arrival.
+    pub start: Time,
+    /// Length of the injection window; arrivals land in `[start, start+duration)`.
+    pub duration: TimeDelta,
+    /// Payload size in bytes (minimum 2; the head carries the op tag).
+    pub payload: usize,
+    /// Sender selection.
+    pub senders: Senders,
+}
+
+impl OpenLoopWorkload {
+    /// `rate` messages per second for `duration_ms` ms starting at 1 ms,
+    /// 2-byte payloads, round-robin senders.
+    pub fn per_second(rate: u64, duration_ms: u64) -> Self {
+        OpenLoopWorkload {
+            rate,
+            start: Time::from_millis(1),
+            duration: TimeDelta::from_millis(duration_ms),
+            payload: 2,
+            senders: Senders::RoundRobin,
+        }
+    }
+
+    /// Number of arrivals in the window: `floor(rate × duration)`.
+    pub fn count(&self) -> usize {
+        ((self.rate as u128 * self.duration.as_nanos() as u128) / 1_000_000_000) as usize
+    }
+
+    /// The arrival clock: `(time, sender)` of every op, in op-tag order.
+    /// Ops are tagged `0..count`, so the count must fit the `u16` payload
+    /// tag (asserted at injection).
+    pub fn arrivals(&self, n: usize) -> Vec<(Time, ProcessId)> {
+        let rate = self.rate.max(1);
+        (0..self.count())
+            .map(|i| {
+                let offset =
+                    TimeDelta::from_nanos(((i as u128 * 1_000_000_000) / rate as u128) as u64);
+                let sender = match self.senders {
+                    Senders::RoundRobin => ProcessId::new(i as u32 % n as u32),
+                    Senders::One(p) => p,
+                };
+                (self.start + offset, sender)
+            })
+            .collect()
+    }
+}
+
+impl Workload for OpenLoopWorkload {
+    fn name(&self) -> &'static str {
+        "open-loop"
+    }
+
+    fn inject(&self, n: usize, target: &mut dyn GroupTransport) -> Vec<Time> {
+        let arrivals = self.arrivals(n);
+        let mut times = Vec::with_capacity(arrivals.len());
+        for (i, (t, sender)) in arrivals.into_iter().enumerate() {
+            target.abcast_build_at(t, sender, &mut |buf| write_payload(i, self.payload, buf));
             times.push(t);
         }
         times
@@ -366,6 +449,40 @@ mod tests {
         let senders: Vec<u32> = r.ops.iter().map(|(_, s, _)| s.index() as u32).collect();
         assert_eq!(senders, vec![0, 1, 2, 0, 1, 2]);
         assert_eq!(decode_op_index(&r.ops[4].2), Some(4));
+    }
+
+    #[test]
+    fn zero_interval_steady_is_a_single_instant_burst() {
+        let w = UniformWorkload::steady(5, 0);
+        let mut r = Recorder::default();
+        let times = w.inject(3, &mut r);
+        assert!(times.iter().all(|&t| t == Time::from_millis(1)));
+        // All five ops land, distinctly tagged, senders still round-robin.
+        let tags: Vec<_> = r
+            .ops
+            .iter()
+            .filter_map(|(_, _, p)| decode_op_index(p))
+            .collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4]);
+        let senders: Vec<u32> = r.ops.iter().map(|(_, s, _)| s.index() as u32).collect();
+        assert_eq!(senders, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn open_loop_spaces_arrivals_at_the_offered_rate() {
+        let w = OpenLoopWorkload::per_second(1000, 50);
+        assert_eq!(w.count(), 50);
+        let arrivals = w.arrivals(4);
+        assert_eq!(arrivals.len(), 50);
+        assert_eq!(arrivals[0].0, Time::from_millis(1));
+        // 1000 msgs/s = one arrival per ms.
+        assert_eq!(arrivals[10].0, Time::from_millis(11));
+        assert_eq!(arrivals[10].1, ProcessId::new(2));
+        // inject() follows the same clock with matching op tags.
+        let mut r = Recorder::default();
+        let times = w.inject(4, &mut r);
+        assert_eq!(times, arrivals.iter().map(|&(t, _)| t).collect::<Vec<_>>());
+        assert_eq!(decode_op_index(&r.ops[10].2), Some(10));
     }
 
     #[test]

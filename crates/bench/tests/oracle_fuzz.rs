@@ -10,15 +10,56 @@
 //! which the baselines intentionally do not implement. Within these bounds
 //! the paper's properties must hold on every architecture, every time.
 
-use gcs_api::StackKind;
+use gcs_api::{BatchPolicy, Group, GroupTransport, InvariantChecker, StackKind};
 use gcs_bench::scenario::Scenario;
-use gcs_bench::workload::UniformWorkload;
-use gcs_kernel::{ProcessId, Time};
+use gcs_bench::workload::{UniformWorkload, Workload};
+use gcs_core::StackConfig;
+use gcs_kernel::{ProcessId, Time, TimeDelta};
 use gcs_sim::{Schedule, Topology, TraceMode};
 use proptest::prelude::*;
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
+}
+
+/// Runs a 4-member group of `stack` under `schedule` with the given
+/// pipeline depth (and, when `Some`, real batch caps so pipelining has
+/// batch boundaries to move), returning per-process delivered payloads and
+/// rendered invariant violations.
+fn run_at_depth(
+    stack: StackKind,
+    depth: Option<usize>,
+    batched: bool,
+    schedule: &Schedule,
+    seed: u64,
+) -> (Vec<Vec<Vec<u8>>>, Vec<String>) {
+    let mut cfg = StackConfig::default();
+    // As in the scenario engine: exclusions come from the script, not from
+    // wall-clock monitoring racing the timeline.
+    cfg.monitoring_timeout = TimeDelta::from_secs(3600);
+    cfg.pipeline_depth = depth;
+    if batched {
+        cfg.batch = Some(BatchPolicy {
+            max_msgs: 4,
+            max_bytes: 64,
+            max_delay: TimeDelta::from_millis(1),
+        });
+    }
+    let mut g = Group::builder()
+        .members(4)
+        .stack(stack)
+        .schedule(schedule.clone())
+        .stack_config(cfg)
+        .seed(seed)
+        .build();
+    UniformWorkload::steady(40, 5).inject(4, &mut g);
+    g.run_until(Time::from_secs(3));
+    let violations = InvariantChecker::check(&g, 4)
+        .violations
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    (g.adelivered_payloads(), violations)
 }
 
 proptest! {
@@ -82,6 +123,85 @@ proptest! {
             );
             // Liveness floor: the group made progress in every timeline.
             prop_assert!(r.deliveries > 0, "{}@{seed}: no deliveries", stack.name());
+        }
+    }
+
+    /// Consensus pipelining is order-safe under faults: at every depth the
+    /// oracle is clean and the survivors deliver the same message *set*
+    /// (batch boundaries shift with decide timing, so the cross-depth
+    /// interleaving may legitimately differ — the per-depth total order is
+    /// what the oracle enforces). Depth `Some(1)` must reproduce the
+    /// unconfigured (`None`) run exactly, per-process and in order — the
+    /// bit-parity contract the recorded catalog fingerprints rely on. The
+    /// baselines ignore the knob and must stay clean with it set.
+    #[test]
+    fn pipeline_depths_are_fault_equivalent(
+        seed in any::<u64>(),
+        crash_ms in proptest::option::of(150u64..200),
+        partition in proptest::option::of((250u64..350, 150u64..300)),
+    ) {
+        let mut schedule = Schedule::new();
+        if let Some(t) = crash_ms {
+            schedule = schedule.crash(Time::from_millis(t), p(2));
+        }
+        if let Some((start, dur)) = partition {
+            // p2 (possibly already crashed) isolated; {0,1,3} keep quorum.
+            schedule = schedule
+                .partition(
+                    Time::from_millis(start),
+                    vec![vec![p(0), p(1), p(3)], vec![p(2)]],
+                )
+                .heal(Time::from_millis(start + dur));
+        }
+
+        // Bit-parity: an explicit depth of 1 is the unconfigured pipeline.
+        let baseline = run_at_depth(StackKind::NewArch, None, false, &schedule, seed);
+        let explicit = run_at_depth(StackKind::NewArch, Some(1), false, &schedule, seed);
+        prop_assert_eq!(&baseline.0, &explicit.0, "depth Some(1) != None @{}", seed);
+
+        // Depth sweep under real batch caps: clean, live, same survivor set.
+        let mut reference: Option<Vec<Vec<Vec<u8>>>> = None;
+        for depth in [1usize, 2, 4, 8] {
+            let (delivered, violations) =
+                run_at_depth(StackKind::NewArch, Some(depth), true, &schedule, seed);
+            prop_assert!(
+                violations.is_empty(),
+                "depth {depth}@{seed}: {violations:#?} (schedule {schedule:?})"
+            );
+            let survivors: Vec<Vec<Vec<u8>>> = [0usize, 1, 3]
+                .iter()
+                .map(|&i| {
+                    let mut set = delivered[i].clone();
+                    set.sort();
+                    set
+                })
+                .collect();
+            prop_assert!(
+                survivors.iter().all(|s| !s.is_empty()),
+                "depth {depth}@{seed}: a survivor delivered nothing"
+            );
+            match &reference {
+                None => reference = Some(survivors),
+                Some(r) => prop_assert_eq!(
+                    r,
+                    &survivors,
+                    "depth {} delivers a different set @{} (schedule {:?})",
+                    depth,
+                    seed,
+                    schedule
+                ),
+            }
+        }
+
+        // The baselines ignore the knob entirely.
+        for stack in [StackKind::Isis, StackKind::Token] {
+            let (delivered, violations) = run_at_depth(stack, Some(8), true, &schedule, seed);
+            prop_assert!(
+                violations.is_empty(),
+                "{}@{seed}: {violations:#?}",
+                stack.name()
+            );
+            prop_assert!(!delivered[0].is_empty(), "{}@{seed}: no deliveries", stack.name());
         }
     }
 }

@@ -41,6 +41,10 @@ pub struct ConsensusManager<V> {
     instances: BTreeMap<InstanceId, CtConsensus<V>>,
     decisions: BTreeMap<InstanceId, V>,
     suspected: FxHashSet<ProcessId>,
+    /// Decisions below this instance were pruned: messages for them are
+    /// dropped (not buffered) — a peer that far behind recovers via state
+    /// transfer, not per-instance catch-up.
+    pruned_below: InstanceId,
     /// Reused buffer for instance outputs: steady-state message handling
     /// allocates no per-call `Vec`.
     ct_scratch: Vec<CtOut<V>>,
@@ -63,6 +67,7 @@ impl<V: Value> ConsensusManager<V> {
             instances: BTreeMap::new(),
             decisions: BTreeMap::new(),
             suspected: FxHashSet::default(),
+            pruned_below: 0,
             ct_scratch: Vec::new(),
             echo_fanout,
         }
@@ -162,6 +167,13 @@ impl<V: Value> ConsensusManager<V> {
             }
             return None;
         }
+        if instance < self.pruned_below {
+            // The decision existed once but was pruned: buffering would
+            // leak forever (atomic broadcast never starts instances behind
+            // its cursor), so drop — the sender is beyond the catch-up
+            // window and recovers by state transfer.
+            return None;
+        }
         let Some(inst) = self.instances.get_mut(&instance) else {
             return Some(msg);
         };
@@ -203,11 +215,22 @@ impl<V: Value> ConsensusManager<V> {
         }
     }
 
-    /// Drops state of decided instances below `floor` (the caller guarantees
-    /// it will never need their decisions again, e.g. after a state
-    /// transfer checkpoint).
+    /// Drops state of decided instances below `floor` and records the floor
+    /// (monotonic): later messages for pruned instances are dropped rather
+    /// than handed back for buffering. The caller guarantees peers that far
+    /// behind recover some other way (state transfer), keeping decision
+    /// memory bounded on long pipelined runs.
     pub fn prune_below(&mut self, floor: InstanceId) {
+        if floor <= self.pruned_below {
+            return;
+        }
+        self.pruned_below = floor;
         self.decisions = self.decisions.split_off(&floor);
+    }
+
+    /// The current prune floor (0 when nothing was ever pruned).
+    pub fn pruned_below(&self) -> InstanceId {
+        self.pruned_below
     }
 
     /// Drains instance outputs (leaving `outs` empty for reuse) into
@@ -344,6 +367,29 @@ mod tests {
         managers[0].prune_below(1);
         assert!(managers[0].decision(0).is_none());
         assert!(managers[0].decision(1).is_some());
+        assert_eq!(managers[0].pruned_below(), 1);
+    }
+
+    #[test]
+    fn messages_below_the_prune_floor_are_dropped_not_buffered() {
+        let mut managers: Vec<ConsensusManager<u32>> =
+            (0..3).map(|i| ConsensusManager::new(pid(i))).collect();
+        drive(&mut managers);
+        managers[0].prune_below(1);
+        let (outs, rejected) = managers[0].on_msg(
+            0,
+            pid(2),
+            CtMsg::Estimate {
+                round: 0,
+                est: 9,
+                ts: 0,
+            },
+        );
+        assert!(outs.is_empty(), "no catch-up reply for a pruned instance");
+        assert!(rejected.is_none(), "pruned-instance traffic is dropped");
+        // The floor is monotonic: lowering it is a no-op.
+        managers[0].prune_below(0);
+        assert_eq!(managers[0].pruned_below(), 1);
     }
 
     #[test]

@@ -23,13 +23,41 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use gcs_consensus::InstanceId;
-use gcs_kernel::{FxHashSet, ProcessId};
+use gcs_kernel::{FxHashSet, ProcessId, TimeDelta};
 
 use crate::rbcast::{Rbcast, RelayFanout};
 use crate::types::{
     AbMsg, Batch, Body, Delivery, DeliveryKind, Message, MessageClass, MsgId, SnapshotData, View,
     WireMsg,
 };
+
+/// When a proposal batch closes: on a message-count cap, a byte cap, or a
+/// deadline — whichever trips first (§batching under overload).
+///
+/// The default (`max_msgs`/`max_bytes` unbounded, `max_delay` zero) proposes
+/// eagerly with everything pending, which is exactly the pre-batching
+/// behavior: recorded scenario fingerprints are bit-identical under it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum messages per proposed batch.
+    pub max_msgs: usize,
+    /// Maximum payload bytes per proposed batch (a batch always carries at
+    /// least one message, however large).
+    pub max_bytes: usize,
+    /// How long to hold a non-full batch open for more traffic before
+    /// proposing anyway. Zero disables holding: propose immediately.
+    pub max_delay: TimeDelta,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_msgs: usize::MAX,
+            max_bytes: usize::MAX,
+            max_delay: TimeDelta::ZERO,
+        }
+    }
+}
 
 /// An instruction produced by the atomic-broadcast core.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,6 +82,11 @@ pub enum AbOut {
     /// Hand an ordered control message (view change, generic-broadcast epoch
     /// closure) to its owning component.
     Ctrl(Message),
+    /// Arm a one-shot timer for [`BatchPolicy::max_delay`]: a non-full batch
+    /// is being held open and must be force-proposed when the timer fires
+    /// (the adapter calls [`AbcastCore::on_batch_deadline_into`]). Never
+    /// emitted under the default eager policy.
+    ArmBatchTimer(TimeDelta),
 }
 
 /// The atomic-broadcast core (sans-I/O).
@@ -74,12 +107,30 @@ pub struct AbcastCore {
     adelivered: FxHashSet<MsgId>,
     /// Decided, not yet flushed batches.
     batches: BTreeMap<InstanceId, Batch>,
-    /// Next batch/instance to flush — and the only instance we propose for.
+    /// Next batch/instance to flush — and the base of the proposal window.
     cursor: InstanceId,
     /// Instances reported to exist by the consensus component.
     requested: BTreeSet<InstanceId>,
-    /// Guards against re-proposing the same instance.
-    proposed_for: Option<InstanceId>,
+    /// Instances with an outstanding (undecided) proposal of ours.
+    proposed: BTreeSet<InstanceId>,
+    /// Ids currently riding in an outstanding proposal — excluded from later
+    /// window instances so concurrent proposals stay disjoint locally.
+    assigned: FxHashSet<MsgId>,
+    /// The ids each outstanding proposal carries, released when its instance
+    /// decides (losing proposals return their leftovers to the pool).
+    by_instance: BTreeMap<InstanceId, Vec<MsgId>>,
+    /// How many consensus instances may be in flight at once. Depth 1 is the
+    /// paper's one-instance-at-a-time cursor, bit-identical to the
+    /// pre-pipelining core.
+    depth: usize,
+    /// When a proposal batch closes (count, bytes, or deadline).
+    policy: BatchPolicy,
+    /// Whether a batch-deadline timer is currently armed.
+    hold_armed: bool,
+    /// Reusable proposal-assembly buffer (clone-free gather: `Message`
+    /// clones are shallow arena handles, and the batch allocation is the
+    /// only per-proposal allocation).
+    scratch: Vec<Message>,
 }
 
 impl AbcastCore {
@@ -94,6 +145,19 @@ impl AbcastCore {
     /// Bounded relay turns diffusion's O(n²) per-broadcast message cost into
     /// O(n·k) at large n (see [`RelayFanout`]).
     pub fn with_relay(me: ProcessId, initial_view: Option<View>, relay: RelayFanout) -> Self {
+        Self::with_policy(me, initial_view, relay, 1, BatchPolicy::default())
+    }
+
+    /// Creates the core with a consensus pipeline depth and batch policy on
+    /// top of the relay policy. Depth 1 with the default policy is the
+    /// classic sequential core.
+    pub fn with_policy(
+        me: ProcessId,
+        initial_view: Option<View>,
+        relay: RelayFanout,
+        depth: usize,
+        policy: BatchPolicy,
+    ) -> Self {
         let mut rb = Rbcast::with_relay(me, relay);
         let (view, active) = match initial_view {
             Some(v) => {
@@ -120,8 +184,24 @@ impl AbcastCore {
             batches: BTreeMap::new(),
             cursor: 0,
             requested: BTreeSet::new(),
-            proposed_for: None,
+            proposed: BTreeSet::new(),
+            assigned: FxHashSet::default(),
+            by_instance: BTreeMap::new(),
+            depth: depth.max(1),
+            policy,
+            hold_armed: false,
+            scratch: Vec::new(),
         }
+    }
+
+    /// The configured pipeline depth (always ≥ 1).
+    pub fn pipeline_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The configured batch policy.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.policy
     }
 
     /// The view this core currently operates in.
@@ -196,6 +276,15 @@ impl AbcastCore {
         if instance < self.cursor || self.batches.contains_key(&instance) {
             return; // duplicate decision report
         }
+        // Our proposal for this instance (if any) is settled: whatever the
+        // decision did not commit returns to the pool for a later window
+        // instance.
+        self.proposed.remove(&instance);
+        if let Some(ids) = self.by_instance.remove(&instance) {
+            for id in ids {
+                self.assigned.remove(&id);
+            }
+        }
         for m in batch.iter() {
             self.committed.insert(m.id);
             self.pending.remove(&m.id);
@@ -250,6 +339,10 @@ impl AbcastCore {
         self.cursor = snap.next_instance;
         self.adelivered = snap.adelivered.iter().copied().collect();
         self.pending.retain(|id, _| !snap.adelivered.contains(id));
+        // A joiner has no outstanding proposals; start the window clean.
+        self.proposed.clear();
+        self.assigned.clear();
+        self.by_instance.clear();
         self.maybe_propose(out);
     }
 
@@ -261,25 +354,92 @@ impl AbcastCore {
         out
     }
 
-    /// Proposes for the cursor instance when there is something to order
-    /// (or another process already started that instance).
+    /// The batch-deadline timer fired: propose whatever is being held, even
+    /// if the batch is not full.
+    pub fn on_batch_deadline_into(&mut self, out: &mut Vec<AbOut>) {
+        self.hold_armed = false;
+        self.propose_window(out, true);
+    }
+
+    /// Proposes for every open instance in the pipeline window
+    /// `[cursor, cursor + depth)` that has something to order (or that
+    /// another process already started). Each instance takes the next
+    /// policy-bounded chunk of unassigned pending messages, so concurrent
+    /// proposals are locally disjoint; delivery still flushes strictly in
+    /// instance order.
     fn maybe_propose(&mut self, out: &mut Vec<AbOut>) {
-        if !self.active
-            || self.batches.contains_key(&self.cursor)
-            || self.proposed_for == Some(self.cursor)
-        {
+        self.propose_window(out, false);
+    }
+
+    fn propose_window(&mut self, out: &mut Vec<AbOut>, force: bool) {
+        if !self.active {
             return;
         }
-        let unordered: Batch = self.pending.values().cloned().collect();
-        if unordered.is_empty() && !self.requested.contains(&self.cursor) {
-            return;
+        let window_end = self.cursor + self.depth as InstanceId;
+        for k in self.cursor..window_end {
+            if self.batches.contains_key(&k) || self.proposed.contains(&k) {
+                continue;
+            }
+            // Gather the next chunk of unassigned pending messages, in id
+            // order, up to the policy caps. `scratch` is reused across
+            // proposals and `Message` clones are shallow arena handles:
+            // the decided-batch allocation below is the only per-proposal
+            // allocation.
+            self.scratch.clear();
+            let mut bytes = 0usize;
+            let mut full = false;
+            for (id, m) in self.pending.iter() {
+                if self.assigned.contains(id) {
+                    continue;
+                }
+                if self.scratch.len() >= self.policy.max_msgs {
+                    full = true;
+                    break;
+                }
+                let sz = m.body.size_hint();
+                if !self.scratch.is_empty() && bytes.saturating_add(sz) > self.policy.max_bytes {
+                    full = true;
+                    break;
+                }
+                bytes = bytes.saturating_add(sz);
+                self.scratch.push(m.clone());
+            }
+            // A batch right at a cap is full even when nothing was left
+            // behind — the deadline hold is only for batches with headroom.
+            full = full
+                || self.scratch.len() >= self.policy.max_msgs
+                || bytes >= self.policy.max_bytes;
+            let requested = self.requested.contains(&k);
+            if self.scratch.is_empty() && !requested {
+                continue;
+            }
+            // Deadline batching: hold a non-full batch open for more
+            // traffic unless the deadline fired or a peer already started
+            // the instance (participating late would stall them).
+            if !force
+                && !full
+                && !requested
+                && self.policy.max_delay > TimeDelta::ZERO
+                && !self.scratch.is_empty()
+            {
+                if !self.hold_armed {
+                    self.hold_armed = true;
+                    out.push(AbOut::ArmBatchTimer(self.policy.max_delay));
+                }
+                return;
+            }
+            if !self.scratch.is_empty() {
+                self.by_instance
+                    .insert(k, self.scratch.iter().map(|m| m.id).collect());
+                self.assigned.extend(self.scratch.iter().map(|m| m.id));
+            }
+            self.proposed.insert(k);
+            out.push(AbOut::Propose {
+                instance: k,
+                batch: Batch::from(&self.scratch[..]),
+                participants: self.participants.clone(),
+            });
         }
-        self.proposed_for = Some(self.cursor);
-        out.push(AbOut::Propose {
-            instance: self.cursor,
-            batch: unordered,
-            participants: self.participants.clone(),
-        });
     }
 
     /// Delivers decided batches in instance order, messages in id order.
@@ -302,6 +462,7 @@ impl AbcastCore {
             }
             self.cursor += 1;
             self.requested = self.requested.split_off(&self.cursor);
+            self.proposed = self.proposed.split_off(&self.cursor);
         }
     }
 
@@ -494,5 +655,132 @@ mod tests {
             members: vec![pid(1), pid(2)],
         });
         assert!(!c.is_active());
+    }
+
+    fn core_with(i: u32, n: u32, depth: usize, policy: BatchPolicy) -> AbcastCore {
+        let members: Vec<ProcessId> = (0..n).map(pid).collect();
+        AbcastCore::with_policy(
+            pid(i),
+            Some(View::initial(members)),
+            RelayFanout::All,
+            depth,
+            policy,
+        )
+    }
+
+    fn proposals(out: &[AbOut]) -> Vec<(InstanceId, usize)> {
+        out.iter()
+            .filter_map(|o| match o {
+                AbOut::Propose {
+                    instance, batch, ..
+                } => Some((*instance, batch.len())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_window_runs_disjoint_instances_concurrently() {
+        let policy = BatchPolicy {
+            max_msgs: 1,
+            ..BatchPolicy::default()
+        };
+        let mut c = core_with(0, 3, 2, policy);
+        let out1 = c.abcast(MessageClass::ABCAST, Body::App(PayloadRef::EMPTY));
+        assert_eq!(proposals(&out1), vec![(0, 1)]);
+        // A second message while instance 0 is undecided: the window opens
+        // instance 1 with the next (disjoint) chunk.
+        let out2 = c.abcast(MessageClass::ABCAST, Body::App(PayloadRef::EMPTY));
+        assert_eq!(proposals(&out2), vec![(1, 1)]);
+        // Depth exhausted: a third message must wait for a decision.
+        let out3 = c.abcast(MessageClass::ABCAST, Body::App(PayloadRef::EMPTY));
+        assert_eq!(proposals(&out3), vec![]);
+    }
+
+    #[test]
+    fn losing_proposal_returns_messages_to_the_pool() {
+        let mut c = core_with(0, 3, 1, BatchPolicy::default());
+        let out = c.abcast(MessageClass::ABCAST, Body::App(PayloadRef::EMPTY));
+        let mine = match proposals(&out)[..] {
+            [(0, 1)] => MsgId {
+                sender: pid(0),
+                seq: 0,
+            },
+            _ => panic!("expected our one-message proposal for instance 0"),
+        };
+        // Instance 0 decides a foreign batch: our message was not ordered
+        // and must ride the next proposal.
+        let other = app(MsgId {
+            sender: pid(1),
+            seq: 0,
+        });
+        let out = c.on_decide(0, vec![other].into());
+        assert!(
+            proposals(&out)
+                .iter()
+                .any(|&(instance, len)| instance == 1 && len == 1),
+            "leftover re-proposed for instance 1: {out:?}"
+        );
+        let reproposed = out
+            .iter()
+            .any(|o| matches!(o, AbOut::Propose { instance: 1, batch, .. } if batch[0].id == mine));
+        assert!(reproposed);
+    }
+
+    #[test]
+    fn byte_cap_closes_batches_but_never_starves_a_fat_message() {
+        let policy = BatchPolicy {
+            max_bytes: 1,
+            ..BatchPolicy::default()
+        };
+        let mut c = core_with(0, 3, 4, policy);
+        // Two fat (non-empty-body) messages: the join/remove bodies weigh 8
+        // bytes each, over the 1-byte cap — yet each batch still carries one.
+        let out1 = c.abcast(MessageClass::ABCAST, Body::Join(pid(7)));
+        let out2 = c.abcast(MessageClass::ABCAST, Body::Join(pid(8)));
+        assert_eq!(proposals(&out1), vec![(0, 1)]);
+        assert_eq!(proposals(&out2), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn deadline_holds_a_non_full_batch_then_force_proposes() {
+        let policy = BatchPolicy {
+            max_msgs: 4,
+            max_delay: TimeDelta::from_millis(2),
+            ..BatchPolicy::default()
+        };
+        let mut c = core_with(0, 3, 1, policy);
+        let out = c.abcast(MessageClass::ABCAST, Body::App(PayloadRef::EMPTY));
+        assert_eq!(proposals(&out), vec![], "non-full batch held open");
+        assert!(
+            out.iter()
+                .any(|o| matches!(o, AbOut::ArmBatchTimer(d) if *d == TimeDelta::from_millis(2))),
+            "deadline armed: {out:?}"
+        );
+        // A second arm is not emitted while one is outstanding.
+        let out2 = c.abcast(MessageClass::ABCAST, Body::App(PayloadRef::EMPTY));
+        assert!(out2
+            .iter()
+            .all(|o| !matches!(o, AbOut::ArmBatchTimer(_) | AbOut::Propose { .. })));
+        let mut out3 = Vec::new();
+        c.on_batch_deadline_into(&mut out3);
+        assert_eq!(proposals(&out3), vec![(0, 2)], "deadline flushes the hold");
+    }
+
+    #[test]
+    fn full_batch_proposes_without_waiting_for_the_deadline() {
+        let policy = BatchPolicy {
+            max_msgs: 2,
+            max_delay: TimeDelta::from_millis(2),
+            ..BatchPolicy::default()
+        };
+        let mut c = core_with(0, 3, 1, policy);
+        let _ = c.abcast(MessageClass::ABCAST, Body::App(PayloadRef::EMPTY));
+        let out = c.abcast(MessageClass::ABCAST, Body::App(PayloadRef::EMPTY));
+        assert_eq!(proposals(&out), vec![(0, 2)], "count cap trips the batch");
+        // The stale deadline is a no-op once the batch went out.
+        let mut out2 = Vec::new();
+        c.on_batch_deadline_into(&mut out2);
+        assert_eq!(proposals(&out2), vec![]);
     }
 }

@@ -29,7 +29,7 @@ use gcs_net::{RcConfig, RcOut, ReliableChannel};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use crate::abcast::{AbOut, AbcastCore};
+use crate::abcast::{AbOut, AbcastCore, BatchPolicy};
 use crate::generic::{GbOut, GenericCore};
 use crate::membership::{MbOut, MembershipCore};
 use crate::monitoring::{MonOut, MonitoringCore, MonitoringPolicy};
@@ -309,6 +309,13 @@ impl Component<Ev> for FdComponent {
 // Consensus
 // ---------------------------------------------------------------------------
 
+/// How many decided instances the consensus manager keeps cached behind the
+/// newest proposal for lagging-peer catch-up replies. Far larger than any
+/// catalog run's instance count (so recorded runs never prune and stay
+/// bit-identical), yet it bounds decision memory on long pipelined
+/// saturation runs instead of growing with the run.
+const DECISION_KEEP: InstanceId = 1024;
+
 /// Adapter around [`ConsensusManager`] (Fig 9 "Consensus").
 pub struct ConsensusComponent {
     mgr: ConsensusManager<Batch>,
@@ -371,6 +378,15 @@ impl Component<Ev> for ConsensusComponent {
                         self.apply(outs.drain(..), ctx);
                     }
                 }
+                // The proposal window only moves forward: decisions (and
+                // buffered foreign traffic) more than DECISION_KEEP
+                // instances behind it will never be asked for again by a
+                // peer inside the catch-up window.
+                let floor = instance.saturating_sub(DECISION_KEEP);
+                if floor > 0 {
+                    self.mgr.prune_below(floor);
+                    self.buffered = self.buffered.split_off(&floor);
+                }
             }
             Ev::Net(from, WireMsg::Ct { instance, msg }) => {
                 let rejected = self.mgr.on_msg_into(instance, from, msg, &mut outs);
@@ -411,8 +427,20 @@ impl AbcastComponent {
     /// Creates the component with an explicit reliable-broadcast relay
     /// policy (see [`RelayFanout`]).
     pub fn with_relay(me: ProcessId, initial_view: Option<View>, relay: RelayFanout) -> Self {
+        Self::with_policy(me, initial_view, relay, 1, BatchPolicy::default())
+    }
+
+    /// Creates the component with a consensus pipeline depth and batch
+    /// policy on top of the relay policy (see [`AbcastCore::with_policy`]).
+    pub fn with_policy(
+        me: ProcessId,
+        initial_view: Option<View>,
+        relay: RelayFanout,
+        depth: usize,
+        policy: BatchPolicy,
+    ) -> Self {
         AbcastComponent {
-            core: AbcastCore::with_relay(me, initial_view, relay),
+            core: AbcastCore::with_policy(me, initial_view, relay, depth, policy),
             scratch: Vec::new(),
         }
     }
@@ -435,6 +463,9 @@ impl AbcastComponent {
                         _ => names::MEMBERSHIP,
                     };
                     ctx.emit(target, Ev::CtrlDelivered(m));
+                }
+                AbOut::ArmBatchTimer(after) => {
+                    let _ = ctx.set_timer(after);
                 }
             }
         }
@@ -477,6 +508,17 @@ impl Component<Ev> for AbcastComponent {
             }
             _ => {}
         }
+        self.apply(outs.drain(..), ctx);
+        self.scratch = outs;
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, ctx: &mut Context<'_, Ev>) {
+        // The batch-deadline timer (armed via [`AbOut::ArmBatchTimer`]):
+        // force-propose whatever the deadline caught. Never armed under the
+        // default eager batch policy.
+        let mut outs = std::mem::take(&mut self.scratch);
+        debug_assert!(outs.is_empty());
+        self.core.on_batch_deadline_into(&mut outs);
         self.apply(outs.drain(..), ctx);
         self.scratch = outs;
     }

@@ -6,6 +6,7 @@ use gcs_kernel::{PayloadRef, Process, ProcessId, SharedArena, Time, TimeDelta};
 use gcs_net::RcConfig;
 use gcs_sim::{Metrics, Schedule, ScheduleAction, SimConfig, SimWorld, Trace};
 
+use crate::abcast::BatchPolicy;
 use crate::components::{
     names, AbcastComponent, ConsensusComponent, FdComponent, GenericComponent, MembershipComponent,
     MonitoringComponent, RcComponent,
@@ -55,6 +56,16 @@ pub struct StackConfig {
     /// outputs (crash-detection latency measurement; off by default so
     /// existing run fingerprints and delivery counts are untouched).
     pub trace_suspicions: bool,
+    /// How many abcast consensus instances may run concurrently. Unlike the
+    /// scale-derived policies above, the pipeline window is *order-visible*
+    /// (it changes which batch each instance agrees on), so `None` resolves
+    /// to depth 1 at **every** group size — recorded fingerprints stay
+    /// bit-identical unless a run opts in explicitly.
+    pub pipeline_depth: Option<usize>,
+    /// When abcast proposal batches close (count, bytes, or deadline).
+    /// `None` resolves to the eager unbounded default, which proposes
+    /// everything pending immediately — the pre-batching behavior.
+    pub batch: Option<BatchPolicy>,
 }
 
 /// Largest founding-group size that keeps the scale-neutral defaults:
@@ -87,6 +98,18 @@ impl StackConfig {
             None => RelayFanout::Bounded(auto_fanout(n)),
         }
     }
+
+    /// The concrete consensus pipeline depth (always ≥ 1). Depth is never
+    /// derived from the group size: deeper windows change the agreed batch
+    /// boundaries, so anything but 1 must be an explicit opt-in.
+    pub fn resolved_pipeline_depth(&self) -> usize {
+        self.pipeline_depth.unwrap_or(1).max(1)
+    }
+
+    /// The concrete abcast batch policy (eager and unbounded by default).
+    pub fn resolved_batch(&self) -> BatchPolicy {
+        self.batch.unwrap_or_default()
+    }
 }
 
 impl Default for StackConfig {
@@ -103,6 +126,8 @@ impl Default for StackConfig {
             fd_mode: None,
             relay_fanout: None,
             trace_suspicions: false,
+            pipeline_depth: None,
+            batch: None,
         }
     }
 }
@@ -142,10 +167,12 @@ pub fn build_process(
                 RelayFanout::Bounded(k) => Some(k),
             },
         ))
-        .with(AbcastComponent::with_relay(
+        .with(AbcastComponent::with_policy(
             id,
             initial_view.clone(),
             config.resolved_relay(scale_n),
+            config.resolved_pipeline_depth(),
+            config.resolved_batch(),
         ))
         .with(GenericComponent::new({
             let core = GenericCore::with_relay(
@@ -192,6 +219,13 @@ pub struct GroupSim {
     arena: SharedArena,
     n_members: usize,
     n_total: usize,
+    /// Abcast operations accepted for injection (the backpressure ledger).
+    offered: u64,
+    /// Optional bound on the injection-time abcast backlog (see
+    /// [`queue_depth`](Self::queue_depth)); `None` = unbounded.
+    queue_capacity: Option<usize>,
+    /// Highest backlog observed at an accepted injection.
+    queue_high_water: usize,
 }
 
 impl GroupSim {
@@ -227,7 +261,46 @@ impl GroupSim {
             arena: SharedArena::new(),
             n_members: n,
             n_total: n + joiners,
+            offered: 0,
+            queue_capacity: None,
+            queue_high_water: 0,
         }
+    }
+
+    // -- backpressure ------------------------------------------------------
+
+    /// Bounds the injection-time abcast backlog: once
+    /// [`queue_depth`](Self::queue_depth) reaches `cap`, `try_abcast`-style
+    /// facade calls reject instead of queueing. `None` removes the bound.
+    pub fn set_queue_capacity(&mut self, cap: Option<usize>) {
+        self.queue_capacity = cap;
+    }
+
+    /// The configured abcast backlog bound, if any.
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.queue_capacity
+    }
+
+    /// Abcast operations accepted for injection so far.
+    pub fn abcast_offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// The abcast backlog as seen from `p`: operations accepted minus trace
+    /// outputs observed at `p`. Meaningful for interleaved drivers (run to
+    /// `t`, then inject at `t`); a driver that pre-schedules its whole
+    /// workload reads the full offered count here. Approximate by design —
+    /// occasional non-delivery trace outputs (view installs) are counted as
+    /// drained work.
+    pub fn queue_depth(&self, p: ProcessId) -> usize {
+        self.offered
+            .saturating_sub(self.world.trace().deliveries_of(p)) as usize
+    }
+
+    /// The highest [`queue_depth`](Self::queue_depth) observed at the moment
+    /// an injection was accepted.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
     }
 
     /// Number of processes (members + joiners).
@@ -282,6 +355,13 @@ impl GroupSim {
     /// (the zero-copy injection path: workloads build payloads straight in
     /// the arena's scratch pool and hand over the handle).
     pub fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        self.offered += 1;
+        let backlog = self
+            .offered
+            .saturating_sub(self.world.trace().deliveries_of(p)) as usize;
+        if backlog > self.queue_high_water {
+            self.queue_high_water = backlog;
+        }
         self.world
             .inject_at(t, p, names::ABCAST, Ev::Abcast(payload));
     }

@@ -1106,6 +1106,12 @@ pub struct IsisSim {
     /// Payload arena: interned at injection, handles everywhere below.
     arena: SharedArena,
     n: usize,
+    /// Abcast operations accepted for injection (backpressure ledger).
+    offered: u64,
+    /// Optional bound on the injection-time backlog (`None` = unbounded).
+    queue_capacity: Option<usize>,
+    /// Highest backlog observed at an accepted injection.
+    queue_high_water: usize,
 }
 
 impl IsisSim {
@@ -1146,7 +1152,35 @@ impl IsisSim {
             world,
             arena: SharedArena::new(),
             n: n + joiners,
+            offered: 0,
+            queue_capacity: None,
+            queue_high_water: 0,
         }
+    }
+
+    /// Bounds the injection-time backlog for `try_abcast`-style facade
+    /// calls; `None` removes the bound.
+    pub fn set_queue_capacity(&mut self, cap: Option<usize>) {
+        self.queue_capacity = cap;
+    }
+
+    /// The configured backlog bound, if any.
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.queue_capacity
+    }
+
+    /// The abcast backlog as seen from `p`: operations accepted minus trace
+    /// outputs observed at `p` (approximate: occasional view-change outputs
+    /// count as drained work). Meaningful for interleaved drivers.
+    pub fn queue_depth(&self, p: ProcessId) -> usize {
+        self.offered
+            .saturating_sub(self.world.trace().deliveries_of(p)) as usize
+    }
+
+    /// The highest [`queue_depth`](Self::queue_depth) observed at the
+    /// moment an injection was accepted.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
     }
 
     /// Number of processes (members + joiners).
@@ -1168,6 +1202,13 @@ impl IsisSim {
 
     /// Schedules an atomic broadcast of an already-interned payload handle.
     pub fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        self.offered += 1;
+        let backlog = self
+            .offered
+            .saturating_sub(self.world.trace().deliveries_of(p)) as usize;
+        if backlog > self.queue_high_water {
+            self.queue_high_water = backlog;
+        }
         self.world
             .inject_at(t, p, "isis", IsisEvent::Abcast(payload));
     }

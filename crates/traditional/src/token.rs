@@ -45,6 +45,13 @@ pub struct TokenConfig {
     /// suspicion, healed partition) automatically re-joins through the
     /// fault-free membership path. Scripted removals stay out regardless.
     pub auto_rejoin: bool,
+    /// Payload-piggyback byte budget per token hold: a holder stops
+    /// stamping queued application payloads once this many bytes went out
+    /// (always at least one message, however fat) so one loaded sender
+    /// cannot starve the rotation. Membership changes are never budgeted.
+    /// The default (`usize::MAX`) drains the whole outbox per hold — the
+    /// pre-limit behavior, bit-identical on recorded runs.
+    pub max_hold_bytes: usize,
 }
 
 impl Default for TokenConfig {
@@ -55,6 +62,7 @@ impl Default for TokenConfig {
             reform_timeout: TimeDelta::from_millis(20),
             retrans_interval: TimeDelta::from_millis(10),
             auto_rejoin: true,
+            max_hold_bytes: usize::MAX,
         }
     }
 }
@@ -404,7 +412,18 @@ impl TokenStack {
         self.expected_seq = self.expected_seq.max(next_seq);
         self.last_token_seen = ctx.now();
         self.holding_token = true;
-        while let Some(payload) = self.outbox.pop_front() {
+        // Payload piggyback budget: stop stamping once the hold has pushed
+        // `max_hold_bytes` of payload (checked before each pop, so at least
+        // one message always goes out and the default unlimited budget
+        // drains the queue exactly as before). Leftovers wait for the next
+        // rotation — the ring keeps rotating instead of serving one fat
+        // sender to exhaustion.
+        let mut stamped = 0usize;
+        while stamped < self.config.max_hold_bytes {
+            let Some(payload) = self.outbox.pop_front() else {
+                break;
+            };
+            stamped = stamped.saturating_add(payload.len().max(1));
             let m = SeqMsg {
                 seq: next_seq,
                 origin: self.me,
@@ -894,6 +913,12 @@ pub struct TokenSim {
     /// Payload arena: interned at injection, handles everywhere below.
     arena: SharedArena,
     n: usize,
+    /// Abcast operations accepted for injection (backpressure ledger).
+    offered: u64,
+    /// Optional bound on the injection-time backlog (`None` = unbounded).
+    queue_capacity: Option<usize>,
+    /// Highest backlog observed at an accepted injection.
+    queue_high_water: usize,
 }
 
 impl TokenSim {
@@ -933,7 +958,35 @@ impl TokenSim {
             world,
             arena: SharedArena::new(),
             n: n + joiners,
+            offered: 0,
+            queue_capacity: None,
+            queue_high_water: 0,
         }
+    }
+
+    /// Bounds the injection-time backlog for `try_abcast`-style facade
+    /// calls; `None` removes the bound.
+    pub fn set_queue_capacity(&mut self, cap: Option<usize>) {
+        self.queue_capacity = cap;
+    }
+
+    /// The configured backlog bound, if any.
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.queue_capacity
+    }
+
+    /// The abcast backlog as seen from `p`: operations accepted minus trace
+    /// outputs observed at `p` (approximate: occasional ring-management
+    /// outputs count as drained work). Meaningful for interleaved drivers.
+    pub fn queue_depth(&self, p: ProcessId) -> usize {
+        self.offered
+            .saturating_sub(self.world.trace().deliveries_of(p)) as usize
+    }
+
+    /// The highest [`queue_depth`](Self::queue_depth) observed at the
+    /// moment an injection was accepted.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
     }
 
     /// Number of processes (ring members + joiners).
@@ -955,6 +1008,13 @@ impl TokenSim {
 
     /// Schedules an atomic broadcast of an already-interned payload handle.
     pub fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        self.offered += 1;
+        let backlog = self
+            .offered
+            .saturating_sub(self.world.trace().deliveries_of(p)) as usize;
+        if backlog > self.queue_high_water {
+            self.queue_high_water = backlog;
+        }
         self.world
             .inject_at(t, p, "token", TokenEvent::Abcast(payload));
     }
@@ -1173,6 +1233,42 @@ mod tests {
             let (_, ring) = rings[i].last().expect("rejoined").clone();
             assert!(ring.contains(&p(i as u32)), "p{i} back in the ring");
         }
+    }
+
+    #[test]
+    fn hold_byte_budget_spreads_fat_payloads_over_rotations() {
+        let run = |cfg: TokenConfig| {
+            let mut sim = TokenSim::new(3, cfg, 7);
+            for i in 0..6u8 {
+                sim.abcast_at(Time::from_millis(1), p(0), vec![i; 100]);
+            }
+            sim.run_until(Time::from_secs(2));
+            let seqs = sim.delivered_payloads();
+            for s in &seqs {
+                assert_eq!(s.len(), 6, "the byte budget must not lose messages");
+            }
+            check_prefix_consistency(&seqs).expect("total order under byte cap");
+            // Distinct stamp times at the origin: one per token hold.
+            sim.trace()
+                .entries()
+                .iter()
+                .filter(|e| e.proc == p(0) && matches!(e.event, TokenEvent::Deliver { .. }))
+                .map(|e| e.time)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        };
+        let unlimited = run(TokenConfig::default());
+        let capped = run(TokenConfig {
+            max_hold_bytes: 150,
+            ..TokenConfig::default()
+        });
+        // 100-byte payloads against a 150-byte budget stamp two per hold, so
+        // six messages need at least three rotations; unlimited drains in one.
+        assert!(capped >= 3, "capped run used {capped} holds");
+        assert!(
+            capped > unlimited,
+            "capped {capped} vs unlimited {unlimited}"
+        );
     }
 
     #[test]
