@@ -5,10 +5,29 @@
 use bytes::Bytes;
 use gcs_core::{BatchPolicy, GroupSim, MessageClass, StackConfig, View};
 use gcs_kernel::{PayloadRef, ProcessId, SharedArena, Time};
+use gcs_live::{LiveConfig, LiveGroup, WireMode};
 use gcs_sim::{Metrics, Schedule, SimConfig, Topology, TraceMode};
 use gcs_traditional::{IsisConfig, IsisSim, TokenConfig, TokenSim};
 
 use crate::transport::{GroupTransport, StackKind, TransportDelivery};
+
+/// Which execution backend hosts a group.
+///
+/// Every knob of [`GroupBuilder`] and every method of [`GroupTransport`]
+/// means the same thing on both backends; what changes is *how* the
+/// protocol stacks execute and what guarantees observation carries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Discrete-event simulation: one thread, virtual time, deterministic —
+    /// two builds with equal parameters and seed are bit-identical.
+    #[default]
+    Sim,
+    /// The live runtime (`gcs-live`): every member is an OS thread, timers
+    /// are wall-clock deadlines, frames cross channels or loopback TCP.
+    /// `Time` is real nanoseconds since the group started, and runs are
+    /// **not** deterministic — assert bounds, not fingerprints.
+    Live,
+}
 
 /// A simulated group running one of the three stacks behind the unified
 /// [`GroupTransport`] surface.
@@ -41,6 +60,9 @@ pub enum Group {
     Isis(IsisSim),
     /// The token-ring baseline.
     Token(TokenSim),
+    /// Any stack on the live backend ([`Backend::Live`]): member threads,
+    /// wall-clock timers, a real frame path.
+    Live(LiveGroup),
 }
 
 /// Composes one simulated group: member/joiner counts, stack choice,
@@ -54,6 +76,8 @@ pub struct GroupBuilder {
     members: usize,
     joiners: usize,
     stack: StackKind,
+    backend: Backend,
+    wire: WireMode,
     topology: Topology,
     schedule: Schedule,
     seed: u64,
@@ -73,6 +97,8 @@ impl Default for GroupBuilder {
             members: 3,
             joiners: 0,
             stack: StackKind::NewArch,
+            backend: Backend::Sim,
+            wire: WireMode::Channel,
             topology: Topology::lan(),
             schedule: Schedule::new(),
             seed: 0,
@@ -102,6 +128,22 @@ impl GroupBuilder {
     /// Which protocol stack to run (default: the new architecture).
     pub fn stack(mut self, stack: StackKind) -> Self {
         self.stack = stack;
+        self
+    }
+
+    /// Which execution backend hosts the group (default: the deterministic
+    /// simulator). With [`Backend::Live`] the same stack runs on OS threads
+    /// under wall-clock time — see [`Backend`] for the semantic contract.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// How frames physically move between live members (default: in-process
+    /// channels; [`WireMode::Tcp`] runs one loopback-TCP stream per member
+    /// through the `gcs_net` frame codec). Ignored by [`Backend::Sim`].
+    pub fn wire(mut self, wire: WireMode) -> Self {
+        self.wire = wire;
         self
     }
 
@@ -214,9 +256,14 @@ impl GroupBuilder {
         self
     }
 
-    /// Builds the group: constructs the simulation world for the selected
-    /// stack (deriving baseline timeout profiles from the topology where not
-    /// explicitly configured) and applies the scripted schedule.
+    /// Builds the group: constructs the world for the selected stack on the
+    /// selected backend (deriving baseline timeout profiles from the
+    /// topology where not explicitly configured) and applies the scripted
+    /// schedule.
+    ///
+    /// On [`Backend::Live`] the clock starts running at this call — a
+    /// schedule step at 20 ms fires 20 ms of wall time after `build`
+    /// returns the group.
     pub fn build(self) -> Group {
         let isis = self
             .isis
@@ -224,21 +271,38 @@ impl GroupBuilder {
         let token = self.token.unwrap_or_else(|| {
             TokenConfig::for_topology(&self.topology, self.members + self.joiners)
         });
-        let sim = SimConfig::lan(self.seed)
-            .with_topology(self.topology)
-            .with_trace(self.trace);
-        let mut group = match self.stack {
-            StackKind::NewArch => Group::NewArch(GroupSim::with_sim(
-                self.members,
-                self.joiners,
-                self.config,
-                sim,
-            )),
-            StackKind::Isis => {
-                Group::Isis(IsisSim::with_sim(self.members, self.joiners, isis, sim))
+        let mut group = match self.backend {
+            Backend::Sim => {
+                let sim = SimConfig::lan(self.seed)
+                    .with_topology(self.topology)
+                    .with_trace(self.trace);
+                match self.stack {
+                    StackKind::NewArch => Group::NewArch(GroupSim::with_sim(
+                        self.members,
+                        self.joiners,
+                        self.config,
+                        sim,
+                    )),
+                    StackKind::Isis => {
+                        Group::Isis(IsisSim::with_sim(self.members, self.joiners, isis, sim))
+                    }
+                    StackKind::Token => {
+                        Group::Token(TokenSim::with_sim(self.members, self.joiners, token, sim))
+                    }
+                }
             }
-            StackKind::Token => {
-                Group::Token(TokenSim::with_sim(self.members, self.joiners, token, sim))
+            Backend::Live => {
+                let live = LiveConfig::new(self.members)
+                    .with_joiners(self.joiners)
+                    .with_seed(self.seed)
+                    .with_topology(self.topology)
+                    .with_trace(self.trace)
+                    .with_wire(self.wire);
+                Group::Live(match self.stack {
+                    StackKind::NewArch => LiveGroup::new_arch(self.config, live),
+                    StackKind::Isis => LiveGroup::isis(isis, live),
+                    StackKind::Token => LiveGroup::token(token, live),
+                })
             }
         };
         if self.capacity.is_some() {
@@ -304,6 +368,22 @@ impl Group {
             _ => None,
         }
     }
+
+    /// The live harness, when this group runs on [`Backend::Live`].
+    pub fn as_live(&self) -> Option<&LiveGroup> {
+        match self {
+            Group::Live(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the live harness.
+    pub fn as_live_mut(&mut self) -> Option<&mut LiveGroup> {
+        match self {
+            Group::Live(g) => Some(g),
+            _ => None,
+        }
+    }
 }
 
 /// Delegates one `GroupTransport` call to whichever stack the group runs.
@@ -313,13 +393,14 @@ macro_rules! delegate {
             Group::NewArch($g) => $e,
             Group::Isis($g) => $e,
             Group::Token($g) => $e,
+            Group::Live($g) => $e,
         }
     };
 }
 
 impl GroupTransport for Group {
     fn stack(&self) -> StackKind {
-        delegate!(self, g => g.stack())
+        delegate!(self, g => GroupTransport::stack(g))
     }
 
     fn process_count(&self) -> usize {
@@ -367,7 +448,7 @@ impl GroupTransport for Group {
     }
 
     fn gbcast_ref_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: PayloadRef) {
-        delegate!(self, g => g.gbcast_ref_at(t, p, class, payload))
+        delegate!(self, g => GroupTransport::gbcast_ref_at(g, t, p, class, payload))
     }
 
     fn rbcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
@@ -375,7 +456,7 @@ impl GroupTransport for Group {
     }
 
     fn rbcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
-        delegate!(self, g => g.rbcast_ref_at(t, p, payload))
+        delegate!(self, g => GroupTransport::rbcast_ref_at(g, t, p, payload))
     }
 
     fn join_at(&mut self, t: Time, joiner: ProcessId, contact: ProcessId) {
@@ -431,7 +512,7 @@ impl GroupTransport for Group {
     }
 
     fn delivery_trace(&self) -> Vec<TransportDelivery> {
-        delegate!(self, g => g.delivery_trace())
+        delegate!(self, g => GroupTransport::delivery_trace(g))
     }
 
     fn views(&self) -> Vec<Vec<View>> {
@@ -441,6 +522,7 @@ impl GroupTransport for Group {
     fn suspicion_trace(&self) -> Vec<(Time, ProcessId, ProcessId)> {
         match self {
             Group::NewArch(g) => g.suspicion_trace(),
+            Group::Live(g) => g.suspicion_trace(),
             _ => Vec::new(),
         }
     }
@@ -600,6 +682,31 @@ mod tests {
             .is_ok());
         g.run_until(Time::from_secs(1));
         assert_eq!(g.adelivered_payloads()[0].len(), 3, "refused op was shed");
+    }
+
+    #[test]
+    fn refused_build_offer_interns_no_payload() {
+        // try_abcast_build_at's contract: the capacity check runs before
+        // the payload is built, so a refusal leaves no arena slot behind.
+        let mut g = Group::builder()
+            .members(3)
+            .seed(11)
+            .abcast_capacity(1)
+            .build();
+        g.try_abcast_build_at(Time::from_millis(1), p(0), &mut |buf| {
+            buf.extend_from_slice(b"accepted")
+        })
+        .expect("first offer fits");
+        let live_before = g.arena().live();
+        g.try_abcast_build_at(Time::from_millis(1), p(0), &mut |buf| {
+            buf.extend_from_slice(b"refused")
+        })
+        .expect_err("queue at capacity");
+        assert_eq!(
+            g.arena().live(),
+            live_before,
+            "a refused build offer must not leak an arena slot"
+        );
     }
 
     #[test]

@@ -35,6 +35,35 @@
 //! modularity reflected in the API instead of three incompatible harness
 //! types.
 //!
+//! ## Backends: simulated and live
+//!
+//! The same facade runs on two execution backends, selected with
+//! [`GroupBuilder::backend`]. The default, [`Backend::Sim`], is the
+//! deterministic discrete-event simulator: virtual time, bit-identical
+//! replay under a fixed seed. [`Backend::Live`] hosts the identical
+//! protocol stacks on the `gcs-live` runtime — every member an OS thread,
+//! timers real wall-clock deadlines, frames crossing in-process channels
+//! or loopback TCP ([`WireMode`]) — so `Time` means real nanoseconds since
+//! the group started and assertions must be bound-based ("delivered within
+//! 10 s"), never fingerprint-based:
+//!
+//! ```
+//! use gcs_api::{Backend, Group, GroupTransport};
+//! use gcs_kernel::{ProcessId, Time, TimeDelta};
+//!
+//! let mut group = Group::builder()
+//!     .members(3)
+//!     .backend(Backend::Live)
+//!     .build();
+//! group.abcast_at(Time::ZERO, ProcessId::new(0), b"m1".to_vec());
+//! let deadline = Time::from_secs(20);
+//! while group.delivery_count() < 3 && group.as_live().unwrap().now() < deadline {
+//!     let next = group.as_live().unwrap().now() + TimeDelta::from_millis(5);
+//!     group.run_until(next);
+//! }
+//! assert_eq!(group.delivery_count(), 3); // every member delivered m1
+//! ```
+//!
 //! ## Saturation: pipelining, batching, backpressure
 //!
 //! Three knobs control behavior under load. On the new architecture,
@@ -44,7 +73,16 @@
 //! on a message count, a byte budget, or a deadline. On any stack,
 //! [`GroupBuilder::abcast_capacity`] bounds each sender's pending queue so
 //! the `try_abcast_*` entry points refuse with [`Backpressure`] instead of
-//! queueing without limit:
+//! queueing without limit.
+//!
+//! The refusal paths differ in cost, and the difference is a contract:
+//! [`GroupTransport::try_abcast_build_at`] checks capacity **before the
+//! payload is interned** — a refused offer allocates nothing and leaves no
+//! arena slot behind, so an open-loop producer can shed load at arbitrary
+//! rates without touching the payload plane. The `impl Into<Bytes>`
+//! convenience [`GroupTransport::try_abcast_at`] must consume its argument
+//! and therefore interns first; high-rate shedding drivers should use the
+//! build form. Example:
 //!
 //! ```
 //! use gcs_api::{BatchPolicy, Group, GroupTransport};
@@ -81,11 +119,13 @@
 #![warn(missing_docs)]
 
 mod group;
+mod live;
 mod oracle;
 mod sims;
 mod transport;
 
 pub use gcs_core::BatchPolicy;
-pub use group::{Group, GroupBuilder};
+pub use gcs_live::{LiveGroup, WireMode};
+pub use group::{Backend, Group, GroupBuilder};
 pub use oracle::{InvariantChecker, InvariantKind, OracleReport, Violation, MAX_VIOLATIONS};
 pub use transport::{Backpressure, GroupTransport, StackKind, TransportDelivery};

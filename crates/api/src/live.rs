@@ -1,0 +1,204 @@
+//! [`GroupTransport`] implementation for the live backend's [`LiveGroup`].
+//!
+//! The projection mirrors `sims.rs` exactly: every method delegates to the
+//! inherent surface `gcs_live::LiveGroup` already exposes, mapping its
+//! neutral `LiveDelivery` records into [`TransportDelivery`]. Because the
+//! live harness is stack-agnostic (one type hosts all three stacks), the
+//! capability markers switch on the group's stack at runtime instead of on
+//! the implementing type.
+//!
+//! One semantic difference carries through from the backend: **time is
+//! real**. `run_until(t)` sleeps the caller while member threads keep
+//! working, and two runs with the same seed need not interleave
+//! identically — live assertions should be bound-based, not
+//! fingerprint-based (the simulator remains the place for bit-identical
+//! replay).
+
+use bytes::Bytes;
+use gcs_core::{MessageClass, View};
+use gcs_kernel::{PayloadRef, ProcessId, SharedArena, Time};
+use gcs_live::{LiveGroup, LiveStackKind};
+use gcs_sim::{Metrics, Schedule};
+
+use crate::transport::{GroupTransport, StackKind, TransportDelivery};
+
+impl GroupTransport for LiveGroup {
+    fn stack(&self) -> StackKind {
+        match LiveGroup::stack(self) {
+            LiveStackKind::NewArch => StackKind::NewArch,
+            LiveStackKind::Isis => StackKind::Isis,
+            LiveStackKind::Token => StackKind::Token,
+        }
+    }
+
+    fn process_count(&self) -> usize {
+        self.len()
+    }
+
+    fn supports_gbcast(&self) -> bool {
+        LiveGroup::stack(self) == LiveStackKind::NewArch
+    }
+
+    fn supports_rbcast(&self) -> bool {
+        LiveGroup::stack(self) == LiveStackKind::NewArch
+    }
+
+    fn supports_removal(&self) -> bool {
+        true
+    }
+
+    fn abcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
+        LiveGroup::abcast_at(self, t, p, payload);
+    }
+
+    fn abcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        LiveGroup::abcast_ref_at(self, t, p, payload);
+    }
+
+    fn set_abcast_capacity(&mut self, cap: Option<usize>) {
+        LiveGroup::set_queue_capacity(self, cap);
+    }
+
+    fn abcast_capacity(&self) -> Option<usize> {
+        LiveGroup::queue_capacity(self)
+    }
+
+    fn queue_depth(&self, p: ProcessId) -> usize {
+        LiveGroup::queue_depth(self, p)
+    }
+
+    fn queue_high_water(&self) -> usize {
+        LiveGroup::queue_high_water(self)
+    }
+
+    fn gbcast_bytes_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: Bytes) {
+        self.require_gbcast();
+        LiveGroup::gbcast_at(self, t, p, class, payload);
+    }
+
+    fn gbcast_ref_at(&mut self, t: Time, p: ProcessId, class: MessageClass, payload: PayloadRef) {
+        self.require_gbcast();
+        LiveGroup::gbcast_ref_at(self, t, p, class, payload);
+    }
+
+    fn rbcast_bytes_at(&mut self, t: Time, p: ProcessId, payload: Bytes) {
+        self.require_rbcast();
+        LiveGroup::rbcast_at(self, t, p, payload);
+    }
+
+    fn rbcast_ref_at(&mut self, t: Time, p: ProcessId, payload: PayloadRef) {
+        self.require_rbcast();
+        LiveGroup::rbcast_ref_at(self, t, p, payload);
+    }
+
+    fn join_at(&mut self, t: Time, joiner: ProcessId, contact: ProcessId) {
+        LiveGroup::join_at(self, t, joiner, contact);
+    }
+
+    fn remove_at(&mut self, t: Time, by: ProcessId, target: ProcessId) {
+        LiveGroup::remove_at(self, t, by, target);
+    }
+
+    fn crash_at(&mut self, t: Time, p: ProcessId) {
+        LiveGroup::crash_at(self, t, p);
+    }
+
+    fn partition_at(&mut self, t: Time, groups: Vec<Vec<ProcessId>>) {
+        LiveGroup::partition_at(self, t, groups);
+    }
+
+    fn heal_at(&mut self, t: Time) {
+        LiveGroup::heal_at(self, t);
+    }
+
+    fn apply_schedule(&mut self, schedule: &Schedule) {
+        // The live harness routes membership steps through its own
+        // join/removal entry points itself.
+        LiveGroup::apply_schedule(self, schedule);
+    }
+
+    fn run_until(&mut self, t: Time) {
+        LiveGroup::run_until(self, t);
+    }
+
+    fn run_to_quiescence(&mut self, limit: Time) -> bool {
+        LiveGroup::run_to_quiescence(self, limit)
+    }
+
+    fn arena(&self) -> &SharedArena {
+        LiveGroup::arena(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        // A snapshot refreshed by the run methods — between runs it lags
+        // the member threads by design (&self cannot lock a fresh copy).
+        LiveGroup::metrics(self)
+    }
+
+    fn events_executed(&self) -> u64 {
+        LiveGroup::events_executed(self)
+    }
+
+    fn alive_flags(&self) -> Vec<bool> {
+        LiveGroup::alive_flags(self)
+    }
+
+    fn delivery_count(&self) -> u64 {
+        LiveGroup::delivery_count(self)
+    }
+
+    fn delivery_trace(&self) -> Vec<TransportDelivery> {
+        LiveGroup::delivery_trace(self)
+            .into_iter()
+            .map(|d| TransportDelivery {
+                time: d.time,
+                proc: d.proc,
+                sender: d.sender,
+                seq: d.seq,
+                kind: d.kind,
+                class: d.class,
+                view: d.view,
+                payload: d.payload,
+            })
+            .collect()
+    }
+
+    fn views(&self) -> Vec<Vec<View>> {
+        LiveGroup::views(self)
+    }
+
+    fn suspicion_trace(&self) -> Vec<(Time, ProcessId, ProcessId)> {
+        LiveGroup::suspicion_trace(self)
+    }
+
+    fn resets(&self) -> Vec<Vec<Time>> {
+        LiveGroup::resets(self)
+    }
+}
+
+/// Capability guards producing the same panic messages as the trait's
+/// defaults, so drivers see one vocabulary regardless of backend.
+trait RequireCapability {
+    fn require_gbcast(&self);
+    fn require_rbcast(&self);
+}
+
+impl RequireCapability for LiveGroup {
+    fn require_gbcast(&self) {
+        if !GroupTransport::supports_gbcast(self) {
+            panic!(
+                "the {} stack provides no generic broadcast (check supports_gbcast())",
+                GroupTransport::stack(self).name()
+            );
+        }
+    }
+
+    fn require_rbcast(&self) {
+        if !GroupTransport::supports_rbcast(self) {
+            panic!(
+                "the {} stack provides no reliable broadcast (check supports_rbcast())",
+                GroupTransport::stack(self).name()
+            );
+        }
+    }
+}

@@ -9,7 +9,9 @@
 //! repro bench-pr2 [reps]               PR-2 scenario trajectory → BENCH_PR2.json
 //! repro bench-pr3 [reps]               PR-3 trajectory + alloc metric → BENCH_PR3.json
 //! repro bench-pr7 [reps]               PR-7 scale ladder (64/256/1024) → BENCH_PR7.json
-//! repro saturate [--quick]             offered-load sweep per stack → BENCH_PR8.json
+//! repro saturate [--quick] [--stack <name>]
+//!                                      offered-load sweep per stack → BENCH_PR8.json
+//! repro live [msgs]                    sim-vs-live latency comparison → BENCH_PR9.json
 //! repro throughput [n] [horizon_ms]    one timed steady-state run (profiling probe)
 //! ```
 //!
@@ -22,7 +24,7 @@
 use std::time::Instant;
 
 use gcs_bench::alloccount::CountingAlloc;
-use gcs_bench::{experiments, perf, saturate, scenario};
+use gcs_bench::{experiments, live, perf, saturate, scenario};
 use gcs_sim::TraceMode;
 
 // The instrumented allocator behind `bench-pr3`'s allocations-per-adelivery
@@ -68,13 +70,20 @@ perf trajectories (use a --release build):
                              sim_throughput 64/256/1024 scale ladder over one
                              full simulated second + alloc profile, guarded
                              against BENCH_PR3.json, writes BENCH_PR7.json
-  saturate [--quick]         open-loop offered-load sweep per stack: goodput
+  saturate [--quick] [--stack <name>]
+                             open-loop offered-load sweep per stack: goodput
                              vs offered load, latency vs throughput, knee
                              detection, plus a bounded-queue backpressure
                              run; all figures are virtual-time-deterministic.
                              Writes BENCH_PR8.json and enforces its guards;
                              --quick runs a 2-rate smoke with loose guards
-                             and writes nothing
+                             and writes nothing; --stack restricts the sweep
+                             to one stack's variants (tables only, no JSON)
+  live [msgs]                the same fixed workload per stack on the
+                             simulator and on the live thread-per-member
+                             backend (real clocks, real wire), side by side;
+                             guards that every op delivers on both backends,
+                             writes BENCH_PR9.json
 ",
     );
     s
@@ -251,11 +260,18 @@ shrank several-fold, so events/sec is not comparable); sim_throughput/256 must r
 }
 
 /// Renders one variant's saturation curve as a JSON object.
-fn curve_json(curve: &[saturate::Point]) -> String {
+fn curve_json(v: &saturate::Variant, curve: &[saturate::Point]) -> String {
     let mut s = String::from("{\n      \"knee_rate\": ");
     match saturate::knee(curve) {
         Some(k) => s.push_str(&k.to_string()),
         None => s.push_str("null"),
+    }
+    // An expected-uncapped variant reports *why* its knee is null, so the
+    // committed JSON cannot be misread as a sweep that stopped too early.
+    if saturate::knee(curve).is_none() {
+        if let Some(note) = saturate::uncapped_note(v) {
+            s.push_str(&format!(",\n      \"knee_note\": \"{note}\""));
+        }
     }
     s.push_str(&format!(
         ",\n      \"sustained_goodput\": {:.1},\n      \"points\": [\n",
@@ -278,11 +294,21 @@ fn curve_json(curve: &[saturate::Point]) -> String {
     s
 }
 
-/// `saturate [--quick]`: the PR-8 offered-load sweep. Every figure is
-/// virtual-time-deterministic (seed 7), so the emitted BENCH_PR8.json is
-/// reproducible bit for bit and the guards are exact, not noise-tolerant.
+/// `saturate [--quick] [--stack <name>]`: the PR-8 offered-load sweep.
+/// Every figure is virtual-time-deterministic (seed 7), so the emitted
+/// BENCH_PR8.json is reproducible bit for bit and the guards are exact,
+/// not noise-tolerant. `--stack` restricts the sweep to the variants of
+/// one stack (by `StackKind` name or exact variant name) — a filtered run
+/// prints its tables but skips the cross-variant guards and writes no
+/// JSON, so the committed file always covers the full variant set.
 fn saturate_cmd() {
-    let quick = std::env::args().nth(2).as_deref() == Some("--quick");
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let stack_filter: Option<String> = args.iter().position(|a| a == "--stack").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| usage_error("--stack needs a name (new-arch, isis, token)"))
+    });
     let (rates, window_ms, drain_ms): (&[u64], u64, u64) = if quick {
         (&[4_000, 16_000], 200, 1500)
     } else {
@@ -297,20 +323,43 @@ fn saturate_cmd() {
     let bp_rate = *rates.last().unwrap();
 
     let t0 = Instant::now();
-    let vs = saturate::variants();
+    let vs: Vec<saturate::Variant> = match &stack_filter {
+        None => saturate::variants(),
+        Some(f) => {
+            let vs: Vec<saturate::Variant> = saturate::variants()
+                .into_iter()
+                .filter(|v| v.stack.name() == f.as_str() || v.name == f.as_str())
+                .collect();
+            if vs.is_empty() {
+                usage_error(&format!(
+                    "unknown stack {f:?} (stacks: new-arch, isis, token; variants: {})",
+                    saturate::variants()
+                        .iter()
+                        .map(|v| v.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            vs
+        }
+    };
+    let full_set = stack_filter.is_none();
     let curves: Vec<(&'static str, Vec<saturate::Point>)> = vs
         .iter()
         .map(|v| (v.name, saturate::sweep(v, rates, window_ms, drain_ms, SEED)))
         .collect();
     // The backpressure run bounds the *sequential* stack — the variant that
-    // saturates hardest — at the top of the sweep.
-    let bp = saturate::run_backpressure(&vs[0], bp_rate, window_ms, drain_ms, CAPACITY, SEED);
+    // saturates hardest — at the top of the sweep (skipped when the filter
+    // excludes it).
+    let bp_variant = vs.iter().find(|v| v.name == "new-arch-seq");
+    let bp = bp_variant
+        .map(|v| saturate::run_backpressure(v, bp_rate, window_ms, drain_ms, CAPACITY, SEED));
 
     println!(
         "## saturation sweep (n={}, window {window_ms} ms, drain {drain_ms} ms, seed {SEED})\n",
         saturate::GROUP
     );
-    for (name, curve) in &curves {
+    for (v, (name, curve)) in vs.iter().zip(&curves) {
         println!("### {name}\n");
         println!("| offered (msg/s) | goodput (msg/s) | mean lat (ms) | p99 (ms) |");
         println!("|---|---|---|---|");
@@ -325,41 +374,59 @@ fn saturate_cmd() {
                 "\nknee: {k} msg/s sustained (goodput plateau {:.0} msg/s)\n",
                 saturate::sustained_goodput(curve)
             ),
-            None => println!("\nknee: not reached within the sweep\n"),
+            None => match saturate::uncapped_note(v) {
+                Some(note) => println!("\n{note}\n"),
+                None => println!("\nknee: not reached within the sweep\n"),
+            },
         }
     }
-    println!(
-        "### backpressure ({} at {bp_rate} msg/s, queue bound {CAPACITY})\n",
-        vs[0].name
-    );
-    println!(
-        "offered {} accepted {} shed {} | queue high-water {} | goodput {:.0} msg/s | p99 {:.2} ms\n",
-        bp.point.offered,
-        bp.point.accepted,
-        bp.shed,
-        bp.point.high_water,
-        bp.point.goodput,
-        bp.point.p99_ms
-    );
+    if let (Some(v), Some(bp)) = (bp_variant, &bp) {
+        println!(
+            "### backpressure ({} at {bp_rate} msg/s, queue bound {CAPACITY})\n",
+            v.name
+        );
+        println!(
+            "offered {} accepted {} shed {} | queue high-water {} | goodput {:.0} msg/s | p99 {:.2} ms\n",
+            bp.point.offered,
+            bp.point.accepted,
+            bp.shed,
+            bp.point.high_water,
+            bp.point.goodput,
+            bp.point.p99_ms
+        );
+    }
 
     // Guards. The sweep is deterministic, so these are exact protocol
-    // properties, not machine-noise tolerances.
+    // properties, not machine-noise tolerances. A filtered run is a probe,
+    // not the recorded measurement: the cross-variant guards need both
+    // new-arch variants, so they only run on the full set.
     let mut failures = Vec::new();
+    if let Some(bp) = &bp {
+        if bp.point.high_water > CAPACITY {
+            failures.push(format!(
+                "backpressure queue high-water {} exceeds the bound {CAPACITY}",
+                bp.point.high_water
+            ));
+        }
+        if bp.shed == 0 {
+            failures.push(format!(
+                "backpressure run at {bp_rate} msg/s shed nothing — the bound never engaged"
+            ));
+        }
+    }
+    if !full_set {
+        eprintln!(
+            "saturate --stack {} finished in {:.2}s wall-clock (guards and JSON skipped: \
+filtered run)",
+            stack_filter.as_deref().unwrap_or(""),
+            t0.elapsed().as_secs_f64()
+        );
+        report_saturate_failures(&failures);
+        return;
+    }
     let seq = &curves[0].1;
     let pipe = &curves[1].1;
     let seq_sustained = saturate::sustained_goodput(seq);
-    let bp_ok = bp.point.high_water <= CAPACITY;
-    if !bp_ok {
-        failures.push(format!(
-            "backpressure queue high-water {} exceeds the bound {CAPACITY}",
-            bp.point.high_water
-        ));
-    }
-    if bp.shed == 0 {
-        failures.push(format!(
-            "backpressure run at {bp_rate} msg/s shed nothing — the bound never engaged"
-        ));
-    }
     if quick {
         // Smoke guards: pipelining must still beat sequential at the
         // overloaded top rate.
@@ -404,7 +471,8 @@ process inside the window; latencies are arrival -> delivered-everywhere, virtua
 new-arch knee is a protocol cap (16-msg batches x consensus instance latency); depth-8 \
 pipelining overlaps instances and lifts it past the sweep; the token knee is its per-hold \
 byte budget (16 B) x rotation; Isis has no virtual-time cap (its sequencer stamps on \
-arrival), so its knee honestly reports not reached. All figures are deterministic -- the \
+arrival), so its knee honestly reports not reached -- its curve carries an explicit \
+knee_note instead of a bare null. All figures are deterministic -- the \
 guards are exact. Guards: pipelined goodput at 2x the sequential knee >= 1.5x the sequential \
 plateau with p99 < 50 ms; the bounded-queue run keeps its high-water <= the 64-op bound and \
 sheds the excess. Regenerate with: cargo run --release -p gcs-bench --bin repro -- \
@@ -416,15 +484,15 @@ saturate.\",\n  \"config\": {",
             saturate::GROUP,
             saturate::SUSTAIN_FRACTION
         ));
-        for (i, (name, curve)) in curves.iter().enumerate() {
-            s.push_str(&format!("    \"{name}\": {}", curve_json(curve)));
+        for (i, (v, (name, curve))) in vs.iter().zip(&curves).enumerate() {
+            s.push_str(&format!("    \"{name}\": {}", curve_json(v, curve)));
             s.push_str(if i + 1 == curves.len() { "\n" } else { ",\n" });
         }
+        let bp = bp.as_ref().expect("full variant set includes new-arch-seq");
         s.push_str(&format!(
-            "  }},\n  \"backpressure\": {{\"variant\": \"{}\", \"rate\": {bp_rate}, \
+            "  }},\n  \"backpressure\": {{\"variant\": \"new-arch-seq\", \"rate\": {bp_rate}, \
 \"capacity\": {CAPACITY}, \"offered\": {}, \"accepted\": {}, \"shed\": {}, \
 \"high_water\": {}, \"goodput\": {:.1}, \"p99_ms\": {}}}\n}}",
-            vs[0].name,
             bp.point.offered,
             bp.point.accepted,
             bp.shed,
@@ -444,6 +512,96 @@ saturate.\",\n  \"config\": {",
     eprintln!(
         "saturate{} finished in {:.2}s wall-clock",
         if quick { " --quick" } else { "" },
+        t0.elapsed().as_secs_f64()
+    );
+    report_saturate_failures(&failures);
+}
+
+/// `live [msgs]`: the PR-9 sim-vs-live comparison — the same fixed
+/// workload per stack on both backends, a markdown table, BENCH_PR9.json,
+/// and hard completion guards (an op lost on the live backend is a bug in
+/// the runtime, not noise).
+fn live_cmd() {
+    let msgs: usize = numeric_arg(2, "messages", 48);
+    const SEED: u64 = 7;
+    let gap = gcs_kernel::TimeDelta::from_millis(2);
+    let t0 = Instant::now();
+    let rows = live::run_matrix(msgs, gap, SEED);
+
+    println!(
+        "## sim vs live (n={}, {msgs} msgs at one per {} ms, seed {SEED})\n",
+        live::GROUP,
+        gap.as_millis()
+    );
+    println!("| stack | backend | completed | mean lat (ms) | p99 (ms) | wall (s) |");
+    println!("|---|---|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {:?} | {}/{} | {} | {} | {:.2} |",
+            r.stack.name(),
+            r.backend,
+            r.completed,
+            r.msgs,
+            json_f64(r.mean_ms, 2),
+            json_f64(r.p99_ms, 2),
+            r.wall_s
+        );
+    }
+
+    let mut failures = Vec::new();
+    for r in &rows {
+        if r.completed != r.msgs {
+            failures.push(format!(
+                "{:?}/{}: only {}/{} ops delivered at every member",
+                r.backend,
+                r.stack.name(),
+                r.completed,
+                r.msgs
+            ));
+        }
+    }
+
+    let mut s = String::from(
+        "{\n  \"description\": \"PR 9 live backend: the same fixed workload (n=4, flat LAN, \
+round-robin senders) per stack on the deterministic simulator and on the live \
+thread-per-member runtime. Sim latency is virtual time (modeled network delay, computation \
+free); live latency is wall time on OS threads (scheduling + channel hand-off + the timer \
+wheel for emulated delays), so the columns document the cost of reality rather than being \
+expected to match. Live figures vary run to run -- the committed numbers are one recorded \
+run; the guard (every op delivered at every member on both backends) is the reproducible \
+part. Regenerate with: cargo run --release -p gcs-bench --bin repro -- live.\",\n  \
+\"config\": {",
+    );
+    s.push_str(&format!(
+        "\"group\": {}, \"msgs\": {msgs}, \"gap_ms\": {}, \"seed\": {SEED}}},\n  \"rows\": [\n",
+        live::GROUP,
+        gap.as_millis()
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"stack\": \"{}\", \"backend\": \"{:?}\", \"msgs\": {}, \"completed\": {}, \
+\"mean_ms\": {}, \"p99_ms\": {}, \"wall_s\": {:.3}}}{}\n",
+            r.stack.name(),
+            r.backend,
+            r.msgs,
+            r.completed,
+            json_f64(r.mean_ms, 3),
+            json_f64(r.p99_ms, 3),
+            r.wall_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}");
+    println!("\n```json\n{s}\n```");
+    match std::fs::write("BENCH_PR9.json", format!("{s}\n")) {
+        Ok(()) => eprintln!("wrote BENCH_PR9.json"),
+        Err(e) => {
+            eprintln!("repro: cannot write BENCH_PR9.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "live finished in {:.2}s wall-clock",
         t0.elapsed().as_secs_f64()
     );
     report_saturate_failures(&failures);
@@ -717,6 +875,7 @@ fn main() {
         "bench-pr3" => bench_pr3(),
         "bench-pr7" => bench_pr7(),
         "saturate" => saturate_cmd(),
+        "live" => live_cmd(),
         "throughput" => throughput(),
         "help" | "--help" | "-h" => println!("{}", usage()),
         other => usage_error(&format!("unknown command {other:?}")),

@@ -20,6 +20,7 @@
 
 pub mod alloccount;
 pub mod experiments;
+pub mod live;
 pub mod perf;
 pub mod saturate;
 pub mod scenario;

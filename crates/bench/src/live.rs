@@ -1,0 +1,183 @@
+//! Sim-vs-live comparison (PR-9): the same fixed workload on the same
+//! stack, once under the deterministic simulator and once on the live
+//! thread-per-member backend, side by side.
+//!
+//! The point of the measurement is *not* that the numbers match — they
+//! measure different things. Simulator latency is virtual time: the
+//! modeled network delay plus protocol rounds, with computation free.
+//! Live latency is wall time on loaded OS threads: the same protocol
+//! rounds, but every hop pays scheduling, channel hand-off and lock
+//! traffic, and the emulated LAN delay rides the timer wheel only when it
+//! exceeds the wire floor. What must hold — and what the guards check —
+//! is that the *protocol* behaves identically: every op delivers at every
+//! member on both backends, and the live run completes within a generous
+//! wall bound. The latency columns then document the cost of reality.
+
+use std::time::Instant;
+
+use gcs_api::{Backend, Group, GroupTransport, StackKind};
+use gcs_core::StackConfig;
+use gcs_kernel::{ProcessId, Time, TimeDelta};
+use gcs_sim::TraceMode;
+
+use crate::workload::{decode_op_index, write_payload};
+
+/// Group size of the comparison runs.
+pub const GROUP: usize = 4;
+
+/// One backend's measurement of the fixed workload.
+#[derive(Clone, Debug)]
+pub struct LiveRow {
+    /// Which stack ran.
+    pub stack: StackKind,
+    /// Which backend hosted it.
+    pub backend: Backend,
+    /// Ops injected.
+    pub msgs: usize,
+    /// Ops delivered at every member before the deadline.
+    pub completed: usize,
+    /// Mean arrival → delivered-everywhere latency, ms (virtual on Sim,
+    /// wall on Live).
+    pub mean_ms: f64,
+    /// 99th-percentile arrival → delivered-everywhere latency, ms.
+    pub p99_ms: f64,
+    /// Wall-clock seconds the run took (the drive loop, not the build).
+    pub wall_s: f64,
+}
+
+/// Runs the fixed workload — `msgs` ops, round-robin senders, one op per
+/// `gap` starting at 1 ms — on one backend and measures completion.
+pub fn run_on(
+    backend: Backend,
+    kind: StackKind,
+    msgs: usize,
+    gap: TimeDelta,
+    seed: u64,
+) -> LiveRow {
+    let mut builder = Group::builder()
+        .members(GROUP)
+        .stack(kind)
+        .backend(backend)
+        .seed(seed)
+        .trace(TraceMode::Full);
+    if kind == StackKind::NewArch {
+        // As everywhere in the harness: exclusions come from the script
+        // (here: nobody), not from monitoring racing the measurement.
+        let mut cfg = StackConfig::default();
+        cfg.monitoring_timeout = TimeDelta::from_secs(3600);
+        builder = builder.stack_config(cfg);
+    }
+    let mut g = builder.build();
+    let arrivals: Vec<(Time, ProcessId)> = (0..msgs)
+        .map(|i| {
+            (
+                Time::from_millis(1).saturating_add(gap.saturating_mul(i as u64)),
+                ProcessId::new((i % GROUP) as u32),
+            )
+        })
+        .collect();
+    for (i, &(t, sender)) in arrivals.iter().enumerate() {
+        g.abcast_build_at(t, sender, &mut |buf| write_payload(i, 2, buf));
+    }
+
+    // Drive in 5 ms slices until every op completed everywhere or the
+    // deadline passes — the bound-based shape live runs require; the
+    // simulator exits the loop as soon as its event queue catches up.
+    let deadline = Time::from_secs(30);
+    let t0 = Instant::now();
+    let mut cursor = Time::ZERO;
+    let step = TimeDelta::from_millis(5);
+    let mut completed = completed_ops(&g, &arrivals).iter().filter(|c| **c).count();
+    while completed < msgs && cursor < deadline {
+        cursor += step;
+        g.run_until(cursor);
+        completed = completed_ops(&g, &arrivals).iter().filter(|c| **c).count();
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // Latency over completed ops: arrival → last member's delivery.
+    let mut done: Vec<Time> = vec![Time::ZERO; msgs];
+    let mut seen: Vec<usize> = vec![0; msgs];
+    for d in g.delivery_trace() {
+        if d.kind != gcs_core::DeliveryKind::Atomic {
+            continue;
+        }
+        let payload = g.resolve(d.payload);
+        let Some(op) = decode_op_index(&payload) else {
+            continue;
+        };
+        if op < msgs {
+            seen[op] += 1;
+            done[op] = done[op].max(d.time);
+        }
+    }
+    let mut latencies: Vec<f64> = (0..msgs)
+        .filter(|&op| seen[op] >= GROUP)
+        .map(|op| done[op].since(arrivals[op].0).as_millis_f64())
+        .collect();
+    let (mean_ms, p99_ms) = if latencies.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (mean, latencies[(latencies.len() - 1) * 99 / 100])
+    };
+    LiveRow {
+        stack: kind,
+        backend,
+        msgs,
+        completed,
+        mean_ms,
+        p99_ms,
+        wall_s,
+    }
+}
+
+/// Which ops have been delivered at every member.
+fn completed_ops(g: &Group, arrivals: &[(Time, ProcessId)]) -> Vec<bool> {
+    let mut seen = vec![0usize; arrivals.len()];
+    for d in g.delivery_trace() {
+        if d.kind != gcs_core::DeliveryKind::Atomic {
+            continue;
+        }
+        let payload = g.resolve(d.payload);
+        if let Some(op) = decode_op_index(&payload) {
+            if let Some(s) = seen.get_mut(op) {
+                *s += 1;
+            }
+        }
+    }
+    seen.into_iter().map(|s| s >= GROUP).collect()
+}
+
+/// Runs the comparison for every stack on both backends, sim first.
+pub fn run_matrix(msgs: usize, gap: TimeDelta, seed: u64) -> Vec<LiveRow> {
+    let mut rows = Vec::new();
+    for kind in StackKind::ALL {
+        for backend in [Backend::Sim, Backend::Live] {
+            rows.push(run_on(backend, kind, msgs, gap, seed));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_complete_the_fixed_workload() {
+        for kind in StackKind::ALL {
+            for backend in [Backend::Sim, Backend::Live] {
+                let r = run_on(backend, kind, 8, TimeDelta::from_millis(2), 7);
+                assert_eq!(
+                    r.completed,
+                    8,
+                    "{backend:?}/{} completed the stream: {r:?}",
+                    kind.name()
+                );
+                assert!(r.mean_ms.is_finite() && r.p99_ms.is_finite(), "{r:?}");
+            }
+        }
+    }
+}

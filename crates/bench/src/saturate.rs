@@ -299,6 +299,16 @@ pub fn sustained_goodput(curve: &[Point]) -> f64 {
     curve.iter().map(|p| p.goodput).fold(0.0, f64::max)
 }
 
+/// Why a variant's knee is *expected* to lie beyond any sweep, when that
+/// is a protocol property rather than a sweep that stopped too early.
+/// Isis is the one such variant: its fixed sequencer stamps messages on
+/// arrival and the simulator's links delay but never queue, so no offered
+/// rate exceeds its virtual-time capacity. The report carries this note
+/// explicitly instead of a bare `null` that reads like a measurement gap.
+pub fn uncapped_note(v: &Variant) -> Option<&'static str> {
+    (v.stack == StackKind::Isis).then_some("knee not reached (arrival-stamping sequencer uncapped)")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,4 +67,4 @@ pub use payload::{PayloadArena, PayloadRef, SharedArena};
 pub use process::{Effects, Envelope, Multicast, Process, ProcessBuilder, TimerRequest};
 pub use smallvec::SmallVec;
 pub use stack::{Direction, Layer, LayerContext, StackBuilder, StackComponent};
-pub use time::{Time, TimeDelta};
+pub use time::{ManualClock, Time, TimeDelta, TimeSource};

@@ -22,10 +22,17 @@
 //! [`ReliableChannel`] is sans-I/O: callers feed it sends, received packets
 //! and clock ticks; it returns the packets to transmit and the messages to
 //! deliver. Protocol suites wrap it in a thin kernel component adapter.
+//!
+//! The [`link`] module adds the **live-backend wire**: a length-prefixed
+//! frame codec and the [`Link`] trait over which `gcs-live` moves frames
+//! between real OS threads — in-process channels ([`ChannelLink`]) and
+//! loopback TCP ([`TcpLink`]) behind one interface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod link;
 mod reliable;
 
+pub use link::{encode_frame, ChannelLink, FrameDecoder, FrameHeader, Link, TcpLink};
 pub use reliable::{Packet, RcConfig, RcOut, ReliableChannel};

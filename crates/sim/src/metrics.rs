@@ -161,25 +161,32 @@ impl Metrics {
         Self::default()
     }
 
-    pub(crate) fn record_send(&mut self, kind: &'static str, bytes: usize) {
+    /// Records a message handed to the network, attributed to its event
+    /// kind. Public so non-simulator runtimes (the live threaded backend)
+    /// can account traffic in the same vocabulary.
+    pub fn record_send(&mut self, kind: &'static str, bytes: usize) {
         self.kinds.record(kind, bytes as u64);
         self.total_sent += 1;
         self.total_bytes += bytes as u64;
     }
 
-    pub(crate) fn record_delivery(&mut self) {
+    /// Records a message delivered to its destination process.
+    pub fn record_delivery(&mut self) {
         self.delivered += 1;
     }
 
-    pub(crate) fn record_drop_loss(&mut self) {
+    /// Records a message dropped by random loss (or a loss burst).
+    pub fn record_drop_loss(&mut self) {
         self.dropped_loss += 1;
     }
 
-    pub(crate) fn record_drop_partition(&mut self) {
+    /// Records a message dropped by an active partition.
+    pub fn record_drop_partition(&mut self) {
         self.dropped_partition += 1;
     }
 
-    pub(crate) fn record_drop_crash(&mut self) {
+    /// Records a message dropped because its destination had crashed.
+    pub fn record_drop_crash(&mut self) {
         self.dropped_crash += 1;
     }
 

@@ -26,6 +26,9 @@
 //!   consensus, thrifty generic broadcast, membership above abcast,
 //!   monitoring-driven exclusion.
 //! * [`traditional`] — the baselines the paper compares against.
+//! * [`live`] — the live backend: members as OS threads, wall-clock
+//!   timers, frames over channels or loopback TCP — select it with
+//!   `Group::builder().backend(Backend::Live)`.
 //! * [`replication`] — active (state machine) and passive (primary-backup)
 //!   replication, generic over [`GroupTransport`] so the same service runs
 //!   on any stack.
@@ -65,12 +68,13 @@ pub use gcs_consensus as consensus;
 pub use gcs_core as core;
 pub use gcs_fd as fd;
 pub use gcs_kernel as kernel;
+pub use gcs_live as live;
 pub use gcs_net as net;
 pub use gcs_replication as replication;
 pub use gcs_sim as sim;
 pub use gcs_traditional as traditional;
 
 pub use gcs_api::{
-    Group, GroupBuilder, GroupTransport, InvariantChecker, InvariantKind, OracleReport, StackKind,
-    TransportDelivery, Violation,
+    Backend, Group, GroupBuilder, GroupTransport, InvariantChecker, InvariantKind, OracleReport,
+    StackKind, TransportDelivery, Violation,
 };
